@@ -1,0 +1,146 @@
+package domainvirt
+
+import (
+	"fmt"
+
+	"domainvirt/internal/report"
+)
+
+// Ablations probe the design choices DESIGN.md calls out: node placement
+// (how many domains one operation touches), DTTLB/PTLB sizing, and the
+// number of cores participating in TLB shootdowns.
+
+// AblationRow is one ablation configuration's overhead over the
+// lowerbound, per scheme.
+type AblationRow struct {
+	Label      string
+	LibmpkPct  float64
+	MPKVirtPct float64
+	DomVirtPct float64
+}
+
+func ablationRun(name string, p Params, cfg Config) (AblationRow, error) {
+	res, err := RunSchemes(name, p, cfg,
+		SchemeLowerbound, SchemeLibmpk, SchemeMPKVirt, SchemeDomainVirt)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	lb := res[SchemeLowerbound]
+	return AblationRow{
+		LibmpkPct:  res[SchemeLibmpk].OverheadPct(lb),
+		MPKVirtPct: res[SchemeMPKVirt].OverheadPct(lb),
+		DomVirtPct: res[SchemeDomainVirt].OverheadPct(lb),
+	}, nil
+}
+
+// AblationPlacement contrasts scattered placement (one structure spread
+// across all pools; an operation's traversal crosses many domains) with
+// per-pool placement (one structure per pool; an operation touches mostly
+// one domain) on the AVL benchmark.
+func AblationPlacement(opt ExpOptions) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, placement := range []string{"scatter", "perpool"} {
+		for _, pmos := range []int{64, 1024} {
+			p := opt.microParams(pmos)
+			p.Placement = placement
+			if placement == "perpool" {
+				// InitialElems is per pool here; keep setup bounded.
+				p.InitialElems = 128
+			}
+			row, err := ablationRun("avl", p, opt.Cfg)
+			if err != nil {
+				return nil, err
+			}
+			row.Label = fmt.Sprintf("%s/%d PMOs", placement, pmos)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// AblationBufferSizes sweeps the DTTLB and PTLB entry counts — the
+// paper's 16-entry base case versus smaller and larger buffers — at 1024
+// PMOs on AVL.
+func AblationBufferSizes(opt ExpOptions) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, entries := range []int{8, 16, 32, 64} {
+		cfg := opt.Cfg
+		cfg.DTTLBEntries = entries
+		cfg.PTLBEntries = entries
+		p := opt.microParams(1024)
+		row, err := ablationRun("avl", p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.Label = fmt.Sprintf("%d entries", entries)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationCores scales the core/thread count: the MPK-virtualization
+// shootdown cost is "the sum of the overhead for a key remapping for
+// number_of_thread threads", so its overhead grows with cores while
+// domain virtualization stays flat.
+func AblationCores(opt ExpOptions) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, cores := range []int{1, 2, 4} {
+		cfg := opt.Cfg
+		cfg.Cores = cores
+		p := opt.microParams(256)
+		p.Threads = cores
+		row, err := ablationRun("avl", p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.Label = fmt.Sprintf("%d cores", cores)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationReport renders ablation rows.
+func AblationReport(title string, rows []AblationRow) *report.Table {
+	t := &report.Table{
+		Title:   title,
+		Headers: []string{"Configuration", "libmpk %", "MPK Virt %", "Domain Virt %"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Label,
+			fmt.Sprintf("%.2f", r.LibmpkPct),
+			fmt.Sprintf("%.2f", r.MPKVirtPct),
+			fmt.Sprintf("%.2f", r.DomVirtPct))
+	}
+	return t
+}
+
+// AblationCosts sweeps the key architectural cost parameters to show the
+// conclusions are not knife-edge: halving/doubling the TLB-invalidation
+// cost moves MPK virtualization proportionally, and NVM latency moves the
+// baseline (so all relative overheads shrink as memory slows down).
+func AblationCosts(opt ExpOptions) ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, inval := range []uint64{143, 286, 572} {
+		cfg := opt.Cfg
+		cfg.Costs.TLBInval = inval
+		p := opt.microParams(1024)
+		row, err := ablationRun("avl", p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.Label = fmt.Sprintf("TLB inval %d cycles", inval)
+		rows = append(rows, row)
+	}
+	for _, nvm := range []uint64{120, 360, 720} {
+		cfg := opt.Cfg
+		cfg.Mem.NVMLatency = nvm
+		p := opt.microParams(1024)
+		row, err := ablationRun("avl", p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.Label = fmt.Sprintf("NVM latency %d cycles", nvm)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

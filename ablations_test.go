@@ -1,0 +1,110 @@
+package domainvirt_test
+
+import (
+	"bytes"
+	"testing"
+
+	"domainvirt"
+)
+
+func tinyOpts() domainvirt.ExpOptions {
+	opt := domainvirt.DefaultExpOptions()
+	opt.MicroOps = 400
+	opt.MicroInit = 256
+	return opt
+}
+
+func TestAblationPlacement(t *testing.T) {
+	rows, err := domainvirt.AblationPlacement(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byLabel := map[string]domainvirt.AblationRow{}
+	for _, r := range rows {
+		byLabel[r.Label] = r
+	}
+	// Per-pool placement touches ~1 domain per op, so the hardware
+	// schemes' overheads must be far below scattered placement at 1024
+	// PMOs.
+	sc := byLabel["scatter/1024 PMOs"]
+	pp := byLabel["perpool/1024 PMOs"]
+	if pp.MPKVirtPct >= sc.MPKVirtPct {
+		t.Errorf("perpool mpkvirt %.1f%% not below scatter %.1f%%", pp.MPKVirtPct, sc.MPKVirtPct)
+	}
+	if pp.LibmpkPct >= sc.LibmpkPct {
+		t.Errorf("perpool libmpk %.1f%% not below scatter %.1f%%", pp.LibmpkPct, sc.LibmpkPct)
+	}
+	// Ordering holds under both placements at 1024 PMOs.
+	for _, r := range []domainvirt.AblationRow{sc, pp} {
+		if !(r.LibmpkPct > r.MPKVirtPct && r.MPKVirtPct > r.DomVirtPct) {
+			t.Errorf("%s: ordering violated (%.1f, %.1f, %.1f)", r.Label, r.LibmpkPct, r.MPKVirtPct, r.DomVirtPct)
+		}
+	}
+	var b bytes.Buffer
+	if err := domainvirt.AblationReport("placement", rows).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationBufferSizes(t *testing.T) {
+	rows, err := domainvirt.AblationBufferSizes(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Larger PTLBs can only help domain virtualization (fewer misses).
+	if rows[3].DomVirtPct > rows[0].DomVirtPct+0.5 {
+		t.Errorf("64-entry PTLB (%.2f%%) worse than 8-entry (%.2f%%)",
+			rows[3].DomVirtPct, rows[0].DomVirtPct)
+	}
+}
+
+func TestAblationCores(t *testing.T) {
+	rows, err := domainvirt.AblationCores(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Shootdowns broadcast to every core: MPK virtualization's overhead
+	// must grow with the core count; domain virtualization has no
+	// shootdowns, so it must grow far less.
+	mvGrowth := rows[2].MPKVirtPct / rows[0].MPKVirtPct
+	dvGrowth := rows[2].DomVirtPct / rows[0].DomVirtPct
+	if mvGrowth < 1.2 {
+		t.Errorf("mpkvirt overhead did not grow with cores: %.2fx", mvGrowth)
+	}
+	if dvGrowth > mvGrowth {
+		t.Errorf("domainvirt grew faster (%.2fx) than mpkvirt (%.2fx) with cores", dvGrowth, mvGrowth)
+	}
+}
+
+func TestAblationCosts(t *testing.T) {
+	rows, err := domainvirt.AblationCosts(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Doubling the invalidation cost must raise MPK virtualization's
+	// overhead and leave domain virtualization (no shootdowns) alone.
+	if rows[2].MPKVirtPct <= rows[0].MPKVirtPct {
+		t.Errorf("mpkvirt insensitive to invalidation cost: %.1f vs %.1f",
+			rows[0].MPKVirtPct, rows[2].MPKVirtPct)
+	}
+	if diff := rows[2].DomVirtPct - rows[0].DomVirtPct; diff > 1 || diff < -1 {
+		t.Errorf("domainvirt moved with invalidation cost: %.2f", diff)
+	}
+	// Slower NVM inflates the baseline: every relative overhead shrinks.
+	if rows[5].MPKVirtPct >= rows[3].MPKVirtPct {
+		t.Errorf("slower NVM did not dilute overhead: %.1f vs %.1f",
+			rows[3].MPKVirtPct, rows[5].MPKVirtPct)
+	}
+}

@@ -1,0 +1,154 @@
+// Package domainvirt is a library-scale reproduction of "Hardware-Based
+// Domain Virtualization for Intra-Process Isolation of Persistent Memory
+// Objects" (ISCA 2020). It bundles:
+//
+//   - a PMO library (pools, relocatable ObjectIDs, attach/detach,
+//     namespace/permissions, durable transactions) — see OpenStore,
+//     NewSpace, Begin;
+//   - the paper's protection engines (default MPK, libmpk software
+//     virtualization, hardware MPK virtualization, hardware domain
+//     virtualization) behind one interface;
+//   - a trace-driven timing simulator with the paper's Table II
+//     parameters — see NewMachine;
+//   - the WHISPER-like and multi-PMO benchmark suites plus experiment
+//     runners regenerating every table and figure of the evaluation —
+//     see Table5 through Fig7.
+package domainvirt
+
+import (
+	"domainvirt/internal/core"
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/pmo"
+	"domainvirt/internal/sim"
+	"domainvirt/internal/stats"
+	"domainvirt/internal/trace"
+	"domainvirt/internal/txn"
+	"domainvirt/internal/workload"
+
+	// Register the benchmark suites.
+	_ "domainvirt/internal/workload/micro"
+	_ "domainvirt/internal/workload/server"
+	_ "domainvirt/internal/workload/whisper"
+)
+
+// PMO library API (Table I of the paper).
+type (
+	// Store is the OS-side PMO namespace (names, IDs, permissions,
+	// file persistence).
+	Store = pmo.Store
+	// Pool is one persistent memory object.
+	Pool = pmo.Pool
+	// PoolInfo summarizes a pool for listings.
+	PoolInfo = pmo.PoolInfo
+	// Mode is a pool permission mode.
+	Mode = pmo.Mode
+	// OID is a relocatable persistent pointer (32-bit pool ID +
+	// 32-bit offset).
+	OID = pmo.OID
+	// Space is a process address space holding PMO attachments.
+	Space = pmo.Space
+	// Attachment binds an attached pool to its VA region and domain.
+	Attachment = pmo.Attachment
+	// Tx is a durable redo-log transaction on a pool.
+	Tx = txn.Tx
+	// MultiTx is a two-phase durable transaction spanning several pools.
+	MultiTx = txn.MultiTx
+)
+
+// Pool modes and the null OID.
+const (
+	ModeOwnerRead  = pmo.ModeOwnerRead
+	ModeOwnerWrite = pmo.ModeOwnerWrite
+	ModeOtherRead  = pmo.ModeOtherRead
+	ModeOtherWrite = pmo.ModeOtherWrite
+	ModeDefault    = pmo.ModeDefault
+	NullOID        = pmo.NullOID
+)
+
+// OpenStore opens (or creates) a file-backed PMO store.
+func OpenStore(dir string) (*Store, error) { return pmo.OpenStore(dir) }
+
+// NewStore creates an in-memory PMO store.
+func NewStore() *Store { return pmo.NewStore() }
+
+// NewSpace creates an address space; sink may be a *Machine (simulation)
+// or nil (plain library use).
+func NewSpace(sink trace.Sink) *Space { return pmo.NewSpace(sink) }
+
+// MakeOID builds an OID from a pool ID and offset.
+func MakeOID(pool, off uint32) OID { return pmo.MakeOID(pool, off) }
+
+// Begin starts a durable transaction on pool.
+func Begin(pool *Pool) (*Tx, error) { return txn.Begin(pool) }
+
+// Recover completes or discards an interrupted transaction on pool.
+func Recover(pool *Pool) (bool, error) { return txn.Recover(pool) }
+
+// BeginMulti starts a cross-pool transaction coordinated by coord.
+func BeginMulti(coord *Pool) (*MultiTx, error) { return txn.BeginMulti(coord) }
+
+// RecoverStore runs cross-pool recovery over every pool in the store,
+// returning the number of redone logs.
+func RecoverStore(store *Store) (int, error) { return txn.RecoverStore(store) }
+
+// Protection-domain API.
+type (
+	// DomainID identifies a protection domain (one per attached PMO).
+	DomainID = core.DomainID
+	// ThreadID identifies a thread of the protected process.
+	ThreadID = core.ThreadID
+	// Perm is a read/write domain permission.
+	Perm = core.Perm
+	// Engine is a pluggable protection scheme.
+	Engine = core.Engine
+	// Inspector is the ERIM-style SETPERM call-site gate.
+	Inspector = core.Inspector
+	// Costs holds the architectural latency parameters (Table II).
+	Costs = core.Costs
+)
+
+// Permissions.
+const (
+	PermRW   = core.PermRW
+	PermR    = core.PermR
+	PermNone = core.PermNone
+)
+
+// NewInspector returns an empty SETPERM site inspector.
+func NewInspector() *Inspector { return core.NewInspector() }
+
+// Simulation API.
+type (
+	// Machine is the trace-driven timing simulator (implements
+	// trace.Sink).
+	Machine = sim.Machine
+	// Config is the machine configuration (Table II defaults).
+	Config = sim.Config
+	// Scheme names a protection engine.
+	Scheme = sim.Scheme
+	// Result is one simulation outcome with cycle breakdowns.
+	Result = stats.Result
+	// Params parameterizes a workload run.
+	Params = workload.Params
+	// VA is a simulated virtual address.
+	VA = memlayout.VA
+)
+
+// Schemes.
+const (
+	SchemeBaseline   = sim.SchemeBaseline
+	SchemeLowerbound = sim.SchemeLowerbound
+	SchemeMPK        = sim.SchemeMPK
+	SchemeLibmpk     = sim.SchemeLibmpk
+	SchemeMPKVirt    = sim.SchemeMPKVirt
+	SchemeDomainVirt = sim.SchemeDomainVirt
+)
+
+// DefaultConfig returns the paper's Table II machine configuration.
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// NewMachine builds a simulator with the given scheme's engine.
+func NewMachine(cfg Config, scheme Scheme) *Machine { return sim.NewMachine(cfg, scheme) }
+
+// Workloads lists the registered benchmark names.
+func Workloads() []string { return workload.Names() }

@@ -1,0 +1,171 @@
+// Benchmarks regenerating the paper's tables and figures as testing.B
+// benchmarks: each reports the paper's headline numbers (overhead
+// percentages, speedups, switch rates) as custom benchmark metrics while
+// measuring simulation throughput. The full harness with charts is
+// cmd/pmobench; EXPERIMENTS.md records paper-vs-measured for every entry.
+package domainvirt_test
+
+import (
+	"testing"
+
+	"domainvirt"
+	"domainvirt/internal/stats"
+)
+
+// benchRun executes one workload/scheme pair with b.N measured operations.
+func benchRun(b *testing.B, name string, p domainvirt.Params, scheme domainvirt.Scheme) domainvirt.Result {
+	b.Helper()
+	p.Ops = b.N
+	res, err := domainvirt.Run(name, p, scheme, domainvirt.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func whisperParams() domainvirt.Params {
+	return domainvirt.Params{NumPMOs: 1, InitialElems: 1000, PoolSize: 2 << 30, Seed: 42}
+}
+
+func microParams(pmos int) domainvirt.Params {
+	return domainvirt.Params{NumPMOs: pmos, InitialElems: 1024, Seed: 42}
+}
+
+// BenchmarkTableV: single-PMO WHISPER overheads of MPK, hardware MPK
+// virtualization, and hardware domain virtualization.
+func BenchmarkTableV(b *testing.B) {
+	for _, wl := range domainvirt.WhisperBenchmarks {
+		b.Run(wl, func(b *testing.B) {
+			base := benchRun(b, wl, whisperParams(), domainvirt.SchemeBaseline)
+			mpk := benchRun(b, wl, whisperParams(), domainvirt.SchemeMPK)
+			mv := benchRun(b, wl, whisperParams(), domainvirt.SchemeMPKVirt)
+			dv := benchRun(b, wl, whisperParams(), domainvirt.SchemeDomainVirt)
+			b.ReportMetric(mpk.SwitchesPerSec(domainvirt.DefaultConfig().ClockHz), "switches/sec")
+			b.ReportMetric(mpk.OverheadPct(base), "mpk_%ovh")
+			b.ReportMetric(mv.OverheadPct(base), "mpkvirt_%ovh")
+			b.ReportMetric(dv.OverheadPct(base), "domvirt_%ovh")
+		})
+	}
+}
+
+// BenchmarkTableVI: multi-PMO lowerbound overheads and switch rates at
+// 1024 PMOs.
+func BenchmarkTableVI(b *testing.B) {
+	for _, wl := range domainvirt.MicroBenchmarks {
+		b.Run(wl, func(b *testing.B) {
+			base := benchRun(b, wl, microParams(1024), domainvirt.SchemeBaseline)
+			lb := benchRun(b, wl, microParams(1024), domainvirt.SchemeLowerbound)
+			b.ReportMetric(lb.SwitchesPerSec(domainvirt.DefaultConfig().ClockHz), "switches/sec")
+			b.ReportMetric(lb.OverheadPct(base), "lowerbound_%ovh")
+		})
+	}
+}
+
+// BenchmarkFigure6: per-benchmark overhead-over-lowerbound at three sweep
+// points (the full stride-16 sweep is cmd/pmobench -paper).
+func BenchmarkFigure6(b *testing.B) {
+	for _, wl := range domainvirt.MicroBenchmarks {
+		for _, pmos := range []int{16, 128, 1024} {
+			b.Run(benchName(wl, pmos), func(b *testing.B) {
+				lb := benchRun(b, wl, microParams(pmos), domainvirt.SchemeLowerbound)
+				lib := benchRun(b, wl, microParams(pmos), domainvirt.SchemeLibmpk)
+				mv := benchRun(b, wl, microParams(pmos), domainvirt.SchemeMPKVirt)
+				dv := benchRun(b, wl, microParams(pmos), domainvirt.SchemeDomainVirt)
+				b.ReportMetric(lib.OverheadPct(lb), "libmpk_%ovh")
+				b.ReportMetric(mv.OverheadPct(lb), "mpkvirt_%ovh")
+				b.ReportMetric(dv.OverheadPct(lb), "domvirt_%ovh")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure7: cross-benchmark average overheads and the headline
+// speedups over libmpk at 64 and 1024 PMOs.
+func BenchmarkFigure7(b *testing.B) {
+	for _, pmos := range []int{64, 1024} {
+		b.Run(benchName("avg", pmos), func(b *testing.B) {
+			var lib, mv, dv float64
+			for _, wl := range domainvirt.MicroBenchmarks {
+				lb := benchRun(b, wl, microParams(pmos), domainvirt.SchemeLowerbound)
+				lib += benchRun(b, wl, microParams(pmos), domainvirt.SchemeLibmpk).OverheadPct(lb)
+				mv += benchRun(b, wl, microParams(pmos), domainvirt.SchemeMPKVirt).OverheadPct(lb)
+				dv += benchRun(b, wl, microParams(pmos), domainvirt.SchemeDomainVirt).OverheadPct(lb)
+			}
+			n := float64(len(domainvirt.MicroBenchmarks))
+			lib, mv, dv = lib/n, mv/n, dv/n
+			b.ReportMetric(lib, "libmpk_%ovh")
+			b.ReportMetric(mv, "mpkvirt_%ovh")
+			b.ReportMetric(dv, "domvirt_%ovh")
+			if mv > 0 {
+				b.ReportMetric(lib/mv, "mpkvirt_speedupx")
+			}
+			if dv > 0 {
+				b.ReportMetric(lib/dv, "domvirt_speedupx")
+			}
+		})
+	}
+}
+
+// BenchmarkTableVII: the overhead breakdown of both hardware designs at
+// 1024 PMOs, reported as percent of baseline execution time.
+func BenchmarkTableVII(b *testing.B) {
+	for _, wl := range domainvirt.MicroBenchmarks {
+		b.Run(wl, func(b *testing.B) {
+			base := benchRun(b, wl, microParams(1024), domainvirt.SchemeBaseline)
+			mv := benchRun(b, wl, microParams(1024), domainvirt.SchemeMPKVirt)
+			dv := benchRun(b, wl, microParams(1024), domainvirt.SchemeDomainVirt)
+			pct := func(r domainvirt.Result, c stats.Category) float64 {
+				return 100 * float64(r.Breakdown.Cycles[c]) / float64(base.Cycles)
+			}
+			b.ReportMetric(pct(mv, stats.CatPermSwitch), "mv_perm_%")
+			b.ReportMetric(pct(mv, stats.CatEntryChange), "mv_entry_%")
+			b.ReportMetric(pct(mv, stats.CatDTTMiss), "mv_dttmiss_%")
+			b.ReportMetric(pct(mv, stats.CatTLBInval), "mv_tlbinval_%")
+			b.ReportMetric(mv.OverheadPct(base), "mv_total_%")
+			b.ReportMetric(pct(dv, stats.CatPTLBMiss), "dv_ptlbmiss_%")
+			b.ReportMetric(pct(dv, stats.CatPTLBAccess), "dv_access_%")
+			b.ReportMetric(dv.OverheadPct(base), "dv_total_%")
+		})
+	}
+}
+
+// BenchmarkTableVIII: area overheads are analytic; this reports the
+// hardware budget as metrics (bytes per core and per process).
+func BenchmarkTableVIII(b *testing.B) {
+	cfg := domainvirt.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		_ = domainvirt.Table8Report(cfg)
+	}
+	b.ReportMetric(float64(cfg.DTTLBEntries*76)/8, "dttlb_bytes/core")
+	b.ReportMetric(float64(cfg.PTLBEntries*12)/8, "ptlb_bytes/core")
+	b.ReportMetric(256, "dtt_KB/process")
+	b.ReportMetric(256+16, "drt+pt_KB/process")
+	b.ReportMetric(float64((cfg.L1TLB.Entries+cfg.L2TLB.Entries)*6)/8, "tlb_ext_bytes/core")
+}
+
+// BenchmarkSimThroughput measures raw simulator speed: simulated
+// operations per second for each scheme on the AVL workload.
+func BenchmarkSimThroughput(b *testing.B) {
+	for _, s := range []domainvirt.Scheme{
+		domainvirt.SchemeBaseline, domainvirt.SchemeLowerbound,
+		domainvirt.SchemeLibmpk, domainvirt.SchemeMPKVirt, domainvirt.SchemeDomainVirt,
+	} {
+		b.Run(string(s), func(b *testing.B) {
+			res := benchRun(b, "avl", microParams(128), s)
+			b.ReportMetric(float64(res.Counters.Loads+res.Counters.Stores)/float64(b.N), "accesses/op")
+		})
+	}
+}
+
+func benchName(wl string, pmos int) string {
+	switch pmos {
+	case 16:
+		return wl + "/pmos=16"
+	case 64:
+		return wl + "/pmos=64"
+	case 128:
+		return wl + "/pmos=128"
+	default:
+		return wl + "/pmos=1024"
+	}
+}

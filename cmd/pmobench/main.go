@@ -1,0 +1,195 @@
+// Command pmobench regenerates the paper's evaluation: Tables V–VIII and
+// Figures 6–7, printed as aligned tables and log2-scale ASCII charts, with
+// optional CSV output for external plotting.
+//
+// Usage:
+//
+//	pmobench -experiment all
+//	pmobench -experiment fig6 -csv out/
+//	pmobench -experiment table7 -paper        # full paper scale (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"domainvirt"
+	"domainvirt/internal/report"
+)
+
+func main() {
+	var (
+		exp    = flag.String("experiment", "all", "table5|table6|table7|table8|fig6|fig7|ablations|all")
+		paper  = flag.Bool("paper", false, "run at the paper's full scale (100k/1M ops, stride-16 sweep)")
+		ops    = flag.Int("ops", 0, "override measured operations per run")
+		seed   = flag.Int64("seed", 42, "workload RNG seed")
+		csvDir = flag.String("csv", "", "also write CSV files into this directory")
+	)
+	flag.Parse()
+
+	opt := domainvirt.DefaultExpOptions()
+	if *paper {
+		opt = opt.Paper()
+	}
+	if *ops > 0 {
+		opt.WhisperOps = *ops
+		opt.MicroOps = *ops
+	}
+	opt.Seed = *seed
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	var fig6Cache []domainvirt.Fig6Result
+	fig6 := func() ([]domainvirt.Fig6Result, error) {
+		if fig6Cache != nil {
+			return fig6Cache, nil
+		}
+		var err error
+		fig6Cache, err = domainvirt.Fig6(opt)
+		return fig6Cache, err
+	}
+
+	run("table5", func() error {
+		rows, err := domainvirt.Table5(opt)
+		if err != nil {
+			return err
+		}
+		return emit(domainvirt.Table5Report(rows), *csvDir, "table5")
+	})
+
+	run("table6", func() error {
+		rows, err := domainvirt.Table6(opt)
+		if err != nil {
+			return err
+		}
+		return emit(domainvirt.Table6Report(rows), *csvDir, "table6")
+	})
+
+	run("fig6", func() error {
+		frs, err := fig6()
+		if err != nil {
+			return err
+		}
+		for _, fr := range frs {
+			s := domainvirt.Fig6Series(fr)
+			if err := s.RenderChart(os.Stdout, 12); err != nil {
+				return err
+			}
+			if err := emit(s.Table(), *csvDir, "fig6-"+fr.Benchmark); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	run("fig7", func() error {
+		frs, err := fig6()
+		if err != nil {
+			return err
+		}
+		f7 := domainvirt.Fig7(frs)
+		s := domainvirt.Fig7Series(f7)
+		if err := s.RenderChart(os.Stdout, 12); err != nil {
+			return err
+		}
+		if err := emit(s.Table(), *csvDir, "fig7"); err != nil {
+			return err
+		}
+		for _, x := range f7.X {
+			if sp, ok := f7.SpeedupAt[x]; ok && (x == 64 || x == 1024) {
+				fmt.Printf("at %4d PMOs: HW MPK virtualization %.1fx faster than libmpk, domain virtualization %.1fx faster\n",
+					x, sp[0], sp[1])
+			}
+		}
+		fmt.Println()
+		return nil
+	})
+
+	run("table7", func() error {
+		mv, dv, err := domainvirt.Table7(opt)
+		if err != nil {
+			return err
+		}
+		return emit(domainvirt.Table7Report(mv, dv), *csvDir, "table7")
+	})
+
+	run("table8", func() error {
+		return emit(domainvirt.Table8Report(opt.Cfg), *csvDir, "table8")
+	})
+
+	run("ablations", func() error {
+		placement, err := domainvirt.AblationPlacement(opt)
+		if err != nil {
+			return err
+		}
+		if err := emit(domainvirt.AblationReport(
+			"Ablation: node placement (AVL, % overhead over lowerbound)", placement),
+			*csvDir, "ablation-placement"); err != nil {
+			return err
+		}
+		sizes, err := domainvirt.AblationBufferSizes(opt)
+		if err != nil {
+			return err
+		}
+		if err := emit(domainvirt.AblationReport(
+			"Ablation: DTTLB/PTLB entries (AVL, 1024 PMOs)", sizes),
+			*csvDir, "ablation-buffers"); err != nil {
+			return err
+		}
+		cores, err := domainvirt.AblationCores(opt)
+		if err != nil {
+			return err
+		}
+		if err := emit(domainvirt.AblationReport(
+			"Ablation: cores participating in shootdowns (AVL, 256 PMOs)", cores),
+			*csvDir, "ablation-cores"); err != nil {
+			return err
+		}
+		costs, err := domainvirt.AblationCosts(opt)
+		if err != nil {
+			return err
+		}
+		return emit(domainvirt.AblationReport(
+			"Ablation: cost-parameter sensitivity (AVL, 1024 PMOs)", costs),
+			*csvDir, "ablation-costs")
+	})
+}
+
+func emit(t *report.Table, csvDir, name string) error {
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if csvDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.CSV(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pmobench:", err)
+	os.Exit(1)
+}

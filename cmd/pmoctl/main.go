@@ -1,0 +1,181 @@
+// Command pmoctl manages a file-backed PMO store: create, list, inspect,
+// dump, and remove pools, and recover interrupted transactions — the
+// operator-facing counterpart of the OS-managed PMO namespace.
+//
+// Usage:
+//
+//	pmoctl -store /var/pmo create -name sessions -size 8388608 -owner web
+//	pmoctl -store /var/pmo ls
+//	pmoctl -store /var/pmo info -name sessions
+//	pmoctl -store /var/pmo dump -name sessions -off 4096 -len 64
+//	pmoctl -store /var/pmo recover -name sessions
+//	pmoctl -store /var/pmo verify -name sessions
+//	pmoctl -store /var/pmo rm -name sessions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"domainvirt"
+	"domainvirt/internal/txn"
+)
+
+func main() {
+	storeDir := flag.String("store", "", "store directory (required)")
+	flag.Parse()
+	if *storeDir == "" || flag.NArg() < 1 {
+		usage()
+	}
+	store, err := domainvirt.OpenStore(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+
+	cmd := flag.Arg(0)
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	name := fs.String("name", "", "pool name")
+	size := fs.Uint64("size", 8<<20, "pool size in bytes (create)")
+	owner := fs.String("owner", "root", "owning user (create)")
+	key := fs.String("key", "", "attach key (create)")
+	off := fs.Uint64("off", 0, "offset (dump)")
+	length := fs.Uint64("len", 64, "byte count (dump)")
+	if err := fs.Parse(flag.Args()[1:]); err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "create":
+		need(*name)
+		p, err := store.Create(*name, *size, domainvirt.ModeDefault, *owner)
+		if err != nil {
+			fatal(err)
+		}
+		if *key != "" {
+			p.SetAttachKey(*key)
+		}
+		if err := store.Sync(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("created pool %q: id=%d size=%d owner=%s\n", p.Name(), p.ID(), p.Size(), p.Owner())
+
+	case "ls":
+		infos := store.List()
+		if len(infos) == 0 {
+			fmt.Println("(empty store)")
+			return
+		}
+		fmt.Printf("%-20s %6s %12s %10s %8s\n", "NAME", "ID", "SIZE", "POPULATED", "OWNER")
+		for _, i := range infos {
+			fmt.Printf("%-20s %6d %12d %9dp %8s\n", i.Name, i.ID, i.Size, i.Populated, i.Owner)
+		}
+
+	case "info":
+		need(*name)
+		p, ok := store.Get(*name)
+		if !ok {
+			fatal(fmt.Errorf("pool %q not found", *name))
+		}
+		logOff, logSize := p.LogArea()
+		fmt.Printf("pool %q\n  id:        %d\n  size:      %d bytes\n  owner:     %s\n  mode:      %04b\n  populated: %d pages\n  root:      %v\n  log area:  off=%d size=%d\n  bump:      %d\n",
+			p.Name(), p.ID(), p.Size(), p.Owner(), p.Mode(), p.PopulatedPages(), p.Root(), logOff, logSize, p.BumpNext())
+
+	case "dump":
+		need(*name)
+		p, ok := store.Get(*name)
+		if !ok {
+			fatal(fmt.Errorf("pool %q not found", *name))
+		}
+		if *off+*length > p.Size() {
+			fatal(fmt.Errorf("range [%d,%d) outside pool of size %d", *off, *off+*length, p.Size()))
+		}
+		buf := make([]byte, *length)
+		p.Read(uint32(*off), buf)
+		for i := 0; i < len(buf); i += 16 {
+			end := i + 16
+			if end > len(buf) {
+				end = len(buf)
+			}
+			fmt.Printf("%08x  % x\n", *off+uint64(i), buf[i:end])
+		}
+
+	case "recover":
+		need(*name)
+		p, ok := store.Get(*name)
+		if !ok {
+			fatal(fmt.Errorf("pool %q not found", *name))
+		}
+		redone, err := txn.Recover(p)
+		if err != nil {
+			fatal(err)
+		}
+		if err := store.Sync(); err != nil {
+			fatal(err)
+		}
+		if redone {
+			fmt.Println("redo: committed transaction reapplied")
+		} else {
+			fmt.Println("clean: nothing to recover")
+		}
+
+	case "cp":
+		need(*name)
+		dst := fs.Arg(0)
+		if dst == "" {
+			fatal(fmt.Errorf("usage: pmoctl -store DIR cp -name SRC DST"))
+		}
+		cp, err := store.Snapshot(*name, dst, *owner)
+		if err != nil {
+			fatal(err)
+		}
+		if err := store.Sync(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("snapshotted %q -> %q (id=%d, %d pages)\n", *name, cp.Name(), cp.ID(), cp.PopulatedPages())
+
+	case "verify":
+		need(*name)
+		p, ok := store.Get(*name)
+		if !ok {
+			fatal(fmt.Errorf("pool %q not found", *name))
+		}
+		rep := p.Check()
+		fmt.Printf("pool %q: %d allocated blocks (%d bytes), %d free blocks (%d bytes)\n",
+			p.Name(), rep.AllocBlocks, rep.AllocBytes, rep.FreeBlocks, rep.FreeBytes)
+		if rep.OK() {
+			fmt.Println("verify: OK")
+		} else {
+			for _, issue := range rep.Issues {
+				fmt.Println("verify:", issue)
+			}
+			os.Exit(1)
+		}
+
+	case "rm":
+		need(*name)
+		if err := store.Remove(*name); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("removed pool %q\n", *name)
+
+	default:
+		usage()
+	}
+}
+
+func need(name string) {
+	if name == "" {
+		fatal(fmt.Errorf("-name is required"))
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pmoctl -store DIR {create|ls|info|dump|cp|recover|verify|rm} [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pmoctl:", err)
+	os.Exit(1)
+}

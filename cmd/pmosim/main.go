@@ -1,0 +1,107 @@
+// Command pmosim runs one benchmark workload under one protection scheme
+// on the simulated machine and prints cycle counts, permission-switch
+// rates, and the overhead breakdown.
+//
+// Usage:
+//
+//	pmosim -workload avl -scheme domainvirt -pmos 256 -ops 10000
+//	pmosim -workload echo -scheme mpk -ops 20000 -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"domainvirt"
+	"domainvirt/internal/stats"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "avl", "workload name ("+strings.Join(domainvirt.Workloads(), ", ")+")")
+		scheme  = flag.String("scheme", "domainvirt", "protection scheme (baseline, lowerbound, mpk, libmpk, mpkvirt, domainvirt)")
+		pmos    = flag.Int("pmos", 64, "number of PMOs (multi-PMO workloads)")
+		ops     = flag.Int("ops", 10000, "measured operations")
+		initial = flag.Int("init", 1024, "initial elements")
+		threads = flag.Int("threads", 1, "worker threads")
+		cores   = flag.Int("cores", 1, "simulated cores")
+		seed    = flag.Int64("seed", 42, "workload RNG seed")
+		compare = flag.Bool("compare", false, "run every scheme and print an overhead comparison")
+	)
+	flag.Parse()
+
+	cfg := domainvirt.DefaultConfig()
+	cfg.Cores = *cores
+	p := domainvirt.Params{
+		NumPMOs:      *pmos,
+		Ops:          *ops,
+		InitialElems: *initial,
+		Threads:      *threads,
+		Seed:         *seed,
+	}
+
+	if *compare {
+		if err := runCompare(*wl, p, cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	res, err := domainvirt.Run(*wl, p, domainvirt.Scheme(*scheme), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	printResult(*wl, res, cfg)
+}
+
+func runCompare(wl string, p domainvirt.Params, cfg domainvirt.Config) error {
+	schemes := []domainvirt.Scheme{
+		domainvirt.SchemeBaseline, domainvirt.SchemeLowerbound,
+		domainvirt.SchemeLibmpk, domainvirt.SchemeMPKVirt, domainvirt.SchemeDomainVirt,
+	}
+	if p.NumPMOs <= 15 {
+		schemes = append(schemes[:2], append([]domainvirt.Scheme{domainvirt.SchemeMPK}, schemes[2:]...)...)
+	}
+	res, err := domainvirt.RunSchemes(wl, p, cfg, schemes...)
+	if err != nil {
+		return err
+	}
+	base := res[domainvirt.SchemeBaseline]
+	fmt.Printf("workload %s: %d ops over %d PMOs, baseline %d cycles\n\n", wl, p.Ops, p.NumPMOs, base.Cycles)
+	fmt.Printf("%-12s %14s %10s %14s\n", "scheme", "cycles", "overhead", "switches/sec")
+	for _, s := range schemes {
+		r := res[s]
+		fmt.Printf("%-12s %14d %9.2f%% %14.0f\n", s, r.Cycles, r.OverheadPct(base), r.SwitchesPerSec(cfg.ClockHz))
+	}
+	return nil
+}
+
+func printResult(wl string, res domainvirt.Result, cfg domainvirt.Config) {
+	c := res.Counters
+	fmt.Printf("workload %s under %s\n", wl, res.Scheme)
+	fmt.Printf("  cycles:            %d\n", res.Cycles)
+	fmt.Printf("  instructions:      %d\n", c.Instructions)
+	fmt.Printf("  loads/stores:      %d / %d\n", c.Loads, c.Stores)
+	fmt.Printf("  TLB hits L1/L2:    %d / %d, misses (walks): %d\n", c.TLBL1Hits, c.TLBL2Hits, c.TLBMisses)
+	fmt.Printf("  TLB flushed:       %d entries, refills charged to invalidations: %d\n", c.TLBFlushed, c.DebtRefills)
+	fmt.Printf("  permission switches: %d (%.0f/sec at %.1f GHz)\n",
+		c.PermSwitches, res.SwitchesPerSec(cfg.ClockHz), cfg.ClockHz/1e9)
+	fmt.Printf("  evictions:         %d\n", c.Evictions)
+	fmt.Printf("  NVM reads/writes:  %d / %d\n", c.NVMReads, c.NVMWrites)
+	if ov := res.Breakdown.OverheadCycles(); ov > 0 {
+		fmt.Printf("  protection overhead cycles: %d\n", ov)
+		for i := 1; i < stats.NumCategories; i++ {
+			cat := stats.Category(i)
+			if v := res.Breakdown.Cycles[cat]; v > 0 {
+				fmt.Printf("    %-20s %12d cycles (%d events)\n", cat.String()+":", v, res.Breakdown.Counts[cat])
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pmosim:", err)
+	os.Exit(1)
+}

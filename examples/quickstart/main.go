@@ -1,0 +1,95 @@
+// Quickstart: create a file-backed PMO store, build a persistent data
+// structure inside a pool with durable transactions, protect it with a
+// domain, and reopen it after "restarting".
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"domainvirt"
+)
+
+func main() {
+	dir := filepath.Join(os.TempDir(), "pmo-quickstart")
+	defer os.RemoveAll(dir)
+
+	// --- First process lifetime: create and populate a PMO.
+	store, err := domainvirt.OpenStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := store.Create("inventory", 8<<20, domainvirt.ModeDefault, "demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Attach the PMO to this process's address space. Every attached
+	// PMO is its own protection domain; here we run without a simulator
+	// (nil sink), so the library behaves as a plain persistent heap.
+	space := domainvirt.NewSpace(nil)
+	if _, err := space.Attach(pool, domainvirt.PermRW, ""); err != nil {
+		log.Fatal(err)
+	}
+
+	// Allocate a counter record and update it durably: if we crash
+	// mid-commit, recovery replays or discards it atomically.
+	rec, err := pool.Alloc(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool.SetRoot(rec)
+	tx, err := domainvirt.Begin(pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.WriteU64(rec.Offset(), 42); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.WriteU64(rec.Offset()+8, 0xC0FFEE); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote record at %v: count=%d tag=%#x\n",
+		rec, pool.ReadU64(rec.Offset()), pool.ReadU64(rec.Offset()+8))
+
+	if err := space.Detach(pool); err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Sync(); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Second process lifetime: reopen the store and find the data
+	// through the pool root (ObjectIDs are relocatable, so the attach
+	// base does not matter).
+	store2, err := domainvirt.OpenStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool2, err := store2.Open("inventory", "demo", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := domainvirt.Recover(pool2); err != nil {
+		log.Fatal(err)
+	}
+	space2 := domainvirt.NewSpace(nil)
+	if _, err := space2.Attach(pool2, domainvirt.PermR, ""); err != nil {
+		log.Fatal(err)
+	}
+	root := pool2.Root()
+	fmt.Printf("after reopen:           count=%d tag=%#x\n",
+		pool2.ReadU64(root.Offset()), pool2.ReadU64(root.Offset()+8))
+
+	if pool2.ReadU64(root.Offset()) != 42 {
+		log.Fatal("persistence failed")
+	}
+	fmt.Println("quickstart OK")
+}

@@ -1,0 +1,49 @@
+// Sweep runs a miniature Figure 6/7: the AVL multi-PMO benchmark swept
+// over PMO counts under libmpk, hardware MPK virtualization, and hardware
+// domain virtualization, rendered as a log2-scale ASCII chart — the
+// paper's headline comparison in under a minute.
+//
+// Run: go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"domainvirt"
+	"domainvirt/internal/report"
+)
+
+func main() {
+	cfg := domainvirt.DefaultConfig()
+	counts := []int{16, 32, 64, 128, 256, 512, 1024}
+
+	s := report.NewSeries("AVL: overhead over lowerbound vs. number of PMOs", "PMOs", "% overhead")
+	s.X = counts
+	for _, pmos := range counts {
+		p := domainvirt.Params{NumPMOs: pmos, Ops: 1500, InitialElems: 512, Seed: 42}
+		res, err := domainvirt.RunSchemes("avl", p, cfg,
+			domainvirt.SchemeLowerbound, domainvirt.SchemeLibmpk,
+			domainvirt.SchemeMPKVirt, domainvirt.SchemeDomainVirt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lb := res[domainvirt.SchemeLowerbound]
+		s.Add("libmpk", res[domainvirt.SchemeLibmpk].OverheadPct(lb))
+		s.Add("mpkvirt", res[domainvirt.SchemeMPKVirt].OverheadPct(lb))
+		s.Add("domainvirt", res[domainvirt.SchemeDomainVirt].OverheadPct(lb))
+		fmt.Printf("%4d PMOs: libmpk %8.1f%%  mpkvirt %7.1f%%  domainvirt %6.1f%%\n",
+			pmos,
+			res[domainvirt.SchemeLibmpk].OverheadPct(lb),
+			res[domainvirt.SchemeMPKVirt].OverheadPct(lb),
+			res[domainvirt.SchemeDomainVirt].OverheadPct(lb))
+	}
+	fmt.Println()
+	if err := s.RenderChart(os.Stdout, 14); err != nil {
+		log.Fatal(err)
+	}
+	last := len(counts) - 1
+	fmt.Printf("\nat %d PMOs, domain virtualization cuts libmpk's overhead by %.0fx\n",
+		counts[last], s.Y["libmpk"][last]/s.Y["domainvirt"][last])
+}

@@ -1,0 +1,3 @@
+module domainvirt
+
+go 1.23

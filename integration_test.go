@@ -1,0 +1,255 @@
+package domainvirt_test
+
+import (
+	"bytes"
+	"testing"
+
+	"domainvirt"
+	"domainvirt/internal/trace"
+	"domainvirt/internal/workload"
+)
+
+func smallParams(pmos int) domainvirt.Params {
+	return domainvirt.Params{NumPMOs: pmos, Ops: 800, InitialElems: 256, Seed: 42}
+}
+
+// TestOverheadOrderingManyPMOs is the paper's headline result in miniature:
+// with many PMOs, libmpk >> hardware MPK virtualization >> hardware domain
+// virtualization, all above the lowerbound.
+func TestOverheadOrderingManyPMOs(t *testing.T) {
+	cfg := domainvirt.DefaultConfig()
+	res, err := domainvirt.RunSchemes("avl", smallParams(256), cfg,
+		domainvirt.SchemeBaseline, domainvirt.SchemeLowerbound,
+		domainvirt.SchemeLibmpk, domainvirt.SchemeMPKVirt, domainvirt.SchemeDomainVirt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res[domainvirt.SchemeBaseline]
+	lb := res[domainvirt.SchemeLowerbound].OverheadPct(base)
+	lib := res[domainvirt.SchemeLibmpk].OverheadPct(base)
+	mv := res[domainvirt.SchemeMPKVirt].OverheadPct(base)
+	dv := res[domainvirt.SchemeDomainVirt].OverheadPct(base)
+	t.Logf("overheads: lb=%.2f%% libmpk=%.2f%% mpkvirt=%.2f%% domainvirt=%.2f%%", lb, lib, mv, dv)
+	if !(lb < dv && dv < mv && mv < lib) {
+		t.Errorf("ordering violated: lb=%.2f dv=%.2f mv=%.2f libmpk=%.2f", lb, dv, mv, lib)
+	}
+	if lib < 5*mv {
+		t.Errorf("libmpk should be several times worse than MPK virtualization (%.2f vs %.2f)", lib, mv)
+	}
+}
+
+// TestCrossoverFewPMOs: with 16 PMOs all domains hold keys, so MPK
+// virtualization matches the lowerbound while domain virtualization pays
+// its PTLB access latency — the crossover the paper describes.
+func TestCrossoverFewPMOs(t *testing.T) {
+	cfg := domainvirt.DefaultConfig()
+	res, err := domainvirt.RunSchemes("avl", smallParams(16), cfg,
+		domainvirt.SchemeLowerbound, domainvirt.SchemeLibmpk,
+		domainvirt.SchemeMPKVirt, domainvirt.SchemeDomainVirt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := res[domainvirt.SchemeLowerbound].Cycles
+	mv := res[domainvirt.SchemeMPKVirt].Cycles
+	dv := res[domainvirt.SchemeDomainVirt].Cycles
+	if mv != lb {
+		t.Errorf("16 PMOs: mpkvirt %d != lowerbound %d (no evictions expected)", mv, lb)
+	}
+	if dv <= mv {
+		t.Errorf("16 PMOs: domainvirt (%d) should exceed mpkvirt (%d)", dv, mv)
+	}
+	if ev := res[domainvirt.SchemeMPKVirt].Counters.Evictions; ev != 0 {
+		t.Errorf("evictions = %d with 16 PMOs", ev)
+	}
+}
+
+// TestSinglePMOWhisper mirrors Table V: default MPK and hardware MPK
+// virtualization are cycle-identical with one PMO; domain virtualization
+// is slightly slower; all overheads are small.
+func TestSinglePMOWhisper(t *testing.T) {
+	cfg := domainvirt.DefaultConfig()
+	p := domainvirt.Params{NumPMOs: 1, Ops: 1200, InitialElems: 300, PoolSize: 128 << 20, Seed: 7}
+	res, err := domainvirt.RunSchemes("ycsb", p, cfg,
+		domainvirt.SchemeBaseline, domainvirt.SchemeMPK,
+		domainvirt.SchemeMPKVirt, domainvirt.SchemeDomainVirt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := res[domainvirt.SchemeBaseline]
+	mpk := res[domainvirt.SchemeMPK]
+	mv := res[domainvirt.SchemeMPKVirt]
+	dv := res[domainvirt.SchemeDomainVirt]
+	if mpk.Cycles != mv.Cycles {
+		t.Errorf("single PMO: MPK (%d) != MPK virtualization (%d); Table V says identical", mpk.Cycles, mv.Cycles)
+	}
+	if dv.Cycles <= mpk.Cycles {
+		t.Errorf("domain virtualization (%d) should be slightly above MPK (%d)", dv.Cycles, mpk.Cycles)
+	}
+	if ov := mpk.OverheadPct(base); ov <= 0 || ov > 10 {
+		t.Errorf("MPK overhead %.2f%% out of the small single-PMO range", ov)
+	}
+}
+
+// TestAllWorkloadsAllSchemes runs every registered workload under every
+// applicable scheme; Run fails on any protection fault, so this checks
+// that legitimate operation never trips the isolation machinery.
+func TestAllWorkloadsAllSchemes(t *testing.T) {
+	cfg := domainvirt.DefaultConfig()
+	for _, name := range domainvirt.Workloads() {
+		p := domainvirt.Params{NumPMOs: 24, Ops: 150, InitialElems: 64, Seed: 11}
+		for _, wl := range domainvirt.WhisperBenchmarks {
+			if wl == name {
+				p.NumPMOs = 1
+				p.PoolSize = 64 << 20
+			}
+		}
+		schemes := []domainvirt.Scheme{
+			domainvirt.SchemeBaseline, domainvirt.SchemeLowerbound,
+			domainvirt.SchemeLibmpk, domainvirt.SchemeMPKVirt, domainvirt.SchemeDomainVirt,
+		}
+		if p.NumPMOs <= 16 {
+			schemes = append(schemes, domainvirt.SchemeMPK)
+		}
+		for _, s := range schemes {
+			if _, err := domainvirt.Run(name, p, s, cfg); err != nil {
+				t.Errorf("%s under %s: %v", name, s, err)
+			}
+		}
+	}
+}
+
+// TestTraceRecordReplayEquivalence: recording a workload to a binary trace
+// and replaying it into a fresh machine must reproduce the direct run's
+// cycle count exactly — the Pin-then-Sniper methodology.
+func TestTraceRecordReplayEquivalence(t *testing.T) {
+	cfg := domainvirt.DefaultConfig()
+	p := domainvirt.Params{NumPMOs: 32, Ops: 300, InitialElems: 64, Seed: 13}
+
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := domainvirt.NewMachine(cfg, domainvirt.SchemeDomainVirt)
+	env := workload.NewEnv(trace.NewTee(direct, w), p)
+	wl, err := workload.New("rbt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := wl.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := direct.Result()
+
+	replayed := domainvirt.NewMachine(cfg, domainvirt.SchemeDomainVirt)
+	if _, err := trace.Replay(&buf, replayed); err != nil {
+		t.Fatal(err)
+	}
+	got := replayed.Result()
+	if got.Cycles != want.Cycles {
+		t.Errorf("replay = %d cycles, direct = %d", got.Cycles, want.Cycles)
+	}
+	if got.Counters.Loads != want.Counters.Loads || got.Counters.Stores != want.Counters.Stores {
+		t.Errorf("replay access counts diverge")
+	}
+}
+
+// TestExperimentHarness smoke-tests every table/figure generator at tiny
+// scale and re-checks the headline shapes.
+func TestExperimentHarness(t *testing.T) {
+	opt := domainvirt.DefaultExpOptions()
+	opt.WhisperOps = 400
+	opt.WhisperInit = 100
+	opt.MicroOps = 300
+	opt.MicroInit = 128
+	opt.PMOCounts = []int{16, 1024}
+
+	t5, err := domainvirt.Table5(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5) != 6 {
+		t.Fatalf("Table5 rows = %d", len(t5))
+	}
+	for _, r := range t5 {
+		if r.MPKPct != r.MPKVirtPct {
+			t.Errorf("%s: MPK %.2f != MPKVirt %.2f", r.Benchmark, r.MPKPct, r.MPKVirtPct)
+		}
+		if r.DomainVirtPct < r.MPKPct {
+			t.Errorf("%s: domain virtualization below MPK", r.Benchmark)
+		}
+		if r.SwitchesPerSec <= 0 {
+			t.Errorf("%s: no switch rate", r.Benchmark)
+		}
+	}
+	var b bytes.Buffer
+	if err := domainvirt.Table5Report(t5).Render(&b); err != nil || b.Len() == 0 {
+		t.Error("Table5 render failed")
+	}
+
+	t6, err := domainvirt.Table6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6) != 5 {
+		t.Fatalf("Table6 rows = %d", len(t6))
+	}
+
+	f6, err := domainvirt.Fig6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range f6 {
+		last := len(fr.X) - 1
+		if fr.Libmpk[last] < fr.MPKVirt[last] || fr.MPKVirt[last] < fr.DomainVirt[last] {
+			t.Errorf("%s at 1024 PMOs: ordering violated (%.1f, %.1f, %.1f)",
+				fr.Benchmark, fr.Libmpk[last], fr.MPKVirt[last], fr.DomainVirt[last])
+		}
+	}
+	f7 := domainvirt.Fig7(f6)
+	sp, ok := f7.SpeedupAt[1024]
+	if !ok {
+		t.Fatal("no 1024-PMO speedup")
+	}
+	if sp[0] < 2 || sp[1] < sp[0] {
+		t.Errorf("speedups at 1024 PMOs = %.1fx / %.1fx; want domain virt > MPK virt > 2x", sp[0], sp[1])
+	}
+	t.Logf("speedups over libmpk at 1024 PMOs: mpkvirt %.1fx, domainvirt %.1fx", sp[0], sp[1])
+
+	mv, dv, err := domainvirt.Table7(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mv {
+		if mv[i].TLBInvPct <= mv[i].DTTMissPct {
+			t.Errorf("%s: TLB invalidations (%.2f%%) should dominate DTT misses (%.2f%%)",
+				mv[i].Benchmark, mv[i].TLBInvPct, mv[i].DTTMissPct)
+		}
+		if dv[i].TotalPct >= mv[i].TotalPct {
+			t.Errorf("%s: domain virt total (%.2f%%) should be far below MPK virt (%.2f%%)",
+				dv[i].Benchmark, dv[i].TotalPct, mv[i].TotalPct)
+		}
+	}
+	b.Reset()
+	if err := domainvirt.Table7Report(mv, dv).Render(&b); err != nil {
+		t.Error(err)
+	}
+
+	b.Reset()
+	if err := domainvirt.Table8Report(opt.Cfg).Render(&b); err != nil || b.Len() == 0 {
+		t.Error("Table8 render failed")
+	}
+}
+
+func TestWorkloadsListed(t *testing.T) {
+	names := domainvirt.Workloads()
+	if len(names) != 12 {
+		t.Errorf("registered workloads = %v", names)
+	}
+}

@@ -1,0 +1,161 @@
+// Package cache models a two-level cache hierarchy — per-core L1D caches
+// over a shared L2 — kept coherent with a directory-based MESI protocol,
+// per the paper's Table II configuration (L1D 32 KB 8-way 1 cycle; L2 1 MB
+// 16-way 8 cycles; directory-based MESI).
+package cache
+
+import (
+	"domainvirt/internal/memlayout"
+)
+
+// BlockShift is log2 of the cache block size (64 bytes).
+const BlockShift = 6
+
+// BlockOf returns the block address (block-aligned) of pa.
+func BlockOf(pa memlayout.PA) uint64 { return uint64(pa) >> BlockShift }
+
+// State is a MESI coherence state.
+type State uint8
+
+// MESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	Latency   uint64
+}
+
+// line is one cache line (tag-only; the model tracks addresses, not data).
+type line struct {
+	tag   uint64
+	state State
+}
+
+// Cache is one set-associative tag-only cache.
+type Cache struct {
+	sets    [][]line
+	lru     [][]uint32
+	clock   uint32
+	ways    int
+	setMask uint64
+
+	hits   uint64
+	misses uint64
+}
+
+// New constructs a cache from cfg.
+func New(cfg Config) *Cache {
+	blocks := cfg.SizeBytes >> BlockShift
+	if cfg.Ways <= 0 || blocks <= 0 || blocks%cfg.Ways != 0 {
+		panic("cache: invalid geometry")
+	}
+	nsets := blocks / cfg.Ways
+	if nsets&(nsets-1) != 0 {
+		panic("cache: set count must be a power of two")
+	}
+	c := &Cache{
+		sets:    make([][]line, nsets),
+		lru:     make([][]uint32, nsets),
+		ways:    cfg.Ways,
+		setMask: uint64(nsets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+		c.lru[i] = make([]uint32, cfg.Ways)
+	}
+	return c
+}
+
+func (c *Cache) setOf(block uint64) int { return int(block & c.setMask) }
+
+// Probe looks up block, returning its state without changing recency.
+func (c *Cache) Probe(block uint64) (State, bool) {
+	set := c.sets[c.setOf(block)]
+	for w := range set {
+		if set[w].state != Invalid && set[w].tag == block {
+			return set[w].state, true
+		}
+	}
+	return Invalid, false
+}
+
+// Touch looks up block and refreshes recency; returns hit state.
+func (c *Cache) Touch(block uint64) (State, bool) {
+	si := c.setOf(block)
+	set := c.sets[si]
+	for w := range set {
+		if set[w].state != Invalid && set[w].tag == block {
+			c.clock++
+			c.lru[si][w] = c.clock
+			c.hits++
+			return set[w].state, true
+		}
+	}
+	c.misses++
+	return Invalid, false
+}
+
+// SetState updates the state of block if present.
+func (c *Cache) SetState(block uint64, s State) {
+	si := c.setOf(block)
+	set := c.sets[si]
+	for w := range set {
+		if set[w].state != Invalid && set[w].tag == block {
+			if s == Invalid {
+				set[w].state = Invalid
+			} else {
+				set[w].state = s
+			}
+			return
+		}
+	}
+}
+
+// Fill inserts block with state s, returning the evicted block (if any)
+// and whether it was dirty (Modified).
+func (c *Cache) Fill(block uint64, s State) (victim uint64, dirty, evicted bool) {
+	si := c.setOf(block)
+	set := c.sets[si]
+	way := -1
+	for w := range set {
+		if set[w].state != Invalid && set[w].tag == block {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		for w := range set {
+			if set[w].state == Invalid {
+				way = w
+				break
+			}
+		}
+	}
+	if way < 0 {
+		way = 0
+		oldest := c.lru[si][0]
+		for w := 1; w < c.ways; w++ {
+			if c.lru[si][w] < oldest {
+				oldest = c.lru[si][w]
+				way = w
+			}
+		}
+		victim = set[way].tag
+		dirty = set[way].state == Modified
+		evicted = true
+	}
+	set[way] = line{tag: block, state: s}
+	c.clock++
+	c.lru[si][way] = c.clock
+	return victim, dirty, evicted
+}
+
+// Stats returns (hits, misses).
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }

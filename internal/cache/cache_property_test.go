@@ -1,0 +1,106 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"domainvirt/internal/mem"
+	"domainvirt/internal/memlayout"
+)
+
+// TestCacheMatchesLRUReference drives a single cache with random traffic
+// and checks hit/miss decisions against an exact LRU reference model.
+func TestCacheMatchesLRUReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const (
+			sizeBytes = 4 << 10
+			ways      = 4
+		)
+		c := New(Config{SizeBytes: sizeBytes, Ways: ways, Latency: 1})
+		nsets := sizeBytes / 64 / ways
+
+		// Reference: per-set list of blocks in recency order (front =
+		// most recent).
+		ref := make([][]uint64, nsets)
+		refHas := func(set int, b uint64) bool {
+			for _, x := range ref[set] {
+				if x == b {
+					return true
+				}
+			}
+			return false
+		}
+		refTouch := func(set int, b uint64) {
+			for i, x := range ref[set] {
+				if x == b {
+					ref[set] = append(ref[set][:i], ref[set][i+1:]...)
+					break
+				}
+			}
+			ref[set] = append([]uint64{b}, ref[set]...)
+			if len(ref[set]) > ways {
+				ref[set] = ref[set][:ways]
+			}
+		}
+
+		for i := 0; i < 4000; i++ {
+			block := uint64(rng.Intn(nsets * ways * 3)) // 3x capacity: misses guaranteed
+			set := int(block) % nsets
+			_, hit := c.Touch(block)
+			if hit != refHas(set, block) {
+				return false
+			}
+			if !hit {
+				c.Fill(block, Shared)
+			}
+			refTouch(set, block)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHierarchyCoherenceFuzz hammers the MESI hierarchy with random
+// multicore traffic and checks the global invariants after every step:
+// at most one Modified copy of any block, and never Modified alongside
+// Shared copies.
+func TestHierarchyCoherenceFuzz(t *testing.T) {
+	const cores = 4
+	h := NewHierarchy(cores,
+		Config{SizeBytes: 1 << 10, Ways: 2, Latency: 1},
+		Config{SizeBytes: 8 << 10, Ways: 4, Latency: 8},
+		mem.New(mem.DefaultConfig()))
+	rng := rand.New(rand.NewSource(11))
+	blocks := make([]memlayout.PA, 32)
+	for i := range blocks {
+		blocks[i] = memlayout.PA(0x10000 + i*64)
+	}
+	for step := 0; step < 20000; step++ {
+		pa := blocks[rng.Intn(len(blocks))]
+		coreID := rng.Intn(cores)
+		h.Access(coreID, pa, rng.Intn(3) == 0)
+
+		b := BlockOf(pa)
+		owners, sharers := 0, 0
+		for c := 0; c < cores; c++ {
+			if st, ok := h.l1[c].Probe(b); ok {
+				switch st {
+				case Modified:
+					owners++
+				case Shared, Exclusive:
+					sharers++
+				}
+			}
+		}
+		if owners > 1 {
+			t.Fatalf("step %d: %d Modified owners of block %#x", step, owners, b)
+		}
+		if owners == 1 && sharers > 0 {
+			t.Fatalf("step %d: Modified alongside %d sharers for block %#x", step, sharers, b)
+		}
+	}
+}

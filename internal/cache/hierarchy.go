@@ -1,0 +1,190 @@
+package cache
+
+import (
+	"domainvirt/internal/memlayout"
+)
+
+// MemBackend supplies memory latency for blocks that miss the hierarchy.
+type MemBackend interface {
+	Access(pa memlayout.PA, write bool) uint64
+}
+
+// Hierarchy is per-core L1Ds over a shared L2 with a directory-based MESI
+// protocol. The directory sits alongside the L2 and tracks which cores hold
+// each block; it is used to invalidate remote copies on writes and to
+// source dirty data from a remote Modified owner.
+type Hierarchy struct {
+	l1   []*Cache
+	l2   *Cache
+	dir  map[uint64]*dirEntry
+	mem  MemBackend
+	l1La uint64
+	l2La uint64
+
+	remoteInvals uint64
+	dirtyFwds    uint64
+}
+
+type dirEntry struct {
+	sharers uint64 // bitmask of cores with the block in L1
+	owner   int    // core holding Modified, or -1
+}
+
+// NewHierarchy builds the cache hierarchy for ncores cores.
+func NewHierarchy(ncores int, l1cfg, l2cfg Config, mem MemBackend) *Hierarchy {
+	h := &Hierarchy{
+		l2:   New(l2cfg),
+		dir:  make(map[uint64]*dirEntry),
+		mem:  mem,
+		l1La: l1cfg.Latency,
+		l2La: l2cfg.Latency,
+	}
+	for i := 0; i < ncores; i++ {
+		h.l1 = append(h.l1, New(l1cfg))
+	}
+	return h
+}
+
+// Level identifies where an access was satisfied.
+type Level int
+
+// Access levels.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelMem
+)
+
+// Access performs a load or store by core to pa and returns the latency in
+// cycles and the level that satisfied it.
+func (h *Hierarchy) Access(core int, pa memlayout.PA, write bool) (uint64, Level) {
+	block := BlockOf(pa)
+	l1 := h.l1[core]
+	lat := h.l1La
+
+	if st, hit := l1.Touch(block); hit {
+		if write {
+			if st == Shared {
+				// Upgrade: invalidate other sharers via the directory.
+				lat += h.invalidateOthers(core, block)
+			}
+			l1.SetState(block, Modified)
+			// Record ownership so later readers dirty-forward from us.
+			if de := h.dir[block]; de != nil {
+				de.sharers = 1 << uint(core)
+				de.owner = core
+			}
+		}
+		return lat, LevelL1
+	}
+
+	// L1 miss: consult shared L2 + directory.
+	lat += h.l2La
+	de := h.dir[block]
+	if de != nil && de.owner >= 0 && de.owner != core {
+		// Dirty in a remote L1: force writeback to L2 and transfer.
+		h.l1[de.owner].SetState(block, Shared)
+		h.dirtyFwds++
+		lat += h.l2La
+		de.sharers |= 1 << uint(de.owner)
+		de.owner = -1
+		h.l2.Fill(block, Modified)
+	}
+
+	level := LevelL2
+	if _, hit := h.l2.Touch(block); !hit {
+		lat += h.mem.Access(pa, false)
+		level = LevelMem
+		if v, dirty, ev := h.l2.Fill(block, Exclusive); ev {
+			// Inclusive hierarchy: back-invalidate L1 copies of the victim.
+			h.backInvalidate(v)
+			if dirty {
+				lat += h.mem.Access(memlayout.PA(v<<BlockShift), true)
+			}
+		}
+	}
+
+	st := Shared
+	if write {
+		lat += h.invalidateOthers(core, block)
+		st = Modified
+	}
+	if v, dirty, ev := l1.Fill(block, st); ev {
+		h.dropSharer(core, v)
+		if dirty {
+			h.l2.Fill(v, Modified)
+		}
+	}
+
+	if de == nil {
+		de = &dirEntry{owner: -1}
+		h.dir[block] = de
+	}
+	if write {
+		de.sharers = 1 << uint(core)
+		de.owner = core
+	} else {
+		de.sharers |= 1 << uint(core)
+		if de.owner == core {
+			de.owner = -1
+		}
+	}
+	return lat, level
+}
+
+// invalidateOthers removes all remote L1 copies of block and returns the
+// extra latency of the invalidation round.
+func (h *Hierarchy) invalidateOthers(core int, block uint64) uint64 {
+	de := h.dir[block]
+	if de == nil {
+		return 0
+	}
+	var lat uint64
+	for c := range h.l1 {
+		if c == core {
+			continue
+		}
+		if de.sharers&(1<<uint(c)) != 0 {
+			h.l1[c].SetState(block, Invalid)
+			h.remoteInvals++
+			lat += h.l2La // one directory round per remote copy
+		}
+	}
+	de.sharers = 1 << uint(core)
+	if de.owner != core {
+		de.owner = -1
+	}
+	return lat
+}
+
+// backInvalidate removes block from every L1 (inclusion victim).
+func (h *Hierarchy) backInvalidate(block uint64) {
+	for c := range h.l1 {
+		h.l1[c].SetState(block, Invalid)
+	}
+	delete(h.dir, block)
+}
+
+func (h *Hierarchy) dropSharer(core int, block uint64) {
+	if de := h.dir[block]; de != nil {
+		de.sharers &^= 1 << uint(core)
+		if de.owner == core {
+			de.owner = -1
+		}
+		if de.sharers == 0 {
+			delete(h.dir, block)
+		}
+	}
+}
+
+// Stats returns per-level hit statistics: L1 hits/misses summed across
+// cores, L2 hits/misses, remote invalidations, dirty forwards.
+func (h *Hierarchy) Stats() (l1h, l1m, l2h, l2m, invals, fwds uint64) {
+	for _, c := range h.l1 {
+		hh, mm := c.Stats()
+		l1h += hh
+		l1m += mm
+	}
+	l2h, l2m = h.l2.Stats()
+	return l1h, l1m, l2h, l2m, h.remoteInvals, h.dirtyFwds
+}

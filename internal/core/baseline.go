@@ -1,0 +1,115 @@
+package core
+
+import (
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/stats"
+)
+
+// engineBase carries the plumbing shared by all engines.
+type engineBase struct {
+	hooks Hooks
+	bd    *stats.Breakdown
+	ctr   *stats.Counters
+	costs Costs
+	table *DomainTable
+}
+
+func (e *engineBase) init(costs Costs) {
+	e.costs = costs
+	e.table = NewDomainTable()
+}
+
+// Bind implements Engine.
+func (e *engineBase) Bind(h Hooks, bd *stats.Breakdown, ctr *stats.Counters) {
+	e.hooks = h
+	e.bd = bd
+	e.ctr = ctr
+}
+
+// DomainOf implements Engine.
+func (e *engineBase) DomainOf(va memlayout.VA) DomainID {
+	d, _ := e.table.Lookup(va)
+	return d
+}
+
+// Baseline is the unprotected execution: it tracks attachments for
+// bookkeeping but performs no checks and charges no cycles. It is the
+// denominator of every overhead the paper reports.
+type Baseline struct {
+	engineBase
+}
+
+// NewBaseline returns a baseline engine.
+func NewBaseline(costs Costs) *Baseline {
+	e := &Baseline{}
+	e.init(costs)
+	return e
+}
+
+// Name implements Engine.
+func (e *Baseline) Name() string { return "baseline" }
+
+// Attach implements Engine.
+func (e *Baseline) Attach(d DomainID, r memlayout.Region) error {
+	return e.table.Insert(d, r)
+}
+
+// Detach implements Engine.
+func (e *Baseline) Detach(d DomainID) { e.table.Remove(d) }
+
+// SetPerm implements Engine: the unprotected run has no permission
+// instructions, so it is free.
+func (e *Baseline) SetPerm(int, ThreadID, DomainID, Perm) uint64 { return 0 }
+
+// FillTag implements Engine.
+func (e *Baseline) FillTag(int, ThreadID, memlayout.VA) (uint16, uint64) { return 0, 0 }
+
+// Check implements Engine.
+func (e *Baseline) Check(AccessCtx) Verdict { return Verdict{Allowed: true} }
+
+// ContextSwitch implements Engine.
+func (e *Baseline) ContextSwitch(int, ThreadID) uint64 { return 0 }
+
+// Lowerbound is the paper's ideal MPK virtualization: no overhead except
+// the WRPKRU/SETPERM instructions themselves ("one can think of this
+// scheme as having MPK virtualization without any penalties for accessing
+// the DTTLB or DTT"). All accesses are presumed legal.
+type Lowerbound struct {
+	engineBase
+}
+
+// NewLowerbound returns a lowerbound engine.
+func NewLowerbound(costs Costs) *Lowerbound {
+	e := &Lowerbound{}
+	e.init(costs)
+	return e
+}
+
+// Name implements Engine.
+func (e *Lowerbound) Name() string { return "lowerbound" }
+
+// Attach implements Engine.
+func (e *Lowerbound) Attach(d DomainID, r memlayout.Region) error {
+	return e.table.Insert(d, r)
+}
+
+// Detach implements Engine.
+func (e *Lowerbound) Detach(d DomainID) { e.table.Remove(d) }
+
+// SetPerm implements Engine: charges exactly the permission-switch
+// instruction.
+func (e *Lowerbound) SetPerm(int, ThreadID, DomainID, Perm) uint64 {
+	c := e.costs.WRPKRU + e.costs.SetPermFence
+	e.bd.Add(stats.CatPermSwitch, c)
+	e.ctr.PermSwitches++
+	return c
+}
+
+// FillTag implements Engine.
+func (e *Lowerbound) FillTag(int, ThreadID, memlayout.VA) (uint16, uint64) { return 0, 0 }
+
+// Check implements Engine.
+func (e *Lowerbound) Check(AccessCtx) Verdict { return Verdict{Allowed: true} }
+
+// ContextSwitch implements Engine.
+func (e *Lowerbound) ContextSwitch(int, ThreadID) uint64 { return 0 }

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/stats"
+)
+
+// Component microbenchmarks for the hardware structures the designs add:
+// how fast the *model* evaluates them, and how many model operations one
+// simulated access costs.
+
+func BenchmarkPLRUTouchVictim(b *testing.B) {
+	p := NewPLRU(16)
+	for i := 0; i < b.N; i++ {
+		p.Touch(i & 15)
+		_ = p.Victim()
+	}
+}
+
+func BenchmarkDomainTableLookup(b *testing.B) {
+	dt := NewDomainTable()
+	for i := 0; i < 1024; i++ {
+		r := memlayout.Region{Base: memlayout.VA(0x2000_0000_0000 + uint64(i)<<21), Size: 2 << 20}
+		if err := dt.Insert(DomainID(i+1), r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := memlayout.VA(0x2000_0000_0000 + uint64(i&1023)<<21 + 64)
+		if d, _ := dt.Lookup(va); d == NullDomain {
+			b.Fatal("lost domain")
+		}
+	}
+}
+
+func benchEngineAccess(b *testing.B, e Engine, domains int) {
+	h := newFakeHooks(1)
+	e.Bind(h, &stats.Breakdown{}, &stats.Counters{})
+	e.ContextSwitch(0, 1)
+	regions := make([]memlayout.Region, domains)
+	for i := range regions {
+		regions[i] = memlayout.Region{Base: memlayout.VA(0x2000_0000_0000 + uint64(i)<<21), Size: 2 << 20}
+		if err := e.Attach(DomainID(i+1), regions[i]); err != nil {
+			b.Fatal(err)
+		}
+		h.populate(regions[i], 2)
+		e.SetPerm(0, 1, DomainID(i+1), PermRW)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := regions[i%domains].Base + 64
+		if v := access(e, 0, 1, va, i&1 == 0); !v.Allowed {
+			b.Fatal("denied")
+		}
+	}
+}
+
+func BenchmarkEngineAccessMPKVirt(b *testing.B) {
+	benchEngineAccess(b, NewMPKVirt(DefaultCosts(), 1, 16), 64)
+}
+
+func BenchmarkEngineAccessDomainVirt(b *testing.B) {
+	benchEngineAccess(b, NewDomainVirt(DefaultCosts(), 1, 16), 64)
+}
+
+func BenchmarkEngineAccessLibmpk(b *testing.B) {
+	benchEngineAccess(b, NewLibmpk(DefaultCosts(), 1), 64)
+}

@@ -1,0 +1,209 @@
+// Package core implements the paper's contribution: domain-based
+// intra-process isolation engines for persistent memory objects.
+//
+// Five engines share one interface so the simulator can replay identical
+// workload traces under each scheme:
+//
+//   - Baseline: unprotected execution (the paper's baseline).
+//   - Lowerbound: ideal MPK virtualization — only WRPKRU/SETPERM costs.
+//   - MPK: default Intel MPK, at most 15 usable protection keys.
+//   - Libmpk: software MPK virtualization (the libmpk system): on access
+//     to an unmapped domain, a fault-driven eviction rewrites the
+//     protection-key field of every populated PTE of the victim and the
+//     incoming domain (pkey_mprotect), performs a TLB shootdown, and
+//     updates PKRU.
+//   - MPKVirt: hardware MPK virtualization — the Domain Translation Table
+//     (DTT) walked in hardware and cached by a per-core DTTLB; key
+//     remapping in hardware with a Range_Flush TLB shootdown.
+//   - DomainVirt: hardware domain virtualization — TLB entries carry a
+//     10-bit domain ID filled from the Domain Range Table (DRT);
+//     per-(domain, thread) permissions live in the Permission Table (PT),
+//     cached by a per-core PTLB; no TLB shootdowns.
+package core
+
+import (
+	"fmt"
+
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/mpk"
+	"domainvirt/internal/stats"
+)
+
+// DomainID identifies a protection domain; each attached PMO gets one.
+// The zero value is the null (domainless) domain.
+type DomainID uint32
+
+// NullDomain marks memory not belonging to any domain.
+const NullDomain DomainID = 0
+
+// ThreadID identifies a thread within the protected process.
+type ThreadID uint32
+
+// SiteID identifies the static code location of a SETPERM/WRPKRU
+// instruction, used by the ERIM-style inspection of package core.
+type SiteID uint32
+
+// Perm is re-exported from the mpk package for convenience.
+type Perm = mpk.Perm
+
+// Permission aliases.
+const (
+	PermRW   = mpk.PermRW
+	PermR    = mpk.PermR
+	PermNone = mpk.PermNone
+)
+
+// Costs holds the architectural latency parameters of Table II plus the
+// cost structure of the libmpk software baseline. All values are cycles.
+type Costs struct {
+	// WRPKRU is the latency of WRPKRU and of SETPERM (the paper charges
+	// the same instruction cost to both so the lowerbound is scheme
+	// independent).
+	WRPKRU uint64
+
+	// Hardware MPK virtualization.
+	FreeKeyCheck uint64 // free-key check/update
+	DTTLBHit     uint64 // DTTLB associative search
+	DTTLBEntryOp uint64 // add/remove/modify a DTTLB entry
+	DTTLBMiss    uint64 // DTT walk on DTTLB miss
+	PKRUUpdate   uint64 // hardware PKRU rewrite on key assignment
+	TLBInval     uint64 // TLB range invalidation, per participating core
+
+	// Hardware domain virtualization.
+	PTLBAccess  uint64 // PTLB lookup on every domain access
+	PTLBMiss    uint64 // permission-table lookup on PTLB miss
+	PTLBEntryOp uint64 // add/remove/modify a PTLB entry
+
+	// SETPERM is architecturally a fence; SetPermFence is the extra
+	// serialization beyond the instruction itself (0 in the paper's
+	// accounting, configurable for ablations).
+	SetPermFence uint64
+
+	// libmpk software-virtualization cost structure.
+	LibmpkTrap    uint64 // protection-fault trap into the kernel
+	LibmpkSyscall uint64 // pkey_mprotect syscall entry/exit
+	LibmpkPerPTE  uint64 // rewriting one populated PTE's key field
+	LibmpkIPI     uint64 // shootdown IPI per remote core
+}
+
+// DefaultCosts returns the paper's Table II parameters. The libmpk
+// constants are calibrated so a single permission update on an unmapped
+// domain costs on the order of the 17.4x-per-update slowdown the libmpk
+// paper reports; EXPERIMENTS.md records the calibration.
+func DefaultCosts() Costs {
+	return Costs{
+		WRPKRU:        27,
+		FreeKeyCheck:  1,
+		DTTLBHit:      1,
+		DTTLBEntryOp:  1,
+		DTTLBMiss:     30,
+		PKRUUpdate:    1,
+		TLBInval:      286,
+		PTLBAccess:    1,
+		PTLBMiss:      30,
+		PTLBEntryOp:   1,
+		SetPermFence:  0,
+		LibmpkTrap:    1100,
+		LibmpkSyscall: 600,
+		LibmpkPerPTE:  70,
+		LibmpkIPI:     286,
+	}
+}
+
+// Hooks is the machinery the simulator exposes to engines: TLB shootdowns
+// and page-table inspection. Engines never touch the TLBs directly.
+type Hooks interface {
+	// NumCores returns the number of simulated cores.
+	NumCores() int
+	// FlushTLBRangeAll removes every TLB entry in r on all cores,
+	// recording invalidation debt for refill attribution. It returns
+	// the number of entries flushed.
+	FlushTLBRangeAll(r memlayout.Region) int
+	// PopulatedPages counts present PTEs inside r (the per-PTE work of
+	// pkey_mprotect is proportional to this).
+	PopulatedPages(r memlayout.Region) int
+	// SetPTEKeys writes the protection key into every populated PTE in
+	// r, returning the number rewritten.
+	SetPTEKeys(r memlayout.Region, key uint8) int
+}
+
+// AccessCtx describes one load/store presented to an engine for a
+// permission check.
+type AccessCtx struct {
+	Core   int
+	Thread ThreadID
+	VA     memlayout.VA
+	Write  bool
+	TLBHit bool
+	// Tag is the scheme-defined TLB tag (protection key or domain ID)
+	// cached with the translation.
+	Tag uint16
+}
+
+// Verdict is the outcome of a permission check.
+type Verdict struct {
+	Allowed bool
+	Cycles  uint64 // extra cycles charged by the check
+}
+
+// Engine is a protection scheme plugged into the simulated MMU.
+//
+// All methods return the extra cycles the operation costs; engines also
+// attribute those cycles to breakdown categories via the bound Breakdown.
+type Engine interface {
+	Name() string
+
+	// Bind attaches the engine to the simulator's hooks and accounting
+	// sinks. It must be called before any other method.
+	Bind(h Hooks, bd *stats.Breakdown, ctr *stats.Counters)
+
+	// Attach registers domain d covering VA region r (the PMO attach
+	// system call). Attach-time costs are not charged: the paper
+	// excludes one-time setup from the measured overheads.
+	Attach(d DomainID, r memlayout.Region) error
+
+	// Detach removes domain d.
+	Detach(d DomainID)
+
+	// SetPerm changes the calling thread's permission for domain d
+	// (SETPERM instruction / pkey_set call) and returns its cost.
+	SetPerm(core int, th ThreadID, d DomainID, p Perm) uint64
+
+	// FillTag resolves the TLB tag for va on a TLB miss and returns any
+	// extra cycles the resolution costs beyond the page walk.
+	FillTag(core int, th ThreadID, va memlayout.VA) (tag uint16, cycles uint64)
+
+	// Check validates one access.
+	Check(ctx AccessCtx) Verdict
+
+	// ContextSwitch installs thread "to" on the core, flushing or
+	// reloading thread-private state, and returns the cost.
+	ContextSwitch(core int, to ThreadID) uint64
+
+	// DomainOf resolves the domain covering va (for tests and tools).
+	DomainOf(va memlayout.VA) DomainID
+}
+
+// TagNone is the TLB tag of domainless memory under every scheme.
+const TagNone uint16 = 0
+
+// keyTag encodes protection key k as a TLB tag (k+1; 0 means no key, the
+// paper's NULL key value).
+func keyTag(k uint8) uint16 { return uint16(k) + 1 }
+
+// tagKey decodes a TLB tag into a protection key.
+func tagKey(t uint16) (key uint8, ok bool) {
+	if t == TagNone {
+		return 0, false
+	}
+	return uint8(t - 1), true
+}
+
+// errTooManyDomains is returned by the default-MPK engine when the 16
+// allocatable keys are exhausted — the scalability wall motivating the
+// paper.
+type errTooManyDomains struct{ d DomainID }
+
+func (e errTooManyDomains) Error() string {
+	return fmt.Sprintf("core: cannot attach domain %d: all %d protection keys allocated", e.d, mpk.NumKeys)
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/stats"
+)
+
+// MaxDomainVirtDomains is the domain-ID capacity of the TLB extension in
+// the paper's base design (a 10-bit domain ID per TLB entry).
+const MaxDomainVirtDomains = 1 << 10
+
+// ptlb is one core's Permission Table Lookaside Buffer: a small
+// fully-associative cache of (domain → permission) for the thread running
+// on the core, with a dirty bit per entry and pseudo-LRU replacement.
+type ptlb struct {
+	domains []DomainID
+	perms   []Perm
+	valid   []bool
+	dirty   []bool
+	plru    *PLRU
+}
+
+func newPTLB(entries int) *ptlb {
+	return &ptlb{
+		domains: make([]DomainID, entries),
+		perms:   make([]Perm, entries),
+		valid:   make([]bool, entries),
+		dirty:   make([]bool, entries),
+		plru:    NewPLRU(entries),
+	}
+}
+
+func (t *ptlb) lookup(d DomainID) int {
+	for i := range t.domains {
+		if t.valid[i] && t.domains[i] == d {
+			return i
+		}
+	}
+	return -1
+}
+
+// insert fills (d, p), evicting the PLRU victim; it returns whether a
+// dirty victim had to be written back to the Permission Table.
+func (t *ptlb) insert(d DomainID, p Perm) (wroteBack bool) {
+	slot := -1
+	for i := range t.domains {
+		if !t.valid[i] {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		slot = t.plru.Victim()
+		wroteBack = t.dirty[slot]
+	}
+	t.domains[slot] = d
+	t.perms[slot] = p
+	t.valid[slot] = true
+	t.dirty[slot] = false
+	t.plru.Touch(slot)
+	return wroteBack
+}
+
+func (t *ptlb) flush() (dirty int) {
+	for i := range t.domains {
+		if t.valid[i] && t.dirty[i] {
+			dirty++
+		}
+		t.valid[i] = false
+		t.dirty[i] = false
+	}
+	return dirty
+}
+
+// DomainVirt is the hardware domain-virtualization engine (Section IV-E).
+// It foregoes protection keys entirely: TLB entries carry a 10-bit domain
+// ID filled from the Domain Range Table on TLB misses (walked in parallel
+// with the page walk, so free), and every domain access looks up the
+// per-core PTLB — 1 cycle on a hit, a 30-cycle Permission Table lookup on
+// a miss. Nothing is shot down when permissions or the domain working set
+// change, which is what makes the design scale.
+type DomainVirt struct {
+	engineBase
+	pt      map[DomainID]map[ThreadID]Perm // Permission Table (OS-managed)
+	ptlbs   []*ptlb
+	current []ThreadID
+}
+
+// NewDomainVirt returns a domain-virtualization engine for ncores cores
+// with ptlbEntries PTLB entries per core (16 in the paper).
+func NewDomainVirt(costs Costs, ncores, ptlbEntries int) *DomainVirt {
+	e := &DomainVirt{
+		pt:      make(map[DomainID]map[ThreadID]Perm),
+		current: make([]ThreadID, ncores),
+	}
+	e.init(costs)
+	for i := 0; i < ncores; i++ {
+		e.ptlbs = append(e.ptlbs, newPTLB(ptlbEntries))
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *DomainVirt) Name() string { return "domainvirt" }
+
+// Attach implements Engine: the attach system call adds DRT and PT
+// entries.
+func (e *DomainVirt) Attach(d DomainID, r memlayout.Region) error {
+	if d > MaxDomainVirtDomains {
+		return fmt.Errorf("core: domain %d exceeds the %d-domain TLB tag capacity", d, MaxDomainVirtDomains)
+	}
+	if err := e.table.Insert(d, r); err != nil {
+		return err
+	}
+	e.pt[d] = make(map[ThreadID]Perm)
+	return nil
+}
+
+// Detach implements Engine.
+func (e *DomainVirt) Detach(d DomainID) {
+	e.table.Remove(d)
+	delete(e.pt, d)
+	for _, t := range e.ptlbs {
+		if i := t.lookup(d); i >= 0 {
+			t.valid[i] = false
+			t.dirty[i] = false
+		}
+	}
+}
+
+func (e *DomainVirt) ptPerm(d DomainID, th ThreadID) Perm {
+	if m, ok := e.pt[d]; ok {
+		if p, ok := m[th]; ok {
+			return p
+		}
+	}
+	return PermNone
+}
+
+// SetPerm implements Engine: SETPERM completes entirely in the PTLB,
+// directly changing the domain permission and setting the dirty bit.
+func (e *DomainVirt) SetPerm(coreID int, th ThreadID, d DomainID, p Perm) uint64 {
+	m, ok := e.pt[d]
+	if !ok {
+		return 0
+	}
+	m[th] = p // functionally eager; the dirty bit drives the cost model
+	t := e.ptlbs[coreID]
+	c := e.costs.WRPKRU + e.costs.SetPermFence
+	e.bd.Add(stats.CatPermSwitch, c)
+	e.ctr.PermSwitches++
+	if i := t.lookup(d); i >= 0 {
+		t.perms[i] = p
+		t.dirty[i] = true
+		t.plru.Touch(i)
+		return c
+	}
+	if t.insert(d, p) {
+		c += e.costs.PTLBEntryOp
+		e.bd.Add(stats.CatEntryChange, e.costs.PTLBEntryOp)
+	}
+	if i := t.lookup(d); i >= 0 {
+		t.dirty[i] = true
+	}
+	return c
+}
+
+// FillTag implements Engine: on a TLB miss the DRT is walked in parallel
+// with the page table walk — the DRT is shallower, so no extra cycles —
+// and the domain ID is merged into the new TLB entry.
+func (e *DomainVirt) FillTag(_ int, _ ThreadID, va memlayout.VA) (uint16, uint64) {
+	d, _ := e.table.Lookup(va)
+	return uint16(d), 0
+}
+
+// Check implements Engine: every domain access pays the 1-cycle PTLB
+// lookup (the "access latency" of Table VII); a PTLB miss adds the
+// 30-cycle Permission Table lookup and an entry fill.
+func (e *DomainVirt) Check(ctx AccessCtx) Verdict {
+	d := DomainID(ctx.Tag)
+	if d == NullDomain {
+		return Verdict{Allowed: true}
+	}
+	t := e.ptlbs[ctx.Core]
+	cost := e.costs.PTLBAccess
+	e.bd.Add(stats.CatPTLBAccess, e.costs.PTLBAccess)
+	var perm Perm
+	if i := t.lookup(d); i >= 0 {
+		e.ctr.PTLBHits++
+		t.plru.Touch(i)
+		perm = t.perms[i]
+	} else {
+		e.ctr.PTLBMisses++
+		cost += e.costs.PTLBMiss
+		e.bd.Add(stats.CatPTLBMiss, e.costs.PTLBMiss)
+		perm = e.ptPerm(d, ctx.Thread)
+		if t.insert(d, perm) {
+			cost += e.costs.PTLBEntryOp
+			e.bd.Add(stats.CatEntryChange, e.costs.PTLBEntryOp)
+		}
+	}
+	return Verdict{Allowed: perm.Allows(ctx.Write), Cycles: cost}
+}
+
+// ContextSwitch implements Engine: thread-specific PTLB state is written
+// back (dirty entries) and flushed; the TLB is untouched — domain IDs in
+// TLB entries remain valid, a key advantage over MPK virtualization.
+func (e *DomainVirt) ContextSwitch(coreID int, to ThreadID) uint64 {
+	e.current[coreID] = to
+	dirty := e.ptlbs[coreID].flush()
+	cost := uint64(dirty) * e.costs.PTLBEntryOp
+	if dirty > 0 {
+		e.bd.AddN(stats.CatEntryChange, cost, uint64(dirty))
+	}
+	return cost
+}

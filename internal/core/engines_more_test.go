@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+
+	"domainvirt/internal/stats"
+)
+
+func TestBaselineAndLowerbound(t *testing.T) {
+	costs := DefaultCosts()
+	for _, e := range []Engine{NewBaseline(costs), NewLowerbound(costs)} {
+		bindEngine(t, e, 1)
+		if e.Name() == "" {
+			t.Error("empty engine name")
+		}
+		r := regionFor(0)
+		if err := e.Attach(1, r); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if e.DomainOf(r.Base) != 1 {
+			t.Errorf("%s: DomainOf lost the attachment", e.Name())
+		}
+		// Both engines allow everything; only lowerbound charges for
+		// SETPERM.
+		if v := access(e, 0, 1, r.Base, true); !v.Allowed {
+			t.Errorf("%s denied an access", e.Name())
+		}
+		cost := e.SetPerm(0, 1, 1, PermNone)
+		if e.Name() == "baseline" && cost != 0 {
+			t.Errorf("baseline charged %d for SETPERM", cost)
+		}
+		if e.Name() == "lowerbound" && cost != costs.WRPKRU {
+			t.Errorf("lowerbound charged %d, want %d", cost, costs.WRPKRU)
+		}
+		// Even after revoking: ideal schemes do not enforce.
+		if v := access(e, 0, 1, r.Base, true); !v.Allowed {
+			t.Errorf("%s enforces but should be ideal", e.Name())
+		}
+		if c := e.ContextSwitch(0, 2); c != 0 {
+			t.Errorf("%s context switch cost %d", e.Name(), c)
+		}
+		e.Detach(1)
+		if e.DomainOf(r.Base) != NullDomain {
+			t.Errorf("%s: detach did not remove the domain", e.Name())
+		}
+	}
+}
+
+func TestEnginesDetachSemantics(t *testing.T) {
+	for name, e := range allEngines(1) {
+		h, _, _ := bindEngine(t, e, 1)
+		r := regionFor(0)
+		if err := e.Attach(1, r); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		h.populate(r, 4)
+		e.SetPerm(0, 1, 1, PermRW)
+		if v := access(e, 0, 1, r.Base, true); !v.Allowed {
+			t.Fatalf("%s: pre-detach access denied", name)
+		}
+		e.Detach(1)
+		if e.DomainOf(r.Base) != NullDomain {
+			t.Errorf("%s: domain survives detach", name)
+		}
+		// Re-attaching a fresh domain over the same region must start
+		// with no permission — the old grant must not leak.
+		if err := e.Attach(2, r); err != nil {
+			t.Fatalf("%s: reattach: %v", name, err)
+		}
+		if v := access(e, 0, 1, r.Base, true); v.Allowed {
+			t.Errorf("%s: permission leaked across detach/reattach", name)
+		}
+	}
+}
+
+func TestEnginesDoubleDetachHarmless(t *testing.T) {
+	for name, e := range allEngines(1) {
+		bindEngine(t, e, 1)
+		if err := e.Attach(1, regionFor(0)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		e.Detach(1)
+		e.Detach(1) // must not panic
+		e.Detach(9) // never attached
+	}
+}
+
+func TestMPKVirtSetPermBeforeKeyAssignment(t *testing.T) {
+	// SETPERM on a keyless domain only updates the DTT; the later access
+	// assigns the key and must honour the recorded permission.
+	e := NewMPKVirt(DefaultCosts(), 1, 16)
+	bindEngine(t, e, 1)
+	if err := e.Attach(1, regionFor(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.KeyOf(1); ok {
+		t.Fatal("key assigned at attach time")
+	}
+	e.SetPerm(0, 1, 1, PermR)
+	if v := access(e, 0, 1, regionFor(0).Base, false); !v.Allowed {
+		t.Error("read denied despite DTT-recorded R permission")
+	}
+	if v := access(e, 0, 1, regionFor(0).Base, true); v.Allowed {
+		t.Error("write allowed with only R")
+	}
+	if _, ok := e.KeyOf(1); !ok {
+		t.Error("access did not assign a key")
+	}
+}
+
+func TestMPKVirtContextSwitchReconstructsPKRU(t *testing.T) {
+	// Thread 1 has RW, thread 2 has R for the same domain; switching
+	// threads on the core must swap the enforced view even on TLB hits
+	// (the PKRU is rebuilt from the DTT).
+	e := NewMPKVirt(DefaultCosts(), 1, 16)
+	bindEngine(t, e, 1)
+	r := regionFor(0)
+	if err := e.Attach(1, r); err != nil {
+		t.Fatal(err)
+	}
+	e.SetPerm(0, 1, 1, PermRW)
+	e.ContextSwitch(0, 2)
+	e.SetPerm(0, 2, 1, PermR)
+
+	tag, _ := e.FillTag(0, 2, r.Base)
+	if v := e.Check(AccessCtx{Core: 0, Thread: 2, VA: r.Base, Write: true, TLBHit: true, Tag: tag}); v.Allowed {
+		t.Error("thread 2 wrote with thread 1's permission")
+	}
+	e.ContextSwitch(0, 1)
+	// Same cached TLB tag, different thread: now writable.
+	if v := e.Check(AccessCtx{Core: 0, Thread: 1, VA: r.Base, Write: true, TLBHit: true, Tag: tag}); !v.Allowed {
+		t.Error("thread 1 lost its permission across switches")
+	}
+}
+
+func TestLibmpkMappedDomainsBounded(t *testing.T) {
+	e := NewLibmpk(DefaultCosts(), 1)
+	h, _, _ := bindEngine(t, e, 1)
+	for i := 0; i < 40; i++ {
+		r := regionFor(i)
+		if err := e.Attach(DomainID(i+1), r); err != nil {
+			t.Fatal(err)
+		}
+		h.populate(r, 2)
+		e.SetPerm(0, 1, DomainID(i+1), PermRW)
+		if got := e.MappedDomains(); got > 16 {
+			t.Fatalf("mapped domains = %d > 16 keys", got)
+		}
+	}
+	if got := e.MappedDomains(); got != 16 {
+		t.Errorf("steady-state mapped domains = %d, want 16", got)
+	}
+}
+
+func TestErrTooManyDomainsMessage(t *testing.T) {
+	err := errTooManyDomains{d: 17}
+	if err.Error() == "" {
+		t.Error("empty error")
+	}
+}
+
+func TestDomainVirtCapacity(t *testing.T) {
+	e := NewDomainVirt(DefaultCosts(), 1, 16)
+	bindEngine(t, e, 1)
+	if err := e.Attach(DomainID(MaxDomainVirtDomains+1), regionFor(0)); err == nil {
+		t.Error("domain beyond the 10-bit tag capacity accepted")
+	}
+	if err := e.Attach(DomainID(MaxDomainVirtDomains), regionFor(1)); err != nil {
+		t.Errorf("1024th domain rejected: %v", err)
+	}
+}
+
+func TestEngineCostsAttribution(t *testing.T) {
+	// Every eviction's invalidation cycles must land in CatTLBInval and
+	// nowhere else for the mpkvirt engine.
+	e := NewMPKVirt(DefaultCosts(), 1, 16)
+	_, bd, _ := bindEngine(t, e, 1)
+	for i := 0; i < 17; i++ {
+		if err := e.Attach(DomainID(i+1), regionFor(i)); err != nil {
+			t.Fatal(err)
+		}
+		e.SetPerm(0, 1, DomainID(i+1), PermRW)
+		access(e, 0, 1, regionFor(i).Base, true)
+	}
+	if bd.Cycles[stats.CatTLBInval] == 0 {
+		t.Error("no invalidation cycles recorded")
+	}
+	if bd.Cycles[stats.CatTrap] != 0 || bd.Cycles[stats.CatSyscall] != 0 || bd.Cycles[stats.CatPTEWrite] != 0 {
+		t.Error("hardware scheme charged software-baseline categories")
+	}
+}

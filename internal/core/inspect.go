@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Inspector implements the ERIM-style call-gate discipline the paper's
+// threat model relies on: "user-level permission change instructions can
+// only be inserted by the programmer or compiler. We can prevent the
+// attacker from injecting or reusing these instructions by implementing
+// call gates and performing binary inspection and rewriting similar to
+// ERIM."
+//
+// Every SETPERM/WRPKRU site in a program is registered (the binary
+// inspection step); at run time, permission changes from unregistered
+// sites are reported as violations, modeling an attacker reusing or
+// injecting a permission-change gadget.
+type Inspector struct {
+	mu       sync.Mutex
+	approved map[SiteID]string
+	// violations records rejected permission changes.
+	violations []Violation
+}
+
+// Violation is one rejected permission change.
+type Violation struct {
+	Site   SiteID
+	Thread ThreadID
+	Domain DomainID
+	Perm   Perm
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("SETPERM from unapproved site %d (thread %d, domain %d, perm %s)", v.Site, v.Thread, v.Domain, v.Perm)
+}
+
+// NewInspector returns an inspector with no approved sites.
+func NewInspector() *Inspector {
+	return &Inspector{approved: make(map[SiteID]string)}
+}
+
+// Approve registers a permission-change site discovered by binary
+// inspection, with a label for diagnostics.
+func (in *Inspector) Approve(site SiteID, label string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.approved[site] = label
+}
+
+// Allow reports whether a SETPERM from site may proceed; a rejection is
+// recorded as a violation.
+func (in *Inspector) Allow(site SiteID, th ThreadID, d DomainID, p Perm) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if _, ok := in.approved[site]; ok {
+		return true
+	}
+	in.violations = append(in.violations, Violation{Site: site, Thread: th, Domain: d, Perm: p})
+	return false
+}
+
+// Violations returns the recorded violations.
+func (in *Inspector) Violations() []Violation {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Violation, len(in.violations))
+	copy(out, in.violations)
+	return out
+}
+
+// ApprovedSites returns the registered sites in ascending order.
+func (in *Inspector) ApprovedSites() []SiteID {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	sites := make([]SiteID, 0, len(in.approved))
+	for s := range in.approved {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	return sites
+}

@@ -1,0 +1,30 @@
+package core
+
+import "testing"
+
+func TestInspectorGatesUnknownSites(t *testing.T) {
+	in := NewInspector()
+	in.Approve(1, "runtime gate")
+	in.Approve(2, "library gate")
+
+	if !in.Allow(1, 1, 5, PermRW) {
+		t.Error("approved site rejected")
+	}
+	if in.Allow(99, 2, 5, PermRW) {
+		t.Error("unapproved site allowed — WRPKRU/SETPERM gadget reuse not caught")
+	}
+	vs := in.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("violations = %d, want 1", len(vs))
+	}
+	if vs[0].Site != 99 || vs[0].Thread != 2 || vs[0].Domain != 5 {
+		t.Errorf("violation record = %+v", vs[0])
+	}
+	if s := vs[0].String(); s == "" {
+		t.Error("empty violation string")
+	}
+	sites := in.ApprovedSites()
+	if len(sites) != 2 || sites[0] != 1 || sites[1] != 2 {
+		t.Errorf("ApprovedSites = %v", sites)
+	}
+}

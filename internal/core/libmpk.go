@@ -1,0 +1,251 @@
+package core
+
+import (
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/mpk"
+	"domainvirt/internal/stats"
+)
+
+// Libmpk reimplements the software MPK virtualization of libmpk (Park et
+// al., USENIX ATC'19), the paper's state-of-the-art baseline. An unlimited
+// number of domains share the 15 allocatable keys; at most 15 domains are
+// mapped at a time. Touching an unmapped domain — via pkey_set or a
+// faulting access — invokes a kernel handler that:
+//
+//  1. selects a victim key (LRU),
+//  2. rewrites the protection-key field of every populated PTE of the
+//     victim domain (pkey_mprotect: cost proportional to domain size),
+//  3. rewrites every populated PTE of the incoming domain,
+//  4. performs a TLB shootdown on all cores for both ranges, and
+//  5. writes PKRU.
+//
+// Steps 2–4 are the overheads the paper's hardware schemes remove.
+type Libmpk struct {
+	engineBase
+	keyOf    map[DomainID]uint8
+	ownerOf  [mpk.NumKeys]DomainID
+	alloc    *mpk.KeyAllocator
+	lruStamp [mpk.NumKeys]uint64
+	clock    uint64
+
+	perms     map[ThreadID]map[DomainID]Perm
+	pkruCore  []mpk.PKRU
+	pkruSaved map[ThreadID]mpk.PKRU
+	current   []ThreadID
+}
+
+// NewLibmpk returns a libmpk engine for ncores cores.
+func NewLibmpk(costs Costs, ncores int) *Libmpk {
+	e := &Libmpk{
+		keyOf:     make(map[DomainID]uint8),
+		alloc:     mpk.NewKeyAllocator(),
+		perms:     make(map[ThreadID]map[DomainID]Perm),
+		pkruCore:  make([]mpk.PKRU, ncores),
+		pkruSaved: make(map[ThreadID]mpk.PKRU),
+		current:   make([]ThreadID, ncores),
+	}
+	e.init(costs)
+	for i := range e.pkruCore {
+		e.pkruCore[i] = mpk.AllNone()
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *Libmpk) Name() string { return "libmpk" }
+
+// Attach implements Engine. libmpk defers key assignment to first use, so
+// attach only registers the region.
+func (e *Libmpk) Attach(d DomainID, r memlayout.Region) error {
+	return e.table.Insert(d, r)
+}
+
+// Detach implements Engine.
+func (e *Libmpk) Detach(d DomainID) {
+	if key, ok := e.keyOf[d]; ok {
+		if r, ok := e.table.Region(d); ok && e.hooks != nil {
+			e.hooks.SetPTEKeys(r, uint8(TagNone))
+			e.hooks.FlushTLBRangeAll(r)
+		}
+		e.ownerOf[key] = NullDomain
+		e.alloc.Free(key)
+		delete(e.keyOf, d)
+	}
+	e.table.Remove(d)
+	for _, m := range e.perms {
+		delete(m, d)
+	}
+}
+
+func (e *Libmpk) permOf(th ThreadID, d DomainID) Perm {
+	if m, ok := e.perms[th]; ok {
+		if p, ok := m[d]; ok {
+			return p
+		}
+	}
+	return PermNone
+}
+
+func (e *Libmpk) setPermRecord(th ThreadID, d DomainID, p Perm) {
+	m, ok := e.perms[th]
+	if !ok {
+		m = make(map[DomainID]Perm)
+		e.perms[th] = m
+	}
+	m[d] = p
+}
+
+// mapIn gives domain d a protection key, evicting a victim if none is
+// free, and returns the cycle cost of the software protocol.
+func (e *Libmpk) mapIn(d DomainID) uint64 {
+	var cost uint64
+	region, _ := e.table.Region(d)
+
+	key, free := e.alloc.Alloc()
+	if !free {
+		// Evict the least recently used key.
+		victimKey := uint8(0)
+		oldest := e.lruStamp[0]
+		for k := uint8(1); k < mpk.NumKeys; k++ {
+			if e.lruStamp[k] < oldest {
+				oldest = e.lruStamp[k]
+				victimKey = k
+			}
+		}
+		victim := e.ownerOf[victimKey]
+		vr, _ := e.table.Region(victim)
+		// pkey_mprotect on the victim: strip its key from every
+		// populated PTE.
+		npte := uint64(e.hooks.SetPTEKeys(vr, uint8(TagNone)))
+		e.bd.AddN(stats.CatPTEWrite, npte*e.costs.LibmpkPerPTE, npte)
+		e.bd.Add(stats.CatSyscall, e.costs.LibmpkSyscall)
+		cost += npte*e.costs.LibmpkPerPTE + e.costs.LibmpkSyscall
+		// Shootdown of the victim range on every core.
+		e.hooks.FlushTLBRangeAll(vr)
+		ipi := e.costs.LibmpkIPI * uint64(e.hooks.NumCores())
+		e.bd.Add(stats.CatShootdown, ipi)
+		cost += ipi
+		delete(e.keyOf, victim)
+		e.ownerOf[victimKey] = NullDomain
+		e.ctr.Evictions++
+		key = victimKey
+	}
+
+	// pkey_mprotect on the incoming domain: write the key into every
+	// populated PTE, then shoot down stale null-key TLB entries.
+	npte := uint64(e.hooks.SetPTEKeys(region, uint8(keyTag(key))))
+	e.bd.AddN(stats.CatPTEWrite, npte*e.costs.LibmpkPerPTE, npte)
+	e.bd.Add(stats.CatSyscall, e.costs.LibmpkSyscall)
+	cost += npte*e.costs.LibmpkPerPTE + e.costs.LibmpkSyscall
+	e.hooks.FlushTLBRangeAll(region)
+	ipi := e.costs.LibmpkIPI * uint64(e.hooks.NumCores())
+	e.bd.Add(stats.CatShootdown, ipi)
+	cost += ipi
+
+	e.keyOf[d] = key
+	e.ownerOf[key] = d
+	e.clock++
+	e.lruStamp[key] = e.clock
+
+	// Refresh PKRU on every core for the reassigned key, reflecting the
+	// running thread's registered permission for the new owner.
+	for c := range e.pkruCore {
+		e.pkruCore[c] = e.pkruCore[c].Set(key, e.permOf(e.current[c], d))
+	}
+	return cost
+}
+
+// SetPerm implements Engine: pkey_set. Mapped domains pay one WRPKRU;
+// unmapped domains pay the full eviction protocol first.
+func (e *Libmpk) SetPerm(coreID int, th ThreadID, d DomainID, p Perm) uint64 {
+	e.setPermRecord(th, d, p)
+	var cost uint64
+	key, ok := e.keyOf[d]
+	if !ok {
+		cost += e.mapIn(d)
+		key = e.keyOf[d]
+	} else {
+		e.clock++
+		e.lruStamp[key] = e.clock
+	}
+	e.pkruCore[coreID] = e.pkruCore[coreID].Set(key, p)
+	e.pkruSaved[th] = e.pkruCore[coreID]
+	c := e.costs.WRPKRU + e.costs.SetPermFence
+	e.bd.Add(stats.CatPermSwitch, c)
+	e.ctr.PermSwitches++
+	return cost + c
+}
+
+// FillTag implements Engine: the key currently written in the domain's
+// PTEs (null if the domain is unmapped).
+func (e *Libmpk) FillTag(_ int, _ ThreadID, va memlayout.VA) (uint16, uint64) {
+	d, _ := e.table.Lookup(va)
+	if d == NullDomain {
+		return TagNone, 0
+	}
+	if key, ok := e.keyOf[d]; ok {
+		return keyTag(key), 0
+	}
+	return TagNone, 0
+}
+
+// Check implements Engine. A null tag over an attached domain means the
+// domain is unmapped: the access faults into the kernel handler, which
+// maps the domain in (evicting if necessary) and restarts the access.
+func (e *Libmpk) Check(ctx AccessCtx) Verdict {
+	key, hasKey := tagKey(ctx.Tag)
+	if !hasKey {
+		d, _ := e.table.Lookup(ctx.VA)
+		if d == NullDomain {
+			return Verdict{Allowed: true}
+		}
+		if _, mapped := e.keyOf[d]; !mapped {
+			// Fault-driven remap: trap, evict, rewrite PTEs,
+			// shoot down, restart.
+			cost := e.costs.LibmpkTrap
+			e.bd.Add(stats.CatTrap, e.costs.LibmpkTrap)
+			cost += e.mapIn(d)
+			perm := e.permOf(ctx.Thread, d)
+			return Verdict{Allowed: perm.Allows(ctx.Write), Cycles: cost}
+		}
+		// Stale TLB tag; the shootdown protocol should prevent this.
+		perm := e.permOf(ctx.Thread, d)
+		return Verdict{Allowed: perm.Allows(ctx.Write)}
+	}
+	perm := e.pkruCore[ctx.Core].Get(key)
+	if !perm.Allows(ctx.Write) {
+		// A PKRU miss may simply mean this thread has not loaded its
+		// permission for the freshly mapped owner of the key.
+		d := e.ownerOf[key]
+		if d != NullDomain {
+			real := e.permOf(ctx.Thread, d)
+			if real.Allows(ctx.Write) {
+				e.pkruCore[ctx.Core] = e.pkruCore[ctx.Core].Set(key, real)
+				c := e.costs.WRPKRU
+				e.bd.Add(stats.CatPermSwitch, c)
+				return Verdict{Allowed: true, Cycles: c}
+			}
+		}
+		return Verdict{Allowed: false}
+	}
+	e.clock++
+	e.lruStamp[key] = e.clock
+	return Verdict{Allowed: true}
+}
+
+// ContextSwitch implements Engine.
+func (e *Libmpk) ContextSwitch(coreID int, to ThreadID) uint64 {
+	if cur := e.current[coreID]; cur != 0 {
+		e.pkruSaved[cur] = e.pkruCore[coreID]
+	}
+	e.current[coreID] = to
+	if saved, ok := e.pkruSaved[to]; ok {
+		e.pkruCore[coreID] = saved
+	} else {
+		e.pkruCore[coreID] = mpk.AllNone()
+	}
+	return 0
+}
+
+// MappedDomains returns the number of domains currently holding keys.
+func (e *Libmpk) MappedDomains() int { return len(e.keyOf) }

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/mpk"
+	"domainvirt/internal/stats"
+)
+
+// MPK is the default Intel MPK engine: each attached PMO consumes one of
+// the 15 allocatable protection keys (pkey_alloc + pkey_mprotect), and
+// per-thread permissions live in the per-core PKRU register written by
+// WRPKRU. Attaching a 16th domain fails — the scalability wall that
+// motivates virtualization.
+type MPK struct {
+	engineBase
+	alloc     *mpk.KeyAllocator
+	keyOf     map[DomainID]uint8
+	pkruCore  []mpk.PKRU
+	pkruSaved map[ThreadID]mpk.PKRU
+	current   []ThreadID
+}
+
+// NewMPK returns a default-MPK engine for ncores cores.
+func NewMPK(costs Costs, ncores int) *MPK {
+	e := &MPK{
+		alloc:     mpk.NewKeyAllocator(),
+		keyOf:     make(map[DomainID]uint8),
+		pkruCore:  make([]mpk.PKRU, ncores),
+		pkruSaved: make(map[ThreadID]mpk.PKRU),
+		current:   make([]ThreadID, ncores),
+	}
+	e.init(costs)
+	for i := range e.pkruCore {
+		e.pkruCore[i] = mpk.AllNone()
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *MPK) Name() string { return "mpk" }
+
+// Attach implements Engine: pkey_alloc + pkey_mprotect over the region.
+// Like the kernel's pkey_alloc, the reallocated key's access rights are
+// reset everywhere, so a freed key's old grants cannot leak to the new
+// domain.
+func (e *MPK) Attach(d DomainID, r memlayout.Region) error {
+	key, ok := e.alloc.Alloc()
+	if !ok {
+		return errTooManyDomains{d}
+	}
+	if err := e.table.Insert(d, r); err != nil {
+		e.alloc.Free(key)
+		return err
+	}
+	for c := range e.pkruCore {
+		e.pkruCore[c] = e.pkruCore[c].Set(key, mpk.PermNone)
+	}
+	for th, saved := range e.pkruSaved {
+		e.pkruSaved[th] = saved.Set(key, mpk.PermNone)
+	}
+	e.keyOf[d] = key
+	if e.hooks != nil {
+		e.hooks.SetPTEKeys(r, uint8(keyTag(key)))
+	}
+	return nil
+}
+
+// Detach implements Engine: pkey_free and clear PTE keys.
+func (e *MPK) Detach(d DomainID) {
+	key, ok := e.keyOf[d]
+	if !ok {
+		return
+	}
+	if r, ok := e.table.Region(d); ok && e.hooks != nil {
+		e.hooks.SetPTEKeys(r, uint8(TagNone))
+		e.hooks.FlushTLBRangeAll(r)
+	}
+	e.table.Remove(d)
+	e.alloc.Free(key)
+	delete(e.keyOf, d)
+}
+
+// SetPerm implements Engine: one WRPKRU.
+func (e *MPK) SetPerm(coreID int, th ThreadID, d DomainID, p Perm) uint64 {
+	key, ok := e.keyOf[d]
+	if !ok {
+		return 0
+	}
+	e.pkruCore[coreID] = e.pkruCore[coreID].Set(key, p)
+	e.pkruSaved[th] = e.pkruCore[coreID]
+	c := e.costs.WRPKRU + e.costs.SetPermFence
+	e.bd.Add(stats.CatPermSwitch, c)
+	e.ctr.PermSwitches++
+	return c
+}
+
+// FillTag implements Engine: the protection key comes from the PTE.
+func (e *MPK) FillTag(_ int, _ ThreadID, va memlayout.VA) (uint16, uint64) {
+	d, _ := e.table.Lookup(va)
+	if d == NullDomain {
+		return TagNone, 0
+	}
+	return keyTag(e.keyOf[d]), 0
+}
+
+// Check implements Engine: PKRU lookup indexed by the key cached in the
+// TLB entry, in parallel with the page-permission check (no extra cycles).
+func (e *MPK) Check(ctx AccessCtx) Verdict {
+	key, ok := tagKey(ctx.Tag)
+	if !ok {
+		return Verdict{Allowed: true}
+	}
+	perm := e.pkruCore[ctx.Core].Get(key)
+	return Verdict{Allowed: perm.Allows(ctx.Write)}
+}
+
+// ContextSwitch implements Engine: PKRU is part of the saved thread state.
+func (e *MPK) ContextSwitch(coreID int, to ThreadID) uint64 {
+	if cur := e.current[coreID]; cur != 0 {
+		e.pkruSaved[cur] = e.pkruCore[coreID]
+	}
+	e.current[coreID] = to
+	if saved, ok := e.pkruSaved[to]; ok {
+		e.pkruCore[coreID] = saved
+	} else {
+		e.pkruCore[coreID] = mpk.AllNone()
+	}
+	return 0
+}
+
+// KeyOf returns the protection key assigned to d (tests and tools).
+func (e *MPK) KeyOf(d DomainID) (uint8, bool) {
+	k, ok := e.keyOf[d]
+	return k, ok
+}

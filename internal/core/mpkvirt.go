@@ -1,0 +1,328 @@
+package core
+
+import (
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/mpk"
+	"domainvirt/internal/stats"
+)
+
+// dttEntry is one Domain Translation Table entry: the PMO's VA range, its
+// domain ID, the protection key it currently maps to (if any), and the
+// per-thread permissions the OS keeps for reconstruction.
+type dttEntry struct {
+	domain DomainID
+	region memlayout.Region
+	key    uint8
+	hasKey bool
+	perms  map[ThreadID]Perm
+}
+
+func (e *dttEntry) permOf(th ThreadID) Perm {
+	if p, ok := e.perms[th]; ok {
+		return p
+	}
+	return PermNone
+}
+
+// dttlb is one core's Domain Translation Table Lookaside Buffer: a small
+// fully-associative cache of DTT entries searched by VA range (CAM), with
+// pseudo-LRU replacement.
+type dttlb struct {
+	slots []*dttEntry
+	dirty []bool
+	plru  *PLRU
+}
+
+func newDTTLB(entries int) *dttlb {
+	return &dttlb{
+		slots: make([]*dttEntry, entries),
+		dirty: make([]bool, entries),
+		plru:  NewPLRU(entries),
+	}
+}
+
+// lookup searches the CAM for the entry covering domain d.
+func (t *dttlb) lookup(d DomainID) (int, *dttEntry) {
+	for i, e := range t.slots {
+		if e != nil && e.domain == d {
+			return i, e
+		}
+	}
+	return -1, nil
+}
+
+// insert fills e, evicting the PLRU victim; it returns whether a dirty
+// victim was written back.
+func (t *dttlb) insert(e *dttEntry) (wroteBack bool) {
+	slot := -1
+	for i, s := range t.slots {
+		if s == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		slot = t.plru.Victim()
+		wroteBack = t.dirty[slot]
+	}
+	t.slots[slot] = e
+	t.dirty[slot] = false
+	t.plru.Touch(slot)
+	return wroteBack
+}
+
+func (t *dttlb) drop(d DomainID) {
+	for i, e := range t.slots {
+		if e != nil && e.domain == d {
+			t.slots[i] = nil
+			t.dirty[i] = false
+		}
+	}
+}
+
+func (t *dttlb) flush() (valid, dirty int) {
+	for i, e := range t.slots {
+		if e != nil {
+			valid++
+			if t.dirty[i] {
+				dirty++
+			}
+		}
+		t.slots[i] = nil
+		t.dirty[i] = false
+	}
+	return valid, dirty
+}
+
+// MPKVirt is the hardware MPK-virtualization engine (Section IV-D): it
+// preserves the MPK datapath — TLB entries carry a 4-bit key checked
+// against PKRU — and adds the DTT/DTTLB machinery that remaps the 15
+// allocatable keys over an unbounded number of domains in hardware. A key
+// remap costs a PKRU update plus a Range_Flush TLB shootdown of the victim
+// domain's VA range on every core.
+type MPKVirt struct {
+	engineBase
+	entries map[DomainID]*dttEntry
+	ownerOf [mpk.NumKeys]*dttEntry
+	keyPLRU *PLRU
+
+	dttlbs    []*dttlb
+	pkruCore  []mpk.PKRU
+	pkruSaved map[ThreadID]mpk.PKRU
+	current   []ThreadID
+
+	dttlbEntries int
+}
+
+// NewMPKVirt returns a hardware MPK-virtualization engine for ncores
+// cores with dttlbEntries DTTLB entries per core (16 in the paper).
+func NewMPKVirt(costs Costs, ncores, dttlbEntries int) *MPKVirt {
+	e := &MPKVirt{
+		entries:      make(map[DomainID]*dttEntry),
+		keyPLRU:      NewPLRU(mpk.NumKeys),
+		pkruCore:     make([]mpk.PKRU, ncores),
+		pkruSaved:    make(map[ThreadID]mpk.PKRU),
+		current:      make([]ThreadID, ncores),
+		dttlbEntries: dttlbEntries,
+	}
+	e.init(costs)
+	for i := 0; i < ncores; i++ {
+		e.dttlbs = append(e.dttlbs, newDTTLB(dttlbEntries))
+		e.pkruCore[i] = mpk.AllNone()
+	}
+	return e
+}
+
+// Name implements Engine.
+func (e *MPKVirt) Name() string { return "mpkvirt" }
+
+// Attach implements Engine: the attach system call adds a DTT entry; key
+// assignment is deferred to first use.
+func (e *MPKVirt) Attach(d DomainID, r memlayout.Region) error {
+	if err := e.table.Insert(d, r); err != nil {
+		return err
+	}
+	e.entries[d] = &dttEntry{
+		domain: d,
+		region: r,
+		perms:  make(map[ThreadID]Perm),
+	}
+	return nil
+}
+
+// Detach implements Engine: the detach system call removes the DTT entry,
+// releases its key, and invalidates cached state.
+func (e *MPKVirt) Detach(d DomainID) {
+	ent, ok := e.entries[d]
+	if !ok {
+		return
+	}
+	if ent.hasKey {
+		e.ownerOf[ent.key] = nil
+		if e.hooks != nil {
+			e.hooks.FlushTLBRangeAll(ent.region)
+		}
+	}
+	for _, t := range e.dttlbs {
+		t.drop(d)
+	}
+	delete(e.entries, d)
+	e.table.Remove(d)
+}
+
+// assignKey maps ent to a protection key, evicting a pseudo-LRU victim if
+// none is free, and returns the cycle cost (free-key check, PKRU update,
+// and — on eviction — the TLB range invalidation on every core).
+func (e *MPKVirt) assignKey(ent *dttEntry) uint64 {
+	cost := e.costs.FreeKeyCheck
+	e.bd.Add(stats.CatEntryChange, e.costs.FreeKeyCheck)
+
+	haveFree := false
+	key := uint8(0)
+	for k := uint8(0); k < mpk.NumKeys; k++ {
+		if e.ownerOf[k] == nil {
+			key = k
+			haveFree = true
+			break
+		}
+	}
+	if !haveFree {
+		// No free key: evict the pseudo-LRU victim domain.
+		v := e.keyPLRU.VictimExcluding(func(k int) bool {
+			return e.ownerOf[k] == nil
+		})
+		victim := e.ownerOf[v]
+		victim.hasKey = false
+		e.ownerOf[v] = nil
+		for _, t := range e.dttlbs {
+			t.drop(victim.domain) // marked invalid (and dirty) in hardware
+		}
+		// Range_Flush of the victim PMO's VA range on all cores.
+		e.hooks.FlushTLBRangeAll(victim.region)
+		inval := e.costs.TLBInval * uint64(e.hooks.NumCores())
+		e.bd.Add(stats.CatTLBInval, inval)
+		cost += inval
+		e.ctr.Evictions++
+		key = uint8(v)
+	}
+	ent.key = key
+	ent.hasKey = true
+	e.ownerOf[key] = ent
+	e.keyPLRU.Touch(int(key))
+
+	// PKRU is updated to reflect the new domain's permission.
+	e.bd.Add(stats.CatEntryChange, e.costs.PKRUUpdate)
+	cost += e.costs.PKRUUpdate
+	return cost
+}
+
+// SetPerm implements Engine: the SETPERM instruction updates the thread's
+// permission for one domain in the DTT (and PKRU when the domain holds a
+// key). Its cost equals WRPKRU so the lowerbound is scheme-independent.
+func (e *MPKVirt) SetPerm(coreID int, th ThreadID, d DomainID, p Perm) uint64 {
+	ent, ok := e.entries[d]
+	if !ok {
+		return 0
+	}
+	ent.perms[th] = p
+	if ent.hasKey {
+		e.pkruCore[coreID] = e.pkruCore[coreID].Set(ent.key, p)
+		e.pkruSaved[th] = e.pkruCore[coreID]
+	}
+	if i, _ := e.dttlbs[coreID].lookup(d); i >= 0 {
+		e.dttlbs[coreID].dirty[i] = true // DTT updated lazily
+	}
+	c := e.costs.WRPKRU + e.costs.SetPermFence
+	e.bd.Add(stats.CatPermSwitch, c)
+	e.ctr.PermSwitches++
+	return c
+}
+
+// FillTag implements Engine: the TLB-miss path of Figure 4. The DTTLB is
+// searched (in parallel with the page walk); a miss walks the DTT; a
+// domain without a key gets one assigned, evicting a victim if needed.
+func (e *MPKVirt) FillTag(coreID int, th ThreadID, va memlayout.VA) (uint16, uint64) {
+	d, _ := e.table.Lookup(va)
+	if d == NullDomain {
+		return TagNone, 0
+	}
+	var cost uint64
+	t := e.dttlbs[coreID]
+	slot, ent := t.lookup(d)
+	if ent == nil {
+		// DTTLB miss: walk the DTT, then install the entry.
+		ent = e.entries[d]
+		if ent == nil {
+			return TagNone, 0
+		}
+		cost += e.costs.DTTLBMiss
+		e.bd.Add(stats.CatDTTMiss, e.costs.DTTLBMiss)
+		e.ctr.DTTLBMisses++
+		e.ctr.DTTWalks++
+		if t.insert(ent) {
+			// Dirty victim written back to the DTT.
+			cost += e.costs.DTTLBEntryOp
+			e.bd.Add(stats.CatEntryChange, e.costs.DTTLBEntryOp)
+		}
+		cost += e.costs.DTTLBEntryOp
+		e.bd.Add(stats.CatEntryChange, e.costs.DTTLBEntryOp)
+	} else {
+		e.ctr.DTTLBHits++
+		t.plru.Touch(slot)
+	}
+	if !ent.hasKey {
+		cost += e.assignKey(ent)
+	} else {
+		e.keyPLRU.Touch(int(ent.key))
+	}
+	// Keep this core's PKRU coherent with the running thread's
+	// permission for the key (reconstruction after remaps/switches).
+	e.pkruCore[coreID] = e.pkruCore[coreID].Set(ent.key, ent.permOf(th))
+	return keyTag(ent.key), cost
+}
+
+// Check implements Engine: identical to the MPK datapath — the key cached
+// in the TLB entry indexes PKRU in parallel with the page-permission
+// check, adding no cycles.
+func (e *MPKVirt) Check(ctx AccessCtx) Verdict {
+	key, ok := tagKey(ctx.Tag)
+	if !ok {
+		return Verdict{Allowed: true}
+	}
+	perm := e.pkruCore[ctx.Core].Get(key)
+	return Verdict{Allowed: perm.Allows(ctx.Write)}
+}
+
+// ContextSwitch implements Engine: DTTLB and PKRU are thread-specific;
+// dirty DTTLB entries are written back and both are rebuilt for the
+// incoming thread from the DTT.
+func (e *MPKVirt) ContextSwitch(coreID int, to ThreadID) uint64 {
+	if cur := e.current[coreID]; cur != 0 {
+		e.pkruSaved[cur] = e.pkruCore[coreID]
+	}
+	e.current[coreID] = to
+	_, dirty := e.dttlbs[coreID].flush()
+	cost := uint64(dirty) * e.costs.DTTLBEntryOp
+	if dirty > 0 {
+		e.bd.AddN(stats.CatEntryChange, cost, uint64(dirty))
+	}
+	// Reconstruct PKRU for the incoming thread from the DTT.
+	pkru := mpk.AllNone()
+	for k := uint8(0); k < mpk.NumKeys; k++ {
+		if ent := e.ownerOf[k]; ent != nil {
+			pkru = pkru.Set(k, ent.permOf(to))
+			cost += e.costs.PKRUUpdate
+			e.bd.Add(stats.CatEntryChange, e.costs.PKRUUpdate)
+		}
+	}
+	e.pkruCore[coreID] = pkru
+	return cost
+}
+
+// KeyOf returns the key currently assigned to d (tests and tools).
+func (e *MPKVirt) KeyOf(d DomainID) (uint8, bool) {
+	if ent, ok := e.entries[d]; ok && ent.hasKey {
+		return ent.key, true
+	}
+	return 0, false
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/stats"
+)
+
+// TestEngineOracle checks every enforcing engine against a trivially
+// correct reference: a map from (thread, domain) to the last permission
+// set. For random attach/setperm/access/context-switch sequences, each
+// engine's verdict must equal the oracle's — regardless of evictions,
+// remappings, or cached state.
+func TestEngineOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		const (
+			domains = 24
+			threads = 3
+		)
+		type oracleKey struct {
+			th ThreadID
+			d  DomainID
+		}
+
+		engines := map[string]Engine{
+			"libmpk":     NewLibmpk(DefaultCosts(), threads),
+			"mpkvirt":    NewMPKVirt(DefaultCosts(), threads, 16),
+			"domainvirt": NewDomainVirt(DefaultCosts(), threads, 16),
+		}
+		for name, e := range engines {
+			h := newFakeHooks(threads)
+			e.Bind(h, &stats.Breakdown{}, &stats.Counters{})
+			for th := 0; th < threads; th++ {
+				e.ContextSwitch(th, ThreadID(th+1))
+			}
+			for i := 0; i < domains; i++ {
+				r := regionFor(i)
+				if err := e.Attach(DomainID(i+1), r); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				h.populate(r, 2)
+			}
+
+			oracle := make(map[oracleKey]Perm)
+			localRng := rand.New(rand.NewSource(seed)) // identical sequence per engine
+			for step := 0; step < 2500; step++ {
+				th := ThreadID(1 + localRng.Intn(threads))
+				coreID := int(th) - 1
+				d := DomainID(1 + localRng.Intn(domains))
+				switch localRng.Intn(3) {
+				case 0:
+					p := []Perm{PermRW, PermR, PermNone}[localRng.Intn(3)]
+					e.SetPerm(coreID, th, d, p)
+					oracle[oracleKey{th, d}] = p
+				default:
+					write := localRng.Intn(2) == 0
+					va := regionFor(int(d-1)).Base + memlayout.VA(localRng.Intn(1<<20))
+					v := access(e, coreID, th, va, write)
+					want, ok := oracle[oracleKey{th, d}]
+					if !ok {
+						want = PermNone
+					}
+					if v.Allowed != want.Allows(write) {
+						t.Fatalf("%s seed=%d step=%d: verdict %v, oracle %v (perm %v, write %v)",
+							name, seed, step, v.Allowed, want.Allows(write), want, write)
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

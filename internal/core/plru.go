@@ -1,0 +1,85 @@
+package core
+
+// PLRU is a tree-based pseudo-LRU replacement policy over a power-of-two
+// number of slots, as used by the DTTLB, the PTLB, and the protection-key
+// victim selection of the hardware MPK-virtualization design ("Pseudo LRU
+// in our implementation").
+//
+// The tree is stored implicitly: node 1 is the root, node i has children
+// 2i and 2i+1; leaves correspond to slots. Each internal node holds one
+// bit pointing toward the less recently used subtree.
+type PLRU struct {
+	bits  []bool // 1-indexed internal nodes; len == slots
+	slots int
+}
+
+// NewPLRU returns a PLRU over the given power-of-two slot count.
+func NewPLRU(slots int) *PLRU {
+	if slots <= 0 || slots&(slots-1) != 0 {
+		panic("core: PLRU slots must be a power of two")
+	}
+	return &PLRU{bits: make([]bool, slots), slots: slots}
+}
+
+// Touch marks slot as most recently used: every node on the root→leaf
+// path is pointed away from it.
+func (p *PLRU) Touch(slot int) {
+	node := 1
+	for node < p.slots {
+		half := p.slots >> treeDepth(node)
+		left := slot%(half*2) < half
+		// Point toward the other subtree (the colder one).
+		p.bits[node] = left
+		node = node*2 + b2i(!left)
+	}
+}
+
+// Victim returns the pseudo-least-recently-used slot without updating
+// state.
+func (p *PLRU) Victim() int {
+	node := 1
+	slot := 0
+	for node < p.slots {
+		half := p.slots >> treeDepth(node)
+		if p.bits[node] {
+			// Bit points right: the right subtree is colder.
+			slot += half
+			node = node*2 + 1
+		} else {
+			node = node * 2
+		}
+	}
+	return slot
+}
+
+// VictimExcluding returns the PLRU victim, skipping slots for which skip
+// returns true (e.g. the reserved null key). It touches skipped slots so
+// repeated calls make progress; it panics if every slot is skipped.
+func (p *PLRU) VictimExcluding(skip func(int) bool) int {
+	for i := 0; i < p.slots; i++ {
+		v := p.Victim()
+		if !skip(v) {
+			return v
+		}
+		p.Touch(v)
+	}
+	panic("core: PLRU has no eligible victim")
+}
+
+// treeDepth returns the depth of internal node (root = depth 1), i.e. the
+// position of its highest set bit.
+func treeDepth(node int) int {
+	d := 0
+	for node > 0 {
+		node >>= 1
+		d++
+	}
+	return d
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPLRUVictimInRange(t *testing.T) {
+	for _, slots := range []int{2, 4, 16, 64} {
+		p := NewPLRU(slots)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 1000; i++ {
+			v := p.Victim()
+			if v < 0 || v >= slots {
+				t.Fatalf("victim %d out of range [0,%d)", v, slots)
+			}
+			p.Touch(rng.Intn(slots))
+		}
+	}
+}
+
+func TestPLRUTouchedIsNotVictim(t *testing.T) {
+	p := NewPLRU(16)
+	for s := 0; s < 16; s++ {
+		p.Touch(s)
+		if v := p.Victim(); v == s {
+			t.Errorf("slot %d is victim immediately after touch", s)
+		}
+	}
+}
+
+func TestPLRUSweepCoversAllSlots(t *testing.T) {
+	// Repeatedly evicting the victim and touching it must cycle through
+	// every slot (no starvation).
+	p := NewPLRU(16)
+	seen := make(map[int]bool)
+	for i := 0; i < 64; i++ {
+		v := p.Victim()
+		seen[v] = true
+		p.Touch(v)
+	}
+	if len(seen) != 16 {
+		t.Errorf("victim cycle covered %d slots, want 16", len(seen))
+	}
+}
+
+func TestPLRUTwoSlotsIsExactLRU(t *testing.T) {
+	// With two slots, tree-PLRU degenerates to exact LRU.
+	p := NewPLRU(2)
+	rng := rand.New(rand.NewSource(3))
+	last := -1
+	for i := 0; i < 200; i++ {
+		s := rng.Intn(2)
+		p.Touch(s)
+		last = s
+		if v := p.Victim(); v != 1-last {
+			t.Fatalf("victim = %d after touching %d", v, last)
+		}
+	}
+}
+
+func TestPLRUColdSubtreePreferred(t *testing.T) {
+	// Tree property: if only slots in the left half are ever touched,
+	// the victim stays in the right half.
+	p := NewPLRU(16)
+	for i := 0; i < 100; i++ {
+		p.Touch(i % 8)
+		if v := p.Victim(); v < 8 {
+			t.Fatalf("victim %d in the hot half", v)
+		}
+	}
+}
+
+func TestPLRUVictimExcluding(t *testing.T) {
+	p := NewPLRU(16)
+	v := p.VictimExcluding(func(s int) bool { return s%2 == 0 })
+	if v%2 == 0 {
+		t.Errorf("excluded slot %d selected", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("all-excluded must panic")
+		}
+	}()
+	p.VictimExcluding(func(int) bool { return true })
+}
+
+func TestPLRUBadSize(t *testing.T) {
+	for _, n := range []int{0, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPLRU(%d) did not panic", n)
+				}
+			}()
+			NewPLRU(n)
+		}()
+	}
+}

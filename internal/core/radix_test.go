@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"domainvirt/internal/memlayout"
+)
+
+func TestDomainTableBasic(t *testing.T) {
+	dt := NewDomainTable()
+	r := memlayout.Region{Base: 0x2000_0000_0000, Size: 8 << 20} // 8 MB PMO
+	if err := dt.Insert(7, r); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := dt.Lookup(r.Base); d != 7 {
+		t.Errorf("Lookup(base) = %d, want 7", d)
+	}
+	if d, _ := dt.Lookup(r.End() - 1); d != 7 {
+		t.Errorf("Lookup(end-1) = %d, want 7", d)
+	}
+	if d, _ := dt.Lookup(r.End()); d != NullDomain {
+		t.Errorf("Lookup(end) = %d, want null", d)
+	}
+	if d, _ := dt.Lookup(r.Base - 1); d != NullDomain {
+		t.Errorf("Lookup(base-1) = %d, want null", d)
+	}
+	got, ok := dt.Region(7)
+	if !ok || got != r {
+		t.Errorf("Region(7) = (%v,%v)", got, ok)
+	}
+	if !dt.Remove(7) {
+		t.Fatal("Remove failed")
+	}
+	if d, _ := dt.Lookup(r.Base); d != NullDomain {
+		t.Error("domain survives removal")
+	}
+	if dt.Remove(7) {
+		t.Error("double remove succeeded")
+	}
+}
+
+func TestDomainTableErrors(t *testing.T) {
+	dt := NewDomainTable()
+	if err := dt.Insert(NullDomain, memlayout.Region{Base: 0, Size: 4096}); err == nil {
+		t.Error("null domain accepted")
+	}
+	// Misaligned base for a 2 MB-level PMO.
+	if err := dt.Insert(1, memlayout.Region{Base: 4096, Size: 2 << 20}); err == nil {
+		t.Error("misaligned region accepted")
+	}
+	r := memlayout.Region{Base: 1 << 30, Size: 2 << 20}
+	if err := dt.Insert(1, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Insert(1, memlayout.Region{Base: 2 << 30, Size: 4096}); err == nil {
+		t.Error("duplicate domain accepted")
+	}
+	if err := dt.Insert(2, r); err == nil {
+		t.Error("overlapping region accepted")
+	}
+	// Overlap at a different granularity: a 4 KB PMO inside the 2 MB one.
+	if err := dt.Insert(3, memlayout.Region{Base: 1 << 30, Size: 4096}); err == nil {
+		t.Error("nested region accepted")
+	}
+}
+
+func TestDomainTableMultiSlot(t *testing.T) {
+	// A 2 GB PMO occupies two consecutive 1 GB slots.
+	dt := NewDomainTable()
+	r := memlayout.Region{Base: 2 << 30, Size: 2 << 30}
+	if err := dt.Insert(9, r); err != nil {
+		t.Fatal(err)
+	}
+	for _, va := range []memlayout.VA{r.Base, r.Base + 1<<30, r.End() - 1} {
+		if d, _ := dt.Lookup(va); d != 9 {
+			t.Errorf("Lookup(%#x) = %d, want 9", uint64(va), d)
+		}
+	}
+	dt.Remove(9)
+	if d, _ := dt.Lookup(r.Base + 1<<30); d != NullDomain {
+		t.Error("second slot survives removal")
+	}
+}
+
+func TestDomainTableAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dt := NewDomainTable()
+		type entry struct {
+			d DomainID
+			r memlayout.Region
+		}
+		var entries []entry
+		// Attach PMOs of varied sizes at pool-allocator-style bases.
+		next := uint64(0x2000_0000_0000)
+		for i := 0; i < 40; i++ {
+			size := []uint64{4096, 64 << 10, 2 << 20, 8 << 20}[rng.Intn(4)]
+			_, _, fp := memlayout.AttachLevel(size)
+			align := fp
+			for align&(align-1) != 0 {
+				align++
+			}
+			base := memlayout.AlignUp(next, align)
+			r := memlayout.Region{Base: memlayout.VA(base), Size: fp}
+			next = base + fp
+			d := DomainID(i + 1)
+			if err := dt.Insert(d, r); err != nil {
+				t.Fatalf("insert %v: %v", r, err)
+			}
+			entries = append(entries, entry{d, r})
+		}
+		naive := func(va memlayout.VA) DomainID {
+			for _, e := range entries {
+				if e.r.Contains(va) {
+					return e.d
+				}
+			}
+			return NullDomain
+		}
+		for i := 0; i < 500; i++ {
+			va := memlayout.VA(0x2000_0000_0000 + uint64(rng.Int63n(int64(next-0x2000_0000_0000+4096))))
+			got, _ := dt.Lookup(va)
+			if got != naive(va) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDomainTableForEach(t *testing.T) {
+	dt := NewDomainTable()
+	for i := 1; i <= 5; i++ {
+		r := memlayout.Region{Base: memlayout.VA(i) << 30, Size: 4096}
+		if err := dt.Insert(DomainID(i), r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dt.Len() != 5 {
+		t.Errorf("Len = %d", dt.Len())
+	}
+	seen := 0
+	dt.ForEach(func(d DomainID, r memlayout.Region) { seen++ })
+	if seen != 5 {
+		t.Errorf("ForEach visited %d", seen)
+	}
+}

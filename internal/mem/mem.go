@@ -1,0 +1,127 @@
+// Package mem models main memory as two latency classes — DRAM and NVM —
+// plus a simple physical-frame allocator. Per the paper's Table II, NVM
+// latency is 3x DRAM latency (120 vs 360 cycles), in line with Intel Optane
+// DC Persistent Memory characterization; PMO accesses use NVM latency while
+// all other accesses use DRAM latency.
+package mem
+
+import (
+	"fmt"
+
+	"domainvirt/internal/memlayout"
+)
+
+// Kind identifies the memory technology backing a physical frame.
+type Kind int
+
+// Memory kinds.
+const (
+	DRAM Kind = iota
+	NVM
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == NVM {
+		return "NVM"
+	}
+	return "DRAM"
+}
+
+// Config holds memory-model parameters.
+type Config struct {
+	DRAMLatency uint64 // cycles for a DRAM access
+	NVMLatency  uint64 // cycles for an NVM access
+	NVMBase     memlayout.PA
+}
+
+// DefaultConfig returns the paper's Table II memory parameters. Physical
+// frames at or above NVMBase are NVM; below it, DRAM.
+func DefaultConfig() Config {
+	return Config{
+		DRAMLatency: 120,
+		NVMLatency:  360,
+		NVMBase:     memlayout.PA(1) << 40, // 1 TB split point
+	}
+}
+
+// Memory is the main-memory model: a frame allocator per kind and access
+// latency/count bookkeeping.
+type Memory struct {
+	cfg       Config
+	nextDRAM  memlayout.PA
+	nextNVM   memlayout.PA
+	dramReads uint64
+	nvmReads  uint64
+	dramWr    uint64
+	nvmWr     uint64
+}
+
+// New constructs a Memory with the given configuration.
+func New(cfg Config) *Memory {
+	return &Memory{
+		cfg:      cfg,
+		nextDRAM: memlayout.PageSize, // keep PA 0 unused as a null frame
+		nextNVM:  cfg.NVMBase,
+	}
+}
+
+// AllocFrame returns the physical address of a fresh 4 KB frame of the
+// given kind.
+func (m *Memory) AllocFrame(k Kind) memlayout.PA {
+	if k == NVM {
+		pa := m.nextNVM
+		m.nextNVM += memlayout.PageSize
+		return pa
+	}
+	pa := m.nextDRAM
+	m.nextDRAM += memlayout.PageSize
+	if m.nextDRAM >= m.cfg.NVMBase {
+		panic("mem: DRAM region exhausted")
+	}
+	return pa
+}
+
+// KindOf returns the memory kind of physical address pa.
+func (m *Memory) KindOf(pa memlayout.PA) Kind {
+	if pa >= m.cfg.NVMBase {
+		return NVM
+	}
+	return DRAM
+}
+
+// Access records an access to pa and returns its latency in cycles.
+func (m *Memory) Access(pa memlayout.PA, write bool) uint64 {
+	if m.KindOf(pa) == NVM {
+		if write {
+			m.nvmWr++
+		} else {
+			m.nvmReads++
+		}
+		return m.cfg.NVMLatency
+	}
+	if write {
+		m.dramWr++
+	} else {
+		m.dramReads++
+	}
+	return m.cfg.DRAMLatency
+}
+
+// Latency returns the access latency for pa without recording an access.
+func (m *Memory) Latency(pa memlayout.PA) uint64 {
+	if m.KindOf(pa) == NVM {
+		return m.cfg.NVMLatency
+	}
+	return m.cfg.DRAMLatency
+}
+
+// Stats returns (dramReads, dramWrites, nvmReads, nvmWrites).
+func (m *Memory) Stats() (dr, dw, nr, nw uint64) {
+	return m.dramReads, m.dramWr, m.nvmReads, m.nvmWr
+}
+
+// String implements fmt.Stringer.
+func (m *Memory) String() string {
+	return fmt.Sprintf("mem{dram r/w=%d/%d nvm r/w=%d/%d}", m.dramReads, m.dramWr, m.nvmReads, m.nvmWr)
+}

@@ -1,0 +1,60 @@
+package mem
+
+import (
+	"testing"
+
+	"domainvirt/internal/memlayout"
+)
+
+func TestKindsAndLatencies(t *testing.T) {
+	m := New(DefaultConfig())
+	d := m.AllocFrame(DRAM)
+	n := m.AllocFrame(NVM)
+	if m.KindOf(d) != DRAM || m.KindOf(n) != NVM {
+		t.Fatalf("kinds: %v %v", m.KindOf(d), m.KindOf(n))
+	}
+	if m.Latency(d) != 120 || m.Latency(n) != 360 {
+		t.Errorf("latencies = %d / %d, want 120 / 360 (NVM = 3x DRAM)", m.Latency(d), m.Latency(n))
+	}
+	if got := m.Access(n, true); got != 360 {
+		t.Errorf("NVM write latency = %d", got)
+	}
+	if got := m.Access(d, false); got != 120 {
+		t.Errorf("DRAM read latency = %d", got)
+	}
+	dr, dw, nr, nw := m.Stats()
+	if dr != 1 || dw != 0 || nr != 0 || nw != 1 {
+		t.Errorf("stats = %d %d %d %d", dr, dw, nr, nw)
+	}
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestFrameAllocatorDistinct(t *testing.T) {
+	m := New(DefaultConfig())
+	seen := make(map[memlayout.PA]bool)
+	for i := 0; i < 1000; i++ {
+		pa := m.AllocFrame(DRAM)
+		if seen[pa] {
+			t.Fatalf("frame %#x allocated twice", pa)
+		}
+		if !memlayout.IsAligned(uint64(pa), memlayout.PageSize) {
+			t.Fatalf("frame %#x misaligned", pa)
+		}
+		seen[pa] = true
+	}
+	for i := 0; i < 1000; i++ {
+		pa := m.AllocFrame(NVM)
+		if seen[pa] {
+			t.Fatalf("NVM frame %#x collides", pa)
+		}
+		seen[pa] = true
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if DRAM.String() != "DRAM" || NVM.String() != "NVM" {
+		t.Error("kind names")
+	}
+}

@@ -1,0 +1,166 @@
+package memlayout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelGeometry(t *testing.T) {
+	if LevelSize(0) != 4<<10 {
+		t.Errorf("level 0 = %d, want 4KB", LevelSize(0))
+	}
+	if LevelSize(1) != 2<<20 {
+		t.Errorf("level 1 = %d, want 2MB", LevelSize(1))
+	}
+	if LevelSize(2) != 1<<30 {
+		t.Errorf("level 2 = %d, want 1GB", LevelSize(2))
+	}
+	if LevelSize(3) != 512<<30 {
+		t.Errorf("level 3 = %d, want 512GB", LevelSize(3))
+	}
+}
+
+func TestIndexDecomposition(t *testing.T) {
+	// Reassembling the per-level indices plus the page offset must give
+	// back the original canonical address.
+	f := func(raw uint64) bool {
+		va := VA(raw & ((1 << 48) - 1)) // canonical 48-bit
+		rebuilt := PageOffset(va)
+		for lvl := 0; lvl < NumLevels; lvl++ {
+			rebuilt |= uint64(Index(va, lvl)) << LevelShift(lvl)
+		}
+		return VA(rebuilt) == va
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageHelpers(t *testing.T) {
+	va := VA(0x12345)
+	if PageNum(va) != 0x12 {
+		t.Errorf("PageNum = %#x", PageNum(va))
+	}
+	if PageBase(va) != 0x12000 {
+		t.Errorf("PageBase = %#x", PageBase(va))
+	}
+	if PageOffset(va) != 0x345 {
+		t.Errorf("PageOffset = %#x", PageOffset(va))
+	}
+}
+
+func TestRegion(t *testing.T) {
+	r := Region{Base: 0x1000, Size: 0x2000}
+	if !r.Contains(0x1000) || !r.Contains(0x2FFF) {
+		t.Error("region must contain its endpoints-1")
+	}
+	if r.Contains(0xFFF) || r.Contains(0x3000) {
+		t.Error("region must exclude outside addresses")
+	}
+	if r.Pages() != 2 {
+		t.Errorf("Pages = %d, want 2", r.Pages())
+	}
+	o := Region{Base: 0x2800, Size: 0x1000}
+	if !r.Overlaps(o) || !o.Overlaps(r) {
+		t.Error("overlap must be symmetric and detected")
+	}
+	if r.Overlaps(Region{Base: 0x3000, Size: 0x1000}) {
+		t.Error("adjacent regions do not overlap")
+	}
+}
+
+func TestAttachLevel(t *testing.T) {
+	cases := []struct {
+		size      uint64
+		lvl       int
+		slots     int
+		footprint uint64
+	}{
+		{1, 0, 1, 4 << 10},
+		{4 << 10, 0, 1, 4 << 10},
+		{6 << 10, 0, 2, 8 << 10},
+		{2 << 20, 1, 1, 2 << 20},
+		{8 << 20, 1, 4, 8 << 20}, // the paper's 8 MB micro-benchmark pools
+		{1 << 30, 2, 1, 1 << 30},
+		{2 << 30, 2, 2, 2 << 30}, // the WHISPER 2 GB pool
+	}
+	for _, c := range cases {
+		lvl, slots, fp := AttachLevel(c.size)
+		if lvl != c.lvl || slots != c.slots || fp != c.footprint {
+			t.Errorf("AttachLevel(%d) = (%d,%d,%d), want (%d,%d,%d)",
+				c.size, lvl, slots, fp, c.lvl, c.slots, c.footprint)
+		}
+	}
+}
+
+func TestAttachLevelProperties(t *testing.T) {
+	f := func(raw uint32) bool {
+		size := uint64(raw)%(4<<30) + 1
+		lvl, slots, fp := AttachLevel(size)
+		gran := LevelSize(lvl)
+		return fp >= size && fp == uint64(slots)*gran && slots >= 1 &&
+			(lvl == 0 || size >= LevelSize(lvl))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignHelpers(t *testing.T) {
+	if AlignUp(5, 8) != 8 || AlignUp(8, 8) != 8 || AlignUp(0, 8) != 0 {
+		t.Error("AlignUp broken")
+	}
+	if !IsAligned(16, 8) || IsAligned(12, 8) {
+		t.Error("IsAligned broken")
+	}
+}
+
+func TestSplitLine(t *testing.T) {
+	var pieces []struct {
+		va VA
+		n  uint32
+	}
+	SplitLine(60, 72, func(va VA, n uint32) {
+		pieces = append(pieces, struct {
+			va VA
+			n  uint32
+		}{va, n})
+	})
+	// 60..131 spans three 64-byte lines: [60,64), [64,128), [128,132).
+	want := []struct {
+		va VA
+		n  uint32
+	}{{60, 4}, {64, 64}, {128, 4}}
+	if len(pieces) != len(want) {
+		t.Fatalf("got %d pieces, want %d", len(pieces), len(want))
+	}
+	for i := range want {
+		if pieces[i] != want[i] {
+			t.Errorf("piece %d = %+v, want %+v", i, pieces[i], want[i])
+		}
+	}
+}
+
+func TestSplitLineCoversExactly(t *testing.T) {
+	f := func(vaRaw uint64, sizeRaw uint16) bool {
+		va := VA(vaRaw % (1 << 40))
+		size := uint32(sizeRaw)%1024 + 1
+		var total uint32
+		prev := va
+		ok := true
+		SplitLine(va, size, func(p VA, n uint32) {
+			if p != prev {
+				ok = false
+			}
+			if n == 0 || n > 64 {
+				ok = false
+			}
+			prev = p + VA(n)
+			total += n
+		})
+		return ok && total == size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,158 @@
+// Package mpk models Intel Memory Protection Keys: the per-logical-core
+// 32-bit PKRU register holding a 2-bit (access-disable, write-disable)
+// permission per protection key, the WRPKRU/RDPKRU instructions, and the
+// kernel's 16-key allocation bitmap backing pkey_alloc/pkey_free.
+package mpk
+
+import "fmt"
+
+// NumKeys is the number of protection keys the ISA supports. All 16 are
+// allocatable to domains; the TLB tags that distinguish domainless pages
+// encode "key k" as k+1 with 0 meaning no key (the paper's NULL key
+// value), so no key is burned on the null encoding.
+const NumKeys = 16
+
+// Perm is a read/write permission for a domain or key.
+//
+// The encoding follows the paper's PTLB entry: bit 1 set means inaccessible
+// (the "1x" execute-only/inaccessible class), bit 0 set means write-disabled.
+type Perm uint8
+
+// Permissions, from most to least restrictive.
+const (
+	PermRW   Perm = 0b00 // readable and writable
+	PermR    Perm = 0b01 // read-only
+	PermNone Perm = 0b10 // inaccessible (execute-only)
+)
+
+// CanRead reports whether the permission allows loads.
+func (p Perm) CanRead() bool { return p&0b10 == 0 }
+
+// CanWrite reports whether the permission allows stores.
+func (p Perm) CanWrite() bool { return p == PermRW }
+
+// Allows reports whether the permission allows the access.
+func (p Perm) Allows(write bool) bool {
+	if write {
+		return p.CanWrite()
+	}
+	return p.CanRead()
+}
+
+// Strictest returns the more restrictive of p and q, implementing the
+// paper's rule that "the more restrictive permission is derived to
+// determine the legality of the access".
+func (p Perm) Strictest(q Perm) Perm {
+	r := p
+	if !q.CanRead() {
+		r = PermNone
+	}
+	if !q.CanWrite() && r == PermRW {
+		r = PermR
+	}
+	return r
+}
+
+// String implements fmt.Stringer.
+func (p Perm) String() string {
+	switch p {
+	case PermRW:
+		return "RW"
+	case PermR:
+		return "R"
+	case PermNone:
+		return "None"
+	}
+	return fmt.Sprintf("Perm(%d)", uint8(p))
+}
+
+// PKRU is the 32-bit protection-key rights register of one logical core.
+// Bit 2k is the access-disable (AD) bit of key k; bit 2k+1 is its
+// write-disable (WD) bit.
+type PKRU uint32
+
+// Get returns the permission PKRU grants to key.
+func (r PKRU) Get(key uint8) Perm {
+	ad := r>>(2*uint32(key))&1 == 1
+	wd := r>>(2*uint32(key)+1)&1 == 1
+	switch {
+	case ad:
+		return PermNone
+	case wd:
+		return PermR
+	default:
+		return PermRW
+	}
+}
+
+// Set returns a PKRU with key's permission replaced by p.
+func (r PKRU) Set(key uint8, p Perm) PKRU {
+	var ad, wd uint32
+	switch p {
+	case PermNone:
+		ad, wd = 1, 1
+	case PermR:
+		ad, wd = 0, 1
+	default:
+		ad, wd = 0, 0
+	}
+	mask := uint32(0b11) << (2 * uint32(key))
+	bits := (ad | wd<<1) << (2 * uint32(key))
+	return PKRU(uint32(r)&^mask | bits)
+}
+
+// AllNone returns a PKRU denying access to every key, the default state
+// for protected execution (PMO keys start inaccessible).
+func AllNone() PKRU {
+	var r PKRU
+	for k := uint8(0); k < NumKeys; k++ {
+		r = r.Set(k, PermNone)
+	}
+	return r
+}
+
+// KeyAllocator is the kernel's pkey bitmap: 16 allocatable keys.
+type KeyAllocator struct {
+	used uint16
+}
+
+// NewKeyAllocator returns an allocator with all 16 keys free.
+func NewKeyAllocator() *KeyAllocator {
+	return &KeyAllocator{}
+}
+
+// Alloc returns a free key, or ok=false if all 16 keys are allocated —
+// the condition that forces software or hardware virtualization.
+func (a *KeyAllocator) Alloc() (key uint8, ok bool) {
+	for k := uint8(0); k < NumKeys; k++ {
+		if a.used&(1<<k) == 0 {
+			a.used |= 1 << k
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Free releases key back to the allocator.
+func (a *KeyAllocator) Free(key uint8) {
+	if key >= NumKeys {
+		return
+	}
+	a.used &^= 1 << key
+}
+
+// InUse reports whether key is currently allocated.
+func (a *KeyAllocator) InUse(key uint8) bool {
+	return key < NumKeys && a.used&(1<<key) != 0
+}
+
+// FreeCount returns the number of allocatable keys remaining.
+func (a *KeyAllocator) FreeCount() int {
+	n := 0
+	for k := uint8(0); k < NumKeys; k++ {
+		if a.used&(1<<k) == 0 {
+			n++
+		}
+	}
+	return n
+}

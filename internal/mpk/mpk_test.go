@@ -1,0 +1,122 @@
+package mpk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPermPredicates(t *testing.T) {
+	cases := []struct {
+		p           Perm
+		read, write bool
+	}{
+		{PermRW, true, true},
+		{PermR, true, false},
+		{PermNone, false, false},
+	}
+	for _, c := range cases {
+		if c.p.CanRead() != c.read || c.p.CanWrite() != c.write {
+			t.Errorf("%v: CanRead=%v CanWrite=%v", c.p, c.p.CanRead(), c.p.CanWrite())
+		}
+		if c.p.Allows(false) != c.read || c.p.Allows(true) != c.write {
+			t.Errorf("%v: Allows mismatch", c.p)
+		}
+	}
+}
+
+func TestPermStrictest(t *testing.T) {
+	perms := []Perm{PermRW, PermR, PermNone}
+	rank := func(p Perm) int {
+		switch p {
+		case PermRW:
+			return 2
+		case PermR:
+			return 1
+		default:
+			return 0
+		}
+	}
+	for _, a := range perms {
+		for _, b := range perms {
+			got := a.Strictest(b)
+			want := a
+			if rank(b) < rank(a) {
+				want = b
+			}
+			if got != want {
+				t.Errorf("Strictest(%v,%v) = %v, want %v", a, b, got, want)
+			}
+			if got != b.Strictest(a) {
+				t.Errorf("Strictest not commutative for (%v,%v)", a, b)
+			}
+		}
+	}
+}
+
+func TestPKRURoundTrip(t *testing.T) {
+	f := func(raw uint32, keyRaw uint8, permRaw uint8) bool {
+		r := PKRU(raw)
+		key := keyRaw % NumKeys
+		perm := []Perm{PermRW, PermR, PermNone}[permRaw%3]
+		r2 := r.Set(key, perm)
+		if r2.Get(key) != perm {
+			return false
+		}
+		// Other keys must be untouched.
+		for k := uint8(0); k < NumKeys; k++ {
+			if k != key && r2.Get(k) != r.Get(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllNone(t *testing.T) {
+	r := AllNone()
+	for k := uint8(0); k < NumKeys; k++ {
+		if r.Get(k) != PermNone {
+			t.Errorf("key %d = %v, want None", k, r.Get(k))
+		}
+	}
+}
+
+func TestKeyAllocator(t *testing.T) {
+	a := NewKeyAllocator()
+	if a.FreeCount() != NumKeys {
+		t.Fatalf("FreeCount = %d, want %d", a.FreeCount(), NumKeys)
+	}
+	seen := make(map[uint8]bool)
+	for i := 0; i < NumKeys; i++ {
+		k, ok := a.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		if seen[k] {
+			t.Fatalf("key %d allocated twice", k)
+		}
+		seen[k] = true
+		if !a.InUse(k) {
+			t.Fatalf("key %d not marked in use", k)
+		}
+	}
+	if _, ok := a.Alloc(); ok {
+		t.Error("17th alloc must fail — the MPK scalability wall")
+	}
+	a.Free(5)
+	if a.InUse(5) {
+		t.Error("freed key still in use")
+	}
+	k, ok := a.Alloc()
+	if !ok || k != 5 {
+		t.Errorf("realloc = (%d,%v), want (5,true)", k, ok)
+	}
+	// Out-of-range frees are ignored.
+	a.Free(200)
+	if a.FreeCount() != 0 {
+		t.Error("bogus free changed the allocator")
+	}
+}

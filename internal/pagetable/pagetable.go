@@ -1,0 +1,185 @@
+// Package pagetable implements a 4-level x86-64-style radix page table with
+// 4-bit per-PTE protection keys (the PTE field Intel MPK repurposes). The
+// simulator walks it on TLB misses; the libmpk baseline pays per-PTE costs
+// when pkey_mprotect rewrites the key field of every populated PTE in a
+// domain, so the table exposes populated-page enumeration.
+package pagetable
+
+import (
+	"domainvirt/internal/memlayout"
+)
+
+// PTE is a leaf page-table entry.
+type PTE struct {
+	PFN      uint64 // physical frame number
+	Present  bool
+	Writable bool
+	PKey     uint8 // 4-bit protection key; 0 is the null (domainless) key
+}
+
+// node is one radix node: either 512 child pointers or 512 leaf PTEs.
+type node struct {
+	children [memlayout.RadixFanout]*node
+	ptes     [memlayout.RadixFanout]PTE
+	leaf     bool
+}
+
+// Table is a 4-level radix page table for one address space.
+type Table struct {
+	root      *node
+	populated uint64 // number of present leaf PTEs
+}
+
+// New returns an empty page table.
+func New() *Table {
+	return &Table{root: &node{}}
+}
+
+// Populated returns the total number of present PTEs in the table.
+func (t *Table) Populated() uint64 { return t.populated }
+
+// leafFor returns the leaf node covering va, creating intermediate nodes
+// when create is true; otherwise it returns nil if the path is absent.
+func (t *Table) leafFor(va memlayout.VA, create bool) *node {
+	n := t.root
+	for lvl := memlayout.NumLevels - 1; lvl >= 1; lvl-- {
+		idx := memlayout.Index(va, lvl)
+		next := n.children[idx]
+		if next == nil {
+			if !create {
+				return nil
+			}
+			next = &node{leaf: lvl == 1}
+			n.children[idx] = next
+		}
+		n = next
+	}
+	return n
+}
+
+// Map installs a translation for the 4 KB page containing va.
+func (t *Table) Map(va memlayout.VA, pa memlayout.PA, writable bool) {
+	n := t.leafFor(va, true)
+	idx := memlayout.Index(va, 0)
+	if !n.ptes[idx].Present {
+		t.populated++
+	}
+	n.ptes[idx] = PTE{
+		PFN:      uint64(pa) >> memlayout.PageShift,
+		Present:  true,
+		Writable: writable,
+	}
+}
+
+// Unmap removes the translation for the page containing va, reporting
+// whether a mapping was present.
+func (t *Table) Unmap(va memlayout.VA) bool {
+	n := t.leafFor(va, false)
+	if n == nil {
+		return false
+	}
+	idx := memlayout.Index(va, 0)
+	if !n.ptes[idx].Present {
+		return false
+	}
+	n.ptes[idx] = PTE{}
+	t.populated--
+	return true
+}
+
+// Walk translates va, returning the PTE and whether it is present. The
+// returned depth is the number of radix levels touched (4 for a full walk),
+// which the simulator uses for walk costing.
+func (t *Table) Walk(va memlayout.VA) (pte PTE, depth int, ok bool) {
+	n := t.root
+	depth = 1
+	for lvl := memlayout.NumLevels - 1; lvl >= 1; lvl-- {
+		idx := memlayout.Index(va, lvl)
+		next := n.children[idx]
+		if next == nil {
+			return PTE{}, depth, false
+		}
+		n = next
+		depth++
+	}
+	pte = n.ptes[memlayout.Index(va, 0)]
+	return pte, depth, pte.Present
+}
+
+// Lookup is Walk without depth accounting.
+func (t *Table) Lookup(va memlayout.VA) (PTE, bool) {
+	pte, _, ok := t.Walk(va)
+	return pte, ok
+}
+
+// SetWritable updates the writable bit of every populated PTE in region,
+// returning the number of PTEs changed.
+func (t *Table) SetWritable(r memlayout.Region, writable bool) int {
+	n := 0
+	t.ForEachPopulated(r, func(va memlayout.VA, pte *PTE) {
+		if pte.Writable != writable {
+			pte.Writable = writable
+		}
+		n++
+	})
+	return n
+}
+
+// SetKey writes the protection key into every populated PTE in region,
+// returning the number of PTEs written. This is the cost driver of
+// pkey_mprotect: work proportional to the populated pages of the domain.
+func (t *Table) SetKey(r memlayout.Region, key uint8) int {
+	n := 0
+	t.ForEachPopulated(r, func(va memlayout.VA, pte *PTE) {
+		pte.PKey = key
+		n++
+	})
+	return n
+}
+
+// PopulatedPages counts present PTEs within region.
+func (t *Table) PopulatedPages(r memlayout.Region) int {
+	n := 0
+	t.ForEachPopulated(r, func(memlayout.VA, *PTE) { n++ })
+	return n
+}
+
+// ForEachPopulated invokes fn for every present PTE whose page lies within
+// region, passing the page base VA and a mutable PTE pointer.
+func (t *Table) ForEachPopulated(r memlayout.Region, fn func(memlayout.VA, *PTE)) {
+	if r.Size == 0 {
+		return
+	}
+	t.walkRange(t.root, memlayout.NumLevels-1, 0, r, fn)
+}
+
+func (t *Table) walkRange(n *node, lvl int, base memlayout.VA, r memlayout.Region, fn func(memlayout.VA, *PTE)) {
+	span := memlayout.LevelSize(lvl)
+	lo, hi := 0, memlayout.RadixFanout-1
+	// Narrow the slot range to the slots overlapping r.
+	if r.Base > base {
+		lo = int((uint64(r.Base) - uint64(base)) / span)
+	}
+	last := uint64(r.End()) - 1
+	if memlayout.VA(last) >= base {
+		off := last - uint64(base)
+		if idx := off / span; idx < memlayout.RadixFanout {
+			hi = int(idx)
+		}
+	}
+	for i := lo; i <= hi; i++ {
+		slotBase := base + memlayout.VA(uint64(i)*span)
+		if lvl == 0 {
+			pte := &n.ptes[i]
+			if pte.Present && r.Contains(slotBase) {
+				fn(slotBase, pte)
+			}
+			continue
+		}
+		child := n.children[i]
+		if child == nil {
+			continue
+		}
+		t.walkRange(child, lvl-1, slotBase, r, fn)
+	}
+}

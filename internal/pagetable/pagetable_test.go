@@ -1,0 +1,143 @@
+package pagetable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"domainvirt/internal/memlayout"
+)
+
+func TestMapWalkRoundTrip(t *testing.T) {
+	pt := New()
+	va := memlayout.VA(0x7f1234567000)
+	pt.Map(va, 0xABC000, true)
+	pte, depth, ok := pt.Walk(va)
+	if !ok {
+		t.Fatal("mapped page not found")
+	}
+	if pte.PFN != 0xABC {
+		t.Errorf("PFN = %#x, want 0xABC", pte.PFN)
+	}
+	if !pte.Writable {
+		t.Error("writable bit lost")
+	}
+	if depth != memlayout.NumLevels {
+		t.Errorf("walk depth = %d, want %d", depth, memlayout.NumLevels)
+	}
+	if _, _, ok := pt.Walk(va + memlayout.PageSize); ok {
+		t.Error("adjacent unmapped page must miss")
+	}
+}
+
+func TestMapAgainstReference(t *testing.T) {
+	// Random map/unmap/lookup sequence must agree with a Go map.
+	rng := rand.New(rand.NewSource(7))
+	pt := New()
+	ref := make(map[uint64]uint64) // vpn -> pfn
+	for i := 0; i < 5000; i++ {
+		vpn := uint64(rng.Intn(2048))*7919 + uint64(rng.Intn(64))<<30
+		va := memlayout.VA(vpn << memlayout.PageShift)
+		switch rng.Intn(3) {
+		case 0:
+			pfn := uint64(rng.Int63n(1 << 30))
+			pt.Map(va, memlayout.PA(pfn<<memlayout.PageShift), true)
+			ref[vpn] = pfn
+		case 1:
+			got := pt.Unmap(va)
+			_, want := ref[vpn]
+			if got != want {
+				t.Fatalf("Unmap(%#x) = %v, want %v", va, got, want)
+			}
+			delete(ref, vpn)
+		default:
+			pte, ok := pt.Lookup(va)
+			pfn, want := ref[vpn]
+			if ok != want || (ok && pte.PFN != pfn) {
+				t.Fatalf("Lookup(%#x) = (%v,%v), want (%v,%v)", va, pte.PFN, ok, pfn, want)
+			}
+		}
+		if pt.Populated() != uint64(len(ref)) {
+			t.Fatalf("Populated = %d, want %d", pt.Populated(), len(ref))
+		}
+	}
+}
+
+func TestSetKeyCountsPopulatedOnly(t *testing.T) {
+	pt := New()
+	base := memlayout.VA(0x40000000)
+	// Map every other page of a 64-page region.
+	for i := 0; i < 64; i += 2 {
+		pt.Map(base+memlayout.VA(i*memlayout.PageSize), memlayout.PA(i+1)<<memlayout.PageShift, true)
+	}
+	r := memlayout.Region{Base: base, Size: 64 * memlayout.PageSize}
+	if n := pt.SetKey(r, 3); n != 32 {
+		t.Errorf("SetKey touched %d PTEs, want 32 (populated only)", n)
+	}
+	if n := pt.PopulatedPages(r); n != 32 {
+		t.Errorf("PopulatedPages = %d, want 32", n)
+	}
+	pte, _ := pt.Lookup(base)
+	if pte.PKey != 3 {
+		t.Errorf("PKey = %d, want 3", pte.PKey)
+	}
+	// A sub-range touches only its own pages.
+	sub := memlayout.Region{Base: base, Size: 16 * memlayout.PageSize}
+	if n := pt.SetKey(sub, 5); n != 8 {
+		t.Errorf("sub-range SetKey = %d, want 8", n)
+	}
+	outside, _ := pt.Lookup(base + 32*memlayout.PageSize)
+	if outside.PKey != 3 {
+		t.Errorf("PTE outside sub-range changed to %d", outside.PKey)
+	}
+}
+
+func TestSetWritable(t *testing.T) {
+	pt := New()
+	base := memlayout.VA(0x50000000)
+	for i := 0; i < 8; i++ {
+		pt.Map(base+memlayout.VA(i*memlayout.PageSize), memlayout.PA(i+1)<<memlayout.PageShift, true)
+	}
+	r := memlayout.Region{Base: base, Size: 8 * memlayout.PageSize}
+	if n := pt.SetWritable(r, false); n != 8 {
+		t.Errorf("SetWritable = %d, want 8", n)
+	}
+	pte, _ := pt.Lookup(base)
+	if pte.Writable {
+		t.Error("page still writable")
+	}
+}
+
+func TestForEachPopulatedRangeExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pt := New()
+		mapped := make(map[uint64]bool)
+		base := uint64(0x100000000)
+		for i := 0; i < 200; i++ {
+			vpn := base>>memlayout.PageShift + uint64(rng.Intn(4096))
+			pt.Map(memlayout.VA(vpn<<memlayout.PageShift), memlayout.PA(vpn<<memlayout.PageShift), true)
+			mapped[vpn] = true
+		}
+		lo := base + uint64(rng.Intn(2048))*memlayout.PageSize
+		size := uint64(rng.Intn(2048)+1) * memlayout.PageSize
+		r := memlayout.Region{Base: memlayout.VA(lo), Size: size}
+		want := 0
+		for vpn := range mapped {
+			if r.Contains(memlayout.VA(vpn << memlayout.PageShift)) {
+				want++
+			}
+		}
+		got := 0
+		pt.ForEachPopulated(r, func(va memlayout.VA, pte *PTE) {
+			if !r.Contains(va) || !pte.Present {
+				t.Errorf("callback outside range or non-present: %v", va)
+			}
+			got++
+		})
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

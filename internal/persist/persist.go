@@ -1,0 +1,129 @@
+// Package persist provides a trace-level persist-ordering checker in the
+// spirit of PMTest (Liu et al., ASPLOS'19), which the paper cites as the
+// standard way to validate persistent-memory programs. It consumes the
+// instrumentation event stream and tracks, per thread, the epoch of every
+// NVM store: persist barriers (Fence events) close an epoch. Rules such
+// as write-ahead logging — "the commit record must persist strictly after
+// every staged log entry, and home updates strictly after the commit
+// record" — become assertions over store epochs.
+package persist
+
+import (
+	"fmt"
+	"sort"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/trace"
+)
+
+// Epoch numbers persist order within one thread: all stores in epoch N
+// are guaranteed durable before any store in epoch N+1 *only if* a fence
+// separates them.
+type Epoch uint64
+
+// StoreRecord is the last store observed to an address.
+type StoreRecord struct {
+	Thread core.ThreadID
+	Epoch  Epoch
+	Seq    uint64 // global program order
+}
+
+// Checker is a pass-through trace.Sink recording store epochs.
+type Checker struct {
+	next   trace.Sink
+	epochs map[core.ThreadID]Epoch
+	stores map[memlayout.VA]StoreRecord
+	seq    uint64
+}
+
+// NewChecker wraps next (nil for audit-only use).
+func NewChecker(next trace.Sink) *Checker {
+	if next == nil {
+		next = trace.Discard{}
+	}
+	return &Checker{
+		next:   next,
+		epochs: make(map[core.ThreadID]Epoch),
+		stores: make(map[memlayout.VA]StoreRecord),
+	}
+}
+
+// Instr implements trace.Sink.
+func (c *Checker) Instr(th core.ThreadID, n uint64) { c.next.Instr(th, n) }
+
+// Access implements trace.Sink: stores are recorded line by line with the
+// thread's current epoch.
+func (c *Checker) Access(th core.ThreadID, va memlayout.VA, size uint32, write bool) bool {
+	ok := c.next.Access(th, va, size, write)
+	if write && ok {
+		c.seq++
+		rec := StoreRecord{Thread: th, Epoch: c.epochs[th], Seq: c.seq}
+		memlayout.SplitLine(va, size, func(p memlayout.VA, n uint32) {
+			for off := uint64(0); off < uint64(n); off += 8 {
+				c.stores[p+memlayout.VA(off)] = rec
+			}
+		})
+	}
+	return ok
+}
+
+// Fetch implements trace.Sink.
+func (c *Checker) Fetch(th core.ThreadID, va memlayout.VA) bool {
+	return c.next.Fetch(th, va)
+}
+
+// SetPerm implements trace.Sink.
+func (c *Checker) SetPerm(th core.ThreadID, d core.DomainID, p core.Perm, site core.SiteID) {
+	c.next.SetPerm(th, d, p, site)
+}
+
+// Attach implements trace.Sink.
+func (c *Checker) Attach(d core.DomainID, r memlayout.Region, perm core.Perm) error {
+	return c.next.Attach(d, r, perm)
+}
+
+// Detach implements trace.Sink.
+func (c *Checker) Detach(d core.DomainID) { c.next.Detach(d) }
+
+// Fence implements trace.Sink: closes the thread's epoch.
+func (c *Checker) Fence(th core.ThreadID) {
+	c.epochs[th]++
+	c.next.Fence(th)
+}
+
+// EpochOf returns the epoch of the last store covering va (8-byte
+// granularity), if any store was observed.
+func (c *Checker) EpochOf(va memlayout.VA) (StoreRecord, bool) {
+	r, ok := c.stores[va&^7]
+	return r, ok
+}
+
+// CheckPersistedBefore asserts that the last store to every address in
+// firstVAs happened in a strictly earlier epoch than the last store to
+// then — the ordering a persist barrier guarantees. It returns an error
+// naming the first violation.
+func (c *Checker) CheckPersistedBefore(firstVAs []memlayout.VA, then memlayout.VA) error {
+	after, ok := c.EpochOf(then)
+	if !ok {
+		return fmt.Errorf("persist: no store observed at %#x", uint64(then))
+	}
+	sorted := append([]memlayout.VA(nil), firstVAs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, va := range sorted {
+		before, ok := c.EpochOf(va)
+		if !ok {
+			return fmt.Errorf("persist: no store observed at %#x", uint64(va))
+		}
+		if before.Thread == after.Thread && before.Epoch >= after.Epoch {
+			return fmt.Errorf("persist: store at %#x (epoch %d) not fenced before store at %#x (epoch %d)",
+				uint64(va), before.Epoch, uint64(then), after.Epoch)
+		}
+	}
+	return nil
+}
+
+// Stores returns the number of distinct 8-byte locations stored to.
+func (c *Checker) Stores() int { return len(c.stores) }
+
+var _ trace.Sink = (*Checker)(nil)

@@ -1,0 +1,130 @@
+package persist
+
+import (
+	"strings"
+	"testing"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/pmo"
+	"domainvirt/internal/trace"
+	"domainvirt/internal/txn"
+)
+
+func TestEpochsAdvanceOnFence(t *testing.T) {
+	c := NewChecker(nil)
+	c.Access(1, 0x1000, 8, true)
+	c.Fence(1)
+	c.Access(1, 0x2000, 8, true)
+	a, _ := c.EpochOf(0x1000)
+	b, _ := c.EpochOf(0x2000)
+	if a.Epoch != 0 || b.Epoch != 1 {
+		t.Errorf("epochs = %d, %d", a.Epoch, b.Epoch)
+	}
+	if err := c.CheckPersistedBefore([]memlayout.VA{0x1000}, 0x2000); err != nil {
+		t.Errorf("fenced order flagged: %v", err)
+	}
+	// Same-epoch stores have no ordering guarantee.
+	c.Access(1, 0x3000, 8, true)
+	if err := c.CheckPersistedBefore([]memlayout.VA{0x2000}, 0x3000); err == nil {
+		t.Error("unfenced same-epoch order not flagged")
+	}
+}
+
+func TestEpochsPerThread(t *testing.T) {
+	c := NewChecker(nil)
+	c.Access(1, 0x1000, 8, true)
+	c.Fence(2) // another thread's fence does not order thread 1
+	c.Access(1, 0x2000, 8, true)
+	if err := c.CheckPersistedBefore([]memlayout.VA{0x1000}, 0x2000); err == nil {
+		t.Error("cross-thread fence incorrectly ordered thread 1's stores")
+	}
+}
+
+func TestMissingStores(t *testing.T) {
+	c := NewChecker(nil)
+	if err := c.CheckPersistedBefore([]memlayout.VA{0x10}, 0x20); err == nil ||
+		!strings.Contains(err.Error(), "no store") {
+		t.Errorf("missing stores not reported: %v", err)
+	}
+}
+
+func TestLineSplitStoresCovered(t *testing.T) {
+	c := NewChecker(nil)
+	c.Access(1, 0x1000, 128, true) // spans two lines, many words
+	for _, va := range []memlayout.VA{0x1000, 0x1040, 0x1078} {
+		if _, ok := c.EpochOf(va); !ok {
+			t.Errorf("word %#x not covered", uint64(va))
+		}
+	}
+}
+
+func TestDeniedStoresNotRecorded(t *testing.T) {
+	// A store denied by the protection machinery never persists, so the
+	// checker must not record it. denySink denies everything.
+	c := NewChecker(denySink{})
+	c.Access(1, 0x1000, 8, true)
+	if c.Stores() != 0 {
+		t.Error("denied store recorded as persisted")
+	}
+}
+
+type denySink struct{ trace.Discard }
+
+func (denySink) Access(core.ThreadID, memlayout.VA, uint32, bool) bool { return false }
+func (denySink) Fetch(core.ThreadID, memlayout.VA) bool                { return false }
+
+// TestTxnFollowsWriteAheadLogging validates the transaction layer's
+// persist discipline end to end: in a committed transaction, every
+// staged log entry is fenced before the commit record, and the commit
+// record before every home-location update.
+func TestTxnFollowsWriteAheadLogging(t *testing.T) {
+	c := NewChecker(nil)
+	store := pmo.NewStore()
+	pool, err := store.Create("wal", 8<<20, pmo.ModeDefault, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := pmo.NewSpace(c)
+	att, err := space.Attach(pool, core.PermRW, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := att.Region.Base
+
+	o, err := pool.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := txn.Begin(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.WriteU64(o.Offset(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.WriteU64(o.Offset()+8, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	logOff, _ := pool.LogArea()
+	commitVA := base + memlayout.VA(logOff) // log state word
+	// Staged entries start at logOff+16; first entry header + payload.
+	staged := []memlayout.VA{
+		base + memlayout.VA(logOff) + 16, // entry 0 header
+		base + memlayout.VA(logOff) + 32, // entry 0 payload
+	}
+	if err := c.CheckPersistedBefore(staged, commitVA); err != nil {
+		t.Errorf("staged entries not fenced before commit record: %v", err)
+	}
+	// Home locations persist strictly after the commit record... the
+	// state word is overwritten again when the log is cleaned, so check
+	// home against the *entries* instead: homes are in a later epoch.
+	home := base + memlayout.VA(o.Offset())
+	if err := c.CheckPersistedBefore(staged, home); err != nil {
+		t.Errorf("home update not fenced after staged entries: %v", err)
+	}
+}

@@ -1,0 +1,124 @@
+package pmo
+
+import (
+	"fmt"
+
+	"domainvirt/internal/memlayout"
+)
+
+// Persistent in-pool allocator: size-class segregated free lists plus a
+// bump pointer, with all metadata (bump cursor, free-list heads, block
+// headers) living inside the pool so allocation state survives detach,
+// process exit, and crashes.
+//
+// Block layout: a 16-byte header {size u64, state u64} followed by the
+// payload; OIDs point at the payload. Free blocks store the next-free
+// offset in the first payload word.
+
+const (
+	blockHdrSize = 16
+	blockAlloc   = 0xA110C8ED
+	blockFree    = 0xF7EEF7EE
+	minBlock     = 32 // header + one pointer
+)
+
+// sizeClass maps a block size (header included) to its free-list class:
+// class i holds blocks of size < 32<<(i+1).
+func sizeClass(total uint64) int {
+	c := 0
+	s := uint64(minBlock)
+	for s < total && c < numSizeClasses-1 {
+		s <<= 1
+		c++
+	}
+	return c
+}
+
+// Alloc allocates size payload bytes in the pool and returns the payload
+// OID (Table I pmalloc). The allocation is 16-byte aligned.
+func (p *Pool) Alloc(size uint64) (OID, error) {
+	if size == 0 {
+		size = 1
+	}
+	total := memlayout.AlignUp(size+blockHdrSize, 16)
+	if total < minBlock {
+		total = minBlock
+	}
+
+	// First fit within the exact size class: blocks in class c are at
+	// least as large as any request mapping to class c only when sizes
+	// match the class floor, so verify the block actually fits.
+	c := sizeClass(total)
+	headOff := uint64(hdrFreeHeads + 8*c)
+	prev := uint64(0)
+	cur := p.ReadU64(uint32(headOff))
+	for steps := 0; cur != 0 && steps < 32; steps++ {
+		bsize := p.ReadU64(uint32(cur))
+		next := p.ReadU64(uint32(cur + blockHdrSize))
+		if bsize >= total {
+			// Unlink.
+			if prev == 0 {
+				p.WriteU64(uint32(headOff), next)
+			} else {
+				p.WriteU64(uint32(prev+blockHdrSize), next)
+			}
+			p.WriteU64(uint32(cur+8), blockAlloc)
+			return MakeOID(p.id, uint32(cur+blockHdrSize)), nil
+		}
+		prev = cur
+		cur = next
+	}
+
+	// Bump allocation.
+	bump := p.ReadU64(hdrBump)
+	if bump+total > p.size {
+		return NullOID, fmt.Errorf("pmo: pool %q full (%d of %d bytes)", p.name, bump, p.size)
+	}
+	p.WriteU64(hdrBump, bump+total)
+	p.WriteU64(uint32(bump), total)
+	p.WriteU64(uint32(bump+8), blockAlloc)
+	return MakeOID(p.id, uint32(bump+blockHdrSize)), nil
+}
+
+// Free releases an allocation (Table I pfree). Double frees and foreign
+// OIDs are rejected.
+func (p *Pool) Free(o OID) error {
+	if o.Pool() != p.id {
+		return fmt.Errorf("pmo: %v does not belong to pool %q (id %d)", o, p.name, p.id)
+	}
+	off := uint64(o.Offset())
+	if off < blockHdrSize || off >= p.size {
+		return fmt.Errorf("pmo: %v out of range", o)
+	}
+	hdr := off - blockHdrSize
+	state := p.ReadU64(uint32(hdr + 8))
+	if state == blockFree {
+		return fmt.Errorf("pmo: double free of %v", o)
+	}
+	if state != blockAlloc {
+		return fmt.Errorf("pmo: %v is not an allocated block", o)
+	}
+	total := p.ReadU64(uint32(hdr))
+	c := sizeClass(total)
+	headOff := uint64(hdrFreeHeads + 8*c)
+	head := p.ReadU64(uint32(headOff))
+	p.WriteU64(uint32(hdr+8), blockFree)
+	p.WriteU64(uint32(hdr+blockHdrSize), head) // next-free in payload
+	p.WriteU64(uint32(headOff), hdr)
+	return nil
+}
+
+// AllocSizeOf returns the usable payload size of an allocated OID.
+func (p *Pool) AllocSizeOf(o OID) (uint64, error) {
+	if o.Pool() != p.id {
+		return 0, fmt.Errorf("pmo: %v does not belong to pool %d", o, p.id)
+	}
+	hdr := uint64(o.Offset()) - blockHdrSize
+	if p.readU64Raw(hdr+8) != blockAlloc {
+		return 0, fmt.Errorf("pmo: %v is not an allocated block", o)
+	}
+	return p.readU64Raw(hdr) - blockHdrSize, nil
+}
+
+// BumpNext returns the bump-allocator cursor (tests and tools).
+func (p *Pool) BumpNext() uint64 { return p.readU64Raw(hdrBump) }

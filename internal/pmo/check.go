@@ -1,0 +1,124 @@
+package pmo
+
+import (
+	"fmt"
+
+	"domainvirt/internal/memlayout"
+)
+
+// CheckReport is the result of a pool integrity check (the fsck
+// counterpart for PMOs): structural issues found, plus summary counts.
+type CheckReport struct {
+	Issues      []string
+	AllocBlocks int
+	FreeBlocks  int
+	AllocBytes  uint64
+	FreeBytes   uint64
+}
+
+// OK reports whether the check found no issues.
+func (r *CheckReport) OK() bool { return len(r.Issues) == 0 }
+
+func (r *CheckReport) addf(format string, args ...interface{}) {
+	r.Issues = append(r.Issues, fmt.Sprintf(format, args...))
+}
+
+// Check validates the pool's persistent metadata: header magic and
+// geometry, the block heap (every byte between the first block and the
+// bump cursor is tiled by well-formed blocks), the free lists (in-range,
+// acyclic, every entry marked free), and the transaction log state word.
+func (p *Pool) Check() *CheckReport {
+	r := &CheckReport{}
+
+	// Header.
+	if got := p.readU64Raw(hdrMagic); got != poolMagic {
+		r.addf("bad header magic %#x", got)
+		return r // nothing else is trustworthy
+	}
+	if got := p.readU64Raw(hdrPoolID); got != uint64(p.id) {
+		r.addf("header pool ID %d != catalog ID %d", got, p.id)
+	}
+	if got := p.readU64Raw(hdrSize); got != p.size {
+		r.addf("header size %d != catalog size %d", got, p.size)
+	}
+	logOff := p.readU64Raw(hdrLogOff)
+	logSize := p.readU64Raw(hdrLogSize)
+	if logSize > 0 && (logOff < memlayout.PageSize || logOff+logSize > p.size) {
+		r.addf("log area [%#x,%#x) out of range", logOff, logOff+logSize)
+	}
+	heapStart := memlayout.AlignUp(logOff+logSize, 16)
+	bump := p.readU64Raw(hdrBump)
+	if bump < heapStart || bump > p.size {
+		r.addf("bump cursor %#x outside heap [%#x,%#x]", bump, heapStart, p.size)
+		return r
+	}
+
+	// Heap tiling: blocks must exactly cover [heapStart, bump).
+	freeAt := make(map[uint64]bool)
+	off := heapStart
+	for off < bump {
+		size := p.readU64Raw(off)
+		state := p.readU64Raw(off + 8)
+		if size < minBlock || size%16 != 0 || off+size > bump {
+			r.addf("block at %#x has bad size %d", off, size)
+			break
+		}
+		switch state {
+		case blockAlloc:
+			r.AllocBlocks++
+			r.AllocBytes += size
+		case blockFree:
+			r.FreeBlocks++
+			r.FreeBytes += size
+			freeAt[off] = true
+		default:
+			r.addf("block at %#x has bad state %#x", off, state)
+		}
+		off += size
+	}
+	if off != bump && len(r.Issues) == 0 {
+		r.addf("heap tiling ends at %#x, bump is %#x", off, bump)
+	}
+
+	// Free lists: acyclic, in-range, all members marked free, and every
+	// listed block discovered by the heap walk.
+	listed := 0
+	for c := 0; c < numSizeClasses; c++ {
+		seen := make(map[uint64]bool)
+		cur := p.readU64Raw(uint64(hdrFreeHeads + 8*c))
+		for cur != 0 {
+			if seen[cur] {
+				r.addf("free list class %d has a cycle at %#x", c, cur)
+				break
+			}
+			seen[cur] = true
+			if cur < heapStart || cur >= bump {
+				r.addf("free list class %d entry %#x out of heap", c, cur)
+				break
+			}
+			if !freeAt[cur] {
+				r.addf("free list class %d entry %#x is not a free block", c, cur)
+				break
+			}
+			listed++
+			cur = p.readU64Raw(cur + blockHdrSize)
+		}
+	}
+	if listed != r.FreeBlocks && len(r.Issues) == 0 {
+		r.addf("free lists hold %d blocks, heap walk found %d", listed, r.FreeBlocks)
+	}
+
+	// Transaction log state word.
+	if logSize > 0 {
+		switch st := p.readU64Raw(logOff + logStateOffCheck); st {
+		case 0, 1, 2:
+		default:
+			r.addf("log state word is %#x", st)
+		}
+	}
+	return r
+}
+
+// logStateOffCheck mirrors txn's log layout (state word first) without an
+// import cycle.
+const logStateOffCheck = 0

@@ -1,0 +1,101 @@
+package pmo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCheckCleanPool(t *testing.T) {
+	s := NewStore()
+	p, _ := s.Create("c", 8<<20, ModeDefault, "t")
+	rng := rand.New(rand.NewSource(2))
+	var live []OID
+	for i := 0; i < 500; i++ {
+		if rng.Intn(3) != 0 || len(live) == 0 {
+			o, err := p.Alloc(uint64(rng.Intn(400) + 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, o)
+		} else {
+			i := rng.Intn(len(live))
+			if err := p.Free(live[i]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+	}
+	r := p.Check()
+	if !r.OK() {
+		t.Fatalf("clean pool flagged: %v", r.Issues)
+	}
+	if r.AllocBlocks != len(live) {
+		t.Errorf("AllocBlocks = %d, want %d", r.AllocBlocks, len(live))
+	}
+	if r.FreeBlocks == 0 {
+		t.Error("no free blocks counted despite frees")
+	}
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	mk := func() *Pool {
+		s := NewStore()
+		p, _ := s.Create("c", 8<<20, ModeDefault, "t")
+		o, _ := p.Alloc(64)
+		_ = p.Free(o)
+		_, _ = p.Alloc(32)
+		return p
+	}
+
+	t.Run("magic", func(t *testing.T) {
+		p := mk()
+		p.writeU64Raw(hdrMagic, 0x1234)
+		if p.Check().OK() {
+			t.Error("smashed magic not detected")
+		}
+	})
+	t.Run("bump", func(t *testing.T) {
+		p := mk()
+		p.writeU64Raw(hdrBump, p.size+4096)
+		if p.Check().OK() {
+			t.Error("bump past pool end not detected")
+		}
+	})
+	t.Run("block-state", func(t *testing.T) {
+		p := mk()
+		o, _ := p.Alloc(64)
+		p.writeU64Raw(uint64(o.Offset())-8, 0xBADBAD) // smash state word
+		if p.Check().OK() {
+			t.Error("bad block state not detected")
+		}
+	})
+	t.Run("block-size", func(t *testing.T) {
+		p := mk()
+		o, _ := p.Alloc(64)
+		p.writeU64Raw(uint64(o.Offset())-blockHdrSize, 7) // misaligned size
+		if p.Check().OK() {
+			t.Error("bad block size not detected")
+		}
+	})
+	t.Run("freelist-cycle", func(t *testing.T) {
+		p := mk()
+		a, _ := p.Alloc(64)
+		b, _ := p.Alloc(64)
+		_ = p.Free(a)
+		_ = p.Free(b)
+		// Point b's next-free at itself.
+		hdrB := uint64(b.Offset()) - blockHdrSize
+		p.writeU64Raw(hdrB+blockHdrSize, hdrB)
+		if p.Check().OK() {
+			t.Error("free-list cycle not detected")
+		}
+	})
+	t.Run("log-state", func(t *testing.T) {
+		p := mk()
+		logOff, _ := p.LogArea()
+		p.writeU64Raw(logOff, 99)
+		if p.Check().OK() {
+			t.Error("bad log state not detected")
+		}
+	})
+}

@@ -1,0 +1,37 @@
+package pmo
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPoolFile hardens the pool-file loader: arbitrary bytes must yield
+// an error or a valid pool, never a panic or unbounded allocation.
+func FuzzPoolFile(f *testing.F) {
+	s := NewStore()
+	p, err := s.Create("seed", 16<<10, ModeDefault, "fuzz")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := p.Alloc(64); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writePool(&buf, p); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("PMOFILE1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pool, err := readPool(bytes.NewReader(data))
+		if err == nil && pool != nil {
+			// A successfully-loaded pool must at least have a sane
+			// header.
+			if pool.readU64Raw(hdrMagic) != poolMagic {
+				t.Fatal("loader accepted a pool with a bad header")
+			}
+		}
+	})
+}

@@ -1,0 +1,49 @@
+// Package pmo implements the Persistent Memory Object abstraction the
+// paper builds on (Section II-C): pools with OS-managed namespace and
+// permissions, relocatable ObjectIDs (a 32-bit pool ID concatenated with a
+// 32-bit offset), attach/detach primitives that bind a pool to a process
+// address space as a protection domain, and a persistent in-pool
+// allocator. The API follows Table I of the paper (pool_create, pool_open,
+// pool_close, pool_root, pmalloc, pfree, oid_direct).
+//
+// A pool works in two modes: as a plain library backed by file-persisted
+// frames (the examples), and attached to a simulated address space whose
+// accesses are emitted as instrumentation events (the evaluation).
+package pmo
+
+import "fmt"
+
+// OID is a relocatable persistent pointer: the high 32 bits identify the
+// pool, the low 32 bits are the byte offset within it (Figure 1 of the
+// paper). The zero OID is the null pointer.
+type OID uint64
+
+// NullOID is the persistent null pointer.
+const NullOID OID = 0
+
+// MakeOID builds an OID from a pool ID and an offset.
+func MakeOID(pool uint32, off uint32) OID {
+	return OID(uint64(pool)<<32 | uint64(off))
+}
+
+// Pool returns the pool ID component.
+func (o OID) Pool() uint32 { return uint32(o >> 32) }
+
+// Offset returns the intra-pool offset component.
+func (o OID) Offset() uint32 { return uint32(o) }
+
+// IsNull reports whether o is the null pointer.
+func (o OID) IsNull() bool { return o == NullOID }
+
+// Add returns o displaced by delta bytes within the same pool.
+func (o OID) Add(delta uint32) OID {
+	return MakeOID(o.Pool(), o.Offset()+delta)
+}
+
+// String implements fmt.Stringer.
+func (o OID) String() string {
+	if o.IsNull() {
+		return "OID(null)"
+	}
+	return fmt.Sprintf("OID(pool=%d, off=%#x)", o.Pool(), o.Offset())
+}

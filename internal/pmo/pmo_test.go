@@ -1,0 +1,456 @@
+package pmo
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/trace"
+)
+
+func TestOIDRoundTrip(t *testing.T) {
+	f := func(pool, off uint32) bool {
+		o := MakeOID(pool, off)
+		return o.Pool() == pool && o.Offset() == off
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if !NullOID.IsNull() || MakeOID(1, 0).IsNull() {
+		t.Error("null detection broken")
+	}
+	if MakeOID(3, 16).Add(8) != MakeOID(3, 24) {
+		t.Error("Add broken")
+	}
+}
+
+func TestPoolCreateAndHeader(t *testing.T) {
+	s := NewStore()
+	p, err := s.Create("data", 8<<20, ModeDefault, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID() == 0 || p.Size() != 8<<20 || p.Name() != "data" || p.Owner() != "alice" {
+		t.Errorf("pool metadata wrong: %+v", p)
+	}
+	logOff, logSize := p.LogArea()
+	if logOff != memlayout.PageSize || logSize != DefaultLogSize {
+		t.Errorf("log area = (%d,%d)", logOff, logSize)
+	}
+	if !p.Root().IsNull() {
+		t.Error("fresh pool has a root")
+	}
+	p.SetRoot(MakeOID(p.ID(), 4096))
+	if p.Root().Offset() != 4096 {
+		t.Error("root not persisted")
+	}
+}
+
+func TestStoreNamespace(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Create("", 8<<20, ModeDefault, "a"); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := s.Create("x/y", 8<<20, ModeDefault, "a"); err == nil {
+		t.Error("path separator accepted")
+	}
+	if _, err := s.Create("tiny", 4096, ModeDefault, "a"); err == nil {
+		t.Error("too-small pool accepted")
+	}
+	if _, err := s.Create("p", 8<<20, ModeDefault, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("p", 8<<20, ModeDefault, "a"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	infos := s.List()
+	if len(infos) != 1 || infos[0].Name != "p" {
+		t.Errorf("List = %+v", infos)
+	}
+	if err := s.Remove("p"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("p"); ok {
+		t.Error("removed pool still present")
+	}
+}
+
+func TestStorePermissions(t *testing.T) {
+	s := NewStore()
+	if _, err := s.Create("secret", 8<<20, ModeOwnerRead|ModeOwnerWrite, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open("secret", "alice", true); err != nil {
+		t.Errorf("owner write denied: %v", err)
+	}
+	if _, err := s.Open("secret", "bob", false); err == nil {
+		t.Error("other read allowed on owner-only pool")
+	}
+	if _, err := s.Create("shared", 8<<20, ModeDefault, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Open("shared", "bob", false); err != nil {
+		t.Errorf("other read denied on default mode: %v", err)
+	}
+	if _, err := s.Open("shared", "bob", true); err == nil {
+		t.Error("other write allowed on default mode")
+	}
+	if _, err := s.Open("missing", "alice", false); err == nil {
+		t.Error("missing pool opened")
+	}
+}
+
+func TestAllocatorInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore()
+		p, err := s.Create("a", 4<<20, ModeDefault, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		type alloc struct {
+			oid  OID
+			size uint64
+		}
+		var live []alloc
+		overlaps := func(o OID, size uint64) bool {
+			lo := uint64(o.Offset())
+			hi := lo + size
+			for _, a := range live {
+				alo := uint64(a.oid.Offset())
+				ahi := alo + a.size
+				if lo < ahi && alo < hi {
+					return true
+				}
+			}
+			return false
+		}
+		for i := 0; i < 300; i++ {
+			if rng.Intn(3) != 0 || len(live) == 0 {
+				size := uint64(rng.Intn(500) + 1)
+				o, err := p.Alloc(size)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if o.Offset()%16 != 0 {
+					return false // misaligned
+				}
+				if uint64(o.Offset())+size > p.Size() {
+					return false // out of bounds
+				}
+				if overlaps(o, size) {
+					return false // overlapping live allocation
+				}
+				live = append(live, alloc{o, size})
+			} else {
+				i := rng.Intn(len(live))
+				if err := p.Free(live[i].oid); err != nil {
+					t.Fatalf("free: %v", err)
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocatorErrors(t *testing.T) {
+	s := NewStore()
+	p, _ := s.Create("a", 8<<20, ModeDefault, "t")
+	q, _ := s.Create("b", 8<<20, ModeDefault, "t")
+	o, err := p.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Free(o); err == nil {
+		t.Error("foreign free accepted")
+	}
+	if err := p.Free(o); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(o); err == nil {
+		t.Error("double free accepted")
+	}
+	if err := p.Free(MakeOID(p.ID(), 64)); err == nil {
+		t.Error("free of non-block accepted")
+	}
+	// Exhaustion.
+	small, _ := s.Create("small", 16<<10, ModeDefault, "t")
+	for {
+		if _, err := small.Alloc(1 << 10); err != nil {
+			break
+		}
+	}
+}
+
+func TestAllocatorReuse(t *testing.T) {
+	s := NewStore()
+	p, _ := s.Create("a", 8<<20, ModeDefault, "t")
+	o1, _ := p.Alloc(64)
+	if err := p.Free(o1); err != nil {
+		t.Fatal(err)
+	}
+	o2, _ := p.Alloc(64)
+	if o1 != o2 {
+		t.Errorf("freed block not reused: %v then %v", o1, o2)
+	}
+	if sz, err := p.AllocSizeOf(o2); err != nil || sz < 64 {
+		t.Errorf("AllocSizeOf = (%d,%v)", sz, err)
+	}
+}
+
+func TestPoolDataRoundTrip(t *testing.T) {
+	s := NewStore()
+	p, _ := s.Create("a", 8<<20, ModeDefault, "t")
+	o, _ := p.Alloc(256)
+	src := make([]byte, 256)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	p.Write(o.Offset(), src)
+	dst := make([]byte, 256)
+	p.Read(o.Offset(), dst)
+	if !bytes.Equal(src, dst) {
+		t.Error("data round trip failed")
+	}
+	p.WriteU64(o.Offset(), 0xDEADBEEF)
+	if p.ReadU64(o.Offset()) != 0xDEADBEEF {
+		t.Error("u64 round trip failed")
+	}
+	// Cross-page write/read.
+	big := make([]byte, 3*memlayout.PageSize)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	o2, _ := p.Alloc(uint64(len(big)))
+	p.Write(o2.Offset(), big)
+	got := make([]byte, len(big))
+	p.Read(o2.Offset(), got)
+	if !bytes.Equal(big, got) {
+		t.Error("cross-page round trip failed")
+	}
+	// Untouched memory reads zero.
+	zero := make([]byte, 64)
+	p.Read(uint32(p.Size()-64), zero)
+	for _, b := range zero {
+		if b != 0 {
+			t.Fatal("fresh persistent memory not zeroed")
+		}
+	}
+}
+
+func TestSpaceAttachDetach(t *testing.T) {
+	s := NewStore()
+	p, _ := s.Create("a", 8<<20, ModeDefault, "t")
+	var cnt trace.Counter
+	sp := NewSpace(&cnt)
+	att, err := sp.Attach(p, core.PermRW, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Domain != core.DomainID(p.ID()) {
+		t.Errorf("domain = %d, want pool ID %d", att.Domain, p.ID())
+	}
+	// 8 MB attaches at 2 MB granularity: base must be 8 MB-aligned and
+	// footprint exactly 8 MB.
+	if att.Region.Size != 8<<20 || !memlayout.IsAligned(uint64(att.Region.Base), 8<<20) {
+		t.Errorf("region = %v", att.Region)
+	}
+	if cnt.Attaches != 1 {
+		t.Error("attach event not emitted")
+	}
+	if _, err := sp.Attach(p, core.PermRW, ""); err == nil {
+		t.Error("double attach accepted")
+	}
+	// Accesses emit events at the attached VA.
+	o, _ := p.Alloc(64)
+	p.WriteU64(o.Offset(), 1)
+	if cnt.Stores == 0 {
+		t.Error("store event not emitted")
+	}
+	if err := sp.Detach(p); err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Detaches != 1 {
+		t.Error("detach event not emitted")
+	}
+	if err := sp.Detach(p); err == nil {
+		t.Error("double detach accepted")
+	}
+}
+
+func TestSpaceAttachKey(t *testing.T) {
+	s := NewStore()
+	p, _ := s.Create("a", 8<<20, ModeDefault, "t")
+	p.SetAttachKey("sesame")
+	sp := NewSpace(nil)
+	if _, err := sp.Attach(p, core.PermRW, "wrong"); err == nil {
+		t.Error("wrong attach key accepted")
+	}
+	if _, err := sp.Attach(p, core.PermRW, "sesame"); err != nil {
+		t.Errorf("correct attach key rejected: %v", err)
+	}
+}
+
+func TestSpaceDirect(t *testing.T) {
+	s := NewStore()
+	p, _ := s.Create("a", 8<<20, ModeDefault, "t")
+	sp := NewSpace(nil)
+	att, _ := sp.Attach(p, core.PermRW, "")
+	o := MakeOID(p.ID(), 4096)
+	va, err := sp.Direct(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va != att.Region.Base+4096 {
+		t.Errorf("Direct = %#x", uint64(va))
+	}
+	if _, err := sp.Direct(MakeOID(9999, 0)); err == nil {
+		t.Error("Direct on unattached pool succeeded")
+	}
+}
+
+// TestRelocatability is the PMO relocation property: an object graph
+// written at one attach base is traversable after reattaching at a
+// different base, because pointers are OIDs.
+func TestRelocatability(t *testing.T) {
+	s := NewStore()
+	p, _ := s.Create("a", 8<<20, ModeDefault, "t")
+	sp := NewSpace(nil)
+	if _, err := sp.Attach(p, core.PermRW, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Build a 3-node linked list: root -> n1 -> n2.
+	var prev OID
+	for i := 2; i >= 0; i-- {
+		n, _ := p.Alloc(16)
+		p.WriteU64(n.Offset(), uint64(i*100))
+		p.WriteOID(n.Offset()+8, prev)
+		prev = n
+	}
+	p.SetRoot(prev)
+	base1, _ := sp.Direct(prev)
+	if err := sp.Detach(p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reattach in a fresh space with randomized bases.
+	sp2 := NewSpace(nil)
+	sp2.RandomizeBases(rand.New(rand.NewSource(5)))
+	if _, err := sp2.Attach(p, core.PermR, ""); err != nil {
+		t.Fatal(err)
+	}
+	base2, _ := sp2.Direct(p.Root())
+	if base1 == base2 {
+		t.Log("bases coincidentally equal; relocation still exercised")
+	}
+	var vals []uint64
+	for cur := p.Root(); !cur.IsNull(); cur = p.ReadOID(cur.Offset() + 8) {
+		vals = append(vals, p.ReadU64(cur.Offset()))
+	}
+	if len(vals) != 3 || vals[0] != 0 || vals[1] != 100 || vals[2] != 200 {
+		t.Errorf("traversal after relocation = %v", vals)
+	}
+}
+
+func TestStorePersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Create("persist", 8<<20, ModeDefault, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetAttachKey("k")
+	o, _ := p.Alloc(128)
+	p.WriteU64(o.Offset(), 0xCAFE)
+	p.SetRoot(o)
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filepath.Glob(filepath.Join(dir, "*.pmo")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: data, metadata, and allocator state survive.
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, ok := s2.Get("persist")
+	if !ok {
+		t.Fatal("pool lost")
+	}
+	if p2.ID() != p.ID() || p2.Owner() != "alice" || p2.Size() != 8<<20 {
+		t.Errorf("metadata lost: %+v", p2)
+	}
+	if p2.ReadU64(p2.Root().Offset()) != 0xCAFE {
+		t.Error("data lost")
+	}
+	// Allocator continues past the persisted cursor.
+	o2, err := p2.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Offset() <= o.Offset() {
+		t.Errorf("allocator state lost: new alloc %v not after %v", o2, o)
+	}
+	// Attach key survived.
+	sp := NewSpace(nil)
+	if _, err := sp.Attach(p2, core.PermRW, "wrong"); err == nil {
+		t.Error("attach key lost in persistence")
+	}
+	// New pools get fresh IDs.
+	p3, err := s2.Create("another", 8<<20, ModeDefault, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.ID() <= p2.ID() {
+		t.Errorf("ID collision: %d <= %d", p3.ID(), p2.ID())
+	}
+}
+
+func TestPoolBoundsChecked(t *testing.T) {
+	s := NewStore()
+	p, _ := s.Create("a", 8<<20, ModeDefault, "t")
+	if err := p.checkRange(p.Size()-4, 8); err == nil {
+		t.Error("out-of-bounds range accepted")
+	}
+	if err := p.checkRange(16, 8); err != nil {
+		t.Errorf("in-bounds range rejected: %v", err)
+	}
+}
+
+func TestOutOfPoolAccessPanics(t *testing.T) {
+	s := NewStore()
+	p, _ := s.Create("b", 16<<10, ModeDefault, "t")
+	for _, op := range []func(){
+		func() { p.ReadU64(uint32(p.Size())) },
+		func() { p.WriteU64(uint32(p.Size()-4), 1) },
+		func() { p.Read(uint32(p.Size()-8), make([]byte, 64)) },
+		func() { p.Write(uint32(p.Size()), []byte{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-pool access did not panic")
+				}
+			}()
+			op()
+		}()
+	}
+	// In-bounds boundary access is fine.
+	p.WriteU64(uint32(p.Size()-8), 7)
+	if p.ReadU64(uint32(p.Size()-8)) != 7 {
+		t.Error("boundary access failed")
+	}
+}

@@ -1,0 +1,301 @@
+package pmo
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"domainvirt/internal/memlayout"
+)
+
+// Pool header layout (page 0 of every pool, persistent):
+//
+//	off   0: magic (8 bytes)
+//	off   8: pool ID
+//	off  16: pool size in bytes
+//	off  24: root OID
+//	off  32: bump allocator next-free offset
+//	off  40: reserved log area offset
+//	off  48: reserved log area size
+//	off  56: free-list heads, one u64 offset per size class
+const (
+	poolMagic      = 0x504d4f504f4f4c31 // "PMOPOOL1"
+	hdrMagic       = 0
+	hdrPoolID      = 8
+	hdrSize        = 16
+	hdrRoot        = 24
+	hdrBump        = 32
+	hdrLogOff      = 40
+	hdrLogSize     = 48
+	hdrFreeHeads   = 56
+	numSizeClasses = 16
+	headerEnd      = hdrFreeHeads + 8*numSizeClasses
+
+	// DefaultLogSize is the redo-log area reserved in each pool for
+	// durable transactions.
+	DefaultLogSize = 64 << 10
+)
+
+// Mode is a pool permission mode, Unix-style (owner/other, read/write).
+type Mode uint16
+
+// Mode bits.
+const (
+	ModeOwnerRead Mode = 1 << iota
+	ModeOwnerWrite
+	ModeOtherRead
+	ModeOtherWrite
+)
+
+// ModeDefault grants the owner read/write and others read.
+const ModeDefault = ModeOwnerRead | ModeOwnerWrite | ModeOtherRead
+
+// Pool is one persistent memory object: a named, sized, permissioned
+// container of persistent data reachable from a root object.
+type Pool struct {
+	name  string
+	id    uint32
+	size  uint64
+	mode  Mode
+	owner string
+	// attachKey, when non-empty, must be presented at attach time —
+	// the paper's finer-grain attach-key permission scheme.
+	attachKey string
+
+	frames map[uint64]*[memlayout.PageSize]byte
+	// atts are the current attachments. The paper's sharing policy is
+	// enforced at attach time: a writable attachment is exclusive; any
+	// number of read-only attachments may coexist.
+	atts   []*Attachment
+	writer *Attachment // the exclusive RW attachment, if any
+	store  *Store
+	dirty  bool
+}
+
+func newPool(name string, id uint32, size uint64, mode Mode, owner string) *Pool {
+	p := &Pool{
+		name:   name,
+		id:     id,
+		size:   size,
+		mode:   mode,
+		owner:  owner,
+		frames: make(map[uint64]*[memlayout.PageSize]byte),
+	}
+	p.initHeader()
+	return p
+}
+
+func (p *Pool) initHeader() {
+	p.writeU64Raw(hdrMagic, poolMagic)
+	p.writeU64Raw(hdrPoolID, uint64(p.id))
+	p.writeU64Raw(hdrSize, p.size)
+	p.writeU64Raw(hdrRoot, 0)
+	logOff := uint64(memlayout.PageSize)
+	logSize := uint64(DefaultLogSize)
+	if logOff+logSize > p.size {
+		logSize = 0
+	}
+	p.writeU64Raw(hdrLogOff, logOff)
+	p.writeU64Raw(hdrLogSize, logSize)
+	p.writeU64Raw(hdrBump, memlayout.AlignUp(logOff+logSize, 16))
+}
+
+// Name returns the pool's namespace name.
+func (p *Pool) Name() string { return p.name }
+
+// ID returns the pool ID, which doubles as the domain ID when attached.
+func (p *Pool) ID() uint32 { return p.id }
+
+// Size returns the pool capacity in bytes.
+func (p *Pool) Size() uint64 { return p.size }
+
+// Mode returns the pool permission mode.
+func (p *Pool) Mode() Mode { return p.mode }
+
+// Owner returns the owning user.
+func (p *Pool) Owner() string { return p.owner }
+
+// SetAttachKey installs the secret an attacher must present.
+func (p *Pool) SetAttachKey(key string) { p.attachKey = key }
+
+// Attached reports whether the pool is currently attached anywhere.
+func (p *Pool) Attached() bool { return len(p.atts) > 0 }
+
+// Attachment returns the primary (first) attachment, or nil. Under
+// read-only sharing, per-attachment accessors on Attachment route
+// accesses through a specific space.
+func (p *Pool) Attachment() *Attachment {
+	if len(p.atts) == 0 {
+		return nil
+	}
+	return p.atts[0]
+}
+
+// Attachments returns all current attachments.
+func (p *Pool) Attachments() []*Attachment {
+	out := make([]*Attachment, len(p.atts))
+	copy(out, p.atts)
+	return out
+}
+
+// frame returns the backing frame for the page containing off, allocating
+// it lazily (persistent memory is zero-initialized on first use).
+func (p *Pool) frame(off uint64, create bool) *[memlayout.PageSize]byte {
+	idx := off >> memlayout.PageShift
+	f := p.frames[idx]
+	if f == nil && create {
+		f = new([memlayout.PageSize]byte)
+		p.frames[idx] = f
+	}
+	return f
+}
+
+// PopulatedPages returns the number of lazily-allocated backing frames.
+func (p *Pool) PopulatedPages() int { return len(p.frames) }
+
+// --- Raw (event-free) byte access, used before attach and by the store.
+
+func (p *Pool) readU64Raw(off uint64) uint64 {
+	var buf [8]byte
+	p.readRaw(off, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (p *Pool) writeU64Raw(off uint64, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	p.writeRaw(off, buf[:])
+}
+
+func (p *Pool) readRaw(off uint64, dst []byte) {
+	for len(dst) > 0 {
+		pageOff := off & (memlayout.PageSize - 1)
+		n := memlayout.PageSize - pageOff
+		if n > uint64(len(dst)) {
+			n = uint64(len(dst))
+		}
+		if f := p.frame(off, false); f != nil {
+			copy(dst[:n], f[pageOff:pageOff+n])
+		} else {
+			for i := uint64(0); i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		off += n
+	}
+}
+
+func (p *Pool) writeRaw(off uint64, src []byte) {
+	p.dirty = true
+	for len(src) > 0 {
+		pageOff := off & (memlayout.PageSize - 1)
+		n := memlayout.PageSize - pageOff
+		if n > uint64(len(src)) {
+			n = uint64(len(src))
+		}
+		f := p.frame(off, true)
+		copy(f[pageOff:pageOff+n], src[:n])
+		src = src[n:]
+		off += n
+	}
+}
+
+// --- Instrumented access: emits load/store events when attached to a
+// simulated address space, then touches the backing bytes.
+
+func (p *Pool) checkRange(off uint64, n uint64) error {
+	if off+n > p.size || off+n < off {
+		return fmt.Errorf("pmo: access [%#x,%#x) outside pool %q of size %#x", off, off+n, p.name, p.size)
+	}
+	return nil
+}
+
+// mustRange panics on out-of-pool accesses: unlike a protection fault
+// (a policy decision), indexing past the pool is a caller bug, like
+// indexing past a slice.
+func (p *Pool) mustRange(off uint64, n uint64) {
+	if err := p.checkRange(off, n); err != nil {
+		panic(err)
+	}
+}
+
+// ReadU64 loads a u64 at off, emitting a load event when attached. A
+// load denied by the protection machinery never discloses the data: it
+// returns zero.
+func (p *Pool) ReadU64(off uint32) uint64 {
+	p.mustRange(uint64(off), 8)
+	if !p.emit(uint64(off), 8, false) {
+		return 0
+	}
+	return p.readU64Raw(uint64(off))
+}
+
+// WriteU64 stores v at off, emitting a store event when attached. A
+// denied store never reaches persistent memory.
+func (p *Pool) WriteU64(off uint32, v uint64) {
+	p.mustRange(uint64(off), 8)
+	if !p.emit(uint64(off), 8, true) {
+		return
+	}
+	p.writeU64Raw(uint64(off), v)
+}
+
+// ReadOID loads a persistent pointer at off.
+func (p *Pool) ReadOID(off uint32) OID { return OID(p.ReadU64(off)) }
+
+// WriteOID stores a persistent pointer at off.
+func (p *Pool) WriteOID(off uint32, o OID) { p.WriteU64(off, uint64(o)) }
+
+// Read copies len(dst) bytes from off, emitting load events. A denied
+// load fills dst with zeros instead of the data.
+func (p *Pool) Read(off uint32, dst []byte) {
+	p.mustRange(uint64(off), uint64(len(dst)))
+	if !p.emit(uint64(off), uint32(len(dst)), false) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	p.readRaw(uint64(off), dst)
+}
+
+// Write copies src to off, emitting store events. A denied store never
+// reaches persistent memory.
+func (p *Pool) Write(off uint32, src []byte) {
+	p.mustRange(uint64(off), uint64(len(src)))
+	if !p.emit(uint64(off), uint32(len(src)), true) {
+		return
+	}
+	p.writeRaw(uint64(off), src)
+}
+
+// emit forwards one access to the primary attachment's event sink, if
+// any, and reports whether the access was permitted.
+func (p *Pool) emit(off uint64, size uint32, write bool) bool {
+	if len(p.atts) > 0 {
+		return p.atts[0].emit(off, size, write)
+	}
+	return true
+}
+
+// Root returns the root object OID (Table I pool_root); a null OID means
+// the root has not been set.
+func (p *Pool) Root() OID {
+	if !p.emit(hdrRoot, 8, false) {
+		return NullOID
+	}
+	return OID(p.readU64Raw(hdrRoot))
+}
+
+// SetRoot installs the root object.
+func (p *Pool) SetRoot(o OID) {
+	if !p.emit(hdrRoot, 8, true) {
+		return
+	}
+	p.writeU64Raw(hdrRoot, uint64(o))
+}
+
+// LogArea returns the reserved redo-log region (offset, size).
+func (p *Pool) LogArea() (uint64, uint64) {
+	return p.readU64Raw(hdrLogOff), p.readU64Raw(hdrLogSize)
+}

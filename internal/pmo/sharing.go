@@ -1,0 +1,57 @@
+package pmo
+
+// Per-attachment data access. When a pool is shared read-only between
+// several spaces ("attached ... to multiple processes for reading"),
+// pool-level accessors are ambiguous about which attachment performs the
+// access; these route through a specific one, so each space's loads are
+// checked against its own domain permissions and emitted at its own
+// attach base. In library mode (no sink) the attach intent itself is
+// enforced: writes through a read-only attachment are dropped.
+
+// ReadU64 loads a u64 at off through this attachment. Denied loads
+// return zero.
+func (a *Attachment) ReadU64(off uint32) uint64 {
+	if !a.Perm.CanRead() || !a.emit(uint64(off), 8, false) {
+		return 0
+	}
+	return a.Pool.readU64Raw(uint64(off))
+}
+
+// WriteU64 stores v at off through this attachment. Denied stores never
+// reach persistent memory.
+func (a *Attachment) WriteU64(off uint32, v uint64) {
+	if !a.Perm.CanWrite() {
+		return
+	}
+	if !a.emit(uint64(off), 8, true) {
+		return
+	}
+	a.Pool.writeU64Raw(uint64(off), v)
+}
+
+// Read copies len(dst) bytes from off through this attachment; denied
+// loads zero dst.
+func (a *Attachment) Read(off uint32, dst []byte) {
+	if !a.Perm.CanRead() || !a.emit(uint64(off), uint32(len(dst)), false) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	a.Pool.readRaw(uint64(off), dst)
+}
+
+// Write copies src to off through this attachment; denied stores are
+// dropped.
+func (a *Attachment) Write(off uint32, src []byte) {
+	if !a.Perm.CanWrite() {
+		return
+	}
+	if !a.emit(uint64(off), uint32(len(src)), true) {
+		return
+	}
+	a.Pool.writeRaw(uint64(off), src)
+}
+
+// ReadOID loads a persistent pointer through this attachment.
+func (a *Attachment) ReadOID(off uint32) OID { return OID(a.ReadU64(off)) }

@@ -1,0 +1,68 @@
+package pmo
+
+import (
+	"testing"
+
+	"domainvirt/internal/core"
+)
+
+func TestSnapshot(t *testing.T) {
+	s := NewStore()
+	src, _ := s.Create("orig", 8<<20, ModeDefault, "alice")
+	o, _ := src.Alloc(64)
+	src.WriteU64(o.Offset(), 0xFACE)
+	src.SetRoot(o)
+
+	cp, err := s.Snapshot("orig", "backup", "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.ID() == src.ID() {
+		t.Error("snapshot shares the source's ID")
+	}
+	if cp.ReadU64(cp.Root().Offset()) != 0xFACE {
+		t.Error("snapshot lost data")
+	}
+	if cp.readU64Raw(hdrPoolID) != uint64(cp.ID()) {
+		t.Error("snapshot header still carries the source's ID")
+	}
+	// Deep copy: mutating one side never affects the other.
+	src.WriteU64(o.Offset(), 1)
+	if cp.ReadU64(cp.Root().Offset()) != 0xFACE {
+		t.Error("snapshot aliases the source's frames")
+	}
+	cp.WriteU64(cp.Root().Offset(), 2)
+	if src.ReadU64(o.Offset()) != 1 {
+		t.Error("source aliases the snapshot's frames")
+	}
+	// The snapshot is structurally sound.
+	if rep := cp.Check(); !rep.OK() {
+		t.Errorf("snapshot fails verification: %v", rep.Issues)
+	}
+	// Both attachable independently (source has no writer).
+	if _, err := NewSpace(nil).Attach(cp, core.PermRW, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotRefusesWriteAttachedSource(t *testing.T) {
+	s := NewStore()
+	src, _ := s.Create("orig", 8<<20, ModeDefault, "alice")
+	sp := NewSpace(nil)
+	if _, err := sp.Attach(src, core.PermRW, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Snapshot("orig", "backup", "bob"); err == nil {
+		t.Error("snapshot of a write-attached pool allowed")
+	}
+	_ = sp.Detach(src)
+	if _, err := s.Snapshot("orig", "backup", "bob"); err != nil {
+		t.Errorf("snapshot after detach: %v", err)
+	}
+	if _, err := s.Snapshot("orig", "backup", "bob"); err == nil {
+		t.Error("duplicate snapshot name allowed")
+	}
+	if _, err := s.Snapshot("missing", "x", "bob"); err == nil {
+		t.Error("snapshot of missing pool allowed")
+	}
+}

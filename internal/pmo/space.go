@@ -1,0 +1,206 @@
+package pmo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/trace"
+)
+
+// PoolRegionBase is where PMO attachments start in the virtual address
+// space, far above the volatile heap.
+const PoolRegionBase = memlayout.VA(0x2000_0000_0000)
+
+// Space models the PMO-relevant part of a process address space: which
+// pools are attached where, under which domain ID, and to which
+// instrumentation sink accesses flow. A nil sink gives pure library mode.
+type Space struct {
+	sink trace.Sink
+	// Thread is the thread performing subsequent pool accesses and
+	// permission changes.
+	Thread core.ThreadID
+
+	nextBase memlayout.VA
+	attached map[uint32]*Attachment
+	rng      *rand.Rand // non-nil randomizes attach bases (relocation)
+}
+
+// Attachment binds an attached pool to its VA region and domain.
+type Attachment struct {
+	Pool   *Pool
+	Region memlayout.Region
+	Domain core.DomainID
+	Perm   core.Perm
+	space  *Space
+}
+
+// NewSpace returns a Space emitting events to sink (which may be nil).
+func NewSpace(sink trace.Sink) *Space {
+	return &Space{
+		sink:     sink,
+		Thread:   1,
+		nextBase: PoolRegionBase,
+		attached: make(map[uint32]*Attachment),
+	}
+}
+
+// RandomizeBases makes subsequent attaches pick randomized base addresses
+// (exercising PMO relocatability), driven by rng for determinism.
+func (s *Space) RandomizeBases(rng *rand.Rand) { s.rng = rng }
+
+// Sink returns the space's instrumentation sink.
+func (s *Space) Sink() trace.Sink { return s.sink }
+
+// nextPow2 rounds v up to a power of two.
+func nextPow2(v uint64) uint64 {
+	n := uint64(1)
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// Attach maps pool p into the address space with the given intent
+// permission (the attach system call). The region is aligned to the
+// page-table-level granularity the PMO size requires; its domain ID is
+// the pool ID. Page permissions follow the intent: an R attach maps the
+// pool read-only.
+func (s *Space) Attach(p *Pool, perm core.Perm, attachKey string) (*Attachment, error) {
+	// Inter-process sharing policy (Section IV-A): "a PMO may be
+	// attached exclusively to only one process for writing, but may be
+	// attached to multiple processes for reading."
+	if perm.CanWrite() && len(p.atts) > 0 {
+		return nil, fmt.Errorf("pmo: pool %q already attached; writable attachment must be exclusive", p.name)
+	}
+	if p.writer != nil {
+		return nil, fmt.Errorf("pmo: pool %q is attached for writing elsewhere", p.name)
+	}
+	if p.attachKey != "" && p.attachKey != attachKey {
+		return nil, fmt.Errorf("pmo: pool %q: attach key mismatch", p.name)
+	}
+	if _, dup := s.attached[p.id]; dup {
+		return nil, fmt.Errorf("pmo: pool id %d already attached in this space", p.id)
+	}
+	_, _, footprint := memlayout.AttachLevel(p.size)
+	align := nextPow2(footprint)
+	base := memlayout.VA(memlayout.AlignUp(uint64(s.nextBase), align))
+	if s.rng != nil {
+		slot := uint64(s.rng.Intn(1 << 12))
+		base = memlayout.VA(memlayout.AlignUp(uint64(s.nextBase)+slot*align, align))
+	}
+	region := memlayout.Region{Base: base, Size: footprint}
+	s.nextBase = region.End()
+
+	att := &Attachment{
+		Pool:   p,
+		Region: region,
+		Domain: core.DomainID(p.id),
+		Perm:   perm,
+		space:  s,
+	}
+	if s.sink != nil {
+		if err := s.sink.Attach(att.Domain, region, perm); err != nil {
+			return nil, err
+		}
+	}
+	p.atts = append(p.atts, att)
+	if perm.CanWrite() {
+		p.writer = att
+	}
+	s.attached[p.id] = att
+	return att, nil
+}
+
+// Detach unmaps pool p from this space (the detach system call).
+func (s *Space) Detach(p *Pool) error {
+	att, ok := s.attached[p.id]
+	if !ok || att.Pool != p {
+		return fmt.Errorf("pmo: pool %q not attached to this space", p.name)
+	}
+	if s.sink != nil {
+		s.sink.Detach(att.Domain)
+	}
+	delete(s.attached, p.id)
+	for i, a := range p.atts {
+		if a == att {
+			p.atts = append(p.atts[:i], p.atts[i+1:]...)
+			break
+		}
+	}
+	if p.writer == att {
+		p.writer = nil
+	}
+	return nil
+}
+
+// SetPerm issues a SETPERM for the attached pool's domain on behalf of
+// the space's current thread, from the given instruction site.
+func (s *Space) SetPerm(p *Pool, perm core.Perm, site core.SiteID) error {
+	att, ok := s.attached[p.id]
+	if !ok {
+		return fmt.Errorf("pmo: pool %q not attached to this space", p.name)
+	}
+	if s.sink != nil {
+		s.sink.SetPerm(s.Thread, att.Domain, perm, site)
+	}
+	return nil
+}
+
+// Fence emits a persist barrier.
+func (s *Space) Fence() {
+	if s.sink != nil {
+		s.sink.Fence(s.Thread)
+	}
+}
+
+// Instr accounts n non-memory instructions on the current thread.
+func (s *Space) Instr(n uint64) {
+	if s.sink != nil {
+		s.sink.Instr(s.Thread, n)
+	}
+}
+
+// AttachmentOf returns the attachment of pool id, if attached.
+func (s *Space) AttachmentOf(id uint32) (*Attachment, bool) {
+	a, ok := s.attached[id]
+	return a, ok
+}
+
+// Direct translates an OID to its current virtual address (Table I
+// oid_direct). It fails when the OID's pool is not attached.
+func (s *Space) Direct(o OID) (memlayout.VA, error) {
+	att, ok := s.attached[o.Pool()]
+	if !ok {
+		return 0, fmt.Errorf("pmo: pool %d of %v not attached", o.Pool(), o)
+	}
+	return att.Region.Base + memlayout.VA(o.Offset()), nil
+}
+
+// Fence emits a persist barrier on the attachment's space.
+func (a *Attachment) Fence() { a.space.Fence() }
+
+// Space returns the address space the attachment belongs to.
+func (a *Attachment) Space() *Space { return a.space }
+
+// emit forwards one pool access to the sink as a load/store at the
+// attached virtual address, reporting whether it was permitted.
+func (a *Attachment) emit(off uint64, size uint32, write bool) bool {
+	if a.space.sink == nil {
+		return true
+	}
+	va := a.Region.Base + memlayout.VA(off)
+	return a.space.sink.Access(a.space.Thread, va, size, write)
+}
+
+// Fetch emits an instruction fetch from off in the attached pool —
+// executing code stored in a PMO. Per the paper's executable-only memory
+// semantics, fetches succeed even when the domain is inaccessible to
+// loads and stores.
+func (a *Attachment) Fetch(off uint32) bool {
+	if a.space.sink == nil {
+		return true
+	}
+	return a.space.sink.Fetch(a.space.Thread, a.Region.Base+memlayout.VA(off))
+}

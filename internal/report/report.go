@@ -1,0 +1,223 @@
+// Package report renders experiment results as aligned ASCII tables, CSV,
+// and log-scale ASCII charts — one renderer per table/figure shape in the
+// paper's evaluation section.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a generic titled table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		return strings.TrimRight(sb.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Headers)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one figure: per-scheme Y values over a shared X axis
+// (number of PMOs in Figure 6/7).
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []int
+	Names  []string             // series order
+	Y      map[string][]float64 // name -> values aligned with X
+}
+
+// NewSeries constructs an empty figure.
+func NewSeries(title, xlabel, ylabel string) *Series {
+	return &Series{Title: title, XLabel: xlabel, YLabel: ylabel, Y: make(map[string][]float64)}
+}
+
+// Add appends one point to the named series.
+func (s *Series) Add(name string, y float64) {
+	if _, ok := s.Y[name]; !ok {
+		s.Names = append(s.Names, name)
+	}
+	s.Y[name] = append(s.Y[name], y)
+}
+
+// Table renders the series as a table (one row per X value).
+func (s *Series) Table() *Table {
+	t := &Table{Title: s.Title, Headers: append([]string{s.XLabel}, s.Names...)}
+	for i, x := range s.X {
+		row := []string{fmt.Sprintf("%d", x)}
+		for _, n := range s.Names {
+			ys := s.Y[n]
+			if i < len(ys) {
+				row = append(row, fmt.Sprintf("%.2f", ys[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// RenderChart draws a log2-scale ASCII chart, matching the paper's
+// Figure 6 axes ("2^2 means 4%% slower, 2^4 means 16%% slower").
+func (s *Series) RenderChart(w io.Writer, height int) error {
+	if height <= 0 {
+		height = 12
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, ys := range s.Y {
+		for _, y := range ys {
+			ly := log2Clamp(y)
+			if ly < lo {
+				lo = ly
+			}
+			if ly > hi {
+				hi = ly
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return nil
+	}
+	lo = math.Floor(lo)
+	hi = math.Ceil(hi)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if _, err := fmt.Fprintf(w, "%s  (y: log2 %s)\n", s.Title, s.YLabel); err != nil {
+		return err
+	}
+	marks := "*o+x#@%&"
+	cols := len(s.X)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*4))
+	}
+	for si, name := range s.Names {
+		for i, y := range s.Y[name] {
+			ly := log2Clamp(y)
+			r := int(math.Round((hi - ly) / (hi - lo) * float64(height-1)))
+			if r < 0 {
+				r = 0
+			}
+			if r >= height {
+				r = height - 1
+			}
+			c := i*4 + si%3
+			if c < len(grid[r]) {
+				grid[r][c] = marks[si%len(marks)]
+			}
+		}
+	}
+	for r := range grid {
+		yval := hi - (hi-lo)*float64(r)/float64(height-1)
+		if _, err := fmt.Fprintf(w, "2^%5.1f |%s\n", yval, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "        +%s\n         ", strings.Repeat("-", cols*4)); err != nil {
+		return err
+	}
+	for _, x := range s.X {
+		fmt.Fprintf(w, "%-4d", x)
+	}
+	fmt.Fprintf(w, " %s\n", s.XLabel)
+	for si, name := range s.Names {
+		fmt.Fprintf(w, "  %c = %s\n", marks[si%len(marks)], name)
+	}
+	return nil
+}
+
+func log2Clamp(y float64) float64 {
+	if y < 0.25 {
+		y = 0.25
+	}
+	return math.Log2(y)
+}

@@ -1,0 +1,95 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "T",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("a-much-longer-name", "22222")
+	var b bytes.Buffer
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "alpha") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows -> 5? title+header+rule+2rows = 5
+		if len(lines) != 5 {
+			t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+	// Columns aligned: "value" column starts at the same offset in both rows.
+	h := lines[1]
+	idx := strings.Index(h, "value")
+	for _, ln := range lines[3:] {
+		if len(ln) <= idx {
+			t.Errorf("row shorter than header: %q", ln)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b"}}
+	tbl.AddRow("x,y", `say "hi"`)
+	var b bytes.Buffer
+	if err := tbl.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("fig", "PMOs", "%")
+	s.X = []int{16, 64}
+	s.Add("a", 4)
+	s.Add("b", 16)
+	s.Add("a", 8)
+	s.Add("b", 32)
+	if len(s.Names) != 2 || s.Names[0] != "a" {
+		t.Errorf("Names = %v", s.Names)
+	}
+	tbl := s.Table()
+	if len(tbl.Rows) != 2 || tbl.Rows[0][1] != "4.00" || tbl.Rows[1][2] != "32.00" {
+		t.Errorf("table rows = %v", tbl.Rows)
+	}
+	var b bytes.Buffer
+	if err := s.RenderChart(&b, 8); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fig", "PMOs", "* = a", "o = b", "16", "64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesEmptyChart(t *testing.T) {
+	s := NewSeries("empty", "x", "y")
+	var b bytes.Buffer
+	if err := s.RenderChart(&b, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesMissingPoints(t *testing.T) {
+	s := NewSeries("fig", "x", "y")
+	s.X = []int{1, 2, 3}
+	s.Add("a", 1) // only one point for three X values
+	tbl := s.Table()
+	if tbl.Rows[2][1] != "-" {
+		t.Errorf("missing point rendered as %q", tbl.Rows[2][1])
+	}
+}

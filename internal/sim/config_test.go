@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/memlayout"
+)
+
+func TestDefaultConfigMatchesTableII(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.L1TLB.Entries != 64 || cfg.L1TLB.Ways != 4 {
+		t.Errorf("L1 TLB = %+v", cfg.L1TLB)
+	}
+	if cfg.L2TLB.Entries != 1536 || cfg.L2TLB.Ways != 6 {
+		t.Errorf("L2 TLB = %+v", cfg.L2TLB)
+	}
+	if cfg.WalkPenalty != 30 {
+		t.Errorf("walk penalty = %d", cfg.WalkPenalty)
+	}
+	if cfg.L1D.SizeBytes != 32<<10 || cfg.L1D.Ways != 8 || cfg.L1D.Latency != 1 {
+		t.Errorf("L1D = %+v", cfg.L1D)
+	}
+	if cfg.L2.SizeBytes != 1<<20 || cfg.L2.Ways != 16 || cfg.L2.Latency != 8 {
+		t.Errorf("L2 = %+v", cfg.L2)
+	}
+	if cfg.Mem.DRAMLatency != 120 || cfg.Mem.NVMLatency != 360 {
+		t.Errorf("memory latencies = %+v", cfg.Mem)
+	}
+	if cfg.Costs.WRPKRU != 27 || cfg.Costs.TLBInval != 286 ||
+		cfg.Costs.DTTLBMiss != 30 || cfg.Costs.PTLBMiss != 30 ||
+		cfg.Costs.PTLBAccess != 1 {
+		t.Errorf("costs = %+v", cfg.Costs)
+	}
+	if cfg.DTTLBEntries != 16 || cfg.PTLBEntries != 16 {
+		t.Errorf("buffer entries = %d/%d", cfg.DTTLBEntries, cfg.PTLBEntries)
+	}
+	// 4-way issue: CPI 1/4.
+	if float64(cfg.CPINum)/float64(cfg.CPIDen) != 0.25 {
+		t.Errorf("CPI = %d/%d", cfg.CPINum, cfg.CPIDen)
+	}
+	if cfg.ClockHz != 2.2e9 {
+		t.Errorf("clock = %v", cfg.ClockHz)
+	}
+}
+
+func TestNewEngineAllSchemes(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, s := range AllSchemes {
+		e := NewEngine(s, cfg)
+		if e == nil || e.Name() == "" {
+			t.Errorf("scheme %s: bad engine", s)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown scheme did not panic")
+		}
+	}()
+	NewEngine("no-such-scheme", cfg)
+}
+
+func TestMachineZeroCoresDefaultsToOne(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 0
+	m := NewMachine(cfg, SchemeBaseline)
+	if m.NumCores() != 1 {
+		t.Errorf("cores = %d", m.NumCores())
+	}
+}
+
+func TestFaultRecordCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxFaultRecords = 4
+	m := NewMachine(cfg, SchemeDomainVirt)
+	r := memlayout.Region{Base: 0x2000_0000_0000, Size: 2 << 20}
+	if err := m.Attach(1, r, core.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ { // no SETPERM: every access faults
+		m.Access(1, r.Base+memlayout.VA(i*64), 8, false)
+	}
+	if got := len(m.Faults()); got != 4 {
+		t.Errorf("retained faults = %d, want cap 4", got)
+	}
+	if m.Result().Counters.DomainFaults != 20 {
+		t.Errorf("fault counter = %d, want 20", m.Result().Counters.DomainFaults)
+	}
+}

@@ -1,0 +1,462 @@
+package sim
+
+import (
+	"fmt"
+
+	"domainvirt/internal/cache"
+	"domainvirt/internal/core"
+	"domainvirt/internal/mem"
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/pagetable"
+	"domainvirt/internal/stats"
+	"domainvirt/internal/tlb"
+	"domainvirt/internal/trace"
+)
+
+// FaultRecord captures one denied access or blocked permission change for
+// diagnostics and security tests.
+type FaultRecord struct {
+	Thread core.ThreadID
+	VA     memlayout.VA
+	Write  bool
+	Domain core.DomainID
+	Page   bool // true if the page permission (not the domain) denied it
+}
+
+// String implements fmt.Stringer.
+func (f FaultRecord) String() string {
+	op := "load"
+	if f.Write {
+		op = "store"
+	}
+	kind := "domain"
+	if f.Page {
+		kind = "page"
+	}
+	return fmt.Sprintf("%s fault: %s %#x by thread %d (domain %d)", kind, op, uint64(f.VA), f.Thread, f.Domain)
+}
+
+// coreState is the per-core microarchitectural state.
+type coreState struct {
+	id      int
+	l1tlb   *tlb.TLB
+	l2tlb   *tlb.TLB
+	debt    *tlb.Debt
+	cycles  uint64
+	instRem uint64
+	thread  core.ThreadID
+	active  bool
+}
+
+// Machine is one simulated multicore running a protected process. It
+// implements trace.Sink so workloads (or trace replays) drive it directly.
+type Machine struct {
+	cfg    Config
+	engine core.Engine
+	pt     *pagetable.Table
+	memory *mem.Memory
+	caches *cache.Hierarchy
+	cores  []*coreState
+
+	bd  stats.Breakdown
+	ctr stats.Counters
+
+	domains   map[core.DomainID]domainInfo
+	inspector *core.Inspector
+	affinity  map[core.ThreadID]int
+
+	faults []FaultRecord
+}
+
+type domainInfo struct {
+	region memlayout.Region
+	perm   core.Perm
+}
+
+// NewMachine builds a machine with the given scheme's engine.
+func NewMachine(cfg Config, scheme Scheme) *Machine {
+	return NewMachineWithEngine(cfg, NewEngine(scheme, cfg))
+}
+
+// NewMachineWithEngine builds a machine around an explicit engine.
+func NewMachineWithEngine(cfg Config, eng core.Engine) *Machine {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	m := &Machine{
+		cfg:     cfg,
+		engine:  eng,
+		pt:      pagetable.New(),
+		memory:  mem.New(cfg.Mem),
+		domains: make(map[core.DomainID]domainInfo),
+	}
+	m.caches = cache.NewHierarchy(cfg.Cores, cfg.L1D, cfg.L2, m.memory)
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, &coreState{
+			id:    i,
+			l1tlb: tlb.New(cfg.L1TLB),
+			l2tlb: tlb.New(cfg.L2TLB),
+			debt:  tlb.NewDebt(),
+		})
+	}
+	eng.Bind(m, &m.bd, &m.ctr)
+	return m
+}
+
+// Engine returns the bound protection engine.
+func (m *Machine) Engine() core.Engine { return m.engine }
+
+// SetInspector installs an ERIM-style SETPERM site inspector; permission
+// changes from unapproved sites are blocked and recorded.
+func (m *Machine) SetInspector(in *core.Inspector) { m.inspector = in }
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// SetAffinity migrates a thread to a specific core; subsequent events
+// from th run there, paying the usual context-switch and state
+// reconstruction costs. The default placement is static round-robin.
+func (m *Machine) SetAffinity(th core.ThreadID, coreID int) {
+	if m.affinity == nil {
+		m.affinity = make(map[core.ThreadID]int)
+	}
+	if coreID < 0 || coreID >= len(m.cores) {
+		coreID = 0
+	}
+	m.affinity[th] = coreID
+}
+
+// coreFor maps a thread to its core (static round-robin placement unless
+// migrated via SetAffinity) and performs a context switch when the core
+// was running another thread.
+func (m *Machine) coreFor(th core.ThreadID) *coreState {
+	idx := 0
+	if pinned, ok := m.affinity[th]; ok {
+		idx = pinned
+	} else if th > 0 {
+		idx = int((uint32(th) - 1) % uint32(len(m.cores)))
+	}
+	c := m.cores[idx]
+	c.active = true
+	if c.thread != th {
+		if c.thread != 0 {
+			m.ctr.ContextSwitches++
+			c.cycles += m.cfg.CtxSwitchCost
+			m.bd.Add(stats.CatBase, m.cfg.CtxSwitchCost)
+		}
+		c.cycles += m.engine.ContextSwitch(c.id, th)
+		c.thread = th
+	}
+	return c
+}
+
+// Instr implements trace.Sink: n non-memory instructions at the base CPI.
+func (m *Machine) Instr(th core.ThreadID, n uint64) {
+	c := m.coreFor(th)
+	m.ctr.Instructions += n
+	num := n*m.cfg.CPINum + c.instRem
+	cyc := num / m.cfg.CPIDen
+	c.instRem = num % m.cfg.CPIDen
+	c.cycles += cyc
+	m.bd.AddN(stats.CatBase, cyc, 0)
+}
+
+// Access implements trace.Sink: one load or store, split at cache-line
+// boundaries. It returns false if any piece was denied by the domain or
+// page permission, in which case the caller must suppress the data
+// transfer.
+func (m *Machine) Access(th core.ThreadID, va memlayout.VA, size uint32, write bool) bool {
+	if size == 0 {
+		size = 1
+	}
+	allowed := true
+	memlayout.SplitLine(va, size, func(pva memlayout.VA, _ uint32) {
+		if !m.access1(th, pva, write) {
+			allowed = false
+		}
+	})
+	return allowed
+}
+
+func (m *Machine) access1(th core.ThreadID, va memlayout.VA, write bool) bool {
+	c := m.coreFor(th)
+	if write {
+		m.ctr.Stores++
+	} else {
+		m.ctr.Loads++
+	}
+
+	// cyc is the total latency of this access; baseCyc is the portion an
+	// unprotected run would also pay (attributed to CatBase). Engine
+	// costs are attributed by the engine itself.
+	var cyc, baseCyc uint64
+	cyc += m.cfg.L1TLBLat
+	baseCyc += m.cfg.L1TLBLat
+	vpn := memlayout.PageNum(va)
+
+	var entry tlb.Entry
+	tlbHit := true
+	if e, ok := c.l1tlb.Lookup(vpn); ok {
+		m.ctr.TLBL1Hits++
+		entry = *e
+	} else {
+		cyc += m.cfg.L2TLBLat
+		baseCyc += m.cfg.L2TLBLat
+		if e2, ok := c.l2tlb.Lookup(vpn); ok {
+			m.ctr.TLBL2Hits++
+			entry = *e2
+			c.l1tlb.Insert(entry)
+		} else {
+			// TLB miss: page walk (and, for the domain engines, the
+			// DTT/DRT machinery via FillTag).
+			tlbHit = false
+			m.ctr.TLBMisses++
+			walk := m.cfg.WalkPenalty
+			if c.debt.Settle(vpn) {
+				// Refill forced by a TLB invalidation: attribute the
+				// walk to the invalidation, not the base run.
+				m.ctr.DebtRefills++
+				m.bd.Add(stats.CatTLBInval, walk)
+			} else {
+				baseCyc += walk
+			}
+			cyc += walk
+
+			pte, ok := m.pt.Lookup(va)
+			if !ok {
+				pte = m.demandMap(va)
+				cyc += m.cfg.MinorFault
+				baseCyc += m.cfg.MinorFault
+			}
+			tag, extra := m.engine.FillTag(c.id, th, va)
+			cyc += extra
+			entry = tlb.Entry{VPN: vpn, PFN: pte.PFN, Writable: pte.Writable, Tag: tag, Valid: true}
+			c.l2tlb.Insert(entry)
+			c.l1tlb.Insert(entry)
+		}
+	}
+
+	verdict := m.engine.Check(core.AccessCtx{
+		Core:   c.id,
+		Thread: th,
+		VA:     va,
+		Write:  write,
+		TLBHit: tlbHit,
+		Tag:    entry.Tag,
+	})
+	cyc += verdict.Cycles
+
+	pageOK := !write || entry.Writable
+	if !verdict.Allowed || !pageOK {
+		m.recordFault(FaultRecord{
+			Thread: th,
+			VA:     va,
+			Write:  write,
+			Domain: m.engine.DomainOf(va),
+			Page:   verdict.Allowed && !pageOK,
+		})
+		if verdict.Allowed {
+			m.ctr.PageFaults++
+		} else {
+			m.ctr.DomainFaults++
+		}
+		m.bd.AddN(stats.CatBase, baseCyc, 0)
+		c.cycles += cyc
+		return false // access suppressed
+	}
+
+	pa := memlayout.PA(entry.PFN<<memlayout.PageShift) + memlayout.PA(memlayout.PageOffset(va))
+	lat, _ := m.caches.Access(c.id, pa, write)
+	cyc += lat
+	baseCyc += lat
+	m.bd.AddN(stats.CatBase, baseCyc, 0)
+	c.cycles += cyc
+	return true
+}
+
+// demandMap allocates and maps a frame for the first touch of a page.
+// Pages inside an attached PMO region are NVM-backed with the attach
+// permission; everything else is writable DRAM.
+func (m *Machine) demandMap(va memlayout.VA) pagetable.PTE {
+	kind := mem.DRAM
+	writable := true
+	for _, di := range m.domains {
+		if di.region.Contains(va) {
+			kind = mem.NVM
+			writable = di.perm.CanWrite()
+			break
+		}
+	}
+	pa := m.memory.AllocFrame(kind)
+	m.pt.Map(memlayout.PageBase(va), pa, writable)
+	pte, _ := m.pt.Lookup(va)
+	return pte
+}
+
+// Fetch implements trace.Sink: one instruction fetch. Domain permissions
+// never block execution — the paper's executable-only memory: "changing
+// the domain permission as inaccessible in the PKRU register... code can
+// still jump to this domain and execute code but all reads and writes
+// are prohibited". Page presence and translation costs still apply.
+func (m *Machine) Fetch(th core.ThreadID, va memlayout.VA) bool {
+	c := m.coreFor(th)
+	var cyc uint64
+	cyc += m.cfg.L1TLBLat
+	vpn := memlayout.PageNum(va)
+
+	var entry tlb.Entry
+	if e, ok := c.l1tlb.Lookup(vpn); ok {
+		m.ctr.TLBL1Hits++
+		entry = *e
+	} else {
+		cyc += m.cfg.L2TLBLat
+		if e2, ok := c.l2tlb.Lookup(vpn); ok {
+			m.ctr.TLBL2Hits++
+			entry = *e2
+			c.l1tlb.Insert(entry)
+		} else {
+			m.ctr.TLBMisses++
+			cyc += m.cfg.WalkPenalty
+			pte, ok := m.pt.Lookup(va)
+			if !ok {
+				pte = m.demandMap(va)
+				cyc += m.cfg.MinorFault
+			}
+			tag, extra := m.engine.FillTag(c.id, th, va)
+			cyc += extra
+			entry = tlb.Entry{VPN: vpn, PFN: pte.PFN, Writable: pte.Writable, Tag: tag, Valid: true}
+			c.l2tlb.Insert(entry)
+			c.l1tlb.Insert(entry)
+		}
+	}
+	pa := memlayout.PA(entry.PFN<<memlayout.PageShift) + memlayout.PA(memlayout.PageOffset(va))
+	lat, _ := m.caches.Access(c.id, pa, false)
+	cyc += lat
+	m.bd.AddN(stats.CatBase, cyc, 0)
+	c.cycles += cyc
+	return true
+}
+
+// SetPerm implements trace.Sink.
+func (m *Machine) SetPerm(th core.ThreadID, d core.DomainID, p core.Perm, site core.SiteID) {
+	if m.inspector != nil && !m.inspector.Allow(site, th, d, p) {
+		m.ctr.DomainFaults++
+		m.recordFault(FaultRecord{Thread: th, Domain: d})
+		return
+	}
+	c := m.coreFor(th)
+	c.cycles += m.engine.SetPerm(c.id, th, d, p)
+}
+
+// Attach implements trace.Sink.
+func (m *Machine) Attach(d core.DomainID, r memlayout.Region, perm core.Perm) error {
+	if err := m.engine.Attach(d, r); err != nil {
+		return err
+	}
+	m.domains[d] = domainInfo{region: r, perm: perm}
+	return nil
+}
+
+// Detach implements trace.Sink.
+func (m *Machine) Detach(d core.DomainID) {
+	m.engine.Detach(d)
+	delete(m.domains, d)
+}
+
+// Fence implements trace.Sink: a persist barrier, present in the baseline
+// run too.
+func (m *Machine) Fence(th core.ThreadID) {
+	c := m.coreFor(th)
+	c.cycles += m.cfg.FenceCost
+	m.bd.AddN(stats.CatBase, m.cfg.FenceCost, 0)
+}
+
+func (m *Machine) recordFault(f FaultRecord) {
+	if len(m.faults) < m.cfg.MaxFaultRecords {
+		m.faults = append(m.faults, f)
+	}
+}
+
+// Faults returns the recorded fault diagnostics.
+func (m *Machine) Faults() []FaultRecord { return m.faults }
+
+// NumCores implements core.Hooks.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// FlushTLBRangeAll implements core.Hooks: the TLB shootdown primitive.
+func (m *Machine) FlushTLBRangeAll(r memlayout.Region) int {
+	total := 0
+	for _, c := range m.cores {
+		owe := func(vpn uint64) { c.debt.Owe(vpn) }
+		n1 := c.l1tlb.FlushRange(r, owe)
+		n2 := c.l2tlb.FlushRange(r, owe)
+		// L1 entries are a subset of L2's working set; count distinct
+		// pages as the L2 flush count plus any L1-only stragglers.
+		n := n2
+		if n1 > n2 {
+			n = n1
+		}
+		total += n
+	}
+	m.ctr.TLBFlushed += uint64(total)
+	return total
+}
+
+// PopulatedPages implements core.Hooks.
+func (m *Machine) PopulatedPages(r memlayout.Region) int {
+	return m.pt.PopulatedPages(r)
+}
+
+// SetPTEKeys implements core.Hooks.
+func (m *Machine) SetPTEKeys(r memlayout.Region, key uint8) int {
+	return m.pt.SetKey(r, key)
+}
+
+// ResetStats zeroes cycle counts, breakdowns, counters, and faults while
+// preserving warm microarchitectural state (TLBs, caches, page table,
+// engine tables). Call it after workload setup so measurements cover only
+// the measured operations, as the paper does.
+func (m *Machine) ResetStats() {
+	m.bd.Reset()
+	m.ctr = stats.Counters{}
+	m.faults = nil
+	for _, c := range m.cores {
+		c.cycles = 0
+		c.instRem = 0
+		c.active = false
+	}
+}
+
+// Result snapshots the run statistics. Cycles is the maximum across
+// active cores (parallel execution time); WorkSum is their sum.
+func (m *Machine) Result() stats.Result {
+	var maxc, sum uint64
+	for _, c := range m.cores {
+		if !c.active {
+			continue
+		}
+		sum += c.cycles
+		if c.cycles > maxc {
+			maxc = c.cycles
+		}
+	}
+	res := stats.Result{
+		Scheme:    m.engine.Name(),
+		Cycles:    maxc,
+		WorkSum:   sum,
+		Breakdown: m.bd,
+		Counters:  m.ctr,
+	}
+	l1h, _, l2h, _, _, _ := m.caches.Stats()
+	res.Counters.L1DHits = l1h
+	res.Counters.L2Hits = l2h
+	dr, dw, nr, nw := m.memory.Stats()
+	res.Counters.MemReads = dr + nr
+	res.Counters.MemWrites = dw + nw
+	res.Counters.NVMReads = nr
+	res.Counters.NVMWrites = nw
+	return res
+}
+
+var _ trace.Sink = (*Machine)(nil)
+var _ core.Hooks = (*Machine)(nil)

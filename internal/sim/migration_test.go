@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/memlayout"
+)
+
+// TestThreadMigration moves a thread between cores mid-run: per-thread
+// permissions must follow it (PKRU/PTLB reconstructed on the new core),
+// and a thread that never had permission stays locked out on any core.
+func TestThreadMigration(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeMPK, SchemeLibmpk, SchemeMPKVirt, SchemeDomainVirt} {
+		cfg := DefaultConfig()
+		cfg.Cores = 2
+		m := NewMachine(cfg, scheme)
+		r := memlayout.Region{Base: 0x2000_0000_0000, Size: 2 << 20}
+		if err := m.Attach(1, r, core.PermRW); err != nil {
+			t.Fatal(err)
+		}
+
+		m.SetAffinity(1, 0)
+		m.SetPerm(1, 1, core.PermRW, 1)
+		if !m.Access(1, r.Base, 8, true) {
+			t.Fatalf("%s: store denied before migration", scheme)
+		}
+
+		// Migrate thread 1 to core 1: its grant must follow.
+		m.SetAffinity(1, 1)
+		if !m.Access(1, r.Base+64, 8, true) {
+			t.Errorf("%s: permission lost across migration", scheme)
+		}
+
+		// Thread 2 follows onto core 0 (where thread 1's PKRU/PTLB
+		// lived): it must not inherit the grant.
+		m.SetAffinity(2, 0)
+		if m.Access(2, r.Base, 8, false) {
+			t.Errorf("%s: thread 2 inherited thread 1's permission on core 0", scheme)
+		}
+
+		res := m.Result()
+		if res.Counters.ContextSwitches == 0 {
+			t.Errorf("%s: migration recorded no context switches", scheme)
+		}
+	}
+}

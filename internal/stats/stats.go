@@ -1,0 +1,228 @@
+// Package stats provides cycle accounting with per-category attribution.
+// The categories match the overhead-breakdown rows of Table VII of the paper
+// plus the cost sources of the libmpk software baseline.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Category labels a source of protection-overhead cycles.
+type Category int
+
+// Overhead categories. CatBase holds the cycles the unprotected execution
+// would also pay (instructions, cache/TLB/memory); all other categories are
+// protection overhead on top of it.
+const (
+	CatBase Category = iota
+	// CatPermSwitch: WRPKRU / SETPERM permission-change instructions.
+	CatPermSwitch
+	// CatEntryChange: DTTLB/PTLB entry add/remove/modify operations.
+	CatEntryChange
+	// CatDTTMiss: DTTLB misses requiring a DTT walk.
+	CatDTTMiss
+	// CatTLBInval: TLB range invalidations after key remapping, including
+	// the induced TLB refill misses attributed via invalidation debt.
+	CatTLBInval
+	// CatPTLBMiss: PTLB misses requiring a Permission Table lookup.
+	CatPTLBMiss
+	// CatPTLBAccess: the 1-cycle PTLB lookup added to every domain access
+	// by the domain-virtualization design ("access latency" in Table VII).
+	CatPTLBAccess
+	// CatTrap: user→kernel protection-fault traps (libmpk eviction path).
+	CatTrap
+	// CatSyscall: pkey_* system-call entry/exit costs (libmpk).
+	CatSyscall
+	// CatPTEWrite: per-PTE protection-key rewrites done by pkey_mprotect
+	// (libmpk; proportional to the populated pages of the domain).
+	CatPTEWrite
+	// CatShootdown: inter-processor TLB-shootdown signalling (libmpk IPIs
+	// and the hardware Range_Flush broadcast of MPK virtualization).
+	CatShootdown
+	// CatFence: memory-fence serialization attached to SETPERM.
+	CatFence
+	numCategories
+)
+
+// NumCategories is the number of distinct accounting categories.
+const NumCategories = int(numCategories)
+
+var categoryNames = [NumCategories]string{
+	"base",
+	"permission change",
+	"entry changes",
+	"DTT misses",
+	"TLB invalidations",
+	"PTLB misses",
+	"access latency",
+	"traps",
+	"syscalls",
+	"PTE writes",
+	"shootdowns",
+	"fences",
+}
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	if c < 0 || int(c) >= NumCategories {
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// Breakdown accumulates cycles and event counts per category.
+type Breakdown struct {
+	Cycles [NumCategories]uint64
+	Counts [NumCategories]uint64
+}
+
+// Add charges n cycles (and one event) to category c.
+func (b *Breakdown) Add(c Category, n uint64) {
+	b.Cycles[c] += n
+	b.Counts[c]++
+}
+
+// AddN charges n cycles and k events to category c.
+func (b *Breakdown) AddN(c Category, n, k uint64) {
+	b.Cycles[c] += n
+	b.Counts[c] += k
+}
+
+// Total returns the total cycles across all categories.
+func (b *Breakdown) Total() uint64 {
+	var t uint64
+	for _, v := range b.Cycles {
+		t += v
+	}
+	return t
+}
+
+// OverheadCycles returns total cycles excluding CatBase.
+func (b *Breakdown) OverheadCycles() uint64 {
+	return b.Total() - b.Cycles[CatBase]
+}
+
+// Merge adds o into b.
+func (b *Breakdown) Merge(o *Breakdown) {
+	for i := range b.Cycles {
+		b.Cycles[i] += o.Cycles[i]
+		b.Counts[i] += o.Counts[i]
+	}
+}
+
+// Reset zeroes the breakdown.
+func (b *Breakdown) Reset() { *b = Breakdown{} }
+
+// Counters holds machine-level event counters for one simulation run.
+type Counters struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+
+	TLBL1Hits   uint64
+	TLBL2Hits   uint64
+	TLBMisses   uint64 // page walks
+	TLBFlushed  uint64 // entries removed by range invalidations
+	DebtRefills uint64 // TLB misses caused by invalidations
+
+	L1DHits   uint64
+	L2Hits    uint64
+	MemReads  uint64
+	MemWrites uint64
+	NVMReads  uint64
+	NVMWrites uint64
+
+	PermSwitches uint64
+	Evictions    uint64 // domain→key or PTLB evictions
+	DTTWalks     uint64
+	PTLBMisses   uint64
+	PTLBHits     uint64
+	DTTLBHits    uint64
+	DTTLBMisses  uint64
+
+	DomainFaults uint64
+	PageFaults   uint64
+
+	ContextSwitches uint64
+}
+
+// Merge adds o into c.
+func (c *Counters) Merge(o *Counters) {
+	c.Instructions += o.Instructions
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	c.TLBL1Hits += o.TLBL1Hits
+	c.TLBL2Hits += o.TLBL2Hits
+	c.TLBMisses += o.TLBMisses
+	c.TLBFlushed += o.TLBFlushed
+	c.DebtRefills += o.DebtRefills
+	c.L1DHits += o.L1DHits
+	c.L2Hits += o.L2Hits
+	c.MemReads += o.MemReads
+	c.MemWrites += o.MemWrites
+	c.NVMReads += o.NVMReads
+	c.NVMWrites += o.NVMWrites
+	c.PermSwitches += o.PermSwitches
+	c.Evictions += o.Evictions
+	c.DTTWalks += o.DTTWalks
+	c.PTLBMisses += o.PTLBMisses
+	c.PTLBHits += o.PTLBHits
+	c.DTTLBHits += o.DTTLBHits
+	c.DTTLBMisses += o.DTTLBMisses
+	c.DomainFaults += o.DomainFaults
+	c.PageFaults += o.PageFaults
+	c.ContextSwitches += o.ContextSwitches
+}
+
+// Result is the outcome of simulating one event stream under one scheme.
+type Result struct {
+	Scheme    string
+	Cycles    uint64 // total cycles (max across cores for multicore runs)
+	WorkSum   uint64 // sum of cycles across cores
+	Breakdown Breakdown
+	Counters  Counters
+}
+
+// OverheadPct returns the execution-time overhead of r relative to base,
+// in percent: 100 * (r.Cycles - base.Cycles) / base.Cycles.
+func (r Result) OverheadPct(base Result) float64 {
+	if base.Cycles == 0 {
+		return 0
+	}
+	return 100 * (float64(r.Cycles) - float64(base.Cycles)) / float64(base.Cycles)
+}
+
+// SwitchesPerSec returns permission switches per second of simulated time at
+// the given clock frequency in Hz.
+func (r Result) SwitchesPerSec(hz float64) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Counters.PermSwitches) * hz / float64(r.Cycles)
+}
+
+// FormatBreakdown renders the non-zero overhead categories as a short
+// human-readable list, largest first.
+func (r Result) FormatBreakdown() string {
+	type row struct {
+		c Category
+		v uint64
+	}
+	var rows []row
+	for i := 1; i < NumCategories; i++ {
+		if r.Breakdown.Cycles[i] > 0 {
+			rows = append(rows, row{Category(i), r.Breakdown.Cycles[i]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
+	var sb strings.Builder
+	for i, rw := range rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s=%d", rw.c, rw.v)
+	}
+	return sb.String()
+}

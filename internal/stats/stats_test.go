@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBreakdownAccounting(t *testing.T) {
+	var b Breakdown
+	b.Add(CatBase, 100)
+	b.Add(CatPermSwitch, 27)
+	b.AddN(CatTLBInval, 286, 1)
+	if b.Total() != 413 {
+		t.Errorf("Total = %d", b.Total())
+	}
+	if b.OverheadCycles() != 313 {
+		t.Errorf("OverheadCycles = %d", b.OverheadCycles())
+	}
+	if b.Counts[CatPermSwitch] != 1 {
+		t.Errorf("count = %d", b.Counts[CatPermSwitch])
+	}
+	var c Breakdown
+	c.Add(CatBase, 1)
+	c.Merge(&b)
+	if c.Total() != 414 {
+		t.Errorf("merged Total = %d", c.Total())
+	}
+	c.Reset()
+	if c.Total() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	for i := 0; i < NumCategories; i++ {
+		name := Category(i).String()
+		if name == "" || strings.HasPrefix(name, "Category(") {
+			t.Errorf("category %d has no name", i)
+		}
+	}
+	if !strings.HasPrefix(Category(99).String(), "Category(") {
+		t.Error("out-of-range category not flagged")
+	}
+}
+
+func TestResultOverhead(t *testing.T) {
+	base := Result{Cycles: 1000}
+	r := Result{Cycles: 1200}
+	if got := r.OverheadPct(base); got != 20 {
+		t.Errorf("OverheadPct = %v", got)
+	}
+	if got := r.OverheadPct(Result{}); got != 0 {
+		t.Errorf("zero-base OverheadPct = %v", got)
+	}
+}
+
+func TestSwitchesPerSec(t *testing.T) {
+	r := Result{Cycles: 2_200_000}
+	r.Counters.PermSwitches = 1000
+	// 1000 switches in 1 ms at 2.2 GHz = 1M/sec.
+	if got := r.SwitchesPerSec(2.2e9); got < 0.99e6 || got > 1.01e6 {
+		t.Errorf("SwitchesPerSec = %v", got)
+	}
+	if (Result{}).SwitchesPerSec(2.2e9) != 0 {
+		t.Error("zero-cycle rate must be 0")
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	a := Counters{Loads: 1, Stores: 2, TLBMisses: 3, PermSwitches: 4, DomainFaults: 5}
+	b := Counters{Loads: 10, Stores: 20, TLBMisses: 30, PermSwitches: 40, DomainFaults: 50}
+	a.Merge(&b)
+	if a.Loads != 11 || a.Stores != 22 || a.TLBMisses != 33 || a.PermSwitches != 44 || a.DomainFaults != 55 {
+		t.Errorf("merge = %+v", a)
+	}
+}
+
+func TestFormatBreakdown(t *testing.T) {
+	var r Result
+	r.Breakdown.Add(CatPermSwitch, 27)
+	r.Breakdown.Add(CatTLBInval, 286)
+	s := r.FormatBreakdown()
+	if !strings.Contains(s, "TLB invalidations") || !strings.Contains(s, "permission change") {
+		t.Errorf("FormatBreakdown = %q", s)
+	}
+	// Largest first.
+	if strings.Index(s, "TLB") > strings.Index(s, "permission") {
+		t.Errorf("not sorted: %q", s)
+	}
+}

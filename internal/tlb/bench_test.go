@@ -1,0 +1,39 @@
+package tlb
+
+import (
+	"testing"
+
+	"domainvirt/internal/memlayout"
+)
+
+func BenchmarkTLBLookupHit(b *testing.B) {
+	t := New(Config{Entries: 1536, Ways: 6})
+	for vpn := uint64(0); vpn < 1024; vpn++ {
+		t.Insert(Entry{VPN: vpn})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := t.Lookup(uint64(i) & 1023); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkTLBInsertEvict(b *testing.B) {
+	t := New(Config{Entries: 64, Ways: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(Entry{VPN: uint64(i)})
+	}
+}
+
+func BenchmarkTLBRangeFlush(b *testing.B) {
+	t := New(Config{Entries: 1536, Ways: 6})
+	r := memlayout.Region{Base: 0, Size: 32 * memlayout.PageSize}
+	for i := 0; i < b.N; i++ {
+		for vpn := uint64(0); vpn < 32; vpn++ {
+			t.Insert(Entry{VPN: vpn})
+		}
+		t.FlushRange(r, nil)
+	}
+}

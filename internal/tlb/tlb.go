@@ -1,0 +1,205 @@
+// Package tlb models set-associative translation lookaside buffers whose
+// entries carry, besides the translation, either a 4-bit protection key
+// (MPK and hardware MPK virtualization) or a 10-bit domain ID (hardware
+// domain virtualization). It provides the range invalidation (Range_Flush)
+// primitive used by key remapping and tracks "invalidation debt" so the
+// simulator can attribute refill misses caused by shootdowns.
+package tlb
+
+import (
+	"domainvirt/internal/memlayout"
+)
+
+// Entry is one TLB entry. Tag is scheme-defined: the protection key for
+// MPK-based schemes or the domain ID for domain virtualization; 0 means
+// domainless in both encodings.
+type Entry struct {
+	VPN      uint64
+	PFN      uint64
+	Writable bool
+	Tag      uint16
+	Valid    bool
+}
+
+// Config describes one TLB level.
+type Config struct {
+	Entries int
+	Ways    int
+}
+
+// TLB is a set-associative TLB with per-set LRU replacement.
+type TLB struct {
+	sets    [][]Entry
+	lru     [][]uint32 // per-way recency stamps
+	clock   uint32
+	ways    int
+	setMask uint64
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// New constructs a TLB. Entries must be a multiple of Ways and the set
+// count must be a power of two.
+func New(cfg Config) *TLB {
+	if cfg.Ways <= 0 || cfg.Entries <= 0 || cfg.Entries%cfg.Ways != 0 {
+		panic("tlb: invalid geometry")
+	}
+	nsets := cfg.Entries / cfg.Ways
+	if nsets&(nsets-1) != 0 {
+		panic("tlb: set count must be a power of two")
+	}
+	t := &TLB{
+		sets:    make([][]Entry, nsets),
+		lru:     make([][]uint32, nsets),
+		ways:    cfg.Ways,
+		setMask: uint64(nsets - 1),
+	}
+	for i := range t.sets {
+		t.sets[i] = make([]Entry, cfg.Ways)
+		t.lru[i] = make([]uint32, cfg.Ways)
+	}
+	return t
+}
+
+func (t *TLB) setOf(vpn uint64) int { return int(vpn & t.setMask) }
+
+// Lookup probes the TLB for vpn. On a hit it returns a pointer to the
+// entry (valid until the next mutation) and refreshes its recency.
+func (t *TLB) Lookup(vpn uint64) (*Entry, bool) {
+	si := t.setOf(vpn)
+	set := t.sets[si]
+	for w := range set {
+		if set[w].Valid && set[w].VPN == vpn {
+			t.clock++
+			t.lru[si][w] = t.clock
+			t.hits++
+			return &set[w], true
+		}
+	}
+	t.misses++
+	return nil, false
+}
+
+// Insert fills e into the TLB, evicting the LRU way if the set is full.
+// It returns the evicted entry, if any.
+func (t *TLB) Insert(e Entry) (victim Entry, evicted bool) {
+	e.Valid = true
+	si := t.setOf(e.VPN)
+	set := t.sets[si]
+	// Prefer an existing entry for the same VPN, then an invalid way.
+	way := -1
+	for w := range set {
+		if set[w].Valid && set[w].VPN == e.VPN {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		for w := range set {
+			if !set[w].Valid {
+				way = w
+				break
+			}
+		}
+	}
+	if way < 0 {
+		way = 0
+		oldest := t.lru[si][0]
+		for w := 1; w < t.ways; w++ {
+			if t.lru[si][w] < oldest {
+				oldest = t.lru[si][w]
+				way = w
+			}
+		}
+		victim, evicted = set[way], true
+		t.evictions++
+	}
+	set[way] = e
+	t.clock++
+	t.lru[si][way] = t.clock
+	return victim, evicted
+}
+
+// Invalidate removes the entry for vpn if present.
+func (t *TLB) Invalidate(vpn uint64) bool {
+	si := t.setOf(vpn)
+	set := t.sets[si]
+	for w := range set {
+		if set[w].Valid && set[w].VPN == vpn {
+			set[w].Valid = false
+			return true
+		}
+	}
+	return false
+}
+
+// FlushRange invalidates every entry whose page lies inside r, calling fn
+// (if non-nil) with each flushed VPN, and returns the number flushed. This
+// is the Range_Flush primitive of the hardware MPK-virtualization design.
+func (t *TLB) FlushRange(r memlayout.Region, fn func(vpn uint64)) int {
+	lo := memlayout.PageNum(r.Base)
+	hi := memlayout.PageNum(r.End() - 1)
+	n := 0
+	for si := range t.sets {
+		set := t.sets[si]
+		for w := range set {
+			if set[w].Valid && set[w].VPN >= lo && set[w].VPN <= hi {
+				if fn != nil {
+					fn(set[w].VPN)
+				}
+				set[w].Valid = false
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// FlushAll invalidates every entry and returns the number flushed.
+func (t *TLB) FlushAll() int {
+	n := 0
+	for si := range t.sets {
+		for w := range t.sets[si] {
+			if t.sets[si][w].Valid {
+				t.sets[si][w].Valid = false
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Stats returns (hits, misses, evictions).
+func (t *TLB) Stats() (hits, misses, evictions uint64) {
+	return t.hits, t.misses, t.evictions
+}
+
+// Debt tracks pages flushed by TLB invalidations so that the later refill
+// miss can be attributed to the invalidation ("subsequent TLB misses
+// resulting from TLB invalidations is also taken into account").
+type Debt struct {
+	pages map[uint64]struct{}
+}
+
+// NewDebt returns an empty debt set.
+func NewDebt() *Debt { return &Debt{pages: make(map[uint64]struct{})} }
+
+// Owe records that vpn was flushed by an invalidation.
+func (d *Debt) Owe(vpn uint64) { d.pages[vpn] = struct{}{} }
+
+// Settle reports whether vpn was owed, consuming the debt.
+func (d *Debt) Settle(vpn uint64) bool {
+	if _, ok := d.pages[vpn]; ok {
+		delete(d.pages, vpn)
+		return true
+	}
+	return false
+}
+
+// Len returns the number of outstanding owed pages.
+func (d *Debt) Len() int { return len(d.pages) }
+
+// Reset clears the debt set.
+func (d *Debt) Reset() { d.pages = make(map[uint64]struct{}) }

@@ -1,0 +1,180 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"domainvirt/internal/memlayout"
+)
+
+func TestLookupAfterInsert(t *testing.T) {
+	tl := New(Config{Entries: 64, Ways: 4})
+	tl.Insert(Entry{VPN: 100, PFN: 200, Writable: true, Tag: 7})
+	e, ok := tl.Lookup(100)
+	if !ok {
+		t.Fatal("inserted entry missing")
+	}
+	if e.PFN != 200 || e.Tag != 7 || !e.Writable {
+		t.Errorf("entry corrupted: %+v", e)
+	}
+	if _, ok := tl.Lookup(101); ok {
+		t.Error("phantom hit")
+	}
+}
+
+func TestInsertUpdatesExisting(t *testing.T) {
+	tl := New(Config{Entries: 64, Ways: 4})
+	tl.Insert(Entry{VPN: 5, Tag: 1})
+	tl.Insert(Entry{VPN: 5, Tag: 2})
+	e, _ := tl.Lookup(5)
+	if e.Tag != 2 {
+		t.Errorf("tag = %d, want updated 2", e.Tag)
+	}
+	// No duplicate: invalidating once removes it entirely.
+	tl.Invalidate(5)
+	if _, ok := tl.Lookup(5); ok {
+		t.Error("duplicate entry left behind")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct construction of a single-set TLB: 4 entries, 4 ways.
+	tl := New(Config{Entries: 4, Ways: 4})
+	for vpn := uint64(0); vpn < 4; vpn++ {
+		tl.Insert(Entry{VPN: vpn * 4}) // same set (set index = vpn & 0)
+	}
+	// Touch all but VPN 4 (the second insert).
+	tl.Lookup(0)
+	tl.Lookup(8)
+	tl.Lookup(12)
+	victim, evicted := tl.Insert(Entry{VPN: 16})
+	if !evicted || victim.VPN != 4 {
+		t.Errorf("evicted %+v, want LRU VPN 4", victim)
+	}
+}
+
+func TestFlushRangeExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tl := New(Config{Entries: 256, Ways: 4})
+		present := make(map[uint64]bool)
+		for i := 0; i < 128; i++ {
+			vpn := uint64(rng.Intn(512))
+			if v, ev := tl.Insert(Entry{VPN: vpn}); ev {
+				delete(present, v.VPN)
+			}
+			present[vpn] = true
+		}
+		lo := uint64(rng.Intn(256))
+		n := uint64(rng.Intn(256) + 1)
+		r := memlayout.Region{
+			Base: memlayout.VA(lo << memlayout.PageShift),
+			Size: n * memlayout.PageSize,
+		}
+		want := 0
+		for vpn := range present {
+			if vpn >= lo && vpn < lo+n {
+				want++
+			}
+		}
+		got := tl.FlushRange(r, nil)
+		if got != want {
+			return false
+		}
+		// In-range entries gone, out-of-range intact.
+		for vpn := range present {
+			_, ok := tl.Lookup(vpn)
+			inRange := vpn >= lo && vpn < lo+n
+			if inRange == ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlushRangeCallback(t *testing.T) {
+	tl := New(Config{Entries: 64, Ways: 4})
+	for vpn := uint64(10); vpn < 20; vpn++ {
+		tl.Insert(Entry{VPN: vpn})
+	}
+	var flushed []uint64
+	r := memlayout.Region{Base: 12 << memlayout.PageShift, Size: 4 * memlayout.PageSize}
+	n := tl.FlushRange(r, func(vpn uint64) { flushed = append(flushed, vpn) })
+	if n != 4 || len(flushed) != 4 {
+		t.Fatalf("flushed %d entries (callback %d), want 4", n, len(flushed))
+	}
+	for _, vpn := range flushed {
+		if vpn < 12 || vpn > 15 {
+			t.Errorf("callback vpn %d outside range", vpn)
+		}
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	tl := New(Config{Entries: 64, Ways: 4})
+	for vpn := uint64(0); vpn < 30; vpn++ {
+		tl.Insert(Entry{VPN: vpn})
+	}
+	if n := tl.FlushAll(); n != 30 {
+		t.Errorf("FlushAll = %d, want 30", n)
+	}
+	if n := tl.FlushAll(); n != 0 {
+		t.Errorf("second FlushAll = %d, want 0", n)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	tl := New(Config{Entries: 64, Ways: 4})
+	tl.Insert(Entry{VPN: 1})
+	tl.Lookup(1)
+	tl.Lookup(2)
+	h, m, _ := tl.Stats()
+	if h != 1 || m != 1 {
+		t.Errorf("stats = (%d,%d), want (1,1)", h, m)
+	}
+}
+
+func TestDebt(t *testing.T) {
+	d := NewDebt()
+	d.Owe(5)
+	d.Owe(5)
+	d.Owe(9)
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (dedup)", d.Len())
+	}
+	if !d.Settle(5) {
+		t.Error("owed page not settled")
+	}
+	if d.Settle(5) {
+		t.Error("double settle")
+	}
+	if d.Settle(1) {
+		t.Error("settled a page never owed")
+	}
+	d.Reset()
+	if d.Len() != 0 {
+		t.Error("reset left debt")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{Entries: 0, Ways: 1},
+		{Entries: 7, Ways: 2},
+		{Entries: 24, Ways: 4}, // 6 sets: not a power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}

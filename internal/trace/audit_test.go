@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/memlayout"
+)
+
+func TestAuditorWindowTracking(t *testing.T) {
+	a := NewAuditor(nil)
+	r := memlayout.Region{Base: 1 << 30, Size: 4096}
+	if err := a.Attach(1, r, core.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Attach(2, r, core.PermRW); err != nil {
+		t.Fatal(err)
+	}
+
+	a.SetPerm(1, 1, core.PermRW, 0)
+	a.SetPerm(1, 2, core.PermRW, 0)
+	if a.MaxWritable != 2 {
+		t.Errorf("MaxWritable = %d, want 2", a.MaxWritable)
+	}
+	a.SetPerm(1, 1, core.PermR, 0)
+	a.SetPerm(1, 2, core.PermNone, 0)
+	if got := a.Finish(); len(got) != 0 {
+		t.Errorf("balanced windows flagged: %v", got)
+	}
+	if a.Switches != 4 {
+		t.Errorf("Switches = %d", a.Switches)
+	}
+}
+
+func TestAuditorFlagsOpenWindow(t *testing.T) {
+	a := NewAuditor(nil)
+	a.SetPerm(3, 7, core.PermRW, 0)
+	findings := a.Finish()
+	if len(findings) != 1 || !strings.Contains(findings[0], "still write-enabled") {
+		t.Errorf("open window not flagged: %v", findings)
+	}
+}
+
+func TestAuditorFlagsDetachDuringWindow(t *testing.T) {
+	a := NewAuditor(nil)
+	a.SetPerm(1, 5, core.PermRW, 0)
+	a.Detach(5)
+	if len(a.Violations) != 1 || !strings.Contains(a.Violations[0], "detached while") {
+		t.Errorf("detach-during-window not flagged: %v", a.Violations)
+	}
+	// The window was force-closed; Finish adds nothing new.
+	if got := a.Finish(); len(got) != 1 {
+		t.Errorf("Finish = %v", got)
+	}
+}
+
+func TestAuditorPassesThrough(t *testing.T) {
+	var c Counter
+	a := NewAuditor(&c)
+	a.Instr(1, 5)
+	a.Access(1, 0x1000, 8, true)
+	a.Fence(1)
+	a.SetPerm(1, 1, core.PermRW, 0)
+	if c.Instrs != 5 || c.Stores != 1 || c.Fences != 1 || c.SetPerms != 1 {
+		t.Errorf("pass-through lost events: %+v", c)
+	}
+}

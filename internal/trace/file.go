@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/memlayout"
+)
+
+// Binary trace format: a 8-byte header ("PMOTRC" + 2-byte version),
+// followed by events. Each event is a kind byte followed by
+// varint-encoded fields. Access events delta-encode the VA against the
+// previous access of the same thread for compactness.
+
+var fileMagic = [8]byte{'P', 'M', 'O', 'T', 'R', 'C', 0, 1}
+
+// Event kinds on the wire.
+const (
+	evInstr uint8 = iota + 1
+	evLoad
+	evStore
+	evSetPerm
+	evAttach
+	evDetach
+	evFence
+	evFetch
+	evEnd
+)
+
+// Writer records an event stream to w in the binary trace format. It
+// implements Sink. Close must be called to flush the end marker.
+type Writer struct {
+	bw     *bufio.Writer
+	lastVA map[core.ThreadID]memlayout.VA
+	err    error
+	buf    [binary.MaxVarintLen64]byte
+}
+
+// NewWriter returns a trace Writer over w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw, lastVA: make(map[core.ThreadID]memlayout.VA)}, nil
+}
+
+func (w *Writer) putByte(b uint8) {
+	if w.err == nil {
+		w.err = w.bw.WriteByte(b)
+	}
+}
+
+func (w *Writer) putUvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutUvarint(w.buf[:], v)
+	_, w.err = w.bw.Write(w.buf[:n])
+}
+
+func (w *Writer) putVarint(v int64) {
+	if w.err != nil {
+		return
+	}
+	n := binary.PutVarint(w.buf[:], v)
+	_, w.err = w.bw.Write(w.buf[:n])
+}
+
+// Instr implements Sink.
+func (w *Writer) Instr(th core.ThreadID, n uint64) {
+	w.putByte(evInstr)
+	w.putUvarint(uint64(th))
+	w.putUvarint(n)
+}
+
+// Access implements Sink.
+func (w *Writer) Access(th core.ThreadID, va memlayout.VA, size uint32, write bool) bool {
+	kind := evLoad
+	if write {
+		kind = evStore
+	}
+	w.putByte(kind)
+	w.putUvarint(uint64(th))
+	w.putVarint(int64(va) - int64(w.lastVA[th]))
+	w.putUvarint(uint64(size))
+	w.lastVA[th] = va
+	return true
+}
+
+// Fetch implements Sink.
+func (w *Writer) Fetch(th core.ThreadID, va memlayout.VA) bool {
+	w.putByte(evFetch)
+	w.putUvarint(uint64(th))
+	w.putVarint(int64(va) - int64(w.lastVA[th]))
+	w.lastVA[th] = va
+	return true
+}
+
+// SetPerm implements Sink.
+func (w *Writer) SetPerm(th core.ThreadID, d core.DomainID, p core.Perm, site core.SiteID) {
+	w.putByte(evSetPerm)
+	w.putUvarint(uint64(th))
+	w.putUvarint(uint64(d))
+	w.putUvarint(uint64(p))
+	w.putUvarint(uint64(site))
+}
+
+// Attach implements Sink.
+func (w *Writer) Attach(d core.DomainID, r memlayout.Region, perm core.Perm) error {
+	w.putByte(evAttach)
+	w.putUvarint(uint64(d))
+	w.putUvarint(uint64(r.Base))
+	w.putUvarint(r.Size)
+	w.putUvarint(uint64(perm))
+	return w.err
+}
+
+// Detach implements Sink.
+func (w *Writer) Detach(d core.DomainID) {
+	w.putByte(evDetach)
+	w.putUvarint(uint64(d))
+}
+
+// Fence implements Sink.
+func (w *Writer) Fence(th core.ThreadID) {
+	w.putByte(evFence)
+	w.putUvarint(uint64(th))
+}
+
+// Close writes the end marker and flushes buffered data.
+func (w *Writer) Close() error {
+	w.putByte(evEnd)
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Replay reads a binary trace from r and feeds it to sink. It returns the
+// number of events replayed.
+func Replay(r io.Reader, sink Sink) (uint64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return 0, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if magic != fileMagic {
+		return 0, errors.New("trace: bad magic or unsupported version")
+	}
+	lastVA := make(map[core.ThreadID]memlayout.VA)
+	var n uint64
+	for {
+		kind, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				return n, errors.New("trace: truncated (missing end marker)")
+			}
+			return n, err
+		}
+		if kind == evEnd {
+			return n, nil
+		}
+		n++
+		switch kind {
+		case evInstr:
+			th, err := readUvarint(br)
+			if err != nil {
+				return n, err
+			}
+			cnt, err := readUvarint(br)
+			if err != nil {
+				return n, err
+			}
+			sink.Instr(core.ThreadID(th), cnt)
+		case evLoad, evStore:
+			th, err := readUvarint(br)
+			if err != nil {
+				return n, err
+			}
+			delta, err := binary.ReadVarint(br)
+			if err != nil {
+				return n, err
+			}
+			size, err := readUvarint(br)
+			if err != nil {
+				return n, err
+			}
+			tid := core.ThreadID(th)
+			va := memlayout.VA(int64(lastVA[tid]) + delta)
+			lastVA[tid] = va
+			sink.Access(tid, va, uint32(size), kind == evStore)
+		case evSetPerm:
+			th, err := readUvarint(br)
+			if err != nil {
+				return n, err
+			}
+			d, err := readUvarint(br)
+			if err != nil {
+				return n, err
+			}
+			p, err := readUvarint(br)
+			if err != nil {
+				return n, err
+			}
+			site, err := readUvarint(br)
+			if err != nil {
+				return n, err
+			}
+			sink.SetPerm(core.ThreadID(th), core.DomainID(d), core.Perm(p), core.SiteID(site))
+		case evAttach:
+			d, err := readUvarint(br)
+			if err != nil {
+				return n, err
+			}
+			base, err := readUvarint(br)
+			if err != nil {
+				return n, err
+			}
+			size, err := readUvarint(br)
+			if err != nil {
+				return n, err
+			}
+			perm, err := readUvarint(br)
+			if err != nil {
+				return n, err
+			}
+			r := memlayout.Region{Base: memlayout.VA(base), Size: size}
+			if err := sink.Attach(core.DomainID(d), r, core.Perm(perm)); err != nil {
+				return n, fmt.Errorf("trace: attach domain %d: %w", d, err)
+			}
+		case evDetach:
+			d, err := readUvarint(br)
+			if err != nil {
+				return n, err
+			}
+			sink.Detach(core.DomainID(d))
+		case evFence:
+			th, err := readUvarint(br)
+			if err != nil {
+				return n, err
+			}
+			sink.Fence(core.ThreadID(th))
+		case evFetch:
+			th, err := readUvarint(br)
+			if err != nil {
+				return n, err
+			}
+			delta, err := binary.ReadVarint(br)
+			if err != nil {
+				return n, err
+			}
+			tid := core.ThreadID(th)
+			va := memlayout.VA(int64(lastVA[tid]) + delta)
+			lastVA[tid] = va
+			sink.Fetch(tid, va)
+		default:
+			return n, fmt.Errorf("trace: unknown event kind %d", kind)
+		}
+	}
+}
+
+func readUvarint(br *bufio.Reader) (uint64, error) {
+	return binary.ReadUvarint(br)
+}

@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReplay hardens the binary trace reader against corrupt input: it
+// must return an error or succeed, never panic, on arbitrary bytes.
+func FuzzReplay(f *testing.F) {
+	// Seed with a small valid trace.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		f.Fatal(err)
+	}
+	emitSeed(w)
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("PMOTRC\x00\x01"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Replay(bytes.NewReader(data), Discard{})
+	})
+}
+
+func emitSeed(s Sink) {
+	s.Instr(1, 100)
+	s.Access(1, 0x1000, 8, true)
+	s.SetPerm(1, 2, 0, 3)
+	s.Fence(1)
+}

@@ -1,0 +1,171 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"domainvirt/internal/pmo"
+)
+
+// multiSetup builds a store with a coordinator and n participant pools,
+// each holding one u64 slot initialized to 100.
+func multiSetup(t *testing.T, n int) (*pmo.Store, *pmo.Pool, []*pmo.Pool, []uint32) {
+	t.Helper()
+	s := pmo.NewStore()
+	coord, err := s.Create("coord", 8<<20, pmo.ModeDefault, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pools []*pmo.Pool
+	var offs []uint32
+	for i := 0; i < n; i++ {
+		p, err := s.Create(poolName(i), 8<<20, pmo.ModeDefault, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := p.Alloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.WriteU64(o.Offset(), 100)
+		pools = append(pools, p)
+		offs = append(offs, o.Offset())
+	}
+	return s, coord, pools, offs
+}
+
+func poolName(i int) string {
+	return string(rune('a'+i)) + "-part"
+}
+
+func TestMultiTxCommit(t *testing.T) {
+	_, coord, pools, offs := multiSetup(t, 3)
+	tx, err := BeginMulti(coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pools {
+		if err := tx.WriteU64(p, offs[i], uint64(200+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read-your-writes across pools.
+	if got := tx.ReadU64(pools[1], offs[1]); got != 201 {
+		t.Errorf("RYW = %d", got)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pools {
+		if got := p.ReadU64(offs[i]); got != uint64(200+i) {
+			t.Errorf("pool %d = %d", i, got)
+		}
+	}
+	// All logs clean: new transactions can begin everywhere.
+	for _, p := range append(pools, coord) {
+		if _, err := Begin(p); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestMultiTxAbort(t *testing.T) {
+	_, coord, pools, offs := multiSetup(t, 2)
+	tx, _ := BeginMulti(coord)
+	_ = tx.WriteU64(pools[0], offs[0], 1)
+	_ = tx.WriteU64(pools[1], offs[1], 2)
+	tx.Abort()
+	for i, p := range pools {
+		if got := p.ReadU64(offs[i]); got != 100 {
+			t.Errorf("pool %d = %d after abort", i, got)
+		}
+	}
+	if err := tx.Commit(); err == nil {
+		t.Error("commit after abort succeeded")
+	}
+}
+
+func TestMultiTxCoordinatorNotParticipant(t *testing.T) {
+	_, coord, _, _ := multiSetup(t, 1)
+	tx, _ := BeginMulti(coord)
+	if err := tx.WriteU64(coord, 4096, 1); err == nil {
+		t.Error("write to the coordinator pool accepted")
+	}
+}
+
+// crashAndRecover runs a 3-pool transfer with an injected crash, then
+// recovers the whole store and checks atomicity.
+func crashAndRecover(t *testing.T, crash CrashPoint, wantApplied bool) {
+	t.Helper()
+	s, coord, pools, offs := multiSetup(t, 3)
+	tx, err := BeginMulti(coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.SetCrashPoint(crash)
+	for i, p := range pools {
+		if err := tx.WriteU64(p, offs[i], 777); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash %v did not fire: %v", crash, err)
+	}
+	redone, err := RecoverStore(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = redone
+	for i, p := range pools {
+		got := p.ReadU64(offs[i])
+		if wantApplied && got != 777 {
+			t.Errorf("crash %v: pool %d = %d, want 777 (committed)", crash, i, got)
+		}
+		if !wantApplied && got != 100 {
+			t.Errorf("crash %v: pool %d = %d, want 100 (aborted)", crash, i, got)
+		}
+	}
+	// Recovery leaves every log clean and idempotent.
+	if n, err := RecoverStore(s); err != nil || n != 0 {
+		t.Errorf("second recovery = (%d,%v)", n, err)
+	}
+	for _, p := range append(pools, coord) {
+		if _, err := Begin(p); err != nil {
+			t.Errorf("%s not clean after recovery: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestMultiTxCrashAfterPrepareAborts(t *testing.T) {
+	crashAndRecover(t, CrashAfterPrepare, false)
+}
+
+func TestMultiTxCrashAfterDecideRedoes(t *testing.T) {
+	crashAndRecover(t, CrashAfterDecide, true)
+}
+
+func TestMultiTxCrashMidApplyRedoes(t *testing.T) {
+	crashAndRecover(t, CrashMidApplyMulti, true)
+}
+
+func TestMultiTxAtomicityNeverTorn(t *testing.T) {
+	// Whatever the crash point, after recovery all three pools agree.
+	for _, crash := range []CrashPoint{CrashAfterPrepare, CrashAfterDecide, CrashMidApplyMulti} {
+		s, coord, pools, offs := multiSetup(t, 3)
+		tx, _ := BeginMulti(coord)
+		tx.SetCrashPoint(crash)
+		for i, p := range pools {
+			_ = tx.WriteU64(p, offs[i], 555)
+		}
+		_ = tx.Commit()
+		if _, err := RecoverStore(s); err != nil {
+			t.Fatal(err)
+		}
+		first := pools[0].ReadU64(offs[0])
+		for i, p := range pools {
+			if got := p.ReadU64(offs[i]); got != first {
+				t.Fatalf("crash %v: torn cross-pool state (%d vs %d)", crash, first, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package txn
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"domainvirt/internal/pmo"
+)
+
+// TestCrashRecoveryThroughFiles is the full restart path: the "NVM image"
+// at crash time is persisted to a pool file, the store is reopened from
+// disk (a new process), and recovery must still yield all-or-nothing.
+func TestCrashRecoveryThroughFiles(t *testing.T) {
+	for _, crash := range []CrashPoint{CrashBeforeCommit, CrashAfterCommit, CrashMidApply} {
+		dir := t.TempDir()
+		store, err := pmo.OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool, err := store.Create("bank", 8<<20, pmo.ModeDefault, "t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		acct, err := pool.Alloc(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.WriteU64(acct.Offset(), 500)
+		pool.WriteU64(acct.Offset()+8, 500)
+		pool.SetRoot(acct)
+		if err := store.Sync(); err != nil {
+			t.Fatal(err)
+		}
+
+		// A transfer transaction crashes mid-flight.
+		tx, err := Begin(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.SetCrashPoint(crash)
+		if err := tx.WriteU64(acct.Offset(), 400); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.WriteU64(acct.Offset()+8, 600); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); !errors.Is(err, ErrCrashed) {
+			t.Fatal("crash point did not fire")
+		}
+		if err := store.Sync(); err != nil { // the NVM image at power loss
+			t.Fatal(err)
+		}
+
+		// "Reboot": reopen from disk and recover.
+		store2, err := pmo.OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool2, ok := store2.Get("bank")
+		if !ok {
+			t.Fatal("pool lost across restart")
+		}
+		if _, err := Recover(pool2); err != nil {
+			t.Fatal(err)
+		}
+		root := pool2.Root()
+		a := pool2.ReadU64(root.Offset())
+		b := pool2.ReadU64(root.Offset() + 8)
+		if a+b != 1000 {
+			t.Fatalf("crash %v: money not conserved: %d + %d", crash, a, b)
+		}
+		allOld := a == 500 && b == 500
+		allNew := a == 400 && b == 600
+		if !allOld && !allNew {
+			t.Fatalf("crash %v: torn state (%d, %d)", crash, a, b)
+		}
+		if crash == CrashAfterCommit || crash == CrashMidApply {
+			if !allNew {
+				t.Errorf("crash %v: committed transfer lost", crash)
+			}
+		} else if !allOld {
+			t.Errorf("crash %v: uncommitted transfer applied", crash)
+		}
+	}
+}
+
+// TestRecoveryIdempotentAcrossRestarts: crash during recovery itself
+// (modeled as recover → re-sync → reopen → recover again) must converge.
+func TestRecoveryIdempotentAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	store, _ := pmo.OpenStore(dir)
+	pool, _ := store.Create("p", 8<<20, pmo.ModeDefault, "t")
+	o, _ := pool.Alloc(64)
+	tx, _ := Begin(pool)
+	tx.SetCrashPoint(CrashAfterCommit)
+	_ = tx.WriteU64(o.Offset(), 7)
+	_ = tx.Commit()
+	_ = store.Sync()
+
+	for round := 0; round < 3; round++ {
+		s, err := pmo.OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := s.Get("p")
+		if _, err := Recover(p); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.ReadU64(o.Offset()); got != 7 {
+			t.Fatalf("round %d: value %d", round, got)
+		}
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestManyTransactionsSurviveRestart runs a random committed workload,
+// persists, reopens, and verifies every committed value.
+func TestManyTransactionsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, _ := pmo.OpenStore(dir)
+	pool, _ := store.Create("p", 8<<20, pmo.ModeDefault, "t")
+	slab, _ := pool.Alloc(8 * 256)
+	rng := rand.New(rand.NewSource(8))
+	want := make(map[uint32]uint64)
+	for i := 0; i < 200; i++ {
+		tx, err := Begin(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := rng.Intn(5) + 1
+		staged := make(map[uint32]uint64, n)
+		for j := 0; j < n; j++ {
+			off := slab.Offset() + uint32(rng.Intn(256))*8
+			v := rng.Uint64()
+			if err := tx.WriteU64(off, v); err != nil {
+				t.Fatal(err)
+			}
+			staged[off] = v
+		}
+		if rng.Intn(4) == 0 {
+			tx.Abort()
+			continue
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		for off, v := range staged {
+			want[off] = v
+		}
+	}
+	if err := store.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, _ := pmo.OpenStore(dir)
+	pool2, _ := store2.Get("p")
+	if _, err := Recover(pool2); err != nil {
+		t.Fatal(err)
+	}
+	for off, v := range want {
+		if got := pool2.ReadU64(off); got != v {
+			t.Fatalf("offset %#x: %d, want %d", off, got, v)
+		}
+	}
+}

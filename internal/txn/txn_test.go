@@ -1,0 +1,256 @@
+package txn
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"domainvirt/internal/pmo"
+)
+
+func newPool(t *testing.T) *pmo.Pool {
+	t.Helper()
+	s := pmo.NewStore()
+	p, err := s.Create("t", 8<<20, pmo.ModeDefault, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCommitAppliesWrites(t *testing.T) {
+	p := newPool(t)
+	o, _ := p.Alloc(64)
+	tx, err := Begin(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.WriteU64(o.Offset(), 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.WriteU64(o.Offset()+8, 9); err != nil {
+		t.Fatal(err)
+	}
+	// Read-your-writes before commit; home location still old.
+	if tx.ReadU64(o.Offset()) != 7 {
+		t.Error("read-your-writes failed")
+	}
+	if p.ReadU64(o.Offset()) != 0 {
+		t.Error("write leaked to home before commit")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ReadU64(o.Offset()) != 7 || p.ReadU64(o.Offset()+8) != 9 {
+		t.Error("committed writes not applied")
+	}
+	// Log is clean: a new transaction can begin.
+	tx2, err := Begin(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2.Abort()
+}
+
+func TestAbortDiscards(t *testing.T) {
+	p := newPool(t)
+	o, _ := p.Alloc(64)
+	p.WriteU64(o.Offset(), 42)
+	tx, _ := Begin(p)
+	if err := tx.WriteU64(o.Offset(), 999); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if p.ReadU64(o.Offset()) != 42 {
+		t.Error("aborted write reached home location")
+	}
+	if err := tx.Commit(); err == nil {
+		t.Error("commit after abort succeeded")
+	}
+}
+
+func TestCrashBeforeCommitDiscardsOnRecovery(t *testing.T) {
+	p := newPool(t)
+	o, _ := p.Alloc(64)
+	p.WriteU64(o.Offset(), 1)
+	tx, _ := Begin(p)
+	tx.SetCrashPoint(CrashBeforeCommit)
+	if err := tx.WriteU64(o.Offset(), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Commit = %v, want ErrCrashed", err)
+	}
+	redone, err := Recover(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if redone {
+		t.Error("uncommitted transaction redone")
+	}
+	if p.ReadU64(o.Offset()) != 1 {
+		t.Error("uncommitted write survived crash")
+	}
+}
+
+func TestCrashAfterCommitRedoesOnRecovery(t *testing.T) {
+	p := newPool(t)
+	o, _ := p.Alloc(64)
+	tx, _ := Begin(p)
+	tx.SetCrashPoint(CrashAfterCommit)
+	if err := tx.WriteU64(o.Offset(), 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Commit = %v", err)
+	}
+	if p.ReadU64(o.Offset()) == 5 {
+		t.Fatal("write applied despite crash before apply")
+	}
+	redone, err := Recover(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !redone {
+		t.Error("committed transaction not redone")
+	}
+	if p.ReadU64(o.Offset()) != 5 {
+		t.Error("redo lost the committed write")
+	}
+}
+
+func TestCrashMidApplyIsIdempotent(t *testing.T) {
+	p := newPool(t)
+	o, _ := p.Alloc(256)
+	tx, _ := Begin(p)
+	tx.SetCrashPoint(CrashMidApply)
+	for i := uint32(0); i < 8; i++ {
+		if err := tx.WriteU64(o.Offset()+i*8, uint64(i+100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Commit = %v", err)
+	}
+	if _, err := Recover(p); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 8; i++ {
+		if got := p.ReadU64(o.Offset() + i*8); got != uint64(i+100) {
+			t.Errorf("slot %d = %d after recovery", i, got)
+		}
+	}
+	// Recovering twice is harmless.
+	if redone, err := Recover(p); err != nil || redone {
+		t.Errorf("second Recover = (%v,%v)", redone, err)
+	}
+}
+
+func TestBeginBlockedByUnrecoveredLog(t *testing.T) {
+	p := newPool(t)
+	o, _ := p.Alloc(64)
+	tx, _ := Begin(p)
+	tx.SetCrashPoint(CrashAfterCommit)
+	_ = tx.WriteU64(o.Offset(), 1)
+	_ = tx.Commit()
+	if _, err := Begin(p); err == nil {
+		t.Error("Begin succeeded over a committed-but-unapplied log")
+	}
+	if _, err := Recover(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Begin(p); err != nil {
+		t.Errorf("Begin after recovery: %v", err)
+	}
+}
+
+func TestLogFull(t *testing.T) {
+	p := newPool(t)
+	o, _ := p.Alloc(1 << 10)
+	tx, _ := Begin(p)
+	big := make([]byte, 4096)
+	var err error
+	for i := 0; i < 100; i++ {
+		if err = tx.Write(o.Offset(), big); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Error("log never filled")
+	}
+}
+
+func TestLastWriterWinsWithinTx(t *testing.T) {
+	p := newPool(t)
+	o, _ := p.Alloc(64)
+	tx, _ := Begin(p)
+	_ = tx.WriteU64(o.Offset(), 1)
+	_ = tx.WriteU64(o.Offset(), 2)
+	_ = tx.WriteU64(o.Offset(), 3)
+	if tx.ReadU64(o.Offset()) != 3 {
+		t.Error("read-your-writes returned stale value")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ReadU64(o.Offset()) != 3 {
+		t.Error("last write did not win")
+	}
+}
+
+// TestCrashConsistencyProperty: for random write sets and any crash
+// point, recovery yields either all of the transaction or none of it.
+func TestCrashConsistencyProperty(t *testing.T) {
+	f := func(seed int64, crashRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		crash := CrashPoint(crashRaw%3) + CrashBeforeCommit
+		s := pmo.NewStore()
+		p, err := s.Create("t", 8<<20, pmo.ModeDefault, "q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, _ := p.Alloc(4096)
+		// Initial state.
+		n := rng.Intn(20) + 1
+		offs := make([]uint32, n)
+		for i := range offs {
+			offs[i] = o.Offset() + uint32(rng.Intn(500))*8
+			p.WriteU64(offs[i], uint64(i))
+		}
+		before := make([]uint64, n)
+		for i, off := range offs {
+			before[i] = p.ReadU64(off)
+		}
+		tx, err := Begin(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.SetCrashPoint(crash)
+		for _, off := range offs {
+			if err := tx.WriteU64(off, uint64(off)*3+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tx.Commit(); !errors.Is(err, ErrCrashed) {
+			t.Fatal("crash point did not fire")
+		}
+		if _, err := Recover(p); err != nil {
+			t.Fatal(err)
+		}
+		allNew, allOld := true, true
+		for i, off := range offs {
+			got := p.ReadU64(off)
+			if got != uint64(off)*3+1 {
+				allNew = false
+			}
+			if got != before[i] {
+				allOld = false
+			}
+		}
+		return allNew || allOld
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

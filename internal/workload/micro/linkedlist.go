@@ -1,0 +1,211 @@
+package micro
+
+import (
+	"fmt"
+
+	"domainvirt/internal/pmo"
+	"domainvirt/internal/workload"
+)
+
+// Linked-list node layout: key u64, next OID, then the value payload.
+const (
+	llKey  = 0
+	llNext = 8
+	llHdr  = 16
+)
+
+// LinkedList is a sorted persistent singly-linked list whose nodes are
+// scattered across pools — the worst-locality microbenchmark: "each node
+// access could cause a TLB miss". The key universe is bounded so the
+// steady-state traversal length stays in the hundreds.
+type LinkedList struct {
+	mp       *MultiPool
+	home     *pmo.Pool
+	keyspace uint64
+	nodeSize uint64
+}
+
+// llKeyspace bounds the list length: duplicates update in place.
+func llKeyspace(initialElems int) uint64 {
+	ks := uint64(initialElems / 4)
+	if ks < 64 {
+		ks = 64
+	}
+	if ks > 512 {
+		ks = 512
+	}
+	return ks
+}
+
+// NewLinkedList wraps mp as a sorted list; the head OID lives in the home
+// pool's root slot.
+func NewLinkedList(mp *MultiPool, env *workload.Env) *LinkedList {
+	return NewLinkedListHomed(mp, env, mp.Home())
+}
+
+// NewLinkedListHomed roots the list head in an explicit pool.
+func NewLinkedListHomed(mp *MultiPool, env *workload.Env, home *pmo.Pool) *LinkedList {
+	return &LinkedList{
+		mp:       mp,
+		home:     home,
+		keyspace: llKeyspace(env.P.InitialElems),
+		nodeSize: llHdr + uint64(env.P.ValueSize),
+	}
+}
+
+func (t *LinkedList) head() pmo.OID { return t.home.Root() }
+
+func (t *LinkedList) setHead(ctx *OpCtx, o pmo.OID) {
+	ctx.EnsureWrite(t.home)
+	t.home.SetRoot(o)
+}
+
+// Insert adds key in sorted position (updating in place on duplicates).
+func (t *LinkedList) Insert(ctx *OpCtx, key uint64) error {
+	var prev pmo.OID
+	cur := t.head()
+	for !cur.IsNull() {
+		k := ctx.R8(cur, llKey)
+		if k == key {
+			ctx.WriteValue(cur, llHdr, key)
+			return nil
+		}
+		if k > key {
+			break
+		}
+		prev = cur
+		cur = ctx.ROID(cur, llNext)
+	}
+	n, err := ctx.Alloc(t.nodeSize)
+	if err != nil {
+		return err
+	}
+	ctx.W8(n, llKey, key)
+	ctx.WOID(n, llNext, cur)
+	ctx.WriteValue(n, llHdr, key)
+	if prev.IsNull() {
+		t.setHead(ctx, n)
+	} else {
+		ctx.WOID(prev, llNext, n)
+	}
+	return nil
+}
+
+// Delete unlinks and frees key's node; a miss is a pure traversal.
+func (t *LinkedList) Delete(ctx *OpCtx, key uint64) (bool, error) {
+	var prev pmo.OID
+	cur := t.head()
+	for !cur.IsNull() {
+		k := ctx.R8(cur, llKey)
+		if k == key {
+			next := ctx.ROID(cur, llNext)
+			if prev.IsNull() {
+				t.setHead(ctx, next)
+			} else {
+				ctx.WOID(prev, llNext, next)
+			}
+			return true, ctx.Free(cur)
+		}
+		if k > key {
+			return false, nil
+		}
+		prev = cur
+		cur = ctx.ROID(cur, llNext)
+	}
+	return false, nil
+}
+
+// Keys returns the list's keys in order (tests).
+func (t *LinkedList) Keys(ctx *OpCtx) []uint64 {
+	var out []uint64
+	for cur := t.head(); !cur.IsNull(); cur = ctx.ROID(cur, llNext) {
+		out = append(out, ctx.R8(cur, llKey))
+	}
+	return out
+}
+
+// Validate checks strict sorted order.
+func (t *LinkedList) Validate(ctx *OpCtx) error {
+	keys := t.Keys(ctx)
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			return fmt.Errorf("linkedlist: unsorted at %d (%d >= %d)", i, keys[i-1], keys[i])
+		}
+	}
+	return nil
+}
+
+// llWorkload is the registered "ll" benchmark.
+type llWorkload struct {
+	mp    *MultiPool
+	list  *LinkedList
+	lists []*LinkedList // per-pool placement ablation
+}
+
+func init() {
+	workload.Register("ll", func() workload.Workload { return &llWorkload{} })
+}
+
+// Name implements workload.Workload.
+func (w *llWorkload) Name() string { return "ll" }
+
+// Setup implements workload.Workload.
+func (w *llWorkload) Setup(env *workload.Env) error {
+	mp, err := SetupPools(env, "ll")
+	if err != nil {
+		return err
+	}
+	w.mp = mp
+	ctx := NewOpCtx(env, mp)
+	if env.P.PerPool() {
+		for _, p := range mp.Pools {
+			ls := NewLinkedListHomed(mp, env, p)
+			ctx.Pin = p
+			for i := 0; i < env.P.InitialElems; i++ {
+				if err := ls.Insert(ctx, randomKey(env, ls.keyspace)); err != nil {
+					return err
+				}
+				ctx.End()
+			}
+			w.lists = append(w.lists, ls)
+		}
+		ctx.Pin = nil
+		return nil
+	}
+	w.list = NewLinkedList(mp, env)
+	for i := 0; i < env.P.InitialElems; i++ {
+		if err := w.list.Insert(ctx, randomKey(env, w.list.keyspace)); err != nil {
+			return err
+		}
+		ctx.End()
+	}
+	return nil
+}
+
+// Run implements workload.Workload.
+func (w *llWorkload) Run(env *workload.Env) error {
+	ctx := NewOpCtx(env, w.mp)
+	for i := 0; i < env.P.Ops; i++ {
+		env.Space.Thread = opThread(env, i)
+		env.Space.Instr(env.P.InstrPerOp)
+		list := w.list
+		if env.P.PerPool() {
+			idx := env.Rng.Intn(len(w.lists))
+			list = w.lists[idx]
+			ctx.Pin = w.mp.Pools[idx]
+		}
+		key := randomKey(env, list.keyspace)
+		if env.Rng.Intn(100) < 90 {
+			if err := list.Insert(ctx, key); err != nil {
+				return err
+			}
+		} else {
+			if _, err := list.Delete(ctx, key); err != nil {
+				return err
+			}
+		}
+		ctx.End()
+		ctx.Pin = nil
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+// Package server implements the paper's motivating scenario as a
+// measurable multithreaded workload: a server process where every client
+// session lives in its own PMO/domain ("allocating different users' data
+// in separate domains improves security by isolating each user data from
+// other threads"). Handler threads own disjoint client partitions; each
+// request opens a least-privilege write window on exactly one client's
+// domain, updates the session, appends to the client's activity log, and
+// closes the window.
+//
+// With NumPMOs clients and Threads handlers, this is the workload that
+// motivates thousands of simultaneous domains — and, on multicore
+// configurations, it exposes the TLB-shootdown scaling difference
+// between the two hardware designs.
+package server
+
+import (
+	"fmt"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/pmo"
+	"domainvirt/internal/workload"
+)
+
+// Session record layout inside each client pool.
+const (
+	sessSeq     = 0  // request counter
+	sessBalance = 8  // mutable state
+	sessBlob    = 16 // payload (ValueSize bytes)
+)
+
+type serverWorkload struct {
+	clients []*pmo.Pool
+	session []pmo.OID // session record per client
+	logs    []pmo.OID // activity log slab per client
+	logOff  []uint32  // cursor per client
+	logCap  uint32
+}
+
+func init() {
+	workload.Register("server", func() workload.Workload { return &serverWorkload{} })
+}
+
+// Name implements workload.Workload.
+func (w *serverWorkload) Name() string { return "server" }
+
+// Setup implements workload.Workload: one pool per client, one handler
+// thread per partition; each handler is granted read permission only for
+// its own clients (least privilege across threads).
+func (w *serverWorkload) Setup(env *workload.Env) error {
+	w.logCap = 4096
+	for i := 0; i < env.P.NumPMOs; i++ {
+		p, err := env.Store.Create(fmt.Sprintf("client-%04d", i), env.P.PoolSize, pmo.ModeDefault, "server")
+		if err != nil {
+			return err
+		}
+		if _, err := env.Space.Attach(p, core.PermRW, ""); err != nil {
+			return err
+		}
+		w.clients = append(w.clients, p)
+
+		// The owning handler initializes the session inside a window.
+		th := w.handlerOf(env, i)
+		env.Space.Thread = th
+		if err := env.Space.SetPerm(p, core.PermRW, workload.SiteOpEnable); err != nil {
+			return err
+		}
+		sess, err := p.Alloc(uint64(sessBlob + env.P.ValueSize))
+		if err != nil {
+			return err
+		}
+		p.SetRoot(sess)
+		p.WriteU64(sess.Offset()+sessBalance, 1000)
+		logSlab, err := p.Alloc(uint64(w.logCap))
+		if err != nil {
+			return err
+		}
+		w.session = append(w.session, sess)
+		w.logs = append(w.logs, logSlab)
+		w.logOff = append(w.logOff, 0)
+		if err := env.Space.SetPerm(p, core.PermNone, workload.SiteOpDisable); err != nil {
+			return err
+		}
+	}
+	env.Space.Thread = 1
+	return nil
+}
+
+// handlerOf statically partitions clients over handler threads.
+func (w *serverWorkload) handlerOf(env *workload.Env, client int) core.ThreadID {
+	return core.ThreadID(1 + client%env.P.Threads)
+}
+
+// Run implements workload.Workload: each request serves one random
+// client on its owning handler thread.
+func (w *serverWorkload) Run(env *workload.Env) error {
+	nclients := len(w.clients)
+	for i := 0; i < env.P.Ops; i++ {
+		client := env.Rng.Intn(nclients)
+		th := w.handlerOf(env, client)
+		env.Space.Thread = th
+		env.Space.Instr(env.P.InstrPerOp)
+
+		p := w.clients[client]
+		sess := w.session[client]
+		if err := env.Space.SetPerm(p, core.PermRW, workload.SiteOpEnable); err != nil {
+			return err
+		}
+
+		// Read-modify-write the session under the open window.
+		seq := p.ReadU64(sess.Offset() + sessSeq)
+		bal := p.ReadU64(sess.Offset() + sessBalance)
+		p.WriteU64(sess.Offset()+sessSeq, seq+1)
+		delta := uint64(env.Rng.Intn(100))
+		p.WriteU64(sess.Offset()+sessBalance, bal+delta)
+
+		// Append a 32-byte activity record; persist before closing.
+		off := w.logs[client].Offset() + w.logOff[client]
+		p.WriteU64(off, seq+1)
+		p.WriteU64(off+8, delta)
+		p.WriteU64(off+16, uint64(client))
+		p.WriteU64(off+24, uint64(th))
+		env.Space.Fence()
+		w.logOff[client] += 32
+		if w.logOff[client]+32 > w.logCap {
+			w.logOff[client] = 0
+		}
+
+		if err := env.Space.SetPerm(p, core.PermNone, workload.SiteOpDisable); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SessionSeq returns the request count recorded in client's session
+// (tests).
+func (w *serverWorkload) SessionSeq(client int) uint64 {
+	p := w.clients[client]
+	return p.ReadU64(w.session[client].Offset() + sessSeq)
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"testing"
+
+	"domainvirt/internal/trace"
+	"domainvirt/internal/workload"
+)
+
+func TestServerWorkloadRuns(t *testing.T) {
+	w, err := workload.New("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c trace.Counter
+	a := trace.NewAuditor(&c)
+	env := workload.NewEnv(a, workload.Params{
+		NumPMOs: 32, Ops: 400, Threads: 4, Seed: 6,
+	})
+	if err := w.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	if c.Attaches != 32 {
+		t.Errorf("attaches = %d", c.Attaches)
+	}
+	if c.Fences == 0 {
+		t.Error("no persist barriers")
+	}
+	// The server discipline keeps exactly one client domain write-open
+	// at a time.
+	if a.MaxWritable != 1 {
+		t.Errorf("peak write-enabled domains = %d, want 1", a.MaxWritable)
+	}
+	if got := a.Finish(); len(got) != 0 {
+		t.Errorf("window discipline violations: %v", got)
+	}
+
+	// Request counts add up: total ops distributed over clients.
+	sw := w.(*serverWorkload)
+	var total uint64
+	for i := range sw.clients {
+		total += sw.SessionSeq(i)
+	}
+	if total != 400 {
+		t.Errorf("session seq total = %d, want 400", total)
+	}
+}
+
+func TestServerDeterministic(t *testing.T) {
+	run := func() trace.Counter {
+		var c trace.Counter
+		w, _ := workload.New("server")
+		env := workload.NewEnv(&c, workload.Params{NumPMOs: 16, Ops: 200, Threads: 2, Seed: 3})
+		if err := w.Setup(env); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(env); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("server workload nondeterministic: %+v vs %+v", a, b)
+	}
+}

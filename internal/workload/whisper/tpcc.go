@@ -1,0 +1,184 @@
+package whisper
+
+import (
+	"encoding/binary"
+
+	"domainvirt/internal/pmo"
+	"domainvirt/internal/workload"
+)
+
+// tpccWorkload models WHISPER's N-store-based TPC-C benchmark as a
+// persistent multi-table database inside one PMO: fixed-layout WAREHOUSE,
+// DISTRICT, CUSTOMER, ITEM and STOCK tables, plus an append-only ORDERS
+// log. Transactions follow the TPC-C mix the paper's configuration
+// implies ("80% writes"): new-order (reads items, decrements stock,
+// appends the order) and payment (updates warehouse, district and
+// customer balances), with a sprinkle of read-only order-status queries.
+type tpccWorkload struct {
+	g *Guard
+
+	warehouses tpccTable
+	districts  tpccTable
+	customers  tpccTable
+	items      tpccTable
+	stock      tpccTable
+	orders     *Log
+
+	nWarehouse int
+	nDistrict  int // per warehouse
+	nCustomer  int // per district
+	nItem      int
+}
+
+// tpccTable is one fixed-layout table: rows of rowSize bytes at base.
+type tpccTable struct {
+	base    pmo.OID
+	rowSize uint32
+	rows    int
+}
+
+func (t *tpccTable) rowOff(i int) uint32 {
+	return t.base.Offset() + uint32(i)*t.rowSize
+}
+
+// Row field offsets (u64 slots).
+const (
+	wYTD = 0 // warehouse year-to-date balance
+
+	dYTD     = 0 // district YTD
+	dNextOID = 8 // district next order id
+
+	cBalance  = 0 // customer balance
+	cPayments = 8 // customer payment count
+
+	iPrice = 0 // item price
+
+	sQuantity = 0 // stock quantity
+	sYTD      = 8 // stock YTD
+)
+
+func (w *tpccWorkload) Name() string { return "tpcc" }
+
+func (w *tpccWorkload) allocTable(rows int, rowSize uint32) (tpccTable, error) {
+	base, err := w.g.Alloc(uint64(rows) * uint64(rowSize))
+	if err != nil {
+		return tpccTable{}, err
+	}
+	return tpccTable{base: base, rowSize: rowSize, rows: rows}, nil
+}
+
+// Setup implements workload.Workload: lay out the database and seed it.
+func (w *tpccWorkload) Setup(env *workload.Env) error {
+	pool, err := setupPool(env, "tpcc")
+	if err != nil {
+		return err
+	}
+	w.g = NewGuard(env, pool, padTPCC)
+	w.nWarehouse = 4
+	w.nDistrict = 10
+	w.nCustomer = 120
+	w.nItem = 8192
+
+	if w.warehouses, err = w.allocTable(w.nWarehouse, 64); err != nil {
+		return err
+	}
+	if w.districts, err = w.allocTable(w.nWarehouse*w.nDistrict, 64); err != nil {
+		return err
+	}
+	if w.customers, err = w.allocTable(w.nWarehouse*w.nDistrict*w.nCustomer, 64); err != nil {
+		return err
+	}
+	if w.items, err = w.allocTable(w.nItem, 64); err != nil {
+		return err
+	}
+	if w.stock, err = w.allocTable(w.nWarehouse*w.nItem, 64); err != nil {
+		return err
+	}
+	if w.orders, err = NewLog(w.g, 1<<20); err != nil {
+		return err
+	}
+
+	// Seed prices and stock levels (sparse: every 8th row touched keeps
+	// setup fast while leaving realistic page population).
+	for i := 0; i < w.nItem; i += 8 {
+		w.g.Store8(w.items.rowOff(i)+iPrice, uint64(100+i%900))
+	}
+	for i := 0; i < w.nWarehouse*w.nItem; i += 8 {
+		w.g.Store8(w.stock.rowOff(i)+sQuantity, 1000)
+	}
+	return nil
+}
+
+// newOrder is a TPC-C new-order transaction: 5–10 order lines, each
+// reading an item's price and decrementing its stock, then the order is
+// appended durably and the district's order counter bumped.
+func (w *tpccWorkload) newOrder(env *workload.Env) {
+	wid := env.Rng.Intn(w.nWarehouse)
+	did := wid*w.nDistrict + env.Rng.Intn(w.nDistrict)
+	lines := 5 + env.Rng.Intn(6)
+	order := make([]byte, 16+16*lines)
+
+	var total uint64
+	for l := 0; l < lines; l++ {
+		item := env.Rng.Intn(w.nItem)
+		price := w.g.Load8(w.items.rowOff(item) + iPrice)
+		sRow := w.stock.rowOff(wid*w.nItem + item)
+		q := w.g.Load8(sRow + sQuantity)
+		if q < 10 {
+			q += 91 // restock, per TPC-C
+		}
+		w.g.Store8(sRow+sQuantity, q-1)
+		w.g.Store8(sRow+sYTD, w.g.Load8(sRow+sYTD)+1)
+		total += price
+		binary.LittleEndian.PutUint64(order[16+16*l:], uint64(item))
+		binary.LittleEndian.PutUint64(order[24+16*l:], price)
+	}
+	oid := w.g.Load8(w.districts.rowOff(did) + dNextOID)
+	w.g.Store8(w.districts.rowOff(did)+dNextOID, oid+1)
+	binary.LittleEndian.PutUint64(order[0:], oid)
+	binary.LittleEndian.PutUint64(order[8:], total)
+	w.orders.Append(order)
+}
+
+// payment is a TPC-C payment transaction: warehouse, district and
+// customer balances move together.
+func (w *tpccWorkload) payment(env *workload.Env) {
+	wid := env.Rng.Intn(w.nWarehouse)
+	did := wid*w.nDistrict + env.Rng.Intn(w.nDistrict)
+	cid := did*w.nCustomer + env.Rng.Intn(w.nCustomer)
+	amount := uint64(1 + env.Rng.Intn(5000))
+
+	wRow := w.warehouses.rowOff(wid)
+	w.g.Store8(wRow+wYTD, w.g.Load8(wRow+wYTD)+amount)
+	dRow := w.districts.rowOff(did)
+	w.g.Store8(dRow+dYTD, w.g.Load8(dRow+dYTD)+amount)
+	cRow := w.customers.rowOff(cid)
+	w.g.Store8(cRow+cBalance, w.g.Load8(cRow+cBalance)+amount)
+	w.g.Store8(cRow+cPayments, w.g.Load8(cRow+cPayments)+1)
+	w.g.Fence()
+}
+
+// orderStatus is a read-only customer query.
+func (w *tpccWorkload) orderStatus(env *workload.Env) {
+	wid := env.Rng.Intn(w.nWarehouse)
+	did := wid*w.nDistrict + env.Rng.Intn(w.nDistrict)
+	cid := did*w.nCustomer + env.Rng.Intn(w.nCustomer)
+	w.g.Load8(w.customers.rowOff(cid) + cBalance)
+	w.g.Load8(w.districts.rowOff(did) + dNextOID)
+}
+
+// Run implements workload.Workload with the paper's 80%-write mix:
+// 55% new-order, 25% payment, 20% order-status.
+func (w *tpccWorkload) Run(env *workload.Env) error {
+	for i := 0; i < env.P.Ops; i++ {
+		switch r := env.Rng.Intn(100); {
+		case r < 55:
+			w.newOrder(env)
+		case r < 80:
+			w.payment(env)
+		default:
+			w.orderStatus(env)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package whisper
+
+import (
+	"testing"
+
+	"domainvirt/internal/trace"
+	"domainvirt/internal/workload"
+)
+
+func run(t *testing.T, name string, sink trace.Sink, ops int) *workload.Env {
+	t.Helper()
+	w, err := workload.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := workload.NewEnv(sink, workload.Params{
+		NumPMOs: 1, Ops: ops, InitialElems: 256, PoolSize: 128 << 20, Seed: 5,
+	})
+	if err := w.Setup(env); err != nil {
+		t.Fatalf("%s setup: %v", name, err)
+	}
+	if err := w.Run(env); err != nil {
+		t.Fatalf("%s run: %v", name, err)
+	}
+	return env
+}
+
+func TestAllWhisperWorkloadsRun(t *testing.T) {
+	for _, name := range []string{"echo", "ycsb", "tpcc", "ctree", "hashmap", "redis"} {
+		var c trace.Counter
+		run(t, name, &c, 300)
+		if c.Attaches != 1 {
+			t.Errorf("%s: %d attaches, want the single WHISPER PMO", name, c.Attaches)
+		}
+		if c.Loads+c.Stores == 0 {
+			t.Errorf("%s: no PMO accesses", name)
+		}
+		if c.SetPerms == 0 {
+			t.Errorf("%s: no permission switches", name)
+		}
+		if c.Instrs == 0 {
+			t.Errorf("%s: no compute padding", name)
+		}
+	}
+}
+
+func TestPerAccessSwitchDiscipline(t *testing.T) {
+	// The paper wraps every PMO access in an enable/disable pair, so
+	// switches = 2 x accesses (within one pair per access: the access
+	// count equals SetPerms/2), modulo the one setup switch.
+	var c trace.Counter
+	run(t, "hashmap", &c, 200)
+	accesses := c.Loads + c.Stores
+	pairs := (c.SetPerms - 1) / 2 // minus the setup default-deny switch
+	if pairs == 0 {
+		t.Fatal("no switch pairs")
+	}
+	// Each guarded operation is one pool-API call that may touch more
+	// than 64 bytes (split into several line accesses), so accesses >=
+	// pairs, and every pair guards at least one access.
+	if accesses < pairs {
+		t.Errorf("accesses %d < switch pairs %d", accesses, pairs)
+	}
+}
+
+func TestWhisperDeterminism(t *testing.T) {
+	var a, b trace.Counter
+	run(t, "echo", &a, 250)
+	run(t, "echo", &b, 250)
+	if a != b {
+		t.Fatalf("echo diverges across runs: %+v vs %+v", a, b)
+	}
+}
+
+func TestKVPutGet(t *testing.T) {
+	env := workload.NewEnv(trace.Discard{}, workload.Params{NumPMOs: 1, Seed: 8})
+	pool, err := setupPool(env, "kv-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGuard(env, pool, 10)
+	kv, err := NewKV(g, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= 300; k++ {
+		if err := kv.Put(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(1); k <= 300; k++ {
+		if !kv.Get(k) {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+	if kv.Get(9999) {
+		t.Error("phantom key")
+	}
+	if kv.Lookup(42).IsNull() {
+		t.Error("Lookup missed a present key")
+	}
+}
+
+func TestLogWraps(t *testing.T) {
+	env := workload.NewEnv(trace.Discard{}, workload.Params{NumPMOs: 1, Seed: 8})
+	pool, err := setupPool(env, "log-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGuard(env, pool, 10)
+	l, err := NewLog(g, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := make([]byte, 512)
+	for i := 0; i < 30; i++ { // 30*520 > 4096: must wrap, not overflow
+		l.Append(rec)
+	}
+	if l.cursor > l.size {
+		t.Errorf("cursor %d past size %d", l.cursor, l.size)
+	}
+}

@@ -1,0 +1,329 @@
+package whisper
+
+import (
+	"encoding/binary"
+
+	"domainvirt/internal/pmo"
+	"domainvirt/internal/workload"
+)
+
+// Per-access compute padding (instructions) calibrated so the permission
+// switch rates land in Table V's range at 2.2 GHz.
+const (
+	padEcho    = 26000
+	padYCSB    = 13500
+	padTPCC    = 7200
+	padCtree   = 16500
+	padHashmap = 19000
+	padRedis   = 15500
+)
+
+func init() {
+	workload.Register("echo", func() workload.Workload { return &echoWorkload{} })
+	workload.Register("ycsb", func() workload.Workload { return &ycsbWorkload{} })
+	workload.Register("tpcc", func() workload.Workload { return &tpccWorkload{} })
+	workload.Register("ctree", func() workload.Workload { return &ctreeWorkload{} })
+	workload.Register("hashmap", func() workload.Workload { return &hashmapWorkload{} })
+	workload.Register("redis", func() workload.Workload { return &redisWorkload{} })
+}
+
+// --- Echo: a persistent key-value store whose transactions append to a
+// durable log before updating the in-PMO hash index.
+
+type echoWorkload struct {
+	g   *Guard
+	kv  *KV
+	log *Log
+}
+
+func (w *echoWorkload) Name() string { return "echo" }
+
+func (w *echoWorkload) Setup(env *workload.Env) error {
+	pool, err := setupPool(env, "echo")
+	if err != nil {
+		return err
+	}
+	w.g = NewGuard(env, pool, padEcho)
+	if w.kv, err = NewKV(w.g, 4096, env.P.ValueSize); err != nil {
+		return err
+	}
+	if w.log, err = NewLog(w.g, 1<<20); err != nil {
+		return err
+	}
+	for i := 0; i < env.P.InitialElems; i++ {
+		if err := w.kv.Put(keyFor(env)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *echoWorkload) Run(env *workload.Env) error {
+	rec := make([]byte, 72)
+	for i := 0; i < env.P.Ops; i++ {
+		key := keyFor(env)
+		binary.LittleEndian.PutUint64(rec, key)
+		w.log.Append(rec)
+		if err := w.kv.Put(key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- YCSB: 80% writes / 20% reads over the persistent hash table, per
+// Table III ("YCSB like test, 80% writes").
+
+type ycsbWorkload struct {
+	g  *Guard
+	kv *KV
+}
+
+func (w *ycsbWorkload) Name() string { return "ycsb" }
+
+func (w *ycsbWorkload) Setup(env *workload.Env) error {
+	pool, err := setupPool(env, "ycsb")
+	if err != nil {
+		return err
+	}
+	w.g = NewGuard(env, pool, padYCSB)
+	if w.kv, err = NewKV(w.g, 4096, env.P.ValueSize); err != nil {
+		return err
+	}
+	for i := 0; i < env.P.InitialElems; i++ {
+		if err := w.kv.Put(keyFor(env)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *ycsbWorkload) Run(env *workload.Env) error {
+	for i := 0; i < env.P.Ops; i++ {
+		key := keyFor(env)
+		if env.Rng.Intn(100) < 80 {
+			if err := w.kv.Put(key); err != nil {
+				return err
+			}
+		} else {
+			w.kv.Get(key)
+		}
+	}
+	return nil
+}
+
+// --- C-tree: an unbalanced persistent binary search tree (crit-tree
+// shaped), 100K inserts per Table III.
+
+type ctreeWorkload struct {
+	g    *Guard
+	pool *pmo.Pool
+	root pmo.OID
+}
+
+const (
+	ctKey   = 0
+	ctLeft  = 8
+	ctRight = 16
+	ctHdr   = 24
+)
+
+func (w *ctreeWorkload) Name() string { return "ctree" }
+
+func (w *ctreeWorkload) Setup(env *workload.Env) error {
+	pool, err := setupPool(env, "ctree")
+	if err != nil {
+		return err
+	}
+	w.pool = pool
+	w.g = NewGuard(env, pool, padCtree)
+	for i := 0; i < env.P.InitialElems; i++ {
+		if err := w.insert(env, keyFor(env)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *ctreeWorkload) insert(env *workload.Env, key uint64) error {
+	if w.root.IsNull() {
+		n, err := w.newNode(env, key)
+		if err != nil {
+			return err
+		}
+		w.root = n
+		return nil
+	}
+	cur := w.root
+	for {
+		k := w.g.Load8(cur.Offset() + ctKey)
+		if k == key {
+			w.g.StoreBytes(cur.Offset()+ctHdr, w.value(env, key))
+			return nil
+		}
+		field := uint32(ctLeft)
+		if key > k {
+			field = ctRight
+		}
+		next := pmo.OID(w.g.Load8(cur.Offset() + field))
+		if next.IsNull() {
+			n, err := w.newNode(env, key)
+			if err != nil {
+				return err
+			}
+			w.g.Store8(cur.Offset()+field, uint64(n))
+			w.g.Fence()
+			return nil
+		}
+		cur = next
+	}
+}
+
+func (w *ctreeWorkload) newNode(env *workload.Env, key uint64) (pmo.OID, error) {
+	n, err := w.g.Alloc(uint64(ctHdr + env.P.ValueSize))
+	if err != nil {
+		return pmo.NullOID, err
+	}
+	w.g.Store8(n.Offset()+ctKey, key)
+	w.g.StoreBytes(n.Offset()+ctHdr, w.value(env, key))
+	return n, nil
+}
+
+func (w *ctreeWorkload) value(env *workload.Env, key uint64) []byte {
+	buf := make([]byte, env.P.ValueSize)
+	x := key
+	for i := range buf {
+		x = x*2862933555777941757 + 3037000493
+		buf[i] = byte(x >> 32)
+	}
+	return buf
+}
+
+func (w *ctreeWorkload) Run(env *workload.Env) error {
+	for i := 0; i < env.P.Ops; i++ {
+		if err := w.insert(env, keyFor(env)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Hashmap: 100K inserts into the persistent hash table.
+
+type hashmapWorkload struct {
+	g  *Guard
+	kv *KV
+}
+
+func (w *hashmapWorkload) Name() string { return "hashmap" }
+
+func (w *hashmapWorkload) Setup(env *workload.Env) error {
+	pool, err := setupPool(env, "hashmap")
+	if err != nil {
+		return err
+	}
+	w.g = NewGuard(env, pool, padHashmap)
+	if w.kv, err = NewKV(w.g, 8192, env.P.ValueSize); err != nil {
+		return err
+	}
+	for i := 0; i < env.P.InitialElems; i++ {
+		if err := w.kv.Put(keyFor(env)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *hashmapWorkload) Run(env *workload.Env) error {
+	for i := 0; i < env.P.Ops; i++ {
+		if err := w.kv.Put(keyFor(env)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Redis: gets/puts on the hash table plus an LRU move-to-front on a
+// persistent doubly-linked list, mimicking the redis lru-test of
+// Table III.
+
+type redisWorkload struct {
+	g    *Guard
+	kv   *KV
+	head pmo.OID // LRU list head entry
+}
+
+const (
+	lruPrev = 80 // past kvValue (16 + 64)
+	lruNext = 88
+	lruSize = 96
+)
+
+func (w *redisWorkload) Name() string { return "redis" }
+
+func (w *redisWorkload) Setup(env *workload.Env) error {
+	pool, err := setupPool(env, "redis")
+	if err != nil {
+		return err
+	}
+	w.g = NewGuard(env, pool, padRedis)
+	if w.kv, err = NewKV(w.g, 8192, env.P.ValueSize); err != nil {
+		return err
+	}
+	w.kv.Extra = 16 // LRU prev/next links
+	for i := 0; i < env.P.InitialElems; i++ {
+		if err := w.touch(env, keyFor(env)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// touch upserts key and moves its entry to the LRU front.
+func (w *redisWorkload) touch(env *workload.Env, key uint64) error {
+	e := w.kv.Lookup(key)
+	if e.IsNull() {
+		if err := w.kv.Put(key); err != nil {
+			return err
+		}
+		e = w.kv.Lookup(key)
+		if e.IsNull() {
+			return nil
+		}
+	}
+	if w.head == e {
+		return nil
+	}
+	// Unlink e.
+	prev := pmo.OID(w.g.Load8(e.Offset() + lruPrev))
+	next := pmo.OID(w.g.Load8(e.Offset() + lruNext))
+	if !prev.IsNull() {
+		w.g.Store8(prev.Offset()+lruNext, uint64(next))
+	}
+	if !next.IsNull() {
+		w.g.Store8(next.Offset()+lruPrev, uint64(prev))
+	}
+	// Push front.
+	w.g.Store8(e.Offset()+lruPrev, 0)
+	w.g.Store8(e.Offset()+lruNext, uint64(w.head))
+	if !w.head.IsNull() {
+		w.g.Store8(w.head.Offset()+lruPrev, uint64(e))
+	}
+	w.head = e
+	w.g.Fence()
+	return nil
+}
+
+func (w *redisWorkload) Run(env *workload.Env) error {
+	for i := 0; i < env.P.Ops; i++ {
+		key := keyFor(env)
+		if env.Rng.Intn(100) < 50 {
+			w.kv.Get(key)
+		} else {
+			if err := w.touch(env, key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"testing"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/trace"
+)
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.Defaults()
+	if p.NumPMOs == 0 || p.Ops == 0 || p.InitialElems == 0 || p.PoolSize == 0 ||
+		p.ValueSize == 0 || p.Threads == 0 || p.Seed == 0 || p.KeyspaceFactor == 0 {
+		t.Errorf("defaults left zero fields: %+v", p)
+	}
+	// Explicit values survive.
+	p2 := Params{NumPMOs: 7, Ops: 3, Seed: 99}.Defaults()
+	if p2.NumPMOs != 7 || p2.Ops != 3 || p2.Seed != 99 {
+		t.Errorf("defaults clobbered explicit values: %+v", p2)
+	}
+	if p.Keyspace() != uint64(p.KeyspaceFactor)*uint64(p.InitialElems) {
+		t.Error("Keyspace formula wrong")
+	}
+}
+
+func TestPerPool(t *testing.T) {
+	if (Params{}).PerPool() {
+		t.Error("default placement is per-pool")
+	}
+	if !(Params{Placement: "perpool"}).PerPool() {
+		t.Error("perpool not recognized")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	Register("workload-test-dummy", func() Workload { return nil })
+	if _, err := New("workload-test-dummy"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New("no-such-workload"); err == nil {
+		t.Error("unknown workload resolved")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "workload-test-dummy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered workload not listed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register("workload-test-dummy", func() Workload { return nil })
+}
+
+func TestNewEnv(t *testing.T) {
+	env := NewEnv(trace.Discard{}, Params{Seed: 5})
+	if env.Store == nil || env.Space == nil || env.Rng == nil {
+		t.Fatal("env incomplete")
+	}
+	if env.P.Seed != 5 {
+		t.Error("params not retained")
+	}
+}
+
+func TestApproveSites(t *testing.T) {
+	in := core.NewInspector()
+	ApproveSites(in)
+	for _, s := range []core.SiteID{SiteSetupGrant, SiteOpEnable, SiteOpDisable, SiteAccess} {
+		if !in.Allow(s, 1, 1, core.PermRW) {
+			t.Errorf("site %d not approved", s)
+		}
+	}
+	if in.Allow(999, 1, 1, core.PermRW) {
+		t.Error("unapproved site allowed")
+	}
+}

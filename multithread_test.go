@@ -1,0 +1,52 @@
+package domainvirt_test
+
+import (
+	"testing"
+
+	"domainvirt"
+)
+
+// TestServerWorkloadMulticore runs the server scenario on 1, 2, and 4
+// cores and checks the paper's scaling claim quantitatively: the
+// MPK-virtualization shootdown broadcast makes its overhead grow with
+// the core count, while domain virtualization (no shootdowns) stays
+// essentially flat.
+func TestServerWorkloadMulticore(t *testing.T) {
+	overheads := func(cores int) (mv, dv float64) {
+		cfg := domainvirt.DefaultConfig()
+		cfg.Cores = cores
+		p := domainvirt.Params{NumPMOs: 128, Ops: 1200, Threads: cores, Seed: 21}
+		res, err := domainvirt.RunSchemes("server", p, cfg,
+			domainvirt.SchemeLowerbound, domainvirt.SchemeMPKVirt, domainvirt.SchemeDomainVirt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := res[domainvirt.SchemeLowerbound]
+		return res[domainvirt.SchemeMPKVirt].OverheadPct(lb), res[domainvirt.SchemeDomainVirt].OverheadPct(lb)
+	}
+	mv1, dv1 := overheads(1)
+	mv4, dv4 := overheads(4)
+	t.Logf("1 core: mpkvirt %.1f%% domainvirt %.1f%%; 4 cores: mpkvirt %.1f%% domainvirt %.1f%%", mv1, dv1, mv4, dv4)
+	if mv4 < mv1*1.5 {
+		t.Errorf("mpkvirt overhead did not scale with cores: %.1f%% -> %.1f%%", mv1, mv4)
+	}
+	if dv4 > dv1*1.5+2 {
+		t.Errorf("domainvirt overhead scaled with cores but must not: %.1f%% -> %.1f%%", dv1, dv4)
+	}
+	if dv4 >= mv4 {
+		t.Errorf("on 4 cores domain virtualization (%.1f%%) must beat MPK virtualization (%.1f%%)", dv4, mv4)
+	}
+}
+
+// TestMultithreadedIsolation: threads on different cores never see each
+// other's windows, even while running concurrently interleaved.
+func TestMultithreadedIsolation(t *testing.T) {
+	cfg := domainvirt.DefaultConfig()
+	cfg.Cores = 4
+	p := domainvirt.Params{NumPMOs: 64, Ops: 800, Threads: 4, Seed: 33}
+	for _, s := range []domainvirt.Scheme{domainvirt.SchemeLibmpk, domainvirt.SchemeMPKVirt, domainvirt.SchemeDomainVirt} {
+		if _, err := domainvirt.Run("server", p, s, cfg); err != nil {
+			t.Errorf("server under %s: %v", s, err)
+		}
+	}
+}

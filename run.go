@@ -1,0 +1,52 @@
+package domainvirt
+
+import (
+	"fmt"
+
+	"domainvirt/internal/sim"
+	"domainvirt/internal/workload"
+)
+
+// Run executes one workload under one protection scheme: build a machine,
+// set up the workload (warming caches and tables), reset statistics, and
+// run the measured operations. The same Params.Seed yields the identical
+// event stream under every scheme, as the paper's trace-replay
+// methodology requires.
+func Run(name string, p Params, scheme Scheme, cfg Config) (Result, error) {
+	w, err := workload.New(name)
+	if err != nil {
+		return Result{}, err
+	}
+	m := sim.NewMachine(cfg, scheme)
+	env := workload.NewEnv(m, p)
+	if err := w.Setup(env); err != nil {
+		return Result{}, fmt.Errorf("domainvirt: %s setup under %s: %w", name, scheme, err)
+	}
+	m.ResetStats()
+	if err := w.Run(env); err != nil {
+		return Result{}, fmt.Errorf("domainvirt: %s run under %s: %w", name, scheme, err)
+	}
+	res := m.Result()
+	if res.Counters.DomainFaults > 0 || res.Counters.PageFaults > 0 {
+		return res, fmt.Errorf("domainvirt: %s under %s raised %d domain / %d page faults (first: %v)",
+			name, scheme, res.Counters.DomainFaults, res.Counters.PageFaults, m.Faults())
+	}
+	return res, nil
+}
+
+// RunSchemes executes the workload once per scheme with identical
+// parameters and returns the results keyed by scheme.
+func RunSchemes(name string, p Params, cfg Config, schemes ...Scheme) (map[Scheme]Result, error) {
+	out := make(map[Scheme]Result, len(schemes))
+	for _, s := range schemes {
+		r, err := Run(name, p, s, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = r
+	}
+	return out, nil
+}
+
+// OverheadPct returns the percent execution-time overhead of r over base.
+func OverheadPct(r, base Result) float64 { return r.OverheadPct(base) }

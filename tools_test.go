@@ -1,0 +1,141 @@
+package domainvirt_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Integration smoke tests for the command-line tools: build each binary
+// once and drive it end to end against temporary stores and traces.
+
+var toolBin = map[string]string{}
+
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	if bin, ok := toolBin[name]; ok {
+		return bin
+	}
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	toolBin[name] = bin
+	return bin
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestPmoctlEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "pmoctl")
+	store := t.TempDir()
+
+	out := runTool(t, bin, "-store", store, "create", "-name", "sessions", "-size", "8388608", "-owner", "web")
+	if !strings.Contains(out, `created pool "sessions"`) {
+		t.Fatalf("create output: %s", out)
+	}
+	out = runTool(t, bin, "-store", store, "ls")
+	if !strings.Contains(out, "sessions") {
+		t.Fatalf("ls output: %s", out)
+	}
+	out = runTool(t, bin, "-store", store, "info", "-name", "sessions")
+	if !strings.Contains(out, "log area") {
+		t.Fatalf("info output: %s", out)
+	}
+	out = runTool(t, bin, "-store", store, "verify", "-name", "sessions")
+	if !strings.Contains(out, "verify: OK") {
+		t.Fatalf("verify output: %s", out)
+	}
+	out = runTool(t, bin, "-store", store, "dump", "-name", "sessions", "-off", "0", "-len", "16")
+	if !strings.Contains(out, "00000000") {
+		t.Fatalf("dump output: %s", out)
+	}
+	out = runTool(t, bin, "-store", store, "recover", "-name", "sessions")
+	if !strings.Contains(out, "clean") {
+		t.Fatalf("recover output: %s", out)
+	}
+	runTool(t, bin, "-store", store, "rm", "-name", "sessions")
+	if files, _ := filepath.Glob(filepath.Join(store, "*.pmo")); len(files) != 0 {
+		t.Fatalf("pool file survived rm: %v", files)
+	}
+}
+
+func TestPmotraceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "pmotrace")
+	tr := filepath.Join(t.TempDir(), "x.trace")
+
+	out := runTool(t, bin, "record", "-workload", "ss", "-pmos", "16", "-ops", "200", "-init", "128", "-o", tr)
+	if !strings.Contains(out, "recorded ss") {
+		t.Fatalf("record output: %s", out)
+	}
+	if fi, err := os.Stat(tr); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	out = runTool(t, bin, "stat", "-i", tr)
+	if !strings.Contains(out, "SETPERMs") {
+		t.Fatalf("stat output: %s", out)
+	}
+	out = runTool(t, bin, "audit", "-i", tr)
+	if !strings.Contains(out, "discipline holds") {
+		t.Fatalf("audit output: %s", out)
+	}
+	for _, scheme := range []string{"libmpk", "mpkvirt", "domainvirt"} {
+		out = runTool(t, bin, "replay", "-i", tr, "-scheme", scheme)
+		if !strings.Contains(out, "domain/page faults: 0 / 0") {
+			t.Fatalf("replay under %s: %s", scheme, out)
+		}
+	}
+}
+
+func TestPmosimEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "pmosim")
+	out := runTool(t, bin, "-workload", "rbt", "-scheme", "domainvirt", "-pmos", "32", "-ops", "300", "-init", "128")
+	if !strings.Contains(out, "permission switches") {
+		t.Fatalf("pmosim output: %s", out)
+	}
+	out = runTool(t, bin, "-workload", "rbt", "-pmos", "32", "-ops", "300", "-init", "128", "-compare")
+	for _, want := range []string{"baseline", "lowerbound", "libmpk", "mpkvirt", "domainvirt"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compare output missing %s: %s", want, out)
+		}
+	}
+}
+
+func TestPmobenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "pmobench")
+	csv := t.TempDir()
+	out := runTool(t, bin, "-experiment", "table8", "-csv", csv)
+	if !strings.Contains(out, "Table VIII") {
+		t.Fatalf("pmobench output: %s", out)
+	}
+	if _, err := os.Stat(filepath.Join(csv, "table8.csv")); err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+}
