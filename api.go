@@ -16,6 +16,7 @@
 package domainvirt
 
 import (
+	"domainvirt/internal/conformance"
 	"domainvirt/internal/core"
 	"domainvirt/internal/memlayout"
 	"domainvirt/internal/pmo"
@@ -152,3 +153,21 @@ func NewMachine(cfg Config, scheme Scheme) *Machine { return sim.NewMachine(cfg,
 
 // Workloads lists the registered benchmark names.
 func Workloads() []string { return workload.Names() }
+
+// Conformance API: differential replay of generated trace programs
+// through every protection engine, checking that verdicts, fault
+// attribution, cycle accounting, and the lowerbound/libmpk overhead
+// envelope agree across schemes.
+type (
+	// ConformOptions configures a conformance campaign.
+	ConformOptions = conformance.Options
+	// ConformReport aggregates a campaign's coverage and divergences.
+	ConformReport = conformance.Report
+)
+
+// Conform runs a conformance campaign: generate Programs seeded trace
+// programs, replay each under every applicable scheme, and on any
+// invariant violation minimize the program and (when CorpusDir is set)
+// persist a .prog repro. The error covers I/O problems only; invariant
+// violations are reported via ConformReport.Diverged.
+func Conform(opt ConformOptions) (*ConformReport, error) { return conformance.Run(opt) }

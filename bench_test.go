@@ -157,6 +157,40 @@ func BenchmarkSimThroughput(b *testing.B) {
 	}
 }
 
+// benchTable5Options is the fixed workload used by the sequential and
+// parallel Table V benchmarks, sized so one full table takes long
+// enough to amortize pool startup.
+func benchTable5Options(workers int) domainvirt.ExpOptions {
+	opt := domainvirt.DefaultExpOptions()
+	opt.WhisperOps = 4000
+	opt.WhisperInit = 1000
+	opt.Workers = workers
+	return opt
+}
+
+// BenchmarkTable5Sequential: the full Table V grid (6 benchmarks x 4
+// schemes) with all cells run inline on one goroutine.
+func BenchmarkTable5Sequential(b *testing.B) {
+	opt := benchTable5Options(1)
+	for i := 0; i < b.N; i++ {
+		if _, err := domainvirt.Table5(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5Parallel: the same grid fanned across a GOMAXPROCS
+// worker pool. Compare ns/op against BenchmarkTable5Sequential for the
+// wall-clock speedup; EXPERIMENTS.md records measured numbers.
+func BenchmarkTable5Parallel(b *testing.B) {
+	opt := benchTable5Options(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := domainvirt.Table5(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func benchName(wl string, pmos int) string {
 	switch pmos {
 	case 16:

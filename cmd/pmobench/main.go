@@ -105,7 +105,10 @@ func main() {
 		if err != nil {
 			return err
 		}
-		f7 := domainvirt.Fig7(frs)
+		f7, err := domainvirt.Fig7(frs)
+		if err != nil {
+			return err
+		}
 		s := domainvirt.Fig7Series(f7)
 		if err := s.RenderChart(os.Stdout, 12); err != nil {
 			return err

@@ -6,6 +6,13 @@
 //
 //	pmosim -workload avl -scheme domainvirt -pmos 256 -ops 10000
 //	pmosim -workload echo -scheme mpk -ops 20000 -compare
+//	pmosim -conform -conform-programs 1000 -conform-out corpus/
+//
+// -conform runs the differential conformance campaign instead of a
+// workload: generated trace programs are replayed through every
+// protection engine and checked for verdict, fault-attribution, and
+// cycle-accounting agreement. Exits nonzero on any divergence, leaving
+// minimized .prog repros in -conform-out.
 package main
 
 import (
@@ -29,11 +36,32 @@ func main() {
 		cores   = flag.Int("cores", 1, "simulated cores")
 		seed    = flag.Int64("seed", 42, "workload RNG seed")
 		compare = flag.Bool("compare", false, "run every scheme and print an overhead comparison")
+
+		conform         = flag.Bool("conform", false, "run the differential conformance campaign instead of a workload")
+		conformPrograms = flag.Int("conform-programs", 1000, "number of generated programs to replay (-conform)")
+		conformSeed     = flag.Int64("conform-seed", 1, "campaign seed offset (-conform)")
+		conformOut      = flag.String("conform-out", "", "directory for minimized .prog repros of divergences (-conform)")
 	)
 	flag.Parse()
 
 	cfg := domainvirt.DefaultConfig()
 	cfg.Cores = *cores
+
+	if *conform {
+		rep, err := domainvirt.Conform(domainvirt.ConformOptions{
+			Programs:  *conformPrograms,
+			Seed:      *conformSeed,
+			CorpusDir: *conformOut,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep.Summary())
+		if rep.Diverged() {
+			os.Exit(1)
+		}
+		return
+	}
 	p := domainvirt.Params{
 		NumPMOs:      *pmos,
 		Ops:          *ops,

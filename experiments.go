@@ -28,6 +28,12 @@ type ExpOptions struct {
 	PMOCounts []int
 
 	Seed int64
+
+	// Workers bounds the number of experiment cells simulated
+	// concurrently. 0 selects GOMAXPROCS; 1 forces sequential
+	// execution. Results are identical either way — only wall-clock
+	// time changes.
+	Workers int
 }
 
 // DefaultExpOptions returns the scaled-down defaults.
@@ -87,16 +93,25 @@ type Table5Row struct {
 	DomainVirtPct  float64
 }
 
-// Table5 reproduces Table V.
+// Table5 reproduces Table V. The (benchmark, scheme) cells are
+// independent simulations and run on a bounded worker pool; rows are
+// assembled afterwards in benchmark order, so the output is identical
+// to a sequential run.
 func Table5(opt ExpOptions) ([]Table5Row, error) {
+	p := opt.whisperParams()
+	var cells []expCell
+	for _, name := range WhisperBenchmarks {
+		for _, s := range []Scheme{SchemeBaseline, SchemeMPK, SchemeMPKVirt, SchemeDomainVirt} {
+			cells = append(cells, expCell{name, p, s})
+		}
+	}
+	grid, err := runGrid(opt.Cfg, opt.Workers, cells)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Table5Row
 	for _, name := range WhisperBenchmarks {
-		p := opt.whisperParams()
-		res, err := RunSchemes(name, p, opt.Cfg,
-			SchemeBaseline, SchemeMPK, SchemeMPKVirt, SchemeDomainVirt)
-		if err != nil {
-			return nil, err
-		}
+		res := grid.at(name, p)
 		base := res[SchemeBaseline]
 		mpk := res[SchemeMPK]
 		rows = append(rows, Table5Row{
@@ -148,15 +163,23 @@ type Table6Row struct {
 	LowerboundPct  float64
 }
 
-// Table6 reproduces Table VI at 1024 PMOs.
+// Table6 reproduces Table VI at 1024 PMOs. Cells run on the worker
+// pool; see Table5.
 func Table6(opt ExpOptions) ([]Table6Row, error) {
+	p := opt.microParams(1024)
+	var cells []expCell
+	for _, name := range MicroBenchmarks {
+		for _, s := range []Scheme{SchemeBaseline, SchemeLowerbound} {
+			cells = append(cells, expCell{name, p, s})
+		}
+	}
+	grid, err := runGrid(opt.Cfg, opt.Workers, cells)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Table6Row
 	for _, name := range MicroBenchmarks {
-		p := opt.microParams(1024)
-		res, err := RunSchemes(name, p, opt.Cfg, SchemeBaseline, SchemeLowerbound)
-		if err != nil {
-			return nil, err
-		}
+		res := grid.at(name, p)
 		base := res[SchemeBaseline]
 		lb := res[SchemeLowerbound]
 		rows = append(rows, Table6Row{
@@ -194,18 +217,28 @@ type Fig6Result struct {
 	DomainVirt []float64
 }
 
-// Fig6 reproduces Figure 6.
+// Fig6 reproduces Figure 6. The whole (benchmark, PMO count, scheme)
+// grid is fanned across the worker pool; sweep points are assembled in
+// benchmark-then-PMO order afterwards.
 func Fig6(opt ExpOptions) ([]Fig6Result, error) {
+	fig6Schemes := []Scheme{SchemeLowerbound, SchemeLibmpk, SchemeMPKVirt, SchemeDomainVirt}
+	var cells []expCell
+	for _, name := range MicroBenchmarks {
+		for _, pmos := range opt.PMOCounts {
+			for _, s := range fig6Schemes {
+				cells = append(cells, expCell{name, opt.microParams(pmos), s})
+			}
+		}
+	}
+	grid, err := runGrid(opt.Cfg, opt.Workers, cells)
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig6Result
 	for _, name := range MicroBenchmarks {
 		fr := Fig6Result{Benchmark: name}
 		for _, pmos := range opt.PMOCounts {
-			p := opt.microParams(pmos)
-			res, err := RunSchemes(name, p, opt.Cfg,
-				SchemeLowerbound, SchemeLibmpk, SchemeMPKVirt, SchemeDomainVirt)
-			if err != nil {
-				return nil, err
-			}
+			res := grid.at(name, opt.microParams(pmos))
 			lb := res[SchemeLowerbound]
 			fr.X = append(fr.X, pmos)
 			fr.Libmpk = append(fr.Libmpk, res[SchemeLibmpk].OverheadPct(lb))
@@ -245,10 +278,13 @@ type Fig7Result struct {
 	SpeedupAt map[int][2]float64 // [mpkvirt, domainvirt]
 }
 
-// Fig7 averages a Figure 6 sweep.
-func Fig7(fig6 []Fig6Result) Fig7Result {
+// Fig7 averages a Figure 6 sweep. An empty sweep is an error: silently
+// returning a zero Fig7Result used to propagate into blank report
+// figures far from the real cause (a misconfigured PMOCounts grid or a
+// filtered-out benchmark list).
+func Fig7(fig6 []Fig6Result) (Fig7Result, error) {
 	if len(fig6) == 0 {
-		return Fig7Result{}
+		return Fig7Result{}, fmt.Errorf("Fig7: empty Figure 6 sweep (no benchmark results to average)")
 	}
 	n := len(fig6[0].X)
 	out := Fig7Result{
@@ -279,7 +315,7 @@ func Fig7(fig6 []Fig6Result) Fig7Result {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Fig7Series converts the averages to a renderable figure.
@@ -311,14 +347,21 @@ type Table7Row struct {
 
 // Table7 reproduces Table VII: the breakdown for hardware MPK
 // virtualization and hardware domain virtualization at 1024 PMOs.
+// Cells run on the worker pool; see Table5.
 func Table7(opt ExpOptions) (mpkvirt, domvirt []Table7Row, err error) {
+	p := opt.microParams(1024)
+	var cells []expCell
 	for _, name := range MicroBenchmarks {
-		p := opt.microParams(1024)
-		res, err := RunSchemes(name, p, opt.Cfg,
-			SchemeBaseline, SchemeMPKVirt, SchemeDomainVirt)
-		if err != nil {
-			return nil, nil, err
+		for _, s := range []Scheme{SchemeBaseline, SchemeMPKVirt, SchemeDomainVirt} {
+			cells = append(cells, expCell{name, p, s})
 		}
+	}
+	grid, err := runGrid(opt.Cfg, opt.Workers, cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, name := range MicroBenchmarks {
+		res := grid.at(name, p)
 		base := float64(res[SchemeBaseline].Cycles)
 		pct := func(r Result, c stats.Category) float64 {
 			return 100 * float64(r.Breakdown.Cycles[c]) / base

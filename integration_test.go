@@ -212,7 +212,10 @@ func TestExperimentHarness(t *testing.T) {
 				fr.Benchmark, fr.Libmpk[last], fr.MPKVirt[last], fr.DomainVirt[last])
 		}
 	}
-	f7 := domainvirt.Fig7(f6)
+	f7, err := domainvirt.Fig7(f6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sp, ok := f7.SpeedupAt[1024]
 	if !ok {
 		t.Fatal("no 1024-PMO speedup")

@@ -1,0 +1,79 @@
+package conformance
+
+import "domainvirt/internal/core"
+
+// Byte encoding for the fuzzer: 2 header bytes (cores, threads) then 6
+// bytes per op, every field mapped modulo its range so that *any* byte
+// string decodes to a well-formed Program. The fuzzer mutates raw
+// bytes; normalization inside Replay handles whatever op sequence falls
+// out.
+
+const (
+	byteHeaderLen = 2
+	byteOpLen     = 6
+	// byteMaxDomains keeps fuzzed programs inside the churn regime
+	// (above MPK's 16 keys, far below the DRT capacity).
+	byteMaxDomains = 24
+	byteMaxOps     = 2048
+)
+
+var bytePerms = [3]core.Perm{core.PermRW, core.PermR, core.PermNone}
+
+// DecodeBytes maps an arbitrary byte string onto a Program.
+func DecodeBytes(data []byte) Program {
+	p := Program{Profile: ProfileAdversarial, Cores: 1, Threads: 1}
+	if len(data) < byteHeaderLen {
+		return p
+	}
+	p.Cores = 1 + int(data[0]%2)
+	p.Threads = 1 + int(data[1]%3)
+	for i := byteHeaderLen; i+byteOpLen <= len(data) && len(p.Ops) < byteMaxOps; i += byteOpLen {
+		b := data[i : i+byteOpLen]
+		op := Op{
+			Kind: OpKind(b[0] % uint8(numOpKinds)),
+			Th:   core.ThreadID(1 + int(b[1])%p.Threads),
+			D:    core.DomainID(1 + b[2]%byteMaxDomains),
+			Perm: bytePerms[b[3]%3],
+			Off:  uint64(b[4]%32)<<12 | uint64(b[5]%8)<<6,
+			Size: uint32(1 + b[3]%64),
+			N:    uint64(1+b[4]) * 16,
+		}
+		p.Ops = append(p.Ops, op)
+	}
+	return p
+}
+
+// EncodeBytes is the (lossy) inverse of DecodeBytes, used to seed the
+// fuzz corpus from generated programs: fields outside the byte ranges
+// are clamped, so EncodeBytes∘DecodeBytes is not an identity, but the
+// decoded program exercises the same op sequence shape.
+func EncodeBytes(p Program) []byte {
+	if p.Cores < 1 {
+		p.Cores = 1
+	}
+	if p.Threads < 1 {
+		p.Threads = 1
+	}
+	out := make([]byte, 0, byteHeaderLen+byteOpLen*len(p.Ops))
+	out = append(out, byte((p.Cores-1)%2), byte((p.Threads-1)%3))
+	for _, op := range p.Ops {
+		if len(out) >= byteHeaderLen+byteOpLen*byteMaxOps {
+			break
+		}
+		var permIdx byte
+		for i, pm := range bytePerms {
+			if pm == op.Perm {
+				permIdx = byte(i)
+			}
+		}
+		out = append(out,
+			byte(op.Kind)%uint8(numOpKinds),
+			byte((uint64(op.Th)-1)%uint64(p.Threads)),
+			byte((uint64(op.D)-1)%byteMaxDomains),
+			permIdx,
+			byte(op.Off>>12%32),
+			byte(op.Off>>6%8),
+		)
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package conformance
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"domainvirt/internal/core"
+)
+
+// The corpus format is a line-oriented text encoding of a Program —
+// human-readable so a checked-in repro doubles as documentation of the
+// bug it pins down:
+//
+//	conformance program v1
+//	seed 17 profile legal cores 2 threads 3
+//	attach 5
+//	setperm 1 5 rw
+//	store 1 5 0x1040 8
+//	load 2 5 0x1040 8
+//	detach 5
+//	instr 1 200
+//	fence 1
+//
+// Lines starting with '#' are comments.
+
+const corpusHeader = "conformance program v1"
+
+func permName(p core.Perm) string {
+	switch p {
+	case core.PermRW:
+		return "rw"
+	case core.PermR:
+		return "r"
+	default:
+		return "none"
+	}
+}
+
+func parsePerm(s string) (core.Perm, error) {
+	switch s {
+	case "rw":
+		return core.PermRW, nil
+	case "r":
+		return core.PermR, nil
+	case "none":
+		return core.PermNone, nil
+	}
+	return 0, fmt.Errorf("conformance: bad perm %q", s)
+}
+
+// WriteTo serializes p in the corpus text format.
+func (p Program) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", corpusHeader)
+	fmt.Fprintf(&b, "seed %d profile %s cores %d threads %d\n",
+		p.Seed, p.Profile, p.Cores, p.Threads)
+	for _, op := range p.Ops {
+		switch op.Kind {
+		case OpAttach, OpDetach:
+			fmt.Fprintf(&b, "%s %d\n", op.Kind, op.D)
+		case OpSetPerm:
+			fmt.Fprintf(&b, "setperm %d %d %s\n", op.Th, op.D, permName(op.Perm))
+		case OpLoad, OpStore:
+			fmt.Fprintf(&b, "%s %d %d %#x %d\n", op.Kind, op.Th, op.D, op.Off, op.Size)
+		case OpFetch:
+			fmt.Fprintf(&b, "fetch %d %d %#x\n", op.Th, op.D, op.Off)
+		case OpInstr:
+			fmt.Fprintf(&b, "instr %d %d\n", op.Th, op.N)
+		case OpFence:
+			fmt.Fprintf(&b, "fence %d\n", op.Th)
+		default:
+			return 0, fmt.Errorf("conformance: cannot serialize op kind %v", op.Kind)
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// ReadProgram parses the corpus text format.
+func ReadProgram(r io.Reader) (Program, error) {
+	var p Program
+	sc := bufio.NewScanner(r)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s == "" || strings.HasPrefix(s, "#") {
+				continue
+			}
+			return s, true
+		}
+		return "", false
+	}
+
+	s, ok := next()
+	if !ok || s != corpusHeader {
+		return p, fmt.Errorf("conformance: missing %q header", corpusHeader)
+	}
+	s, ok = next()
+	if !ok {
+		return p, fmt.Errorf("conformance: missing program header line")
+	}
+	var profName string
+	if _, err := fmt.Sscanf(s, "seed %d profile %s cores %d threads %d",
+		&p.Seed, &profName, &p.Cores, &p.Threads); err != nil {
+		return p, fmt.Errorf("conformance: line %d: %v", line, err)
+	}
+	prof, err := ParseProfile(profName)
+	if err != nil {
+		return p, err
+	}
+	p.Profile = prof
+
+	for {
+		s, ok := next()
+		if !ok {
+			break
+		}
+		f := strings.Fields(s)
+		var op Op
+		var err error
+		switch f[0] {
+		case "attach", "detach":
+			op.Kind = OpAttach
+			if f[0] == "detach" {
+				op.Kind = OpDetach
+			}
+			_, err = fmt.Sscanf(s, f[0]+" %d", &op.D)
+		case "setperm":
+			op.Kind = OpSetPerm
+			var perm string
+			if _, err = fmt.Sscanf(s, "setperm %d %d %s", &op.Th, &op.D, &perm); err == nil {
+				op.Perm, err = parsePerm(perm)
+			}
+		case "load", "store":
+			op.Kind = OpLoad
+			if f[0] == "store" {
+				op.Kind = OpStore
+			}
+			_, err = fmt.Sscanf(s, f[0]+" %d %d %v %d", &op.Th, &op.D, &op.Off, &op.Size)
+		case "fetch":
+			op.Kind = OpFetch
+			_, err = fmt.Sscanf(s, "fetch %d %d %v", &op.Th, &op.D, &op.Off)
+		case "instr":
+			op.Kind = OpInstr
+			_, err = fmt.Sscanf(s, "instr %d %d", &op.Th, &op.N)
+		case "fence":
+			op.Kind = OpFence
+			_, err = fmt.Sscanf(s, "fence %d", &op.Th)
+		default:
+			err = fmt.Errorf("unknown op %q", f[0])
+		}
+		if err != nil {
+			return p, fmt.Errorf("conformance: line %d: %v", line, err)
+		}
+		p.Ops = append(p.Ops, op)
+	}
+	return p, sc.Err()
+}
+
+// SaveRepro writes p into dir (created if needed) under a name derived
+// from its identity, and returns the path.
+func SaveRepro(dir string, p Program) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("repro-%s-seed%d-%dops.prog", p.Profile, p.Seed, len(p.Ops))
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if _, err := p.WriteTo(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// LoadCorpus reads every *.prog file in dir, sorted by name; a missing
+// directory yields an empty corpus.
+func LoadCorpus(dir string) (map[string]Program, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.prog"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make(map[string]Program, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		p, err := ReadProgram(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out[filepath.Base(path)] = p
+	}
+	return out, nil
+}

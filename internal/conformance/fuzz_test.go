@@ -1,0 +1,43 @@
+package conformance
+
+import (
+	"testing"
+
+	"domainvirt/internal/sim"
+)
+
+// FuzzConformProgram decodes arbitrary bytes into a trace program and
+// differentially replays it: any invariant violation — a verdict or
+// attribution disagreement between engines, broken cycle accounting —
+// fails the fuzz run. The byte decoder maps every input onto a
+// well-formed program, so the whole input space is productive.
+func FuzzConformProgram(f *testing.F) {
+	for seed := int64(0); seed < 4; seed++ {
+		p := Generate(seed, Profile(seed%int64(NumProfiles)))
+		if len(p.Ops) > 64 {
+			p.Ops = p.Ops[:64] // keep seeds small so mutation throughput stays high
+		}
+		f.Add(EncodeBytes(p))
+	}
+	// A hand-built seed hitting the key-reuse corner directly:
+	// attach, attach, grant, detach, re-grant, access.
+	f.Add(EncodeBytes(Program{
+		Cores: 1, Threads: 3,
+		Ops: []Op{
+			{Kind: OpAttach, D: 6},
+			{Kind: OpAttach, D: 9},
+			{Kind: OpSetPerm, Th: 2, D: 9, Perm: 0},
+			{Kind: OpDetach, D: 9},
+			{Kind: OpSetPerm, Th: 1, D: 6, Perm: 2},
+			{Kind: OpLoad, Th: 2, D: 6, Off: 0x30c0, Size: 8},
+		},
+	}))
+	cfg := sim.DefaultConfig()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := DecodeBytes(data)
+		rr := Replay(p, cfg)
+		if rr.Diverged() {
+			t.Fatalf("divergence: %v\nprogram: %+v", rr.Divergences[0], p)
+		}
+	})
+}

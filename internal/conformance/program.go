@@ -1,0 +1,363 @@
+// Package conformance is a randomized differential-testing harness for
+// the protection engines. The paper's central claim is that all schemes
+// enforce *identical* protection semantics and differ only in cycle cost;
+// this package checks that claim mechanically: a seeded generator builds
+// trace programs (attach/detach churn, SETPERM, loads/stores across
+// threads and domains), a replayer drives the identical program through
+// every scheme's machine, and invariants are verified after every step:
+//
+//  1. fault/no-fault decisions agree across all enforcing engines (and
+//     the ideal engines never deny);
+//  2. FaultRecord attribution (thread, VA, write, domain) matches an
+//     independent reference permission model;
+//  3. cycle accounting is monotone and the per-category breakdown sums
+//     exactly to the accumulated core cycles;
+//  4. on denial-free programs the lowerbound is the floor of every
+//     enforcing scheme, and on switch-heavy programs libmpk is the
+//     ceiling.
+//
+// On divergence the failing program is greedily minimized and written to
+// a corpus directory that the test suite replays as regression seeds.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/mpk"
+)
+
+// OpKind enumerates trace-program operations.
+type OpKind uint8
+
+// Operations. The zero value is OpAttach so a zeroed Op is still valid.
+const (
+	OpAttach OpKind = iota
+	OpDetach
+	OpSetPerm
+	OpLoad
+	OpStore
+	OpFetch
+	OpInstr
+	OpFence
+	numOpKinds
+)
+
+var opNames = [numOpKinds]string{
+	"attach", "detach", "setperm", "load", "store", "fetch", "instr", "fence",
+}
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one trace-program operation. Fields not used by a kind are zero:
+// Attach/Detach use D only; SetPerm uses Th, D, Perm; Load/Store/Fetch
+// use Th, D, Off, Size; Instr uses Th, N; Fence uses Th.
+type Op struct {
+	Kind OpKind
+	Th   core.ThreadID
+	D    core.DomainID
+	Perm core.Perm
+	Off  uint64
+	Size uint32
+	N    uint64
+}
+
+// Profile classifies a generated program; the replayer derives which
+// invariants apply from the observed trace, not from this label, but the
+// label steers generation and is preserved in repro files.
+type Profile uint8
+
+// Profiles.
+const (
+	// ProfileLegal grants before every access (no denials) and keeps at
+	// most 16 live domains, so all six schemes — including default MPK —
+	// replay it.
+	ProfileLegal Profile = iota
+	// ProfileAdversarial mixes random permissions and accesses without
+	// repair, exercising the denial and fault-attribution paths.
+	ProfileAdversarial
+	// ProfileChurn attaches and detaches from a >16-domain pool, driving
+	// key eviction and stale-state corners (MPK is excluded: it cannot
+	// attach that many domains).
+	ProfileChurn
+	// ProfileSwitchHeavy is denial-free and SETPERM-dense over >16
+	// domains — the regime where the paper's lowerbound ≤ scheme ≤
+	// libmpk cycle ordering must hold.
+	ProfileSwitchHeavy
+	NumProfiles
+)
+
+var profileNames = [NumProfiles]string{"legal", "adversarial", "churn", "switchheavy"}
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	if int(p) < len(profileNames) {
+		return profileNames[p]
+	}
+	return fmt.Sprintf("Profile(%d)", uint8(p))
+}
+
+// ParseProfile is the inverse of String.
+func ParseProfile(s string) (Profile, error) {
+	for i, n := range profileNames {
+		if n == s {
+			return Profile(i), nil
+		}
+	}
+	return 0, fmt.Errorf("conformance: unknown profile %q", s)
+}
+
+// Program is one generated trace program plus the machine shape it runs
+// on. The same program replays identically under every scheme.
+type Program struct {
+	Seed    int64
+	Profile Profile
+	Cores   int
+	Threads int
+	Ops     []Op
+}
+
+// regionBase anchors the conformance PMO address range, matching the
+// layout the workloads use.
+const regionBase = 0x2000_0000_0000
+
+// RegionSize is the fixed per-domain VA footprint (one 2 MB slot).
+const RegionSize = 2 << 20
+
+// RegionFor returns the VA region of domain d (d >= 1); regions are
+// disjoint 2 MB slots so the reference model can attribute any VA.
+func RegionFor(d core.DomainID) memlayout.Region {
+	return memlayout.Region{
+		Base: memlayout.VA(regionBase + (uint64(d)-1)*RegionSize),
+		Size: RegionSize,
+	}
+}
+
+// accessPages bounds the distinct pages a program touches per domain,
+// keeping TLB pressure (hits, misses, and invalidation refills) mixed.
+const accessPages = 32
+
+// genState tracks the generator's view of machine state so legal
+// profiles can repair permissions before each access.
+type genState struct {
+	rng     *rand.Rand
+	threads int
+	live    map[core.DomainID]bool
+	perm    map[core.DomainID]map[core.ThreadID]core.Perm
+	ops     []Op
+}
+
+func (g *genState) thread() core.ThreadID {
+	return core.ThreadID(1 + g.rng.Intn(g.threads))
+}
+
+func (g *genState) emit(op Op) { g.ops = append(g.ops, op) }
+
+func (g *genState) attach(d core.DomainID) {
+	g.live[d] = true
+	g.perm[d] = make(map[core.ThreadID]core.Perm)
+	g.emit(Op{Kind: OpAttach, D: d})
+}
+
+func (g *genState) detach(d core.DomainID) {
+	delete(g.live, d)
+	delete(g.perm, d)
+	g.emit(Op{Kind: OpDetach, D: d})
+}
+
+func (g *genState) setPerm(th core.ThreadID, d core.DomainID, p core.Perm) {
+	if m := g.perm[d]; m != nil {
+		m[th] = p
+	}
+	g.emit(Op{Kind: OpSetPerm, Th: th, D: d, Perm: p})
+}
+
+func (g *genState) permOf(th core.ThreadID, d core.DomainID) core.Perm {
+	if m := g.perm[d]; m != nil {
+		if p, ok := m[th]; ok {
+			return p
+		}
+	}
+	return core.PermNone
+}
+
+// offset picks an access offset mixing a few hot pages with colder ones.
+func (g *genState) offset() uint64 {
+	page := uint64(g.rng.Intn(accessPages))
+	if g.rng.Intn(4) > 0 {
+		page = uint64(g.rng.Intn(4)) // hot subset
+	}
+	line := uint64(g.rng.Intn(8)) << 6
+	return page<<memlayout.PageShift + line
+}
+
+func (g *genState) size() uint32 {
+	switch g.rng.Intn(8) {
+	case 0:
+		return 1
+	case 1:
+		return uint32(1 + g.rng.Intn(64)) // may straddle a line boundary
+	default:
+		return 8
+	}
+}
+
+func (g *genState) access(th core.ThreadID, d core.DomainID, write bool) {
+	kind := OpLoad
+	if write {
+		kind = OpStore
+	}
+	g.emit(Op{Kind: kind, Th: th, D: d, Off: g.offset(), Size: g.size()})
+}
+
+// liveDomain returns a uniformly random live domain, or 0 if none.
+func (g *genState) liveDomain() core.DomainID {
+	if len(g.live) == 0 {
+		return 0
+	}
+	ds := make([]core.DomainID, 0, len(g.live))
+	for d := range g.live {
+		ds = append(ds, d)
+	}
+	// Deterministic order for the seeded pick: map iteration is random.
+	sortDomains(ds)
+	return ds[g.rng.Intn(len(ds))]
+}
+
+func sortDomains(ds []core.DomainID) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+// Generate builds a deterministic random program: the same (seed,
+// profile) pair always yields the identical op list.
+func Generate(seed int64, prof Profile) Program {
+	rng := rand.New(rand.NewSource(seed*int64(NumProfiles) + int64(prof) + 1))
+	threads := 1 + rng.Intn(3)
+	cores := 1 + rng.Intn(2)
+	g := &genState{
+		rng:     rng,
+		threads: threads,
+		live:    make(map[core.DomainID]bool),
+		perm:    make(map[core.DomainID]map[core.ThreadID]core.Perm),
+	}
+
+	var domains int
+	switch prof {
+	case ProfileChurn:
+		domains = 18 + rng.Intn(30)
+	case ProfileSwitchHeavy:
+		domains = 24 + rng.Intn(16)
+	default:
+		domains = 4 + rng.Intn(mpk.NumKeys-3) // 4..16: default MPK replays too
+	}
+
+	initial := domains
+	if prof == ProfileChurn {
+		initial = domains/2 + 1
+	}
+	for d := 1; d <= initial; d++ {
+		g.attach(core.DomainID(d))
+	}
+
+	switch prof {
+	case ProfileSwitchHeavy:
+		rounds := 100 + rng.Intn(100)
+		for i := 0; i < rounds; i++ {
+			th := g.thread()
+			d := g.liveDomain()
+			p := core.PermR
+			if rng.Intn(2) == 0 {
+				p = core.PermRW
+			}
+			g.setPerm(th, d, p)
+			for k := rng.Intn(3); k > 0; k-- {
+				g.access(th, d, p == core.PermRW && rng.Intn(2) == 0)
+			}
+			if rng.Intn(8) == 0 {
+				g.emit(Op{Kind: OpInstr, Th: th, N: uint64(50 + rng.Intn(200))})
+			}
+		}
+	default:
+		steps := 150 + rng.Intn(250)
+		for i := 0; i < steps; i++ {
+			th := g.thread()
+			switch w := rng.Intn(100); {
+			case w < 25: // setperm
+				if d := g.liveDomain(); d != 0 {
+					p := []core.Perm{core.PermRW, core.PermR, core.PermNone}[rng.Intn(3)]
+					g.setPerm(th, d, p)
+				}
+			case w < 75: // load or store
+				write := rng.Intn(5) < 2
+				d := g.liveDomain()
+				if prof != ProfileLegal && rng.Intn(10) == 0 {
+					// Target a currently-dead domain: a domainless
+					// access every scheme must allow.
+					d = core.DomainID(1 + rng.Intn(domains))
+					if g.live[d] {
+						d = 0
+					}
+				}
+				if d == 0 {
+					continue
+				}
+				if prof == ProfileLegal && g.live[d] {
+					// Repair the permission so the access is granted.
+					need := core.PermR
+					if write {
+						need = core.PermRW
+					}
+					if !g.permOf(th, d).Allows(write) {
+						g.setPerm(th, d, need)
+					}
+				}
+				g.access(th, d, write)
+			case w < 85: // compute
+				g.emit(Op{Kind: OpInstr, Th: th, N: uint64(50 + rng.Intn(400))})
+			case w < 90: // fence
+				g.emit(Op{Kind: OpFence, Th: th})
+			case w < 95: // fetch from a live domain (never blocked)
+				if d := g.liveDomain(); d != 0 {
+					g.emit(Op{Kind: OpFetch, Th: th, D: d, Off: g.offset()})
+				}
+			default: // pool churn
+				churn := 1
+				if prof != ProfileLegal {
+					churn = 1 + rng.Intn(2)
+				}
+				for ; churn > 0; churn-- {
+					if len(g.live) > 1 && rng.Intn(2) == 0 {
+						g.detach(g.liveDomain())
+					} else if len(g.live) < domains {
+						for d := 1; d <= domains; d++ {
+							if !g.live[core.DomainID(d)] {
+								g.attach(core.DomainID(d))
+								break
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+
+	return Program{
+		Seed:    seed,
+		Profile: prof,
+		Cores:   cores,
+		Threads: threads,
+		Ops:     g.ops,
+	}
+}

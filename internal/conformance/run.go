@@ -1,0 +1,116 @@
+package conformance
+
+import (
+	"fmt"
+	"strings"
+
+	"domainvirt/internal/sim"
+)
+
+// Options configures a conformance campaign.
+type Options struct {
+	// Programs is the number of generated programs to replay; profiles
+	// rotate round-robin. Defaults to 256.
+	Programs int
+	// Seed offsets the generator seeds, so distinct campaigns explore
+	// distinct programs while each stays fully deterministic.
+	Seed int64
+	// Config is the machine configuration template; Cores and
+	// MaxFaultRecords are overridden per program.
+	Config sim.Config
+	// CorpusDir, when non-empty, receives a minimized .prog repro for
+	// every divergent program.
+	CorpusDir string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Programs <= 0 {
+		o.Programs = 256
+	}
+	if o.Config.Cores == 0 {
+		o.Config = sim.DefaultConfig()
+	}
+	return o
+}
+
+// Report aggregates a campaign.
+type Report struct {
+	Programs    int
+	Steps       int
+	Accesses    int
+	Denials     int
+	SetPerms    int
+	FloorCheck  int // programs where the lowerbound floor was asserted
+	SwitchHeavy int // programs where the libmpk ceiling was asserted
+	WithMPK     int // programs replayed under all six schemes
+	Divergences []Divergence
+	ReproPaths  []string
+}
+
+// Diverged reports whether any program violated an invariant.
+func (r *Report) Diverged() bool { return len(r.Divergences) > 0 }
+
+// Summary renders a one-paragraph human-readable digest.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conformance: %d programs, %d steps, %d accesses (%d denied), %d setperms\n",
+		r.Programs, r.Steps, r.Accesses, r.Denials, r.SetPerms)
+	fmt.Fprintf(&b, "  coverage: %d with all six schemes, %d floor-checked, %d switch-heavy (ceiling checked)\n",
+		r.WithMPK, r.FloorCheck, r.SwitchHeavy)
+	if r.Diverged() {
+		fmt.Fprintf(&b, "  DIVERGENCES: %d\n", len(r.Divergences))
+		for i, d := range r.Divergences {
+			if i == 8 {
+				fmt.Fprintf(&b, "    ... and %d more\n", len(r.Divergences)-8)
+				break
+			}
+			fmt.Fprintf(&b, "    %s\n", d)
+		}
+		for _, p := range r.ReproPaths {
+			fmt.Fprintf(&b, "  repro: %s\n", p)
+		}
+	} else {
+		fmt.Fprintf(&b, "  all invariants held\n")
+	}
+	return b.String()
+}
+
+// Run executes a conformance campaign: generate, replay, and on
+// divergence minimize and (optionally) persist a repro. The returned
+// error covers I/O problems only; divergences are reported in Report.
+func Run(opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	rep := &Report{}
+	for i := 0; i < opt.Programs; i++ {
+		prof := Profile(i % int(NumProfiles))
+		p := Generate(opt.Seed+int64(i), prof)
+		rr := Replay(p, opt.Config)
+		rep.Programs++
+		rep.Steps += rr.Steps
+		rep.Accesses += rr.Accesses
+		rep.Denials += rr.Denials
+		rep.SetPerms += rr.SetPerms
+		if rr.FloorCheck {
+			rep.FloorCheck++
+		}
+		if rr.SwitchHeavy {
+			rep.SwitchHeavy++
+		}
+		if len(rr.Schemes) == len(sim.AllSchemes) {
+			rep.WithMPK++
+		}
+		if rr.Diverged() {
+			min := MinimizeDivergent(p, opt)
+			mrr := Replay(min, opt.Config)
+			rep.Divergences = append(rep.Divergences, mrr.Divergences...)
+			if opt.CorpusDir != "" {
+				path, err := SaveRepro(opt.CorpusDir, min)
+				if err != nil {
+					return rep, err
+				}
+				rep.ReproPaths = append(rep.ReproPaths, path)
+			}
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,62 @@
+package conformance
+
+// shrinkBudget caps how many candidate replays a minimization may spend.
+// Each probe replays the whole candidate under all schemes, so the
+// budget bounds worst-case shrink time on large programs.
+const shrinkBudget = 400
+
+// Minimize greedily shrinks p's op list while the failing predicate
+// keeps holding — ddmin-style: try removing chunks, halving the chunk
+// size whenever a pass over the list removes nothing. The returned
+// program still satisfies failing (or is p unchanged if p does not).
+// The predicate must be deterministic.
+func Minimize(p Program, failing func(Program) bool) Program {
+	if !failing(p) {
+		return p
+	}
+	budget := shrinkBudget
+	probe := func(ops []Op) bool {
+		if budget == 0 {
+			return false
+		}
+		budget--
+		q := p
+		q.Ops = ops
+		return failing(q)
+	}
+
+	ops := p.Ops
+	for chunk := (len(ops) + 1) / 2; chunk >= 1; {
+		removed := false
+		for start := 0; start+chunk <= len(ops); {
+			cand := make([]Op, 0, len(ops)-chunk)
+			cand = append(cand, ops[:start]...)
+			cand = append(cand, ops[start+chunk:]...)
+			if probe(cand) {
+				ops = cand
+				removed = true
+			} else {
+				start += chunk
+			}
+		}
+		if budget == 0 {
+			break
+		}
+		if !removed || chunk > len(ops) {
+			if chunk == 1 {
+				break
+			}
+			chunk /= 2
+		}
+	}
+	p.Ops = ops
+	return p
+}
+
+// MinimizeDivergent shrinks a program that diverges under Replay to a
+// smaller one that still diverges.
+func MinimizeDivergent(p Program, cfg Options) Program {
+	return Minimize(p, func(q Program) bool {
+		return Replay(q, cfg.Config).Diverged()
+	})
+}

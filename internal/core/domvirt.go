@@ -118,8 +118,15 @@ func (e *DomainVirt) Attach(d DomainID, r memlayout.Region) error {
 	return nil
 }
 
-// Detach implements Engine.
+// Detach implements Engine. Like munmap, detach invalidates the region's
+// translations: TLB entries still carrying this domain's ID would
+// otherwise keep denying the (now domainless) range after the PT entry is
+// gone, where every other scheme allows it. The design's no-shootdown
+// property concerns permission changes, not address-space changes.
 func (e *DomainVirt) Detach(d DomainID) {
+	if r, ok := e.table.Region(d); ok && e.hooks != nil {
+		e.hooks.FlushTLBRangeAll(r)
+	}
 	e.table.Remove(d)
 	delete(e.pt, d)
 	for _, t := range e.ptlbs {

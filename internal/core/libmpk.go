@@ -148,9 +148,15 @@ func (e *Libmpk) mapIn(d DomainID) uint64 {
 	e.lruStamp[key] = e.clock
 
 	// Refresh PKRU on every core for the reassigned key, reflecting the
-	// running thread's registered permission for the new owner.
+	// running thread's registered permission for the new owner. Saved
+	// (off-core) thread images are rewritten too — otherwise a sleeping
+	// thread's grant for the key's previous owner would resurrect for
+	// the new owner when that thread is switched back in.
 	for c := range e.pkruCore {
 		e.pkruCore[c] = e.pkruCore[c].Set(key, e.permOf(e.current[c], d))
+	}
+	for th, saved := range e.pkruSaved {
+		e.pkruSaved[th] = saved.Set(key, e.permOf(th, d))
 	}
 	return cost
 }

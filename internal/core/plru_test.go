@@ -85,6 +85,66 @@ func TestPLRUVictimExcluding(t *testing.T) {
 	p.VictimExcluding(func(int) bool { return true })
 }
 
+// refPLRU is an independent tree-PLRU model used to cross-check the
+// bit-twiddling implementation: it works on explicit [lo,hi) ranges with
+// one cold-direction flag per range, recursing by halving — no implicit
+// heap indexing, no depth arithmetic. A zero-valued flag points left,
+// matching a fresh PLRU whose victim is slot 0.
+type refPLRU struct {
+	coldRight map[[2]int]bool
+}
+
+func newRefPLRU() *refPLRU { return &refPLRU{coldRight: make(map[[2]int]bool)} }
+
+func (r *refPLRU) touch(lo, hi, slot int) {
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if slot < mid {
+			r.coldRight[[2]int{lo, hi}] = true
+			hi = mid
+		} else {
+			r.coldRight[[2]int{lo, hi}] = false
+			lo = mid
+		}
+	}
+}
+
+func (r *refPLRU) victim(lo, hi int) int {
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if r.coldRight[[2]int{lo, hi}] {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// TestPLRUExhaustiveDepth4 drives a 16-slot (depth-4) tree through every
+// access sequence of length 4 over all 16 slots — 16^4 = 65,536 programs
+// — and checks the victim against the reference model after every touch.
+// This covers every reachable 4-touch tree state exhaustively rather
+// than sampling.
+func TestPLRUExhaustiveDepth4(t *testing.T) {
+	const slots = 16
+	for seq := 0; seq < slots*slots*slots*slots; seq++ {
+		p := NewPLRU(slots)
+		ref := newRefPLRU()
+		s := seq
+		for step := 0; step < 4; step++ {
+			slot := s % slots
+			s /= slots
+			p.Touch(slot)
+			ref.touch(0, slots, slot)
+			if got, want := p.Victim(), ref.victim(0, slots); got != want {
+				t.Fatalf("seq %#x step %d (touch %d): victim %d, reference says %d",
+					seq, step, slot, got, want)
+			}
+		}
+	}
+}
+
 func TestPLRUBadSize(t *testing.T) {
 	for _, n := range []int{0, 3, 12} {
 		func() {

@@ -300,7 +300,7 @@ func (m *Machine) demandMap(va memlayout.VA) pagetable.PTE {
 // are prohibited". Page presence and translation costs still apply.
 func (m *Machine) Fetch(th core.ThreadID, va memlayout.VA) bool {
 	c := m.coreFor(th)
-	var cyc uint64
+	var cyc, engCyc uint64
 	cyc += m.cfg.L1TLBLat
 	vpn := memlayout.PageNum(va)
 
@@ -324,6 +324,7 @@ func (m *Machine) Fetch(th core.ThreadID, va memlayout.VA) bool {
 			}
 			tag, extra := m.engine.FillTag(c.id, th, va)
 			cyc += extra
+			engCyc += extra
 			entry = tlb.Entry{VPN: vpn, PFN: pte.PFN, Writable: pte.Writable, Tag: tag, Valid: true}
 			c.l2tlb.Insert(entry)
 			c.l1tlb.Insert(entry)
@@ -332,7 +333,9 @@ func (m *Machine) Fetch(th core.ThreadID, va memlayout.VA) bool {
 	pa := memlayout.PA(entry.PFN<<memlayout.PageShift) + memlayout.PA(memlayout.PageOffset(va))
 	lat, _ := m.caches.Access(c.id, pa, false)
 	cyc += lat
-	m.bd.AddN(stats.CatBase, cyc, 0)
+	// The engine attributes its FillTag cycles itself; only the rest is
+	// base-run work.
+	m.bd.AddN(stats.CatBase, cyc-engCyc, 0)
 	c.cycles += cyc
 	return true
 }
@@ -348,11 +351,15 @@ func (m *Machine) SetPerm(th core.ThreadID, d core.DomainID, p core.Perm, site c
 	c.cycles += m.engine.SetPerm(c.id, th, d, p)
 }
 
-// Attach implements trace.Sink.
+// Attach implements trace.Sink. Mapping a PMO over a VA range
+// invalidates any translations cached for it (mmap semantics): without
+// the flush, a TLB entry warmed by a pre-attach access would keep its
+// domainless tag and bypass the new domain's checks.
 func (m *Machine) Attach(d core.DomainID, r memlayout.Region, perm core.Perm) error {
 	if err := m.engine.Attach(d, r); err != nil {
 		return err
 	}
+	m.FlushTLBRangeAll(r)
 	m.domains[d] = domainInfo{region: r, perm: perm}
 	return nil
 }

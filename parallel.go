@@ -1,0 +1,92 @@
+package domainvirt
+
+import (
+	"runtime"
+	"sync"
+)
+
+// expCell is one independent cell of the experiment grid: a (workload,
+// parameters, scheme) triple. Params is a plain value type, so cells are
+// comparable and double as result keys.
+type expCell struct {
+	name   string
+	p      Params
+	scheme Scheme
+}
+
+// runGrid evaluates every cell with a bounded worker pool and returns
+// the results keyed by cell. Each cell builds its own machine and
+// workload, so cells share no mutable state and the outcome is
+// independent of scheduling; callers aggregate in their own fixed order,
+// which keeps reports byte-identical to the sequential path. workers <= 0
+// selects GOMAXPROCS; workers == 1 runs inline. On failure the error of
+// the lowest-indexed failing cell is returned — the same one the
+// sequential path would have hit first.
+func runGrid(cfg Config, workers int, cells []expCell) (gridResults, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	uniq := make([]expCell, 0, len(cells))
+	seen := make(map[expCell]bool, len(cells))
+	for _, c := range cells {
+		if !seen[c] {
+			seen[c] = true
+			uniq = append(uniq, c)
+		}
+	}
+	if workers > len(uniq) {
+		workers = len(uniq)
+	}
+
+	results := make([]Result, len(uniq))
+	errs := make([]error, len(uniq))
+	if workers <= 1 {
+		for i, c := range uniq {
+			results[i], errs[i] = Run(c.name, c.p, c.scheme, cfg)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					c := uniq[i]
+					results[i], errs[i] = Run(c.name, c.p, c.scheme, cfg)
+				}
+			}()
+		}
+		for i := range uniq {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make(gridResults, len(uniq))
+	for i, c := range uniq {
+		out[c] = results[i]
+	}
+	return out, nil
+}
+
+// gridResults holds every evaluated cell, keyed by the cell itself.
+type gridResults map[expCell]Result
+
+// at regroups one (name, params) slice of the grid into the per-scheme
+// map the table aggregations consume.
+func (g gridResults) at(name string, p Params) map[Scheme]Result {
+	out := make(map[Scheme]Result)
+	for c, r := range g {
+		if c.name == name && c.p == p {
+			out[c.scheme] = r
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package domainvirt_test
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"domainvirt"
+)
+
+func tinyExpOptions() domainvirt.ExpOptions {
+	opt := domainvirt.DefaultExpOptions()
+	opt.WhisperOps = 400
+	opt.WhisperInit = 100
+	opt.MicroOps = 300
+	opt.MicroInit = 128
+	opt.PMOCounts = []int{16, 64}
+	return opt
+}
+
+func render(t *testing.T, tab interface {
+	Render(w io.Writer) error
+}) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestParallelMatchesSequential: every table/figure runner must produce
+// identical rows AND byte-identical rendered reports whether its cells
+// run inline (Workers=1) or on a 4-worker pool. Each cell builds its own
+// machine, so this holds by construction; the test pins it.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := tinyExpOptions()
+	seq.Workers = 1
+	par := tinyExpOptions()
+	par.Workers = 4
+
+	t5s, err := domainvirt.Table5(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t5p, err := domainvirt.Table5(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t5s, t5p) {
+		t.Errorf("Table5 rows differ between sequential and parallel runs:\n%v\n%v", t5s, t5p)
+	}
+	if a, b := render(t, domainvirt.Table5Report(t5s)), render(t, domainvirt.Table5Report(t5p)); a != b {
+		t.Error("Table5 rendered report differs between sequential and parallel runs")
+	}
+
+	t6s, err := domainvirt.Table6(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t6p, err := domainvirt.Table6(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(t6s, t6p) {
+		t.Error("Table6 rows differ between sequential and parallel runs")
+	}
+
+	f6s, err := domainvirt.Fig6(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f6p, err := domainvirt.Fig6(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f6s, f6p) {
+		t.Error("Fig6 sweeps differ between sequential and parallel runs")
+	}
+
+	mvS, dvS, err := domainvirt.Table7(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvP, dvP, err := domainvirt.Table7(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mvS, mvP) || !reflect.DeepEqual(dvS, dvP) {
+		t.Error("Table7 rows differ between sequential and parallel runs")
+	}
+	if a, b := render(t, domainvirt.Table7Report(mvS, dvS)), render(t, domainvirt.Table7Report(mvP, dvP)); a != b {
+		t.Error("Table7 rendered report differs between sequential and parallel runs")
+	}
+}
+
+// TestParallelWorkerSweep: the worker count must never change results,
+// whatever its value (0 = GOMAXPROCS, over-provisioned, etc).
+func TestParallelWorkerSweep(t *testing.T) {
+	var want []domainvirt.Table6Row
+	for _, workers := range []int{1, 0, 2, 3, 8, 64} {
+		opt := tinyExpOptions()
+		opt.Workers = workers
+		rows, err := domainvirt.Table6(opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = rows
+			continue
+		}
+		if !reflect.DeepEqual(rows, want) {
+			t.Errorf("workers=%d: rows differ from workers=1", workers)
+		}
+	}
+}
+
+// TestTable5ParallelSpeedup: on a machine with enough cores, the
+// parallel Table V run must be at least 2x faster than the sequential
+// one. Skipped on small machines where the pool degenerates.
+func TestTable5ParallelSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for a meaningful speedup, have %d", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	opt := tinyExpOptions()
+	opt.WhisperOps = 20000
+	opt.WhisperInit = 2000
+
+	opt.Workers = 1
+	start := time.Now()
+	if _, err := domainvirt.Table5(opt); err != nil {
+		t.Fatal(err)
+	}
+	seq := time.Since(start)
+
+	opt.Workers = runtime.NumCPU()
+	start = time.Now()
+	if _, err := domainvirt.Table5(opt); err != nil {
+		t.Fatal(err)
+	}
+	par := time.Since(start)
+
+	t.Logf("Table5 sequential %v, parallel (%d workers) %v, speedup %.2fx",
+		seq, opt.Workers, par, float64(seq)/float64(par))
+	if float64(seq)/float64(par) < 2 {
+		t.Errorf("parallel Table5 speedup %.2fx, want >= 2x on %d CPUs",
+			float64(seq)/float64(par), runtime.NumCPU())
+	}
+}
+
+// TestFig7EmptyError: an empty Figure 6 sweep must be reported as an
+// error instead of silently averaging to a zero result.
+func TestFig7EmptyError(t *testing.T) {
+	if _, err := domainvirt.Fig7(nil); err == nil {
+		t.Error("Fig7(nil) succeeded; want explicit error")
+	}
+	if _, err := domainvirt.Fig7([]domainvirt.Fig6Result{}); err == nil {
+		t.Error("Fig7(empty) succeeded; want explicit error")
+	}
+
+	opt := tinyExpOptions()
+	opt.PMOCounts = []int{16}
+	f6, err := domainvirt.Fig6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7, err := domainvirt.Fig7(f6)
+	if err != nil {
+		t.Fatalf("Fig7 on a valid sweep: %v", err)
+	}
+	if len(f7.X) != 1 || f7.X[0] != 16 {
+		t.Errorf("Fig7 X = %v, want [16]", f7.X)
+	}
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# ci.sh — the full local gate: vet, build, and the race-enabled test
+# suite (which includes the 1,000-program differential conformance
+# campaign in internal/conformance). Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
