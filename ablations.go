@@ -19,14 +19,22 @@ type AblationRow struct {
 	DomVirtPct float64
 }
 
-func ablationRun(name string, p Params, cfg Config) (AblationRow, error) {
+// ablationRun evaluates one labeled configuration. Ablation rows vary
+// the machine configuration per row, so they run sequentially rather
+// than through the shared grid pool; the progress writer still gets one
+// completion line per row.
+func ablationRun(opt ExpOptions, name string, p Params, cfg Config, label string) (AblationRow, error) {
 	res, err := RunSchemes(name, p, cfg,
 		SchemeLowerbound, SchemeLibmpk, SchemeMPKVirt, SchemeDomainVirt)
 	if err != nil {
 		return AblationRow{}, err
 	}
+	if opt.Progress != nil {
+		fmt.Fprintf(opt.Progress, "[ablation] %s x %s\n", name, label)
+	}
 	lb := res[SchemeLowerbound]
 	return AblationRow{
+		Label:      label,
 		LibmpkPct:  res[SchemeLibmpk].OverheadPct(lb),
 		MPKVirtPct: res[SchemeMPKVirt].OverheadPct(lb),
 		DomVirtPct: res[SchemeDomainVirt].OverheadPct(lb),
@@ -47,11 +55,10 @@ func AblationPlacement(opt ExpOptions) ([]AblationRow, error) {
 				// InitialElems is per pool here; keep setup bounded.
 				p.InitialElems = 128
 			}
-			row, err := ablationRun("avl", p, opt.Cfg)
+			row, err := ablationRun(opt, "avl", p, opt.Cfg, fmt.Sprintf("%s/%d PMOs", placement, pmos))
 			if err != nil {
 				return nil, err
 			}
-			row.Label = fmt.Sprintf("%s/%d PMOs", placement, pmos)
 			rows = append(rows, row)
 		}
 	}
@@ -68,11 +75,10 @@ func AblationBufferSizes(opt ExpOptions) ([]AblationRow, error) {
 		cfg.DTTLBEntries = entries
 		cfg.PTLBEntries = entries
 		p := opt.microParams(1024)
-		row, err := ablationRun("avl", p, cfg)
+		row, err := ablationRun(opt, "avl", p, cfg, fmt.Sprintf("%d entries", entries))
 		if err != nil {
 			return nil, err
 		}
-		row.Label = fmt.Sprintf("%d entries", entries)
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -89,11 +95,10 @@ func AblationCores(opt ExpOptions) ([]AblationRow, error) {
 		cfg.Cores = cores
 		p := opt.microParams(256)
 		p.Threads = cores
-		row, err := ablationRun("avl", p, cfg)
+		row, err := ablationRun(opt, "avl", p, cfg, fmt.Sprintf("%d cores", cores))
 		if err != nil {
 			return nil, err
 		}
-		row.Label = fmt.Sprintf("%d cores", cores)
 		rows = append(rows, row)
 	}
 	return rows, nil
@@ -124,22 +129,20 @@ func AblationCosts(opt ExpOptions) ([]AblationRow, error) {
 		cfg := opt.Cfg
 		cfg.Costs.TLBInval = inval
 		p := opt.microParams(1024)
-		row, err := ablationRun("avl", p, cfg)
+		row, err := ablationRun(opt, "avl", p, cfg, fmt.Sprintf("TLB inval %d cycles", inval))
 		if err != nil {
 			return nil, err
 		}
-		row.Label = fmt.Sprintf("TLB inval %d cycles", inval)
 		rows = append(rows, row)
 	}
 	for _, nvm := range []uint64{120, 360, 720} {
 		cfg := opt.Cfg
 		cfg.Mem.NVMLatency = nvm
 		p := opt.microParams(1024)
-		row, err := ablationRun("avl", p, cfg)
+		row, err := ablationRun(opt, "avl", p, cfg, fmt.Sprintf("NVM latency %d cycles", nvm))
 		if err != nil {
 			return nil, err
 		}
-		row.Label = fmt.Sprintf("NVM latency %d cycles", nvm)
 		rows = append(rows, row)
 	}
 	return rows, nil

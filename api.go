@@ -19,6 +19,7 @@ import (
 	"domainvirt/internal/conformance"
 	"domainvirt/internal/core"
 	"domainvirt/internal/memlayout"
+	"domainvirt/internal/obs"
 	"domainvirt/internal/pmo"
 	"domainvirt/internal/sim"
 	"domainvirt/internal/stats"
@@ -153,6 +154,25 @@ func NewMachine(cfg Config, scheme Scheme) *Machine { return sim.NewMachine(cfg,
 
 // Workloads lists the registered benchmark names.
 func Workloads() []string { return workload.Names() }
+
+// Observability API: passive, deterministic instrumentation of a
+// simulation run — epoch-sampled counter time series, latency
+// histograms, and a run manifest — see RunObserved and ExpOptions.Obs.
+type (
+	// ObsOptions configures the observability recorder (epoch length
+	// in retired instructions; 0 disables sampling).
+	ObsOptions = obs.Options
+	// Recorder accumulates samples, histograms, and the manifest for
+	// one run.
+	Recorder = obs.Recorder
+	// Manifest identifies one observed run (scheme, workload, seed,
+	// parameters, config hash, tool version).
+	Manifest = obs.Manifest
+	// ObsSample is one epoch-boundary snapshot of counter deltas.
+	ObsSample = obs.Sample
+	// Histogram is a mergeable log2-bucketed latency histogram.
+	Histogram = obs.Histogram
+)
 
 // Conformance API: differential replay of generated trace programs
 // through every protection engine, checking that verdicts, fault

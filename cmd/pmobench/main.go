@@ -7,6 +7,13 @@
 //	pmobench -experiment all
 //	pmobench -experiment fig6 -csv out/
 //	pmobench -experiment table7 -paper        # full paper scale (slow)
+//	pmobench -experiment table5 -obs-out obs/ -obs-epoch 50000
+//
+// Progress lines ("[done/total] cell") go to stderr while results go to
+// stdout, so redirecting stdout still shows the grid advancing. -obs-out
+// exports per-cell run manifests, per-cell epoch series (with
+// -obs-epoch), and per-scheme merged latency histograms into one
+// subdirectory per experiment.
 package main
 
 import (
@@ -14,21 +21,48 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"domainvirt"
+	"domainvirt/internal/obs"
 	"domainvirt/internal/report"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole command so that profile shutdown (a deferred
+// stop) happens before the process exits; os.Exit in main would skip it.
+func run() int {
 	var (
-		exp    = flag.String("experiment", "all", "table5|table6|table7|table8|fig6|fig7|ablations|all")
-		paper  = flag.Bool("paper", false, "run at the paper's full scale (100k/1M ops, stride-16 sweep)")
-		ops    = flag.Int("ops", 0, "override measured operations per run")
-		seed   = flag.Int64("seed", 42, "workload RNG seed")
-		csvDir = flag.String("csv", "", "also write CSV files into this directory")
+		exp     = flag.String("experiment", "all", "table5|table6|table7|table8|fig6|fig7|ablations|all")
+		paper   = flag.Bool("paper", false, "run at the paper's full scale (100k/1M ops, stride-16 sweep)")
+		ops     = flag.Int("ops", 0, "override measured operations per run")
+		seed    = flag.Int64("seed", 42, "workload RNG seed")
+		workers = flag.Int("workers", 0, "concurrent experiment cells (0 = GOMAXPROCS)")
+		quiet   = flag.Bool("quiet", false, "suppress the banner and per-cell progress lines on stderr")
+		csvDir  = flag.String("csv", "", "also write CSV files into this directory")
+
+		obsOut   = flag.String("obs-out", "", "directory for per-experiment observability exports")
+		obsEpoch = flag.Uint64("obs-epoch", 0, "sampling epoch in retired instructions (0 disables per-cell time series)")
+
+		cpuprofile   = flag.String("cpuprofile", "", "write a host CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a host heap profile to this file at exit")
+		runtimetrace = flag.String("runtimetrace", "", "write a host runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := obs.StartHostProfiles(*cpuprofile, *memprofile, *runtimetrace)
+	if err != nil {
+		return fail(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "pmobench:", err)
+		}
+	}()
 
 	opt := domainvirt.DefaultExpOptions()
 	if *paper {
@@ -39,20 +73,42 @@ func main() {
 		opt.MicroOps = *ops
 	}
 	opt.Seed = *seed
+	opt.Workers = *workers
+	if !*quiet {
+		opt.Progress = os.Stderr
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 
+	workersResolved := opt.Workers
+	if workersResolved <= 0 {
+		workersResolved = runtime.GOMAXPROCS(0)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "pmobench: experiment=%s whisper_ops=%d micro_ops=%d seed=%d workers=%d pmo_counts=%v\n",
+			*exp, opt.WhisperOps, opt.MicroOps, opt.Seed, workersResolved, opt.PMOCounts)
+	}
+
+	failed := false
 	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
+		if failed || (*exp != "all" && *exp != name) {
 			return
+		}
+		if *obsOut != "" {
+			opt.Obs = domainvirt.ExpObs{
+				Dir:   filepath.Join(*obsOut, name),
+				Epoch: *obsEpoch,
+			}
 		}
 		start := time.Now()
 		if err := fn(); err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+			fmt.Fprintln(os.Stderr, "pmobench:", fmt.Errorf("%s: %w", name, err))
+			failed = true
+			return
 		}
 		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -174,6 +230,11 @@ func main() {
 			"Ablation: cost-parameter sensitivity (AVL, 1024 PMOs)", costs),
 			*csvDir, "ablation-costs")
 	})
+
+	if failed {
+		return 1
+	}
+	return 0
 }
 
 func emit(t *report.Table, csvDir, name string) error {
@@ -184,15 +245,23 @@ func emit(t *report.Table, csvDir, name string) error {
 	if csvDir == "" {
 		return nil
 	}
-	f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+	path := filepath.Join(csvDir, name+".csv")
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return t.CSV(f)
+	if err := t.CSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "pmobench:", err)
-	os.Exit(1)
+	return 1
 }

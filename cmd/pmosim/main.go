@@ -6,7 +6,14 @@
 //
 //	pmosim -workload avl -scheme domainvirt -pmos 256 -ops 10000
 //	pmosim -workload echo -scheme mpk -ops 20000 -compare
+//	pmosim -workload avl -scheme mpkvirt -obs-out obs/ -obs-epoch 10000
 //	pmosim -conform -conform-programs 1000 -conform-out corpus/
+//
+// -obs-out attaches the observability recorder to the run and exports
+// the run manifest, the epoch-sampled counter time series (JSONL and
+// CSV), and a Prometheus text snapshot into the directory. The exported
+// files are byte-identical across runs with the same seed; wall-clock
+// time is printed to stdout only.
 //
 // -conform runs the differential conformance campaign instead of a
 // workload: generated trace programs are replayed through every
@@ -22,10 +29,17 @@ import (
 	"strings"
 
 	"domainvirt"
+	"domainvirt/internal/obs"
 	"domainvirt/internal/stats"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole command so that profile shutdown (a deferred
+// stop) happens before the process exits; os.Exit in main would skip it.
+func run() int {
 	var (
 		wl      = flag.String("workload", "avl", "workload name ("+strings.Join(domainvirt.Workloads(), ", ")+")")
 		scheme  = flag.String("scheme", "domainvirt", "protection scheme (baseline, lowerbound, mpk, libmpk, mpkvirt, domainvirt)")
@@ -37,12 +51,29 @@ func main() {
 		seed    = flag.Int64("seed", 42, "workload RNG seed")
 		compare = flag.Bool("compare", false, "run every scheme and print an overhead comparison")
 
+		obsOut   = flag.String("obs-out", "", "directory for observability exports (manifest, time series, metrics)")
+		obsEpoch = flag.Uint64("obs-epoch", 0, "sampling epoch in retired instructions (0 disables the time series)")
+
+		cpuprofile   = flag.String("cpuprofile", "", "write a host CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a host heap profile to this file at exit")
+		runtimetrace = flag.String("runtimetrace", "", "write a host runtime execution trace to this file")
+
 		conform         = flag.Bool("conform", false, "run the differential conformance campaign instead of a workload")
 		conformPrograms = flag.Int("conform-programs", 1000, "number of generated programs to replay (-conform)")
 		conformSeed     = flag.Int64("conform-seed", 1, "campaign seed offset (-conform)")
 		conformOut      = flag.String("conform-out", "", "directory for minimized .prog repros of divergences (-conform)")
 	)
 	flag.Parse()
+
+	stopProfiles, err := obs.StartHostProfiles(*cpuprofile, *memprofile, *runtimetrace)
+	if err != nil {
+		return fail(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "pmosim:", err)
+		}
+	}()
 
 	cfg := domainvirt.DefaultConfig()
 	cfg.Cores = *cores
@@ -54,13 +85,13 @@ func main() {
 			CorpusDir: *conformOut,
 		})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Print(rep.Summary())
 		if rep.Diverged() {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	p := domainvirt.Params{
 		NumPMOs:      *pmos,
@@ -72,16 +103,36 @@ func main() {
 
 	if *compare {
 		if err := runCompare(*wl, p, cfg); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		return
+		return 0
+	}
+
+	if *obsOut != "" {
+		res, rec, err := domainvirt.RunObserved(*wl, p, domainvirt.Scheme(*scheme), cfg,
+			domainvirt.ObsOptions{Epoch: *obsEpoch})
+		if err != nil {
+			return fail(err)
+		}
+		printResult(*wl, res, cfg)
+		paths, err := rec.ExportDir(*obsOut, *wl+"-"+*scheme)
+		if err != nil {
+			return fail(err)
+		}
+		man := rec.Manifest()
+		fmt.Printf("observability: %d epoch samples in %v wall time\n", len(rec.Samples()), man.Wall.Round(1e6))
+		for _, p := range paths {
+			fmt.Printf("  wrote %s\n", p)
+		}
+		return 0
 	}
 
 	res, err := domainvirt.Run(*wl, p, domainvirt.Scheme(*scheme), cfg)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	printResult(*wl, res, cfg)
+	return 0
 }
 
 func runCompare(wl string, p domainvirt.Params, cfg domainvirt.Config) error {
@@ -129,7 +180,7 @@ func printResult(wl string, res domainvirt.Result, cfg domainvirt.Config) {
 	}
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "pmosim:", err)
-	os.Exit(1)
+	return 1
 }

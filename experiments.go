@@ -2,6 +2,7 @@ package domainvirt
 
 import (
 	"fmt"
+	"io"
 
 	"domainvirt/internal/report"
 	"domainvirt/internal/stats"
@@ -34,6 +35,25 @@ type ExpOptions struct {
 	// execution. Results are identical either way — only wall-clock
 	// time changes.
 	Workers int
+
+	// Progress, when non-nil, receives one "[done/total] label" line
+	// per completed experiment cell (typically os.Stderr). Lines are
+	// serialized; order follows completion.
+	Progress io.Writer
+
+	// Obs configures grid observability. Results are unaffected.
+	Obs ExpObs
+}
+
+// ExpObs turns on observability for every cell of an experiment grid.
+type ExpObs struct {
+	// Dir, when non-empty, receives per-cell manifests, per-cell epoch
+	// series (when Epoch > 0), and per-scheme merged latency
+	// histograms after the grid completes.
+	Dir string
+	// Epoch is the sampling period in retired instructions; 0 records
+	// manifests and histograms only.
+	Epoch uint64
 }
 
 // DefaultExpOptions returns the scaled-down defaults.
@@ -105,7 +125,7 @@ func Table5(opt ExpOptions) ([]Table5Row, error) {
 			cells = append(cells, expCell{name, p, s})
 		}
 	}
-	grid, err := runGrid(opt.Cfg, opt.Workers, cells)
+	grid, err := runGrid(opt, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -173,7 +193,7 @@ func Table6(opt ExpOptions) ([]Table6Row, error) {
 			cells = append(cells, expCell{name, p, s})
 		}
 	}
-	grid, err := runGrid(opt.Cfg, opt.Workers, cells)
+	grid, err := runGrid(opt, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +250,7 @@ func Fig6(opt ExpOptions) ([]Fig6Result, error) {
 			}
 		}
 	}
-	grid, err := runGrid(opt.Cfg, opt.Workers, cells)
+	grid, err := runGrid(opt, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -356,7 +376,7 @@ func Table7(opt ExpOptions) (mpkvirt, domvirt []Table7Row, err error) {
 			cells = append(cells, expCell{name, p, s})
 		}
 	}
-	grid, err := runGrid(opt.Cfg, opt.Workers, cells)
+	grid, err := runGrid(opt, cells)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -12,6 +12,17 @@ type engineBase struct {
 	ctr   *stats.Counters
 	costs Costs
 	table *DomainTable
+	ev    stats.EventSink
+}
+
+// SetEventSink implements EventEmitter; a nil sink disables emission.
+func (e *engineBase) SetEventSink(s stats.EventSink) { e.ev = s }
+
+// emit publishes one event when a sink is attached.
+func (e *engineBase) emit(core int, kind stats.EventKind, n uint64) {
+	if e.ev != nil {
+		e.ev.Event(core, kind, n)
+	}
 }
 
 func (e *engineBase) init(costs Costs) {

@@ -184,6 +184,14 @@ type Engine interface {
 	DomainOf(va memlayout.VA) DomainID
 }
 
+// EventEmitter is implemented by engines that publish discrete
+// eviction/shootdown events to an observability sink. Every engine built
+// on engineBase implements it; a nil sink (the default) disables emission
+// with a single branch on the rare event paths.
+type EventEmitter interface {
+	SetEventSink(s stats.EventSink)
+}
+
 // TagNone is the TLB tag of domainless memory under every scheme.
 const TagNone uint16 = 0
 

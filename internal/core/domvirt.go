@@ -41,9 +41,10 @@ func (t *ptlb) lookup(d DomainID) int {
 	return -1
 }
 
-// insert fills (d, p), evicting the PLRU victim; it returns whether a
-// dirty victim had to be written back to the Permission Table.
-func (t *ptlb) insert(d DomainID, p Perm) (wroteBack bool) {
+// insert fills (d, p), evicting the PLRU victim; it reports whether a
+// valid victim was displaced and whether that dirty victim had to be
+// written back to the Permission Table.
+func (t *ptlb) insert(d DomainID, p Perm) (evicted, wroteBack bool) {
 	slot := -1
 	for i := range t.domains {
 		if !t.valid[i] {
@@ -53,6 +54,7 @@ func (t *ptlb) insert(d DomainID, p Perm) (wroteBack bool) {
 	}
 	if slot < 0 {
 		slot = t.plru.Victim()
+		evicted = true
 		wroteBack = t.dirty[slot]
 	}
 	t.domains[slot] = d
@@ -60,7 +62,7 @@ func (t *ptlb) insert(d DomainID, p Perm) (wroteBack bool) {
 	t.valid[slot] = true
 	t.dirty[slot] = false
 	t.plru.Touch(slot)
-	return wroteBack
+	return evicted, wroteBack
 }
 
 func (t *ptlb) flush() (dirty int) {
@@ -164,7 +166,11 @@ func (e *DomainVirt) SetPerm(coreID int, th ThreadID, d DomainID, p Perm) uint64
 		t.plru.Touch(i)
 		return c
 	}
-	if t.insert(d, p) {
+	evicted, wroteBack := t.insert(d, p)
+	if evicted {
+		e.emit(coreID, stats.EvPTLBEviction, 1)
+	}
+	if wroteBack {
 		c += e.costs.PTLBEntryOp
 		e.bd.Add(stats.CatEntryChange, e.costs.PTLBEntryOp)
 	}
@@ -203,7 +209,11 @@ func (e *DomainVirt) Check(ctx AccessCtx) Verdict {
 		cost += e.costs.PTLBMiss
 		e.bd.Add(stats.CatPTLBMiss, e.costs.PTLBMiss)
 		perm = e.ptPerm(d, ctx.Thread)
-		if t.insert(d, perm) {
+		evicted, wroteBack := t.insert(d, perm)
+		if evicted {
+			e.emit(ctx.Core, stats.EvPTLBEviction, 1)
+		}
+		if wroteBack {
 			cost += e.costs.PTLBEntryOp
 			e.bd.Add(stats.CatEntryChange, e.costs.PTLBEntryOp)
 		}

@@ -96,8 +96,10 @@ func (e *Libmpk) setPermRecord(th ThreadID, d DomainID, p Perm) {
 }
 
 // mapIn gives domain d a protection key, evicting a victim if none is
-// free, and returns the cycle cost of the software protocol.
-func (e *Libmpk) mapIn(d DomainID) uint64 {
+// free, and returns the cycle cost of the software protocol. coreID
+// attributes the emitted eviction/shootdown events to the core whose
+// pkey_set or faulting access triggered the remap.
+func (e *Libmpk) mapIn(coreID int, d DomainID) uint64 {
 	var cost uint64
 	region, _ := e.table.Region(d)
 
@@ -128,6 +130,8 @@ func (e *Libmpk) mapIn(d DomainID) uint64 {
 		delete(e.keyOf, victim)
 		e.ownerOf[victimKey] = NullDomain
 		e.ctr.Evictions++
+		e.emit(coreID, stats.EvKeyEviction, 1)
+		e.emit(coreID, stats.EvShootdown, uint64(e.hooks.NumCores()))
 		key = victimKey
 	}
 
@@ -141,6 +145,7 @@ func (e *Libmpk) mapIn(d DomainID) uint64 {
 	ipi := e.costs.LibmpkIPI * uint64(e.hooks.NumCores())
 	e.bd.Add(stats.CatShootdown, ipi)
 	cost += ipi
+	e.emit(coreID, stats.EvShootdown, uint64(e.hooks.NumCores()))
 
 	e.keyOf[d] = key
 	e.ownerOf[key] = d
@@ -168,7 +173,7 @@ func (e *Libmpk) SetPerm(coreID int, th ThreadID, d DomainID, p Perm) uint64 {
 	var cost uint64
 	key, ok := e.keyOf[d]
 	if !ok {
-		cost += e.mapIn(d)
+		cost += e.mapIn(coreID, d)
 		key = e.keyOf[d]
 	} else {
 		e.clock++
@@ -210,7 +215,7 @@ func (e *Libmpk) Check(ctx AccessCtx) Verdict {
 			// shoot down, restart.
 			cost := e.costs.LibmpkTrap
 			e.bd.Add(stats.CatTrap, e.costs.LibmpkTrap)
-			cost += e.mapIn(d)
+			cost += e.mapIn(ctx.Core, d)
 			perm := e.permOf(ctx.Thread, d)
 			return Verdict{Allowed: perm.Allows(ctx.Write), Cycles: cost}
 		}

@@ -51,9 +51,9 @@ func (t *dttlb) lookup(d DomainID) (int, *dttEntry) {
 	return -1, nil
 }
 
-// insert fills e, evicting the PLRU victim; it returns whether a dirty
-// victim was written back.
-func (t *dttlb) insert(e *dttEntry) (wroteBack bool) {
+// insert fills e, evicting the PLRU victim; it reports whether a valid
+// victim was displaced and whether that victim was dirty (written back).
+func (t *dttlb) insert(e *dttEntry) (evicted, wroteBack bool) {
 	slot := -1
 	for i, s := range t.slots {
 		if s == nil {
@@ -63,12 +63,13 @@ func (t *dttlb) insert(e *dttEntry) (wroteBack bool) {
 	}
 	if slot < 0 {
 		slot = t.plru.Victim()
+		evicted = true
 		wroteBack = t.dirty[slot]
 	}
 	t.slots[slot] = e
 	t.dirty[slot] = false
 	t.plru.Touch(slot)
-	return wroteBack
+	return evicted, wroteBack
 }
 
 func (t *dttlb) drop(d DomainID) {
@@ -173,7 +174,7 @@ func (e *MPKVirt) Detach(d DomainID) {
 // assignKey maps ent to a protection key, evicting a pseudo-LRU victim if
 // none is free, and returns the cycle cost (free-key check, PKRU update,
 // and — on eviction — the TLB range invalidation on every core).
-func (e *MPKVirt) assignKey(ent *dttEntry) uint64 {
+func (e *MPKVirt) assignKey(coreID int, ent *dttEntry) uint64 {
 	cost := e.costs.FreeKeyCheck
 	e.bd.Add(stats.CatEntryChange, e.costs.FreeKeyCheck)
 
@@ -203,6 +204,8 @@ func (e *MPKVirt) assignKey(ent *dttEntry) uint64 {
 		e.bd.Add(stats.CatTLBInval, inval)
 		cost += inval
 		e.ctr.Evictions++
+		e.emit(coreID, stats.EvKeyEviction, 1)
+		e.emit(coreID, stats.EvShootdown, uint64(e.hooks.NumCores()))
 		key = uint8(v)
 	}
 	ent.key = key
@@ -259,7 +262,11 @@ func (e *MPKVirt) FillTag(coreID int, th ThreadID, va memlayout.VA) (uint16, uin
 		e.bd.Add(stats.CatDTTMiss, e.costs.DTTLBMiss)
 		e.ctr.DTTLBMisses++
 		e.ctr.DTTWalks++
-		if t.insert(ent) {
+		evicted, wroteBack := t.insert(ent)
+		if evicted {
+			e.emit(coreID, stats.EvDTTLBEviction, 1)
+		}
+		if wroteBack {
 			// Dirty victim written back to the DTT.
 			cost += e.costs.DTTLBEntryOp
 			e.bd.Add(stats.CatEntryChange, e.costs.DTTLBEntryOp)
@@ -271,7 +278,7 @@ func (e *MPKVirt) FillTag(coreID int, th ThreadID, va memlayout.VA) (uint16, uin
 		t.plru.Touch(slot)
 	}
 	if !ent.hasKey {
-		cost += e.assignKey(ent)
+		cost += e.assignKey(coreID, ent)
 	} else {
 		e.keyPLRU.Touch(int(ent.key))
 	}

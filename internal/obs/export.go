@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"domainvirt/internal/stats"
+)
+
+// counterFields enumerates every stats.Counters field in declaration
+// order, giving the CSV and Prometheus exporters a fixed column/metric
+// order. TestCounterFieldsComplete asserts the list stays in sync with
+// the struct.
+var counterFields = []struct {
+	Name string
+	Get  func(*stats.Counters) uint64
+}{
+	{"Instructions", func(c *stats.Counters) uint64 { return c.Instructions }},
+	{"Loads", func(c *stats.Counters) uint64 { return c.Loads }},
+	{"Stores", func(c *stats.Counters) uint64 { return c.Stores }},
+	{"TLBL1Hits", func(c *stats.Counters) uint64 { return c.TLBL1Hits }},
+	{"TLBL2Hits", func(c *stats.Counters) uint64 { return c.TLBL2Hits }},
+	{"TLBMisses", func(c *stats.Counters) uint64 { return c.TLBMisses }},
+	{"TLBFlushed", func(c *stats.Counters) uint64 { return c.TLBFlushed }},
+	{"DebtRefills", func(c *stats.Counters) uint64 { return c.DebtRefills }},
+	{"L1DHits", func(c *stats.Counters) uint64 { return c.L1DHits }},
+	{"L2Hits", func(c *stats.Counters) uint64 { return c.L2Hits }},
+	{"MemReads", func(c *stats.Counters) uint64 { return c.MemReads }},
+	{"MemWrites", func(c *stats.Counters) uint64 { return c.MemWrites }},
+	{"NVMReads", func(c *stats.Counters) uint64 { return c.NVMReads }},
+	{"NVMWrites", func(c *stats.Counters) uint64 { return c.NVMWrites }},
+	{"PermSwitches", func(c *stats.Counters) uint64 { return c.PermSwitches }},
+	{"Evictions", func(c *stats.Counters) uint64 { return c.Evictions }},
+	{"DTTWalks", func(c *stats.Counters) uint64 { return c.DTTWalks }},
+	{"PTLBMisses", func(c *stats.Counters) uint64 { return c.PTLBMisses }},
+	{"PTLBHits", func(c *stats.Counters) uint64 { return c.PTLBHits }},
+	{"DTTLBHits", func(c *stats.Counters) uint64 { return c.DTTLBHits }},
+	{"DTTLBMisses", func(c *stats.Counters) uint64 { return c.DTTLBMisses }},
+	{"DomainFaults", func(c *stats.Counters) uint64 { return c.DomainFaults }},
+	{"PageFaults", func(c *stats.Counters) uint64 { return c.PageFaults }},
+	{"ContextSwitches", func(c *stats.Counters) uint64 { return c.ContextSwitches }},
+}
+
+// catKey returns a file-friendly key for a breakdown category
+// ("permission change" → "permission_change").
+func catKey(c stats.Category) string {
+	return strings.ReplaceAll(c.String(), " ", "_")
+}
+
+// rate returns hits/(hits+misses), or 0 when nothing was looked up.
+func rate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// --- JSONL time series.
+
+type jsonlCore struct {
+	Core       int               `json:"core"`
+	Cycles     uint64            `json:"cycles"`
+	TLBL1Hits  uint64            `json:"tlb_l1_hits"`
+	TLBL2Hits  uint64            `json:"tlb_l2_hits"`
+	TLBMisses  uint64            `json:"tlb_misses"`
+	TLBHitRate float64           `json:"tlb_hit_rate"`
+	Events     map[string]uint64 `json:"events"`
+}
+
+type jsonlBreakdown struct {
+	Cycles uint64 `json:"cycles"`
+	Events uint64 `json:"events"`
+}
+
+type jsonlSample struct {
+	Epoch        int                       `json:"epoch"`
+	Retired      uint64                    `json:"retired"`
+	Cycles       uint64                    `json:"cycles"`
+	Counters     stats.Counters            `json:"counters"`
+	Breakdown    map[string]jsonlBreakdown `json:"breakdown"`
+	TLBHitRate   float64                   `json:"tlb_hit_rate"`
+	DTTLBHitRate float64                   `json:"dttlb_hit_rate"`
+	PTLBHitRate  float64                   `json:"ptlb_hit_rate"`
+	Cores        []jsonlCore               `json:"cores"`
+}
+
+// WriteJSONL writes the epoch time series, one JSON object per line.
+// Counter and breakdown values are per-epoch deltas; epoch, retired, and
+// cycles are cumulative positions. Output is byte-deterministic: struct
+// fields marshal in declaration order and map keys sort.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range r.samples {
+		s := &r.samples[i]
+		js := jsonlSample{
+			Epoch:        s.Epoch,
+			Retired:      s.Retired,
+			Cycles:       s.Cycles,
+			Counters:     s.Counters,
+			Breakdown:    make(map[string]jsonlBreakdown, stats.NumCategories),
+			TLBHitRate:   rate(s.Counters.TLBL1Hits+s.Counters.TLBL2Hits, s.Counters.TLBMisses),
+			DTTLBHitRate: rate(s.Counters.DTTLBHits, s.Counters.DTTLBMisses),
+			PTLBHitRate:  rate(s.Counters.PTLBHits, s.Counters.PTLBMisses),
+		}
+		for c := 0; c < stats.NumCategories; c++ {
+			js.Breakdown[catKey(stats.Category(c))] = jsonlBreakdown{
+				Cycles: s.Breakdown.Cycles[c],
+				Events: s.Breakdown.Counts[c],
+			}
+		}
+		for ci := range s.Cores {
+			cs := &s.Cores[ci]
+			jc := jsonlCore{
+				Core:       ci,
+				Cycles:     cs.Cycles,
+				TLBL1Hits:  cs.TLBL1Hits,
+				TLBL2Hits:  cs.TLBL2Hits,
+				TLBMisses:  cs.TLBMisses,
+				TLBHitRate: rate(cs.TLBL1Hits+cs.TLBL2Hits, cs.TLBMisses),
+				Events:     make(map[string]uint64, stats.NumEventKinds),
+			}
+			for k := 0; k < stats.NumEventKinds; k++ {
+				jc.Events[stats.EventKind(k).String()] = cs.Events[k]
+			}
+			js.Cores = append(js.Cores, jc)
+		}
+		if err := enc.Encode(js); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// --- CSV time series.
+
+// WriteCSV writes the machine-wide view of the time series: one row per
+// epoch with every counter delta, per-category overhead cycles, summed
+// event kinds, and hit rates.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cols := []string{"epoch", "retired", "cycles"}
+	for _, f := range counterFields {
+		cols = append(cols, f.Name)
+	}
+	for c := 0; c < stats.NumCategories; c++ {
+		cols = append(cols, "cat_"+catKey(stats.Category(c))+"_cycles")
+	}
+	for k := 0; k < stats.NumEventKinds; k++ {
+		cols = append(cols, "ev_"+stats.EventKind(k).String())
+	}
+	cols = append(cols, "tlb_hit_rate", "dttlb_hit_rate", "ptlb_hit_rate")
+	if _, err := fmt.Fprintln(bw, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := range r.samples {
+		s := &r.samples[i]
+		row := make([]string, 0, len(cols))
+		row = append(row,
+			fmt.Sprintf("%d", s.Epoch),
+			fmt.Sprintf("%d", s.Retired),
+			fmt.Sprintf("%d", s.Cycles))
+		for _, f := range counterFields {
+			row = append(row, fmt.Sprintf("%d", f.Get(&s.Counters)))
+		}
+		for c := 0; c < stats.NumCategories; c++ {
+			row = append(row, fmt.Sprintf("%d", s.Breakdown.Cycles[c]))
+		}
+		for k := 0; k < stats.NumEventKinds; k++ {
+			row = append(row, fmt.Sprintf("%d", s.Events(stats.EventKind(k))))
+		}
+		row = append(row,
+			fmt.Sprintf("%g", rate(s.Counters.TLBL1Hits+s.Counters.TLBL2Hits, s.Counters.TLBMisses)),
+			fmt.Sprintf("%g", rate(s.Counters.DTTLBHits, s.Counters.DTTLBMisses)),
+			fmt.Sprintf("%g", rate(s.Counters.PTLBHits, s.Counters.PTLBMisses)))
+		if _, err := fmt.Fprintln(bw, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// --- Prometheus text-format snapshot.
+
+// promLabels renders the identifying label set of the run.
+func (r *Recorder) promLabels() string {
+	return fmt.Sprintf(`scheme=%q,workload=%q`, r.manifest.Scheme, r.manifest.Workload)
+}
+
+// PromHistogram writes one histogram in Prometheus text format with
+// cumulative le buckets. labels may be empty.
+func PromHistogram(w io.Writer, name, help, labels string, h *Histogram) error {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	top := 0
+	for i := 0; i < NumBuckets; i++ {
+		if h.Buckets[i] > 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += h.Buckets[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"%d\"} %d\n", name, labels, sep, BucketUpper(i), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum{%s} %d\n", name, labels, h.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count)
+	return err
+}
+
+// WritePrometheus writes an end-of-run snapshot in Prometheus text
+// format: run info, total cycles, every counter, per-category overhead
+// cycles, and the two latency histograms. Byte-deterministic for a given
+// seed.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lb := r.promLabels()
+	st := &r.final
+
+	fmt.Fprintf(bw, "# HELP pmo_run_info Identifying labels of this simulation run.\n# TYPE pmo_run_info gauge\n")
+	fmt.Fprintf(bw, "pmo_run_info{%s,seed=\"%d\",config_hash=%q,tool_version=%q} 1\n",
+		lb, r.manifest.Seed, r.manifest.ConfigHash, r.manifest.ToolVersion)
+
+	var cycles uint64
+	for i := range st.Cores {
+		if st.Cores[i].Cycles > cycles {
+			cycles = st.Cores[i].Cycles
+		}
+	}
+	fmt.Fprintf(bw, "# HELP pmo_cycles_total Simulated execution time in cycles (max across cores).\n# TYPE pmo_cycles_total counter\n")
+	fmt.Fprintf(bw, "pmo_cycles_total{%s} %d\n", lb, cycles)
+
+	fmt.Fprintf(bw, "# HELP pmo_counter_total Machine event counters at end of run.\n# TYPE pmo_counter_total counter\n")
+	for _, f := range counterFields {
+		fmt.Fprintf(bw, "pmo_counter_total{%s,counter=%q} %d\n", lb, f.Name, f.Get(&st.Counters))
+	}
+
+	fmt.Fprintf(bw, "# HELP pmo_overhead_cycles_total Cycles attributed per overhead category.\n# TYPE pmo_overhead_cycles_total counter\n")
+	for c := 0; c < stats.NumCategories; c++ {
+		fmt.Fprintf(bw, "pmo_overhead_cycles_total{%s,category=%q} %d\n",
+			lb, catKey(stats.Category(c)), st.Breakdown.Cycles[c])
+	}
+
+	if err := PromHistogram(bw, "pmo_access_cycles", "Per-access total latency in cycles.", lb, &r.access); err != nil {
+		return err
+	}
+	if err := PromHistogram(bw, "pmo_setperm_cycles", "Per-SETPERM total cost in cycles.", lb, &r.setperm); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// --- Directory export.
+
+// ExportDir writes the complete export set into dir (created if needed):
+// <base>-manifest.json, <base>-series.jsonl, <base>-series.csv, and
+// <base>-metrics.prom. It returns the written paths in that order. The
+// series files are written even when sampling was disabled (they are
+// then header-only/empty), keeping the file set uniform for tooling.
+func (r *Recorder) ExportDir(dir, base string) ([]string, error) {
+	if base == "" {
+		base = "run"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	write := func(name string, fn func(io.Writer) error) error {
+		p := filepath.Join(dir, base+name)
+		f, err := os.Create(p)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		paths = append(paths, p)
+		return nil
+	}
+	if err := write("-manifest.json", r.manifest.WriteJSON); err != nil {
+		return nil, err
+	}
+	if err := write("-series.jsonl", r.WriteJSONL); err != nil {
+		return nil, err
+	}
+	if err := write("-series.csv", r.WriteCSV); err != nil {
+		return nil, err
+	}
+	if err := write("-metrics.prom", r.WritePrometheus); err != nil {
+		return nil, err
+	}
+	return paths, nil
+}

@@ -1,0 +1,101 @@
+package obs
+
+import "math/bits"
+
+// NumBuckets is the number of log2 histogram buckets: bucket 0 holds the
+// value 0 and bucket i (i >= 1) holds values in [2^(i-1), 2^i), so any
+// uint64 cycle count maps to bits.Len64(v).
+const NumBuckets = 65
+
+// Histogram is a fixed-bucket log2 latency histogram. The value (not a
+// pointer) is a complete snapshot, so histograms merge and copy freely;
+// Merge is associative and commutative, and recording a stream into one
+// histogram equals recording its partitions separately and merging.
+type Histogram struct {
+	Count   uint64
+	Sum     uint64
+	Min     uint64
+	Max     uint64
+	Buckets [NumBuckets]uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	h.Buckets[bits.Len64(v)]++
+}
+
+// Merge adds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i (0 for
+// bucket 0, 2^i - 1 otherwise).
+func BucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(i)) - 1
+}
+
+// Mean returns the arithmetic mean of the observed values.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns the upper bound of the bucket containing the
+// q-quantile (0 <= q <= 1) — an upper estimate with log2 resolution.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank >= h.Count {
+		rank = h.Count - 1
+	}
+	var seen uint64
+	for i, n := range h.Buckets {
+		seen += n
+		if seen > rank {
+			u := BucketUpper(i)
+			if u > h.Max {
+				u = h.Max
+			}
+			return u
+		}
+	}
+	return h.Max
+}

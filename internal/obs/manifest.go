@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Manifest identifies one observed simulation run: what was simulated,
+// under which scheme and configuration, by which exporter generation.
+// The simulator never fills a manifest — the caller that built the run
+// stamps it, including the wall-clock duration of the measured phase.
+//
+// Wall is deliberately excluded from the JSON form: exports must be
+// byte-deterministic for a given seed (the determinism contract of this
+// package), and wall time is the one volatile field. Callers that want
+// it report it through their own channels (pmosim prints it to stdout).
+type Manifest struct {
+	Scheme      string `json:"scheme"`
+	Workload    string `json:"workload"`
+	Seed        int64  `json:"seed"`
+	Ops         int    `json:"ops"`
+	Threads     int    `json:"threads"`
+	Cores       int    `json:"cores"`
+	PMOs        int    `json:"pmos"`
+	Epoch       uint64 `json:"epoch"`
+	ConfigHash  string `json:"config_hash"`
+	ToolVersion string `json:"tool_version"`
+
+	Wall time.Duration `json:"-"`
+}
+
+// WriteJSON writes the canonical (deterministic) manifest form: indented
+// JSON with a trailing newline.
+func (m Manifest) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

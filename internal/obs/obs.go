@@ -1,0 +1,47 @@
+// Package obs is the time-series observability layer of the simulator:
+// an epoch sampler that snapshots per-category cycle and event deltas
+// over simulated time, mergeable log2 latency histograms for per-access
+// and per-SETPERM costs, run manifests identifying every simulation, and
+// byte-deterministic JSONL/CSV/Prometheus exporters.
+//
+// The layer is strictly passive and deterministic:
+//
+//   - Zero overhead when disabled. The simulator guards every hook with
+//     a nil check on its *Recorder; no allocation or call happens on the
+//     access path of an unobserved run.
+//   - Zero perturbation when enabled. A Recorder only reads machine
+//     state; an observed run produces a Result identical to an
+//     unobserved run of the same seed.
+//   - No wall clock inside the sampler. Epochs advance on retired
+//     instructions (non-memory instructions + loads + stores), so the
+//     time series of a given seed is reproducible byte-for-byte. The
+//     only wall-clock value anywhere is the caller-stamped Manifest.Wall,
+//     which is excluded from the canonical file forms.
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// ToolVersion identifies the exporter format generation; it is written
+// into every manifest so downstream tooling can dispatch on it.
+const ToolVersion = "domainvirt-obs/1"
+
+// Options configures a Recorder.
+type Options struct {
+	// Epoch is the sampling period in retired instructions (non-memory
+	// instructions + loads + stores). 0 disables time-series sampling;
+	// latency histograms and the manifest are still recorded.
+	Epoch uint64
+}
+
+// ConfigHash returns a short deterministic digest of a configuration
+// value (the simulator Config), stamped into manifests so runs from
+// different machine configurations are never conflated. The value must
+// contain no maps or pointers for the rendering to be deterministic.
+func ConfigHash(cfg interface{}) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%+v", cfg)))
+	return hex.EncodeToString(sum[:6])
+}

@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"domainvirt/internal/stats"
+)
+
+// TestHistogramMergeProperty checks the recorder's core algebra: merging
+// histograms recorded over two partitions of a stream equals recording
+// the whole stream into one histogram, for every field.
+func TestHistogramMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var whole, a, b Histogram
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			v := uint64(rng.Int63()) >> uint(rng.Intn(60))
+			whole.Observe(v)
+			if rng.Intn(2) == 0 {
+				a.Observe(v)
+			} else {
+				b.Observe(v)
+			}
+		}
+		var merged Histogram
+		merged.Merge(&a)
+		merged.Merge(&b)
+		if merged != whole {
+			t.Fatalf("trial %d: merge(a,b) = %+v, whole stream = %+v", trial, merged, whole)
+		}
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	var a, empty Histogram
+	a.Observe(5)
+	want := a
+	a.Merge(&empty)
+	if a != want {
+		t.Errorf("merging an empty histogram changed the receiver: %+v != %+v", a, want)
+	}
+	empty.Merge(&a)
+	if empty != want {
+		t.Errorf("merging into an empty histogram: got %+v, want %+v", empty, want)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9},
+		{^uint64(0), 64},
+	}
+	for _, c := range cases {
+		h = Histogram{}
+		h.Observe(c.v)
+		for i, n := range h.Buckets {
+			want := uint64(0)
+			if i == c.bucket {
+				want = 1
+			}
+			if n != want {
+				t.Errorf("Observe(%d): bucket %d = %d, want %d", c.v, i, n, want)
+			}
+		}
+		if up := BucketUpper(c.bucket); c.v > up {
+			t.Errorf("Observe(%d): landed in bucket %d with upper bound %d", c.v, c.bucket, up)
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{10, 20, 30, 40} {
+		h.Observe(v)
+	}
+	if h.Min != 10 || h.Max != 40 || h.Count != 4 || h.Sum != 100 {
+		t.Errorf("min/max/count/sum = %d/%d/%d/%d", h.Min, h.Max, h.Count, h.Sum)
+	}
+	if m := h.Mean(); m != 25 {
+		t.Errorf("mean = %g", m)
+	}
+	if q := h.Quantile(1); q != h.Max {
+		t.Errorf("q1 = %d, want max %d", q, h.Max)
+	}
+	if q := h.Quantile(0); q == 0 {
+		t.Errorf("q0 = 0 for a nonzero stream")
+	}
+	var empty Histogram
+	if empty.Mean() != 0 || empty.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram stats not zero")
+	}
+}
+
+// TestCounterFieldsComplete pins the exporter's fixed field list to the
+// stats.Counters struct: every uint64 field must appear exactly once, in
+// declaration order, under its Go field name.
+func TestCounterFieldsComplete(t *testing.T) {
+	typ := reflect.TypeOf(stats.Counters{})
+	var names []string
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if f.Type.Kind() == reflect.Uint64 {
+			names = append(names, f.Name)
+		}
+	}
+	if len(names) != len(counterFields) {
+		t.Fatalf("stats.Counters has %d uint64 fields, exporter lists %d — update counterFields", len(names), len(counterFields))
+	}
+	var c stats.Counters
+	cv := reflect.ValueOf(&c).Elem()
+	for i, f := range counterFields {
+		if f.Name != names[i] {
+			t.Errorf("counterFields[%d] = %q, struct field is %q", i, f.Name, names[i])
+			continue
+		}
+		cv.FieldByName(f.Name).SetUint(uint64(1000 + i))
+		if got := f.Get(&c); got != uint64(1000+i) {
+			t.Errorf("counterFields[%d] (%s) getter reads the wrong field (got %d)", i, f.Name, got)
+		}
+	}
+}
+
+func synthState(retired uint64, k int) MachineState {
+	var c stats.Counters
+	c.Instructions = retired
+	c.Loads = uint64(10 * k)
+	c.TLBL1Hits = uint64(7 * k)
+	c.TLBMisses = uint64(k)
+	var b stats.Breakdown
+	b.AddN(stats.CatPermSwitch, uint64(100*k), uint64(k))
+	return MachineState{
+		Retired:   retired,
+		Counters:  c,
+		Breakdown: b,
+		Cores: []CoreState{
+			{Cycles: retired * 2, TLBL1Hits: uint64(7 * k), TLBMisses: uint64(k)},
+		},
+	}
+}
+
+func TestRecorderDeltas(t *testing.T) {
+	r := NewRecorder(Options{Epoch: 100})
+	r.Event(0, stats.EvShootdown, 3)
+	r.TakeSample(synthState(100, 1))
+	r.Event(0, stats.EvShootdown, 5)
+	r.Event(0, stats.EvKeyEviction, 2)
+	r.TakeSample(synthState(200, 3))
+	r.Finish(synthState(200, 3))
+
+	s := r.Samples()
+	if len(s) != 2 {
+		t.Fatalf("samples = %d, want 2 (Finish must not duplicate the last boundary)", len(s))
+	}
+	if s[0].Epoch != 0 || s[1].Epoch != 1 {
+		t.Errorf("epoch indices = %d, %d", s[0].Epoch, s[1].Epoch)
+	}
+	// Second sample holds deltas between k=1 and k=3 states.
+	if got := s[1].Counters.Loads; got != 20 {
+		t.Errorf("delta Loads = %d, want 20", got)
+	}
+	if got := s[1].Breakdown.Cycles[stats.CatPermSwitch]; got != 200 {
+		t.Errorf("delta perm-switch cycles = %d, want 200", got)
+	}
+	if got := s[1].Cores[0].Cycles; got != 200 {
+		t.Errorf("delta core cycles = %d, want 200", got)
+	}
+	// Events accumulate between samples and reset at each boundary.
+	if got := s[0].Events(stats.EvShootdown); got != 3 {
+		t.Errorf("epoch 0 shootdowns = %d, want 3", got)
+	}
+	if got := s[1].Events(stats.EvShootdown); got != 5 {
+		t.Errorf("epoch 1 shootdowns = %d, want 5", got)
+	}
+	if got := s[1].Events(stats.EvKeyEviction); got != 2 {
+		t.Errorf("epoch 1 key evictions = %d, want 2", got)
+	}
+	// Cumulative markers stay cumulative.
+	if s[1].Retired != 200 || s[1].Cycles != 400 {
+		t.Errorf("cumulative retired/cycles = %d/%d, want 200/400", s[1].Retired, s[1].Cycles)
+	}
+}
+
+func TestRecorderFinishPartialEpoch(t *testing.T) {
+	r := NewRecorder(Options{Epoch: 100})
+	r.TakeSample(synthState(100, 1))
+	r.Finish(synthState(150, 2))
+	if n := len(r.Samples()); n != 2 {
+		t.Fatalf("samples = %d, want 2 (final partial epoch)", n)
+	}
+	r.Finish(synthState(150, 2)) // idempotent
+	if n := len(r.Samples()); n != 2 {
+		t.Errorf("Finish not idempotent: %d samples", n)
+	}
+	if r.Final().Retired != 150 {
+		t.Errorf("final retired = %d", r.Final().Retired)
+	}
+}
+
+func TestRecorderDisabledSampling(t *testing.T) {
+	r := NewRecorder(Options{})
+	r.ObserveAccess(12)
+	r.Finish(synthState(500, 4))
+	if n := len(r.Samples()); n != 0 {
+		t.Errorf("disabled sampler recorded %d samples", n)
+	}
+	if r.AccessHist().Count != 1 {
+		t.Errorf("histograms must record even with sampling disabled")
+	}
+}
+
+func TestExportersDeterministic(t *testing.T) {
+	build := func() *Recorder {
+		r := NewRecorder(Options{Epoch: 100})
+		r.SetManifest(Manifest{Scheme: "mpkvirt", Workload: "avl", Seed: 42})
+		r.ObserveAccess(3)
+		r.ObserveSetPerm(40)
+		r.Event(0, stats.EvKeyEviction, 1)
+		r.TakeSample(synthState(100, 1))
+		r.TakeSample(synthState(200, 3))
+		r.Finish(synthState(200, 3))
+		return r
+	}
+	type export struct {
+		name string
+		fn   func(*Recorder, *bytes.Buffer) error
+	}
+	exports := []export{
+		{"jsonl", func(r *Recorder, b *bytes.Buffer) error { return r.WriteJSONL(b) }},
+		{"csv", func(r *Recorder, b *bytes.Buffer) error { return r.WriteCSV(b) }},
+		{"prom", func(r *Recorder, b *bytes.Buffer) error { return r.WritePrometheus(b) }},
+	}
+	for _, e := range exports {
+		var b1, b2 bytes.Buffer
+		if err := e.fn(build(), &b1); err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if err := e.fn(build(), &b2); err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		if b1.Len() == 0 {
+			t.Errorf("%s: empty export", e.name)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Errorf("%s: two identical recorders exported different bytes", e.name)
+		}
+	}
+}
+
+func TestExportDir(t *testing.T) {
+	r := NewRecorder(Options{Epoch: 100})
+	r.SetManifest(Manifest{Scheme: "mpkvirt", Workload: "avl", Seed: 42})
+	r.TakeSample(synthState(100, 1))
+	r.Finish(synthState(100, 1))
+	dir := t.TempDir()
+	paths, err := r.ExportDir(dir+"/nested", "avl-mpkvirt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for _, p := range paths {
+		if !strings.Contains(p, "avl-mpkvirt") {
+			t.Errorf("path %q missing base name", p)
+		}
+	}
+}
+
+func TestPromHistogramCumulative(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	var b bytes.Buffer
+	if err := PromHistogram(&b, "x", "help", "", &h); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`x_bucket{le="+Inf"} 4`, "x_sum{} 106", "x_count{} 4", "# TYPE x histogram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProgress(t *testing.T) {
+	var b bytes.Buffer
+	p := NewProgress(&b, 2)
+	p.Logf("banner %d", 7)
+	p.Done("cell-a")
+	p.Done("cell-b")
+	want := "banner 7\n[1/2] cell-a\n[2/2] cell-b\n"
+	if b.String() != want {
+		t.Errorf("progress output:\n%q\nwant:\n%q", b.String(), want)
+	}
+	var nilP *Progress
+	nilP.Logf("ignored")
+	nilP.Done("ignored")
+	if NewProgress(nil, 3) != nil {
+		t.Errorf("NewProgress(nil) must return nil")
+	}
+}
+
+func TestConfigHash(t *testing.T) {
+	type cfg struct{ A, B int }
+	h1 := ConfigHash(cfg{1, 2})
+	h2 := ConfigHash(cfg{1, 2})
+	h3 := ConfigHash(cfg{1, 3})
+	if h1 != h2 {
+		t.Errorf("hash not stable: %s != %s", h1, h2)
+	}
+	if h1 == h3 {
+		t.Errorf("hash ignores config contents")
+	}
+	if len(h1) != 12 {
+		t.Errorf("hash length = %d, want 12 hex chars", len(h1))
+	}
+}

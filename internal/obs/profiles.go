@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+)
+
+// StartHostProfiles starts the standard Go host-side profilers for the
+// simulator process itself (as opposed to the simulated machine): a CPU
+// profile, a heap profile written at stop, and a runtime execution
+// trace. Empty filenames skip the corresponding profiler. The returned
+// stop function must be called exactly once before process exit; it is
+// safe to call when nothing was started.
+func StartHostProfiles(cpuFile, memFile, traceFile string) (stop func() error, err error) {
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			rtrace.Stop()
+			traceF.Close()
+		}
+	}
+	if cpuFile != "" {
+		cpuF, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+	}
+	if traceFile != "" {
+		traceF, err = os.Create(traceFile)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: runtime trace: %w", err)
+		}
+		if err := rtrace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			cleanup()
+			return nil, fmt.Errorf("obs: runtime trace: %w", err)
+		}
+	}
+	return func() error {
+		cleanup()
+		if memFile == "" {
+			return nil
+		}
+		f, err := os.Create(memFile)
+		if err != nil {
+			return fmt.Errorf("obs: heap profile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize a settled heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("obs: heap profile: %w", err)
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Progress serializes experiment-progress lines from concurrent workers
+// onto one writer, replacing the minutes-long silence of big grids with
+// "[done/total] label" completion lines. A nil *Progress (or a nil
+// writer) is a no-op, so callers never branch.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	total int
+	done  int
+}
+
+// NewProgress returns a tracker over total units writing to w; a nil w
+// yields a no-op tracker.
+func NewProgress(w io.Writer, total int) *Progress {
+	if w == nil {
+		return nil
+	}
+	return &Progress{w: w, total: total}
+}
+
+// Logf writes one free-form line (banners, phase markers).
+func (p *Progress) Logf(format string, args ...interface{}) {
+	if p == nil || p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, format+"\n", args...)
+}
+
+// Done marks one unit complete and prints "[done/total] label".
+func (p *Progress) Done(label string) {
+	if p == nil || p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	fmt.Fprintf(p.w, "[%d/%d] %s\n", p.done, p.total, label)
+}

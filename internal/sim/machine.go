@@ -2,11 +2,13 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"domainvirt/internal/cache"
 	"domainvirt/internal/core"
 	"domainvirt/internal/mem"
 	"domainvirt/internal/memlayout"
+	"domainvirt/internal/obs"
 	"domainvirt/internal/pagetable"
 	"domainvirt/internal/stats"
 	"domainvirt/internal/tlb"
@@ -36,16 +38,21 @@ func (f FaultRecord) String() string {
 	return fmt.Sprintf("%s fault: %s %#x by thread %d (domain %d)", kind, op, uint64(f.VA), f.Thread, f.Domain)
 }
 
-// coreState is the per-core microarchitectural state.
+// coreState is the per-core microarchitectural state. The tlb* fields
+// shadow the machine-wide counters per core so the observability sampler
+// can report per-core TLB hit rates.
 type coreState struct {
-	id      int
-	l1tlb   *tlb.TLB
-	l2tlb   *tlb.TLB
-	debt    *tlb.Debt
-	cycles  uint64
-	instRem uint64
-	thread  core.ThreadID
-	active  bool
+	id        int
+	l1tlb     *tlb.TLB
+	l2tlb     *tlb.TLB
+	debt      *tlb.Debt
+	cycles    uint64
+	instRem   uint64
+	thread    core.ThreadID
+	active    bool
+	tlbL1Hits uint64
+	tlbL2Hits uint64
+	tlbMisses uint64
 }
 
 // Machine is one simulated multicore running a protected process. It
@@ -66,6 +73,13 @@ type Machine struct {
 	affinity  map[core.ThreadID]int
 
 	faults []FaultRecord
+
+	// rec is the optional observability recorder; recNext is the retired
+	// count at which the next epoch sample fires (MaxUint64 when no
+	// sampling is due). Every hook is guarded by a rec nil check, so an
+	// unobserved run pays nothing on the access path.
+	rec     *obs.Recorder
+	recNext uint64
 }
 
 type domainInfo struct {
@@ -105,6 +119,73 @@ func NewMachineWithEngine(cfg Config, eng core.Engine) *Machine {
 
 // Engine returns the bound protection engine.
 func (m *Machine) Engine() core.Engine { return m.engine }
+
+// SetRecorder attaches (nil: detaches) an observability recorder. The
+// recorder samples epoch deltas every rec.EpochLen() retired
+// instructions, receives per-access and per-SETPERM latencies, and is
+// wired into the engine as its eviction/shootdown event sink. Attaching
+// a recorder never changes simulated timing: the recorder only reads.
+func (m *Machine) SetRecorder(rec *obs.Recorder) {
+	m.rec = rec
+	var sink stats.EventSink
+	m.recNext = math.MaxUint64
+	if rec != nil {
+		sink = rec
+		if step := rec.EpochLen(); step > 0 {
+			m.recNext = m.retired() + step
+		}
+	}
+	if em, ok := m.engine.(core.EventEmitter); ok {
+		em.SetEventSink(sink)
+	}
+}
+
+// FlushObs records the final (partial) epoch and the end-of-run totals
+// into the attached recorder. Call once after the measured phase,
+// before Result.
+func (m *Machine) FlushObs() {
+	if m.rec != nil {
+		m.rec.Finish(m.obsState(m.retired()))
+	}
+}
+
+// retired is the observability epoch clock: instructions + loads +
+// stores retired so far.
+func (m *Machine) retired() uint64 {
+	return m.ctr.Instructions + m.ctr.Loads + m.ctr.Stores
+}
+
+// obsTick fires an epoch sample when the retired clock crossed the next
+// boundary. Callers must have checked m.rec != nil.
+func (m *Machine) obsTick() {
+	if r := m.retired(); r >= m.recNext {
+		step := m.rec.EpochLen()
+		for m.recNext <= r {
+			m.recNext += step
+		}
+		m.rec.TakeSample(m.obsState(r))
+	}
+}
+
+// obsState snapshots the cumulative machine state for the sampler. Only
+// called at sample points, never per access.
+func (m *Machine) obsState(retired uint64) obs.MachineState {
+	st := obs.MachineState{
+		Retired:   retired,
+		Counters:  m.counterSnapshot(),
+		Breakdown: m.bd,
+		Cores:     make([]obs.CoreState, len(m.cores)),
+	}
+	for i, c := range m.cores {
+		st.Cores[i] = obs.CoreState{
+			Cycles:    c.cycles,
+			TLBL1Hits: c.tlbL1Hits,
+			TLBL2Hits: c.tlbL2Hits,
+			TLBMisses: c.tlbMisses,
+		}
+	}
+	return st
+}
 
 // SetInspector installs an ERIM-style SETPERM site inspector; permission
 // changes from unapproved sites are blocked and recorded.
@@ -159,6 +240,9 @@ func (m *Machine) Instr(th core.ThreadID, n uint64) {
 	c.instRem = num % m.cfg.CPIDen
 	c.cycles += cyc
 	m.bd.AddN(stats.CatBase, cyc, 0)
+	if m.rec != nil {
+		m.obsTick()
+	}
 }
 
 // Access implements trace.Sink: one load or store, split at cache-line
@@ -198,12 +282,14 @@ func (m *Machine) access1(th core.ThreadID, va memlayout.VA, write bool) bool {
 	tlbHit := true
 	if e, ok := c.l1tlb.Lookup(vpn); ok {
 		m.ctr.TLBL1Hits++
+		c.tlbL1Hits++
 		entry = *e
 	} else {
 		cyc += m.cfg.L2TLBLat
 		baseCyc += m.cfg.L2TLBLat
 		if e2, ok := c.l2tlb.Lookup(vpn); ok {
 			m.ctr.TLBL2Hits++
+			c.tlbL2Hits++
 			entry = *e2
 			c.l1tlb.Insert(entry)
 		} else {
@@ -211,6 +297,7 @@ func (m *Machine) access1(th core.ThreadID, va memlayout.VA, write bool) bool {
 			// DTT/DRT machinery via FillTag).
 			tlbHit = false
 			m.ctr.TLBMisses++
+			c.tlbMisses++
 			walk := m.cfg.WalkPenalty
 			if c.debt.Settle(vpn) {
 				// Refill forced by a TLB invalidation: attribute the
@@ -262,6 +349,10 @@ func (m *Machine) access1(th core.ThreadID, va memlayout.VA, write bool) bool {
 		}
 		m.bd.AddN(stats.CatBase, baseCyc, 0)
 		c.cycles += cyc
+		if m.rec != nil {
+			m.rec.ObserveAccess(cyc)
+			m.obsTick()
+		}
 		return false // access suppressed
 	}
 
@@ -271,6 +362,10 @@ func (m *Machine) access1(th core.ThreadID, va memlayout.VA, write bool) bool {
 	baseCyc += lat
 	m.bd.AddN(stats.CatBase, baseCyc, 0)
 	c.cycles += cyc
+	if m.rec != nil {
+		m.rec.ObserveAccess(cyc)
+		m.obsTick()
+	}
 	return true
 }
 
@@ -307,15 +402,18 @@ func (m *Machine) Fetch(th core.ThreadID, va memlayout.VA) bool {
 	var entry tlb.Entry
 	if e, ok := c.l1tlb.Lookup(vpn); ok {
 		m.ctr.TLBL1Hits++
+		c.tlbL1Hits++
 		entry = *e
 	} else {
 		cyc += m.cfg.L2TLBLat
 		if e2, ok := c.l2tlb.Lookup(vpn); ok {
 			m.ctr.TLBL2Hits++
+			c.tlbL2Hits++
 			entry = *e2
 			c.l1tlb.Insert(entry)
 		} else {
 			m.ctr.TLBMisses++
+			c.tlbMisses++
 			cyc += m.cfg.WalkPenalty
 			pte, ok := m.pt.Lookup(va)
 			if !ok {
@@ -348,7 +446,11 @@ func (m *Machine) SetPerm(th core.ThreadID, d core.DomainID, p core.Perm, site c
 		return
 	}
 	c := m.coreFor(th)
-	c.cycles += m.engine.SetPerm(c.id, th, d, p)
+	cost := m.engine.SetPerm(c.id, th, d, p)
+	c.cycles += cost
+	if m.rec != nil {
+		m.rec.ObserveSetPerm(cost)
+	}
 }
 
 // Attach implements trace.Sink. Mapping a PMO over a VA range
@@ -431,6 +533,12 @@ func (m *Machine) ResetStats() {
 		c.cycles = 0
 		c.instRem = 0
 		c.active = false
+		c.tlbL1Hits = 0
+		c.tlbL2Hits = 0
+		c.tlbMisses = 0
+	}
+	if m.rec != nil && m.rec.EpochLen() > 0 {
+		m.recNext = m.rec.EpochLen()
 	}
 }
 
@@ -447,22 +555,30 @@ func (m *Machine) Result() stats.Result {
 			maxc = c.cycles
 		}
 	}
-	res := stats.Result{
+	return stats.Result{
 		Scheme:    m.engine.Name(),
 		Cycles:    maxc,
 		WorkSum:   sum,
 		Breakdown: m.bd,
-		Counters:  m.ctr,
+		Counters:  m.counterSnapshot(),
 	}
+}
+
+// counterSnapshot returns the machine counters enriched with the cache
+// and memory statistics, exactly as Result reports them; the
+// observability sampler uses the same snapshot so epoch deltas and the
+// final Result always agree.
+func (m *Machine) counterSnapshot() stats.Counters {
+	c := m.ctr
 	l1h, _, l2h, _, _, _ := m.caches.Stats()
-	res.Counters.L1DHits = l1h
-	res.Counters.L2Hits = l2h
+	c.L1DHits = l1h
+	c.L2Hits = l2h
 	dr, dw, nr, nw := m.memory.Stats()
-	res.Counters.MemReads = dr + nr
-	res.Counters.MemWrites = dw + nw
-	res.Counters.NVMReads = nr
-	res.Counters.NVMWrites = nw
-	return res
+	c.MemReads = dr + nr
+	c.MemWrites = dw + nw
+	c.NVMReads = nr
+	c.NVMWrites = nw
+	return c
 }
 
 var _ trace.Sink = (*Machine)(nil)

@@ -112,8 +112,63 @@ func (b *Breakdown) Merge(o *Breakdown) {
 	}
 }
 
+// Sub returns the category-wise difference b - o (see Counters.Sub).
+func (b Breakdown) Sub(o Breakdown) Breakdown {
+	for i := range b.Cycles {
+		b.Cycles[i] -= o.Cycles[i]
+		b.Counts[i] -= o.Counts[i]
+	}
+	return b
+}
+
 // Reset zeroes the breakdown.
 func (b *Breakdown) Reset() { *b = Breakdown{} }
+
+// EventKind labels a discrete microarchitectural event published by a
+// protection engine through an EventSink: the storms (key evictions,
+// shootdown broadcasts, domain-cache evictions) whose temporal structure
+// the end-of-run Counters totals cannot show.
+type EventKind int
+
+// Event kinds.
+const (
+	// EvKeyEviction: a domain lost its protection key to make room for
+	// another (libmpk software eviction or MPK-virt hardware remap).
+	EvKeyEviction EventKind = iota
+	// EvShootdown: TLB-shootdown signalling; the count is the number of
+	// cores signalled (libmpk IPIs, MPK-virt Range_Flush broadcast).
+	EvShootdown
+	// EvDTTLBEviction: a DTTLB capacity eviction (MPK virtualization).
+	EvDTTLBEviction
+	// EvPTLBEviction: a PTLB capacity eviction (domain virtualization).
+	EvPTLBEviction
+	numEventKinds
+)
+
+// NumEventKinds is the number of distinct event kinds.
+const NumEventKinds = int(numEventKinds)
+
+var eventNames = [NumEventKinds]string{
+	"key_evictions",
+	"shootdowns",
+	"dttlb_evictions",
+	"ptlb_evictions",
+}
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	if k < 0 || int(k) >= NumEventKinds {
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+	return eventNames[k]
+}
+
+// EventSink receives engine events with core attribution. Implementations
+// must be cheap: events fire on simulator hot paths (though only on the
+// rare eviction/shootdown cases, never per access).
+type EventSink interface {
+	Event(core int, kind EventKind, n uint64)
+}
 
 // Counters holds machine-level event counters for one simulation run.
 type Counters struct {
@@ -146,6 +201,36 @@ type Counters struct {
 	PageFaults   uint64
 
 	ContextSwitches uint64
+}
+
+// Sub returns the field-wise difference c - o, used by the observability
+// epoch sampler to turn cumulative counters into per-epoch deltas.
+func (c Counters) Sub(o Counters) Counters {
+	c.Instructions -= o.Instructions
+	c.Loads -= o.Loads
+	c.Stores -= o.Stores
+	c.TLBL1Hits -= o.TLBL1Hits
+	c.TLBL2Hits -= o.TLBL2Hits
+	c.TLBMisses -= o.TLBMisses
+	c.TLBFlushed -= o.TLBFlushed
+	c.DebtRefills -= o.DebtRefills
+	c.L1DHits -= o.L1DHits
+	c.L2Hits -= o.L2Hits
+	c.MemReads -= o.MemReads
+	c.MemWrites -= o.MemWrites
+	c.NVMReads -= o.NVMReads
+	c.NVMWrites -= o.NVMWrites
+	c.PermSwitches -= o.PermSwitches
+	c.Evictions -= o.Evictions
+	c.DTTWalks -= o.DTTWalks
+	c.PTLBMisses -= o.PTLBMisses
+	c.PTLBHits -= o.PTLBHits
+	c.DTTLBHits -= o.DTTLBHits
+	c.DTTLBMisses -= o.DTTLBMisses
+	c.DomainFaults -= o.DomainFaults
+	c.PageFaults -= o.PageFaults
+	c.ContextSwitches -= o.ContextSwitches
+	return c
 }
 
 // Merge adds o into c.

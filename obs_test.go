@@ -1,0 +1,207 @@
+package domainvirt_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"domainvirt"
+)
+
+func obsParams() domainvirt.Params {
+	return domainvirt.Params{NumPMOs: 64, Ops: 3000, InitialElems: 256, Seed: 42}
+}
+
+// TestObsDeterminism is the layer's central contract: two runs with the
+// same seed export byte-identical files (wall-clock time never enters
+// them), and the series actually carries the engine events the paper's
+// analysis needs (evictions, shootdowns).
+func TestObsDeterminism(t *testing.T) {
+	export := func(dir string) map[string][]byte {
+		_, rec, err := domainvirt.RunObserved("avl", obsParams(), domainvirt.SchemeMPKVirt,
+			domainvirt.DefaultConfig(), domainvirt.ObsOptions{Epoch: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths, err := rec.ExportDir(dir, "avl-mpkvirt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string][]byte, len(paths))
+		for _, p := range paths {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[filepath.Base(p)] = b
+		}
+		return out
+	}
+	a := export(t.TempDir())
+	b := export(t.TempDir())
+	if len(a) != 4 {
+		t.Fatalf("export wrote %d files, want 4", len(a))
+	}
+	for name, data := range a {
+		if !bytes.Equal(data, b[name]) {
+			t.Errorf("%s differs between identical-seed runs", name)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	series := string(a["avl-mpkvirt-series.jsonl"])
+	if !strings.Contains(series, `"shootdowns":`) {
+		t.Errorf("series missing shootdown events")
+	}
+	// At least one epoch must carry nonzero eviction/shootdown deltas
+	// under mpkvirt at 64 PMOs (the DTT outgrows the 16 keys).
+	if !strings.Contains(series, `"key_evictions":`) || strings.Count(series, `"key_evictions":0`) == strings.Count(series, `"key_evictions":`) {
+		t.Errorf("no epoch recorded a nonzero key-eviction delta")
+	}
+}
+
+// TestObsRecorderDoesNotPerturb pins the zero-perturbation contract: the
+// Result of an observed run is identical to an unobserved one.
+func TestObsRecorderDoesNotPerturb(t *testing.T) {
+	cfg := domainvirt.DefaultConfig()
+	for _, s := range []domainvirt.Scheme{
+		domainvirt.SchemeBaseline, domainvirt.SchemeLibmpk,
+		domainvirt.SchemeMPKVirt, domainvirt.SchemeDomainVirt,
+	} {
+		plain, err := domainvirt.Run("avl", obsParams(), s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		observed, rec, err := domainvirt.RunObserved("avl", obsParams(), s, cfg,
+			domainvirt.ObsOptions{Epoch: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, observed) {
+			t.Errorf("%s: observed Result differs from plain Result", s)
+		}
+		if len(rec.Samples()) == 0 {
+			t.Errorf("%s: no samples recorded", s)
+		}
+		if rec.AccessHist().Count == 0 {
+			t.Errorf("%s: empty access histogram", s)
+		}
+	}
+}
+
+// TestObsSamplerDisabled: with Epoch 0 the recorder still produces the
+// manifest and histograms but no series, and the Result is unchanged.
+func TestObsSamplerDisabled(t *testing.T) {
+	cfg := domainvirt.DefaultConfig()
+	plain, err := domainvirt.Run("avl", obsParams(), domainvirt.SchemeDomainVirt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, rec, err := domainvirt.RunObserved("avl", obsParams(), domainvirt.SchemeDomainVirt, cfg,
+		domainvirt.ObsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Errorf("Result differs with a disabled sampler")
+	}
+	if n := len(rec.Samples()); n != 0 {
+		t.Errorf("disabled sampler took %d samples", n)
+	}
+	if rec.AccessHist().Count == 0 || rec.SetPermHist().Count == 0 {
+		t.Errorf("histograms must still record with sampling disabled")
+	}
+	man := rec.Manifest()
+	if man.Scheme != "domainvirt" || man.Workload != "avl" || man.Seed != 42 || man.ConfigHash == "" {
+		t.Errorf("manifest not stamped: %+v", man)
+	}
+	if man.Wall <= 0 {
+		t.Errorf("wall time not stamped")
+	}
+}
+
+// TestObsManifestResolvedParams: the manifest must hold the
+// defaults-resolved parameters, not the zero-valued caller inputs.
+func TestObsManifestResolvedParams(t *testing.T) {
+	p := domainvirt.Params{NumPMOs: 4, Ops: 500, Seed: 1}
+	_, rec, err := domainvirt.RunObserved("avl", p, domainvirt.SchemeMPK,
+		domainvirt.DefaultConfig(), domainvirt.ObsOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := rec.Manifest()
+	if man.Threads < 1 {
+		t.Errorf("threads not resolved: %+v", man)
+	}
+	if man.Cores < 1 {
+		t.Errorf("cores not resolved: %+v", man)
+	}
+	if man.PMOs != 4 || man.Ops != 500 {
+		t.Errorf("params not carried through: %+v", man)
+	}
+}
+
+// TestGridObsAndProgress drives a real experiment grid with progress and
+// observability on: per-cell completion lines, per-cell manifests and
+// series, and per-scheme merged histograms must all appear, and the
+// table rows must match an unobserved run exactly.
+func TestGridObsAndProgress(t *testing.T) {
+	opt := domainvirt.DefaultExpOptions()
+	opt.MicroOps = 800
+	opt.MicroInit = 128
+	opt.Workers = 2
+
+	plain, err := domainvirt.Table6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var progress bytes.Buffer
+	dir := t.TempDir()
+	opt.Progress = &progress
+	opt.Obs = domainvirt.ExpObs{Dir: dir, Epoch: 2000}
+	observed, err := domainvirt.Table6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Errorf("observed grid rows differ from plain rows")
+	}
+
+	// Table6 runs 5 benchmarks x 2 schemes = 10 cells.
+	lines := strings.Split(strings.TrimSpace(progress.String()), "\n")
+	if len(lines) != 10 {
+		t.Errorf("progress lines = %d, want 10:\n%s", len(lines), progress.String())
+	}
+	if !strings.Contains(progress.String(), "[10/10] ") {
+		t.Errorf("missing final [10/10] line:\n%s", progress.String())
+	}
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var manifests, series, hists int
+	for _, e := range ents {
+		switch {
+		case strings.HasPrefix(e.Name(), "manifest-"):
+			manifests++
+		case strings.HasPrefix(e.Name(), "series-"):
+			series++
+		case strings.HasPrefix(e.Name(), "hist-"):
+			hists++
+		}
+	}
+	if manifests != 10 || series != 10 || hists != 2 {
+		t.Errorf("export dir: %d manifests, %d series, %d hists (want 10/10/2)", manifests, series, hists)
+	}
+	for _, want := range []string{"manifest-avl-baseline-p1024.json", "series-ss-lowerbound-p1024.jsonl", "hist-baseline.prom", "hist-lowerbound.prom"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing export %s", want)
+		}
+	}
+}

@@ -1,8 +1,13 @@
 package domainvirt
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
+
+	"domainvirt/internal/obs"
 )
 
 // expCell is one independent cell of the experiment grid: a (workload,
@@ -14,15 +19,29 @@ type expCell struct {
 	scheme Scheme
 }
 
+// label is the cell's file- and log-friendly identity. Within one grid
+// the cells differ only by workload, scheme, and PMO count, so those
+// three fields are enough to keep labels unique.
+func (c expCell) label() string {
+	return fmt.Sprintf("%s-%s-p%d", c.name, c.scheme, c.p.NumPMOs)
+}
+
 // runGrid evaluates every cell with a bounded worker pool and returns
 // the results keyed by cell. Each cell builds its own machine and
 // workload, so cells share no mutable state and the outcome is
 // independent of scheduling; callers aggregate in their own fixed order,
-// which keeps reports byte-identical to the sequential path. workers <= 0
-// selects GOMAXPROCS; workers == 1 runs inline. On failure the error of
+// which keeps reports byte-identical to the sequential path. Workers <= 0
+// selects GOMAXPROCS; Workers == 1 runs inline. On failure the error of
 // the lowest-indexed failing cell is returned — the same one the
 // sequential path would have hit first.
-func runGrid(cfg Config, workers int, cells []expCell) (gridResults, error) {
+//
+// When opt.Progress is set, each completed cell prints one
+// "[done/total] label" line (ordering follows completion, content does
+// not). When opt.Obs.Dir is set, every cell runs observed and the grid's
+// observability data is exported there after all cells finish; the
+// export loop runs in fixed cell order, so the files are deterministic.
+func runGrid(opt ExpOptions, cells []expCell) (gridResults, error) {
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -38,11 +57,27 @@ func runGrid(cfg Config, workers int, cells []expCell) (gridResults, error) {
 		workers = len(uniq)
 	}
 
+	prog := obs.NewProgress(opt.Progress, len(uniq))
+	observed := opt.Obs.Dir != ""
 	results := make([]Result, len(uniq))
+	recs := make([]*obs.Recorder, len(uniq))
 	errs := make([]error, len(uniq))
+	runCell := func(i int) {
+		c := uniq[i]
+		if observed {
+			results[i], recs[i], errs[i] = RunObserved(c.name, c.p, c.scheme, opt.Cfg, ObsOptions{Epoch: opt.Obs.Epoch})
+		} else {
+			results[i], errs[i] = Run(c.name, c.p, c.scheme, opt.Cfg)
+		}
+		if errs[i] != nil {
+			prog.Logf("FAIL %s: %v", c.label(), errs[i])
+			return
+		}
+		prog.Done(c.label())
+	}
 	if workers <= 1 {
-		for i, c := range uniq {
-			results[i], errs[i] = Run(c.name, c.p, c.scheme, cfg)
+		for i := range uniq {
+			runCell(i)
 		}
 	} else {
 		jobs := make(chan int)
@@ -52,8 +87,7 @@ func runGrid(cfg Config, workers int, cells []expCell) (gridResults, error) {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					c := uniq[i]
-					results[i], errs[i] = Run(c.name, c.p, c.scheme, cfg)
+					runCell(i)
 				}
 			}()
 		}
@@ -69,11 +103,89 @@ func runGrid(cfg Config, workers int, cells []expCell) (gridResults, error) {
 			return nil, err
 		}
 	}
+	if observed {
+		if err := exportGridObs(opt, uniq, recs); err != nil {
+			return nil, err
+		}
+	}
 	out := make(gridResults, len(uniq))
 	for i, c := range uniq {
 		out[c] = results[i]
 	}
 	return out, nil
+}
+
+// exportGridObs writes the grid's observability artifacts into
+// opt.Obs.Dir: one manifest-<label>.json per cell, one
+// series-<label>.jsonl per cell when epoch sampling was on, and one
+// hist-<scheme>.prom per scheme holding the access and SETPERM latency
+// histograms merged across that scheme's cells. It runs after the worker
+// pool has drained, iterating cells in their fixed grid order, so the
+// output is byte-deterministic for a given seed.
+func exportGridObs(opt ExpOptions, cells []expCell, recs []*obs.Recorder) error {
+	dir := opt.Obs.Dir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	writeFile := func(path string, fn func(f *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	type histPair struct{ access, setperm obs.Histogram }
+	merged := make(map[Scheme]*histPair)
+	var order []Scheme
+	for i, c := range cells {
+		rec := recs[i]
+		if rec == nil {
+			continue
+		}
+		man := rec.Manifest()
+		err := writeFile(filepath.Join(dir, "manifest-"+c.label()+".json"), func(f *os.File) error {
+			return man.WriteJSON(f)
+		})
+		if err != nil {
+			return err
+		}
+		if opt.Obs.Epoch > 0 {
+			err := writeFile(filepath.Join(dir, "series-"+c.label()+".jsonl"), func(f *os.File) error {
+				return rec.WriteJSONL(f)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		hp, ok := merged[c.scheme]
+		if !ok {
+			hp = &histPair{}
+			merged[c.scheme] = hp
+			order = append(order, c.scheme)
+		}
+		hp.access.Merge(rec.AccessHist())
+		hp.setperm.Merge(rec.SetPermHist())
+	}
+	for _, s := range order {
+		hp := merged[s]
+		labels := fmt.Sprintf("scheme=%q", s)
+		err := writeFile(filepath.Join(dir, "hist-"+string(s)+".prom"), func(f *os.File) error {
+			if err := obs.PromHistogram(f, "pmo_access_cycles",
+				"Per-access total latency in cycles, merged across the grid.", labels, &hp.access); err != nil {
+				return err
+			}
+			return obs.PromHistogram(f, "pmo_setperm_cycles",
+				"Per-SETPERM total cost in cycles, merged across the grid.", labels, &hp.setperm)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // gridResults holds every evaluated cell, keyed by the cell itself.

@@ -2,7 +2,9 @@ package domainvirt
 
 import (
 	"fmt"
+	"time"
 
+	"domainvirt/internal/obs"
 	"domainvirt/internal/sim"
 	"domainvirt/internal/workload"
 )
@@ -13,6 +15,22 @@ import (
 // event stream under every scheme, as the paper's trace-replay
 // methodology requires.
 func Run(name string, p Params, scheme Scheme, cfg Config) (Result, error) {
+	return runMachine(name, p, scheme, cfg, nil)
+}
+
+// RunObserved is Run with an observability recorder attached for the
+// measured phase: the returned Recorder holds the epoch time series,
+// the per-access and per-SETPERM latency histograms, and a stamped run
+// manifest (including the wall-clock duration of the measured phase,
+// stamped here — never inside the simulator). The recorder is passive:
+// the Result is identical to what Run returns for the same arguments.
+func RunObserved(name string, p Params, scheme Scheme, cfg Config, o ObsOptions) (Result, *Recorder, error) {
+	rec := obs.NewRecorder(o)
+	res, err := runMachine(name, p, scheme, cfg, rec)
+	return res, rec, err
+}
+
+func runMachine(name string, p Params, scheme Scheme, cfg Config, rec *obs.Recorder) (Result, error) {
 	w, err := workload.New(name)
 	if err != nil {
 		return Result{}, err
@@ -23,8 +41,32 @@ func Run(name string, p Params, scheme Scheme, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("domainvirt: %s setup under %s: %w", name, scheme, err)
 	}
 	m.ResetStats()
-	if err := w.Run(env); err != nil {
-		return Result{}, fmt.Errorf("domainvirt: %s run under %s: %w", name, scheme, err)
+	var start time.Time
+	if rec != nil {
+		// The manifest records the resolved (default-filled) parameters.
+		rp := env.P
+		rec.SetManifest(obs.Manifest{
+			Scheme:      string(scheme),
+			Workload:    name,
+			Seed:        rp.Seed,
+			Ops:         rp.Ops,
+			Threads:     rp.Threads,
+			Cores:       m.NumCores(),
+			PMOs:        rp.NumPMOs,
+			Epoch:       rec.EpochLen(),
+			ConfigHash:  obs.ConfigHash(cfg),
+			ToolVersion: obs.ToolVersion,
+		})
+		m.SetRecorder(rec)
+		start = time.Now()
+	}
+	runErr := w.Run(env)
+	if rec != nil {
+		rec.StampWall(time.Since(start))
+		m.FlushObs()
+	}
+	if runErr != nil {
+		return Result{}, fmt.Errorf("domainvirt: %s run under %s: %w", name, scheme, runErr)
 	}
 	res := m.Result()
 	if res.Counters.DomainFaults > 0 || res.Counters.PageFaults > 0 {

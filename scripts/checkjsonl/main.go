@@ -1,0 +1,68 @@
+// Command checkjsonl validates JSONL files: every line must parse as a
+// standalone JSON object. CI uses it to smoke-check the observability
+// exports written by pmosim -obs-out.
+//
+// Usage:
+//
+//	checkjsonl [-min-lines N] file.jsonl...
+//
+// Exits nonzero on the first malformed line or on a file with fewer
+// than -min-lines lines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	minLines := flag.Int("min-lines", 1, "fail files with fewer than this many lines")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "checkjsonl: no files given")
+		os.Exit(2)
+	}
+	ok := true
+	for _, path := range flag.Args() {
+		n, err := check(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkjsonl: %s: %v\n", path, err)
+			ok = false
+			continue
+		}
+		if n < *minLines {
+			fmt.Fprintf(os.Stderr, "checkjsonl: %s: %d lines, want at least %d\n", path, n, *minLines)
+			ok = false
+			continue
+		}
+		fmt.Printf("%s: %d valid JSONL lines\n", path, n)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func check(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	n := 0
+	for sc.Scan() {
+		n++
+		var obj map[string]interface{}
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			return n, fmt.Errorf("line %d: %w", n, err)
+		}
+		if len(obj) == 0 {
+			return n, fmt.Errorf("line %d: empty object", n)
+		}
+	}
+	return n, sc.Err()
+}

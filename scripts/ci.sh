@@ -1,10 +1,25 @@
 #!/usr/bin/env bash
 # ci.sh — the full local gate: vet, build, and the race-enabled test
 # suite (which includes the 1,000-program differential conformance
-# campaign in internal/conformance). Run from the repo root.
+# campaign in internal/conformance), followed by the observability
+# gates: the byte-determinism tests and a pmosim -obs-out smoke run
+# whose JSONL export must parse. Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go vet ./...
+go vet ./internal/obs/
 go build ./...
 go test -race ./...
+
+# Observability determinism contract, run explicitly so a regression
+# names the broken contract rather than hiding in the package list.
+go test -race -run 'TestObsDeterminism|TestObsRecorderDoesNotPerturb|TestObsSamplerDisabled' .
+go test -race -run 'TestHistogramMergeProperty|TestExportersDeterministic' ./internal/obs/
+
+# Smoke: an observed run must write a parseable, nonempty epoch series.
+obsdir="$(mktemp -d)"
+trap 'rm -rf "$obsdir"' EXIT
+go run ./cmd/pmosim -workload avl -scheme mpkvirt -pmos 64 -ops 5000 \
+    -obs-out "$obsdir" -obs-epoch 10000 >/dev/null
+go run ./scripts/checkjsonl -min-lines 2 "$obsdir"/avl-mpkvirt-series.jsonl

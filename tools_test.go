@@ -12,14 +12,27 @@ import (
 // Integration smoke tests for the command-line tools: build each binary
 // once and drive it end to end against temporary stores and traces.
 
-var toolBin = map[string]string{}
+var (
+	toolBin    = map[string]string{}
+	toolBinDir string
+)
 
+// buildTool caches binaries for the whole test run, so they must live
+// in a package-lifetime directory, not a t.TempDir() that vanishes when
+// the first test using the tool finishes.
 func buildTool(t *testing.T, name string) string {
 	t.Helper()
 	if bin, ok := toolBin[name]; ok {
 		return bin
 	}
-	bin := filepath.Join(t.TempDir(), name)
+	if toolBinDir == "" {
+		dir, err := os.MkdirTemp("", "domainvirt-tools-")
+		if err != nil {
+			t.Fatal(err)
+		}
+		toolBinDir = dir
+	}
+	bin := filepath.Join(toolBinDir, name)
 	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
 	out, err := cmd.CombinedOutput()
 	if err != nil {
@@ -27,6 +40,14 @@ func buildTool(t *testing.T, name string) string {
 	}
 	toolBin[name] = bin
 	return bin
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if toolBinDir != "" {
+		os.RemoveAll(toolBinDir)
+	}
+	os.Exit(code)
 }
 
 func runTool(t *testing.T, bin string, args ...string) string {
@@ -122,6 +143,92 @@ func TestPmosimEndToEnd(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("compare output missing %s: %s", want, out)
 		}
+	}
+}
+
+func TestPmosimObsAndProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "pmosim")
+	dir := t.TempDir()
+	obsDir := filepath.Join(dir, "obs")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	out := runTool(t, bin, "-workload", "avl", "-scheme", "mpkvirt", "-pmos", "64",
+		"-ops", "2000", "-init", "256",
+		"-obs-out", obsDir, "-obs-epoch", "5000",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if !strings.Contains(out, "observability:") || !strings.Contains(out, "wrote ") {
+		t.Fatalf("obs output missing written-path report: %s", out)
+	}
+	for _, name := range []string{
+		"avl-mpkvirt-manifest.json", "avl-mpkvirt-series.jsonl",
+		"avl-mpkvirt-series.csv", "avl-mpkvirt-metrics.prom",
+	} {
+		if fi, err := os.Stat(filepath.Join(obsDir, name)); err != nil || fi.Size() == 0 {
+			t.Errorf("export %s missing or empty: %v", name, err)
+		}
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty: %v", filepath.Base(p), err)
+		}
+	}
+}
+
+func TestPmobenchProgressAndObs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "pmobench")
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "csv")
+	obsDir := filepath.Join(dir, "obs")
+	out := runTool(t, bin, "-experiment", "table6", "-ops", "400",
+		"-csv", csv, "-obs-out", obsDir, "-obs-epoch", "2000")
+	if !strings.Contains(out, "pmobench: experiment=table6") {
+		t.Fatalf("missing start banner: %s", out)
+	}
+	if !strings.Contains(out, "[10/10] ") {
+		t.Fatalf("missing per-cell progress lines: %s", out)
+	}
+	if !strings.Contains(out, "wrote "+filepath.Join(csv, "table6.csv")) {
+		t.Fatalf("missing written CSV path: %s", out)
+	}
+	manifests, _ := filepath.Glob(filepath.Join(obsDir, "table6", "manifest-*.json"))
+	if len(manifests) != 10 {
+		t.Errorf("table6 obs dir has %d manifests, want 10", len(manifests))
+	}
+	hists, _ := filepath.Glob(filepath.Join(obsDir, "table6", "hist-*.prom"))
+	if len(hists) != 2 {
+		t.Errorf("table6 obs dir has %d scheme histograms, want 2", len(hists))
+	}
+}
+
+func TestCheckJSONL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "checkjsonl")
+	cmd := exec.Command("go", "build", "-o", bin, "./scripts/checkjsonl")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building checkjsonl: %v\n%s", err, out)
+	}
+	good := filepath.Join(t.TempDir(), "good.jsonl")
+	if err := os.WriteFile(good, []byte("{\"a\":1}\n{\"b\":2}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, bin, "-min-lines", "2", good)
+	if !strings.Contains(out, "2 valid JSONL lines") {
+		t.Fatalf("checkjsonl output: %s", out)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{\"a\":1}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Command(bin, bad).Run(); err == nil {
+		t.Fatalf("checkjsonl accepted malformed JSONL")
 	}
 }
 
