@@ -21,6 +21,7 @@ import (
 	"domainvirt/internal/memlayout"
 	"domainvirt/internal/obs"
 	"domainvirt/internal/pmo"
+	"domainvirt/internal/serve"
 	"domainvirt/internal/sim"
 	"domainvirt/internal/stats"
 	"domainvirt/internal/trace"
@@ -191,3 +192,36 @@ type (
 // persist a .prog repro. The error covers I/O problems only; invariant
 // violations are reported via ConformReport.Diverged.
 func Conform(opt ConformOptions) (*ConformReport, error) { return conformance.Run(opt) }
+
+// Service API: the concurrent PMO daemon (cmd/pmod) and its closed-loop
+// client and load generator (cmd/pmoload). The server shards its session
+// table, runs each shard's traffic through its own protection-engine
+// machine, and serves every request inside a least-privilege domain
+// window on the session's own pool.
+type (
+	// Server is the concurrent PMO service daemon.
+	Server = serve.Server
+	// ServeOptions configures a Server (shards, workers, queue depth,
+	// idle eviction, protection engine).
+	ServeOptions = serve.Options
+	// ServeClient is a closed-loop wire-protocol client.
+	ServeClient = serve.Client
+	// TxWrite is one write of a wire-protocol TX_COMMIT.
+	TxWrite = serve.TxWrite
+	// LoadOptions configures a closed-loop load run against a daemon.
+	LoadOptions = serve.LoadOptions
+	// LoadReport is the outcome of one load run, including the
+	// isolation-violation count and a latency Histogram.
+	LoadReport = serve.LoadReport
+)
+
+// NewServer builds a PMO service daemon; call Serve with a listener.
+func NewServer(opts ServeOptions) *Server { return serve.NewServer(opts) }
+
+// DialServer connects a closed-loop client to a pmod daemon.
+func DialServer(addr string) (*ServeClient, error) { return serve.Dial(addr) }
+
+// RunLoad drives a pmod daemon with concurrent closed-loop clients and
+// aggregates throughput, typed-error counts, isolation checks, and
+// latency histograms.
+func RunLoad(opts LoadOptions) (*serve.LoadReport, error) { return serve.RunLoad(opts) }

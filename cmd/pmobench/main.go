@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"domainvirt"
+	"domainvirt/internal/buildinfo"
 	"domainvirt/internal/obs"
 	"domainvirt/internal/report"
 )
@@ -51,8 +52,14 @@ func run() int {
 		cpuprofile   = flag.String("cpuprofile", "", "write a host CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a host heap profile to this file at exit")
 		runtimetrace = flag.String("runtimetrace", "", "write a host runtime execution trace to this file")
+
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Stamp("pmobench"))
+		return 0
+	}
 
 	stopProfiles, err := obs.StartHostProfiles(*cpuprofile, *memprofile, *runtimetrace)
 	if err != nil {

@@ -19,12 +19,18 @@ import (
 	"os"
 
 	"domainvirt"
+	"domainvirt/internal/buildinfo"
 	"domainvirt/internal/txn"
 )
 
 func main() {
 	storeDir := flag.String("store", "", "store directory (required)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Stamp("pmoctl"))
+		return
+	}
 	if *storeDir == "" || flag.NArg() < 1 {
 		usage()
 	}

@@ -1,0 +1,136 @@
+// Command pmod is the PMO service daemon: it serves a persistent-memory
+// object store to network clients over the pmod wire protocol, with a
+// sharded session table, a bounded worker pool (full queue → RETRY),
+// idle-session eviction, and per-client least-privilege domain windows
+// when a protection engine is selected.
+//
+// Usage:
+//
+//	pmod -listen 127.0.0.1:7070 -engine domainvirt
+//	pmod -listen 127.0.0.1:0 -addr-file /tmp/pmod.addr -store /var/lib/pmod
+//	pmod -listen 127.0.0.1:7070 -metrics 127.0.0.1:9090
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener closes, every
+// queued request finishes and flushes, sessions detach, and a
+// file-backed store syncs before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"domainvirt"
+	"domainvirt/internal/buildinfo"
+	"domainvirt/internal/pmo"
+	"domainvirt/internal/serve"
+	"domainvirt/internal/sim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7070", "address to serve the wire protocol on")
+		addrFile = flag.String("addr-file", "", "write the bound listen address to this file (for -listen :0 scripting)")
+		shards   = flag.Int("shards", 8, "session-table shards (rounded up to a power of two)")
+		workers  = flag.Int("workers", 0, "request workers (0 = 2*GOMAXPROCS)")
+		queue    = flag.Int("queue", 256, "request queue depth; a full queue answers RETRY")
+		engine   = flag.String("engine", "domainvirt", "protection scheme per shard (none, mpk, libmpk, mpkvirt, domainvirt)")
+		storeDir = flag.String("store", "", "file-backed store directory (empty = in-memory)")
+		metrics  = flag.String("metrics", "", "serve Prometheus text metrics on this HTTP address (empty = off)")
+		idle     = flag.Duration("idle", 2*time.Minute, "evict sessions idle this long (0 disables)")
+		poolSize = flag.Uint64("poolsize", 1<<20, "pool size when OPEN asks for 0")
+		drainFor = flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGTERM")
+		version  = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Stamp("pmod"))
+		return 0
+	}
+
+	var store *pmo.Store
+	if *storeDir != "" {
+		st, err := domainvirt.OpenStore(*storeDir)
+		if err != nil {
+			return fail(err)
+		}
+		store = st
+	}
+	srv := serve.NewServer(serve.Options{
+		Store:           store,
+		Shards:          *shards,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		IdleTimeout:     *idle,
+		Engine:          sim.Scheme(*engine),
+		DefaultPoolSize: *poolSize,
+	})
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fail(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(lis.Addr().String()), 0o644); err != nil {
+			return fail(err)
+		}
+	}
+
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			srv.WriteMetrics(w)
+		})
+		msrv := &http.Server{Addr: *metrics, Handler: mux}
+		go msrv.ListenAndServe()
+		defer msrv.Close()
+	}
+
+	eng := *engine
+	if eng == "" {
+		eng = "none"
+	}
+	fmt.Fprintf(os.Stderr, "%s listening on %s (engine=%s shards=%d)\n",
+		buildinfo.Stamp("pmod"), lis.Addr(), eng, *shards)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			return fail(err)
+		}
+		return 0
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "pmod: %v, draining (%v budget)\n", sig, *drainFor)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fail(fmt.Errorf("drain: %w", err))
+		}
+		if err := <-done; err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "pmod: drained cleanly")
+		return 0
+	}
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "pmod:", err)
+	return 1
+}

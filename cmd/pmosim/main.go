@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"domainvirt"
+	"domainvirt/internal/buildinfo"
 	"domainvirt/internal/obs"
 	"domainvirt/internal/stats"
 )
@@ -62,8 +63,14 @@ func run() int {
 		conformPrograms = flag.Int("conform-programs", 1000, "number of generated programs to replay (-conform)")
 		conformSeed     = flag.Int64("conform-seed", 1, "campaign seed offset (-conform)")
 		conformOut      = flag.String("conform-out", "", "directory for minimized .prog repros of divergences (-conform)")
+
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Stamp("pmosim"))
+		return 0
+	}
 
 	stopProfiles, err := obs.StartHostProfiles(*cpuprofile, *memprofile, *runtimetrace)
 	if err != nil {

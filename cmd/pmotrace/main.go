@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"domainvirt"
+	"domainvirt/internal/buildinfo"
 	"domainvirt/internal/stats"
 	"domainvirt/internal/trace"
 	"domainvirt/internal/workload"
@@ -29,6 +30,10 @@ func main() {
 		usage()
 	}
 	cmd := os.Args[1]
+	if cmd == "version" || cmd == "-version" || cmd == "--version" {
+		fmt.Println(buildinfo.Stamp("pmotrace"))
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
 		wl      = fs.String("workload", "avl", "workload to record ("+strings.Join(domainvirt.Workloads(), ", ")+")")

@@ -1,0 +1,121 @@
+// Daemon walks through the service layer end to end: it starts an
+// in-process pmod server with the hardware domain-virtualization engine,
+// speaks the wire protocol as two clients, shows the two isolation
+// layers (namespace denial and engine domains) doing their jobs, runs a
+// short closed-loop load burst, and drains the server gracefully.
+//
+// Run: go run ./examples/daemon
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"time"
+
+	"domainvirt"
+)
+
+func main() {
+	// 1. A daemon on a loopback port: 4 session-table shards, each with
+	// its own protection-engine machine; every request runs inside a
+	// least-privilege SETPERM window on the session's own domain.
+	srv := domainvirt.NewServer(domainvirt.ServeOptions{
+		Engine: domainvirt.SchemeDomainVirt,
+		Shards: 4,
+	})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(lis)
+	addr := lis.Addr().String()
+	fmt.Println("daemon listening on", addr)
+
+	// 2. Alice's session: HELLO -> OPEN -> ATTACH -> WRITE/READ. Her pool
+	// is created owner-only, and on the server it is its own protection
+	// domain.
+	alice, err := domainvirt.DialServer(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alice.Close()
+	must(alice.Hello("alice"))
+	sid, err := alice.Open("alice-session", 256<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(alice.Attach(true))
+	secret := []byte("alice's card number")
+	must(alice.Write(64<<10, secret))
+	back, err := alice.Read(64<<10, uint32(len(secret)))
+	must(err)
+	fmt.Printf("alice: session %d round-trips %q\n", sid, back)
+
+	// 3. Bob cannot reach Alice's session. The first wall is the
+	// namespace: her pool has no "other" mode bits, so his OPEN is denied
+	// before a session exists. (Were a server bug to touch her attachment
+	// from his request anyway, the engine wall — her domain is outside
+	// every window of his requests — would fault it; see
+	// internal/serve's isolation tests for that scenario.)
+	bob, err := domainvirt.DialServer(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bob.Close()
+	must(bob.Hello("bob"))
+	if _, err := bob.Open("alice-session", 0); err != nil {
+		fmt.Println("bob: denied as expected:", err)
+	} else {
+		log.Fatal("bob opened alice's session!")
+	}
+
+	// 4. Durable transactions over the wire: TX_COMMIT applies all writes
+	// through the pool's redo log, so a crash mid-commit replays rather
+	// than corrupts.
+	must(alice.TxCommit([]domainvirt.TxWrite{
+		{Off: 80 << 10, Data: []byte("balance=100")},
+		{Off: 90 << 10, Data: []byte("audit=ok")},
+	}))
+	fmt.Println("alice: transaction committed")
+
+	// 5. A short closed-loop load burst: every client gets its own
+	// session/domain, and every read is checked against the client's own
+	// write pattern — a nonzero violation count would mean the daemon
+	// mixed sessions.
+	rep, err := domainvirt.RunLoad(domainvirt.LoadOptions{
+		Addr:     addr,
+		Clients:  16,
+		Duration: 500 * time.Millisecond,
+	})
+	must(err)
+	fmt.Printf("load: %d ops (%.0f ops/s), %d errors, %d isolation violations, p99 %v\n",
+		rep.Ops, rep.Throughput(), rep.Errors, rep.IsolationViolations,
+		time.Duration(rep.Latency.Quantile(0.99)))
+
+	// 6. The daemon's own view: engine counters prove isolation was live
+	// on the request path (SETPERM windows opened), and honest traffic
+	// never faulted.
+	var stats strings.Builder
+	must(srv.WriteMetrics(&stats))
+	for _, line := range strings.Split(stats.String(), "\n") {
+		if strings.HasPrefix(line, "pmod_engine_events_total") {
+			fmt.Println("metrics:", line)
+		}
+	}
+
+	// 7. Graceful drain: queued requests finish, sessions detach, and
+	// the (file-backed) store would sync.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	must(srv.Shutdown(ctx))
+	fmt.Println("daemon drained cleanly")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

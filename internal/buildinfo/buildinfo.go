@@ -1,0 +1,22 @@
+// Package buildinfo is the single source of truth for the tool version
+// every binary reports and every observability manifest stamps. Keeping
+// the strings here means `pmod -version`, `pmosim -version`, and the
+// `tool_version` field of an obs manifest can never drift apart.
+package buildinfo
+
+import "runtime"
+
+// Version is the repository release version shared by all binaries.
+const Version = "0.3.0"
+
+// ObsFormat identifies the observability exporter format generation; it
+// is written into every obs manifest so downstream tooling can dispatch
+// on it. internal/obs re-exports it as obs.ToolVersion.
+const ObsFormat = "domainvirt-obs/1"
+
+// Stamp renders the canonical one-line -version output for a binary:
+// the tool name, the shared release version, the obs manifest format it
+// emits, and the Go runtime it was built with.
+func Stamp(tool string) string {
+	return tool + " domainvirt/" + Version + " (" + ObsFormat + ", " + runtime.Version() + ")"
+}

@@ -1,0 +1,26 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStampCarriesSharedVersionAndObsFormat(t *testing.T) {
+	got := Stamp("pmod")
+	for _, want := range []string{"pmod", "domainvirt/" + Version, ObsFormat} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Stamp(pmod) = %q, missing %q", got, want)
+		}
+	}
+	if strings.Contains(got, "\n") {
+		t.Errorf("Stamp must be one line, got %q", got)
+	}
+}
+
+func TestStampsDifferOnlyByToolName(t *testing.T) {
+	a := strings.TrimPrefix(Stamp("pmod"), "pmod")
+	b := strings.TrimPrefix(Stamp("pmoload"), "pmoload")
+	if a != b {
+		t.Errorf("version suffix differs between tools: %q vs %q", a, b)
+	}
+}

@@ -23,11 +23,15 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+
+	"domainvirt/internal/buildinfo"
 )
 
 // ToolVersion identifies the exporter format generation; it is written
-// into every manifest so downstream tooling can dispatch on it.
-const ToolVersion = "domainvirt-obs/1"
+// into every manifest so downstream tooling can dispatch on it. The
+// string lives in internal/buildinfo so every binary's -version output
+// reports the same stamp that lands in manifests.
+const ToolVersion = buildinfo.ObsFormat
 
 // Options configures a Recorder.
 type Options struct {

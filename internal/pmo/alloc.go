@@ -37,6 +37,8 @@ func sizeClass(total uint64) int {
 // Alloc allocates size payload bytes in the pool and returns the payload
 // OID (Table I pmalloc). The allocation is 16-byte aligned.
 func (p *Pool) Alloc(size uint64) (OID, error) {
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
 	if size == 0 {
 		size = 1
 	}
@@ -83,6 +85,8 @@ func (p *Pool) Alloc(size uint64) (OID, error) {
 // Free releases an allocation (Table I pfree). Double frees and foreign
 // OIDs are rejected.
 func (p *Pool) Free(o OID) error {
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
 	if o.Pool() != p.id {
 		return fmt.Errorf("pmo: %v does not belong to pool %q (id %d)", o, p.name, p.id)
 	}
@@ -110,6 +114,8 @@ func (p *Pool) Free(o OID) error {
 
 // AllocSizeOf returns the usable payload size of an allocated OID.
 func (p *Pool) AllocSizeOf(o OID) (uint64, error) {
+	p.allocMu.Lock()
+	defer p.allocMu.Unlock()
 	if o.Pool() != p.id {
 		return 0, fmt.Errorf("pmo: %v does not belong to pool %d", o, p.id)
 	}

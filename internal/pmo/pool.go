@@ -3,6 +3,7 @@ package pmo
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"domainvirt/internal/memlayout"
 )
@@ -61,6 +62,15 @@ type Pool struct {
 	// the paper's finer-grain attach-key permission scheme.
 	attachKey string
 
+	// mu guards frames, dirty, atts, and writer. Pools may be shared
+	// between address spaces (read-only sharing) and between a mutator
+	// and the store's Sync/List/Snapshot, so the byte store and the
+	// attachment list must be safe under concurrent use.
+	mu sync.Mutex
+	// allocMu serializes allocator read-modify-write sequences (bump
+	// cursor, free-list heads), which span several locked byte accesses.
+	allocMu sync.Mutex
+
 	frames map[uint64]*[memlayout.PageSize]byte
 	// atts are the current attachments. The paper's sharing policy is
 	// enforced at attach time: a writable attachment is exclusive; any
@@ -115,15 +125,25 @@ func (p *Pool) Mode() Mode { return p.mode }
 func (p *Pool) Owner() string { return p.owner }
 
 // SetAttachKey installs the secret an attacher must present.
-func (p *Pool) SetAttachKey(key string) { p.attachKey = key }
+func (p *Pool) SetAttachKey(key string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.attachKey = key
+}
 
 // Attached reports whether the pool is currently attached anywhere.
-func (p *Pool) Attached() bool { return len(p.atts) > 0 }
+func (p *Pool) Attached() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.atts) > 0
+}
 
 // Attachment returns the primary (first) attachment, or nil. Under
 // read-only sharing, per-attachment accessors on Attachment route
 // accesses through a specific space.
 func (p *Pool) Attachment() *Attachment {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if len(p.atts) == 0 {
 		return nil
 	}
@@ -132,13 +152,57 @@ func (p *Pool) Attachment() *Attachment {
 
 // Attachments returns all current attachments.
 func (p *Pool) Attachments() []*Attachment {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make([]*Attachment, len(p.atts))
 	copy(out, p.atts)
 	return out
 }
 
+// reserveAttachment atomically checks the sharing policy and registers
+// att, so two concurrent attaches cannot both pass the exclusivity
+// check. The caller rolls back with releaseAttachment if the sink
+// rejects the mapping.
+func (p *Pool) reserveAttachment(att *Attachment, attachKey string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Inter-process sharing policy (Section IV-A): "a PMO may be
+	// attached exclusively to only one process for writing, but may be
+	// attached to multiple processes for reading."
+	if att.Perm.CanWrite() && len(p.atts) > 0 {
+		return fmt.Errorf("pmo: pool %q already attached; writable attachment must be exclusive", p.name)
+	}
+	if p.writer != nil {
+		return fmt.Errorf("pmo: pool %q is attached for writing elsewhere", p.name)
+	}
+	if p.attachKey != "" && p.attachKey != attachKey {
+		return fmt.Errorf("pmo: pool %q: attach key mismatch", p.name)
+	}
+	p.atts = append(p.atts, att)
+	if att.Perm.CanWrite() {
+		p.writer = att
+	}
+	return nil
+}
+
+// releaseAttachment unregisters att.
+func (p *Pool) releaseAttachment(att *Attachment) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, a := range p.atts {
+		if a == att {
+			p.atts = append(p.atts[:i], p.atts[i+1:]...)
+			break
+		}
+	}
+	if p.writer == att {
+		p.writer = nil
+	}
+}
+
 // frame returns the backing frame for the page containing off, allocating
 // it lazily (persistent memory is zero-initialized on first use).
+// Callers must hold p.mu.
 func (p *Pool) frame(off uint64, create bool) *[memlayout.PageSize]byte {
 	idx := off >> memlayout.PageShift
 	f := p.frames[idx]
@@ -150,7 +214,11 @@ func (p *Pool) frame(off uint64, create bool) *[memlayout.PageSize]byte {
 }
 
 // PopulatedPages returns the number of lazily-allocated backing frames.
-func (p *Pool) PopulatedPages() int { return len(p.frames) }
+func (p *Pool) PopulatedPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
 
 // --- Raw (event-free) byte access, used before attach and by the store.
 
@@ -167,6 +235,8 @@ func (p *Pool) writeU64Raw(off uint64, v uint64) {
 }
 
 func (p *Pool) readRaw(off uint64, dst []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for len(dst) > 0 {
 		pageOff := off & (memlayout.PageSize - 1)
 		n := memlayout.PageSize - pageOff
@@ -186,6 +256,8 @@ func (p *Pool) readRaw(off uint64, dst []byte) {
 }
 
 func (p *Pool) writeRaw(off uint64, src []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.dirty = true
 	for len(src) > 0 {
 		pageOff := off & (memlayout.PageSize - 1)
@@ -270,10 +342,19 @@ func (p *Pool) Write(off uint32, src []byte) {
 }
 
 // emit forwards one access to the primary attachment's event sink, if
-// any, and reports whether the access was permitted.
+// any, and reports whether the access was permitted. The sink call is
+// made outside p.mu: sinks are either nil or externally serialized (the
+// simulator is single-threaded per machine), and holding the pool lock
+// across it would invert the lock order against attach paths.
 func (p *Pool) emit(off uint64, size uint32, write bool) bool {
+	p.mu.Lock()
+	var att *Attachment
 	if len(p.atts) > 0 {
-		return p.atts[0].emit(off, size, write)
+		att = p.atts[0]
+	}
+	p.mu.Unlock()
+	if att != nil {
+		return att.emit(off, size, write)
 	}
 	return true
 }

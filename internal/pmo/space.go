@@ -3,6 +3,7 @@ package pmo
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"domainvirt/internal/core"
 	"domainvirt/internal/memlayout"
@@ -16,12 +17,19 @@ const PoolRegionBase = memlayout.VA(0x2000_0000_0000)
 // Space models the PMO-relevant part of a process address space: which
 // pools are attached where, under which domain ID, and to which
 // instrumentation sink accesses flow. A nil sink gives pure library mode.
+//
+// Attach/Detach and the attachment map are safe for concurrent use; the
+// Thread field and accesses that flow into a non-nil sink are not (the
+// simulator replays a single interleaved trace), so callers that share a
+// sinked Space across goroutines must serialize Thread updates and
+// accesses externally, as internal/serve does per shard.
 type Space struct {
 	sink trace.Sink
 	// Thread is the thread performing subsequent pool accesses and
 	// permission changes.
 	Thread core.ThreadID
 
+	mu       sync.Mutex // guards nextBase and attached
 	nextBase memlayout.VA
 	attached map[uint32]*Attachment
 	rng      *rand.Rand // non-nil randomizes attach bases (relocation)
@@ -68,23 +76,14 @@ func nextPow2(v uint64) uint64 {
 // the pool ID. Page permissions follow the intent: an R attach maps the
 // pool read-only.
 func (s *Space) Attach(p *Pool, perm core.Perm, attachKey string) (*Attachment, error) {
-	// Inter-process sharing policy (Section IV-A): "a PMO may be
-	// attached exclusively to only one process for writing, but may be
-	// attached to multiple processes for reading."
-	if perm.CanWrite() && len(p.atts) > 0 {
-		return nil, fmt.Errorf("pmo: pool %q already attached; writable attachment must be exclusive", p.name)
-	}
-	if p.writer != nil {
-		return nil, fmt.Errorf("pmo: pool %q is attached for writing elsewhere", p.name)
-	}
-	if p.attachKey != "" && p.attachKey != attachKey {
-		return nil, fmt.Errorf("pmo: pool %q: attach key mismatch", p.name)
-	}
-	if _, dup := s.attached[p.id]; dup {
-		return nil, fmt.Errorf("pmo: pool id %d already attached in this space", p.id)
-	}
 	_, _, footprint := memlayout.AttachLevel(p.size)
 	align := nextPow2(footprint)
+
+	s.mu.Lock()
+	if _, dup := s.attached[p.id]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("pmo: pool id %d already attached in this space", p.id)
+	}
 	base := memlayout.VA(memlayout.AlignUp(uint64(s.nextBase), align))
 	if s.rng != nil {
 		slot := uint64(s.rng.Intn(1 << 12))
@@ -100,45 +99,55 @@ func (s *Space) Attach(p *Pool, perm core.Perm, attachKey string) (*Attachment, 
 		Perm:   perm,
 		space:  s,
 	}
+	// Reserve the slot before dropping s.mu so a concurrent attach of
+	// the same pool into this space stays a duplicate.
+	s.attached[p.id] = att
+	s.mu.Unlock()
+
+	// The sharing-policy check and registration are one atomic step on
+	// the pool, so concurrent attaches from different spaces cannot both
+	// win an exclusive writable attachment.
+	if err := p.reserveAttachment(att, attachKey); err != nil {
+		s.mu.Lock()
+		delete(s.attached, p.id)
+		s.mu.Unlock()
+		return nil, err
+	}
 	if s.sink != nil {
 		if err := s.sink.Attach(att.Domain, region, perm); err != nil {
+			p.releaseAttachment(att)
+			s.mu.Lock()
+			delete(s.attached, p.id)
+			s.mu.Unlock()
 			return nil, err
 		}
 	}
-	p.atts = append(p.atts, att)
-	if perm.CanWrite() {
-		p.writer = att
-	}
-	s.attached[p.id] = att
 	return att, nil
 }
 
 // Detach unmaps pool p from this space (the detach system call).
 func (s *Space) Detach(p *Pool) error {
+	s.mu.Lock()
 	att, ok := s.attached[p.id]
 	if !ok || att.Pool != p {
+		s.mu.Unlock()
 		return fmt.Errorf("pmo: pool %q not attached to this space", p.name)
 	}
+	delete(s.attached, p.id)
+	s.mu.Unlock()
 	if s.sink != nil {
 		s.sink.Detach(att.Domain)
 	}
-	delete(s.attached, p.id)
-	for i, a := range p.atts {
-		if a == att {
-			p.atts = append(p.atts[:i], p.atts[i+1:]...)
-			break
-		}
-	}
-	if p.writer == att {
-		p.writer = nil
-	}
+	p.releaseAttachment(att)
 	return nil
 }
 
 // SetPerm issues a SETPERM for the attached pool's domain on behalf of
 // the space's current thread, from the given instruction site.
 func (s *Space) SetPerm(p *Pool, perm core.Perm, site core.SiteID) error {
+	s.mu.Lock()
 	att, ok := s.attached[p.id]
+	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("pmo: pool %q not attached to this space", p.name)
 	}
@@ -164,6 +173,8 @@ func (s *Space) Instr(n uint64) {
 
 // AttachmentOf returns the attachment of pool id, if attached.
 func (s *Space) AttachmentOf(id uint32) (*Attachment, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	a, ok := s.attached[id]
 	return a, ok
 }
@@ -171,7 +182,9 @@ func (s *Space) AttachmentOf(id uint32) (*Attachment, bool) {
 // Direct translates an OID to its current virtual address (Table I
 // oid_direct). It fails when the OID's pool is not attached.
 func (s *Space) Direct(o OID) (memlayout.VA, error) {
+	s.mu.Lock()
 	att, ok := s.attached[o.Pool()]
+	s.mu.Unlock()
 	if !ok {
 		return 0, fmt.Errorf("pmo: pool %d of %v not attached", o.Pool(), o)
 	}

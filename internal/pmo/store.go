@@ -148,7 +148,7 @@ func (s *Store) Remove(name string) error {
 	if !ok {
 		return fmt.Errorf("pmo: pool %q not found", name)
 	}
-	if len(p.atts) > 0 {
+	if p.Attached() {
 		return fmt.Errorf("pmo: pool %q is attached", name)
 	}
 	delete(s.pools, name)
@@ -168,6 +168,7 @@ func (s *Store) List() []PoolInfo {
 	defer s.mu.Unlock()
 	infos := make([]PoolInfo, 0, len(s.pools))
 	for _, p := range s.pools {
+		p.mu.Lock()
 		infos = append(infos, PoolInfo{
 			Name:      p.name,
 			ID:        p.id,
@@ -177,6 +178,7 @@ func (s *Store) List() []PoolInfo {
 			Populated: len(p.frames),
 			Attached:  len(p.atts) > 0,
 		})
+		p.mu.Unlock()
 	}
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	return infos
@@ -191,13 +193,22 @@ func (s *Store) Sync() error {
 		return nil
 	}
 	for _, p := range s.pools {
+		// Hold the pool lock across the save so a concurrent writer
+		// cannot mutate frames mid-serialization (lock order is always
+		// store.mu then pool.mu).
+		p.mu.Lock()
 		if !p.dirty {
+			p.mu.Unlock()
 			continue
 		}
-		if err := savePoolFile(s.poolPath(p.name), p); err != nil {
+		err := savePoolFile(s.poolPath(p.name), p)
+		if err == nil {
+			p.dirty = false
+		}
+		p.mu.Unlock()
+		if err != nil {
 			return fmt.Errorf("pmo: persisting pool %q: %w", p.name, err)
 		}
-		p.dirty = false
 	}
 	return nil
 }
@@ -216,14 +227,16 @@ func (s *Store) Snapshot(src, dst, owner string) (*Pool, error) {
 	if !ok {
 		return nil, fmt.Errorf("pmo: pool %q not found", src)
 	}
-	if from.writer != nil {
-		return nil, fmt.Errorf("pmo: pool %q is write-attached; detach before snapshotting", src)
-	}
 	if _, exists := s.pools[dst]; exists {
 		return nil, fmt.Errorf("pmo: pool %q already exists", dst)
 	}
 	if dst == "" || strings.ContainsAny(dst, "/\\") {
 		return nil, fmt.Errorf("pmo: invalid snapshot name %q", dst)
+	}
+	from.mu.Lock()
+	if from.writer != nil {
+		from.mu.Unlock()
+		return nil, fmt.Errorf("pmo: pool %q is write-attached; detach before snapshotting", src)
 	}
 	id := s.nextID
 	s.nextID++
@@ -243,6 +256,7 @@ func (s *Store) Snapshot(src, dst, owner string) (*Pool, error) {
 		*nf = *f
 		cp.frames[idx] = nf
 	}
+	from.mu.Unlock()
 	cp.writeU64Raw(hdrPoolID, uint64(id)) // the copy has its own identity
 	s.pools[dst] = cp
 	s.byID[id] = cp

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// ErrServerBusy is returned when the daemon answers RETRY (its request
+// queue is full); the caller should back off and resend.
+var ErrServerBusy = errors.New("serve: server busy, retry")
+
+// ServerError is a typed error the daemon returned.
+type ServerError struct {
+	Code ErrCode
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return fmt.Sprintf("serve: server error %d: %s", e.Code, e.Msg) }
+
+// Client is a closed-loop client for the pmod wire protocol: one
+// outstanding request at a time per Client. It is not safe for
+// concurrent use; open one Client per goroutine (the load generator
+// does exactly that).
+type Client struct {
+	c      net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	nextID uint32
+}
+
+// Dial connects to a pmod daemon.
+func Dial(addr string) (*Client, error) {
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(c), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(c net.Conn) *Client {
+	return &Client{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// roundTrip sends req and waits for its response.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	c.nextID++
+	req.ID = c.nextID
+	if err := writeFrame(c.bw, EncodeRequest(req)); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	payload, err := readFrame(c.br, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, werr := ParseResponse(payload, req.Op == OpOpen)
+	if werr != nil {
+		return nil, werr
+	}
+	if resp.ID != req.ID && resp.ID != 0 {
+		return nil, fmt.Errorf("serve: response id %d for request %d", resp.ID, req.ID)
+	}
+	switch resp.Status {
+	case StatusRetry:
+		return nil, ErrServerBusy
+	case StatusErr:
+		return nil, &ServerError{Code: resp.Code, Msg: resp.Msg}
+	}
+	return resp, nil
+}
+
+// Hello declares the client identity; it must precede session ops.
+func (c *Client) Hello(name string) error {
+	_, err := c.roundTrip(&Request{Op: OpHello, Client: name})
+	return err
+}
+
+// Open opens (creating if absent) the named session pool and returns
+// the session ID. size 0 uses the server default.
+func (c *Client) Open(pool string, size uint64) (uint64, error) {
+	resp, err := c.roundTrip(&Request{Op: OpOpen, Name: pool, Size: size})
+	if err != nil {
+		return 0, err
+	}
+	return resp.SID, nil
+}
+
+// Attach maps the session pool, read-only or writable.
+func (c *Client) Attach(writable bool) error {
+	_, err := c.roundTrip(&Request{Op: OpAttach, Writable: writable})
+	return err
+}
+
+// Read returns n bytes at off of the session pool.
+func (c *Client) Read(off, n uint32) ([]byte, error) {
+	resp, err := c.roundTrip(&Request{Op: OpRead, Off: off, Len: n})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// Write stores data at off of the session pool.
+func (c *Client) Write(off uint32, data []byte) error {
+	_, err := c.roundTrip(&Request{Op: OpWrite, Off: off, Data: data})
+	return err
+}
+
+// TxCommit applies writes as one durable redo-log transaction.
+func (c *Client) TxCommit(writes []TxWrite) error {
+	_, err := c.roundTrip(&Request{Op: OpTxCommit, Tx: writes})
+	return err
+}
+
+// Detach unmaps the session pool; the session survives for re-ATTACH.
+func (c *Client) Detach() error {
+	_, err := c.roundTrip(&Request{Op: OpDetach})
+	return err
+}
+
+// Stats fetches the daemon's Prometheus text snapshot.
+func (c *Client) Stats() ([]byte, error) {
+	resp, err := c.roundTrip(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// errFrameTooLarge marks a declared payload length over the limit; the
+// stream cannot be resynchronized past it, so the connection must close
+// (after a best-effort typed error response).
+type errFrameTooLarge struct{ n uint32 }
+
+func (e errFrameTooLarge) Error() string {
+	return fmt.Sprintf("serve: declared frame length %d exceeds limit %d", e.n, MaxFrame)
+}
+
+// readFrame reads one length-prefixed payload. io.EOF is returned
+// verbatim on a clean boundary; a partial frame yields
+// io.ErrUnexpectedEOF.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, errFrameTooLarge{n}
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writeFrame writes one length-prefixed payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/sim"
+)
+
+// These tests re-run the repo's security scenarios (security_test.go) at
+// the service boundary: two clients of a live in-process daemon must not
+// be able to reach each other's sessions, through either the namespace
+// or the protection engine.
+
+// TestCrossClientOpenDenied: client B may not OPEN client A's pool in
+// either direction — the store's owner-only mode bits deny it before a
+// session even exists.
+func TestCrossClientOpenDenied(t *testing.T) {
+	_, addr := startTestServer(t, Options{Engine: "domainvirt"})
+
+	alice := dialT(t, addr)
+	if err := alice.Hello("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Open("alice-secrets", 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Attach(true); err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("alice private key material")
+	if err := alice.Write(48<<10, secret); err != nil {
+		t.Fatal(err)
+	}
+
+	bob := dialT(t, addr)
+	if err := bob.Hello("bob"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := bob.Open("alice-secrets", 64<<10)
+	wantCode(t, err, ErrDenied)
+
+	// Bob's own session works fine and sees none of Alice's bytes.
+	if _, err := bob.Open("bob-data", 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	if err := bob.Attach(true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bob.Read(48<<10, uint32(len(secret)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(got, []byte("private")) {
+		t.Fatal("bob read alice's data through his own session")
+	}
+	// And Alice's data is untouched by Bob's traffic.
+	if err := bob.Write(48<<10, []byte("bob was here")); err != nil {
+		t.Fatal(err)
+	}
+	back, err := alice.Read(48<<10, uint32(len(secret)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, secret) {
+		t.Fatalf("alice's pool corrupted by bob: %q", back)
+	}
+}
+
+// TestEngineWindowsCoverAllTraffic: under every protection engine that
+// isolates (not baseline), the daemon's per-request windows mean each
+// shard's machine saw SETPERM switches but zero domain faults for
+// well-behaved traffic — the engine is live on the request path, and
+// honest clients never trip it.
+func TestEngineWindowsCoverAllTraffic(t *testing.T) {
+	for _, scheme := range []sim.Scheme{"mpk", "libmpk", "mpkvirt", "domainvirt"} {
+		t.Run(string(scheme), func(t *testing.T) {
+			srv, addr := startTestServer(t, Options{Engine: scheme, Shards: 2})
+			for i := 0; i < 4; i++ {
+				cl := dialT(t, addr)
+				name := fmt.Sprintf("tenant-%d", i)
+				if err := cl.Hello(name); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := cl.Open(name, 64<<10); err != nil {
+					t.Fatal(err)
+				}
+				if err := cl.Attach(true); err != nil {
+					t.Fatal(err)
+				}
+				if err := cl.Write(32<<10, []byte{clientPattern(i)}); err != nil {
+					t.Fatal(err)
+				}
+				got, err := cl.Read(32<<10, 1)
+				if err != nil || got[0] != clientPattern(i) {
+					t.Fatalf("tenant %d readback: %v %v", i, got, err)
+				}
+			}
+			eng := srv.EngineTotals()
+			if eng == nil {
+				t.Fatal("no engine totals under engine mode")
+			}
+			if eng.PermSwitches == 0 {
+				t.Error("no SETPERM windows recorded — isolation not on the request path")
+			}
+			if eng.DomainFaults != 0 {
+				t.Errorf("%d domain faults for well-behaved traffic", eng.DomainFaults)
+			}
+		})
+	}
+}
+
+// TestForeignAttachmentFaults is the service-boundary Heartbleed
+// scenario: a compromised handler that reaches into another session's
+// attachment outside that session's window must fault in the engine.
+// We simulate the compromise by touching session B's attachment while
+// only session A's window is open.
+func TestForeignAttachmentFaults(t *testing.T) {
+	srv, addr := startTestServer(t, Options{Engine: "domainvirt", Shards: 1})
+
+	mk := func(name string) *Client {
+		cl := dialT(t, addr)
+		if err := cl.Hello(name); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Open(name, 64<<10); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Attach(true); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Write(16<<10, []byte(name+" secret")); err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	mk("victim")
+	mk("attacker")
+
+	sh := srv.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var victim, attacker *session
+	for _, sess := range sh.sessions {
+		switch sess.client {
+		case "victim":
+			victim = sess
+		case "attacker":
+			attacker = sess
+		}
+	}
+	if victim == nil || attacker == nil {
+		t.Fatal("sessions not found in shard")
+	}
+	before := sh.machine.Result().Counters.DomainFaults
+	// Replay the compromised-handler interleaving: attacker's thread,
+	// attacker's window open, but the access lands in victim's domain —
+	// an overread past the session's own attachment.
+	sh.space.Thread = attacker.thread
+	sh.space.SetPerm(attacker.pool, core.PermR, serverSite)
+	buf := make([]byte, 8)
+	victim.att.Read(16<<10, buf) // foreign domain, no window: must fault
+	sh.space.SetPerm(attacker.pool, core.PermNone, serverSite)
+	after := sh.machine.Result().Counters.DomainFaults
+	if after <= before {
+		t.Fatalf("foreign-session access did not fault (faults %d -> %d)", before, after)
+	}
+}
+
+// TestIsolationUnderLoad runs the pattern-checking load generator
+// against a live daemon and requires zero observed cross-session bytes.
+func TestIsolationUnderLoad(t *testing.T) {
+	srv, addr := startTestServer(t, Options{Engine: "domainvirt", Shards: 4})
+	rep, err := RunLoad(LoadOptions{
+		Addr:     addr,
+		Clients:  12,
+		Duration: 400_000_000, // 400ms
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IsolationViolations != 0 {
+		t.Fatalf("%d isolation violations under load", rep.IsolationViolations)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors under load (first: %s)", rep.Errors, rep.FirstErr)
+	}
+	eng := srv.EngineTotals()
+	if eng == nil || eng.PermSwitches == 0 {
+		t.Fatal("engine not active during load")
+	}
+	if eng.DomainFaults != 0 {
+		t.Errorf("%d domain faults from honest load", eng.DomainFaults)
+	}
+	var stats strings.Builder
+	if err := srv.WriteMetrics(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats.String(), `pmod_engine_events_total{event="domain_fault"} 0`) {
+		t.Error("metrics snapshot missing zero-fault engine line")
+	}
+}

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"domainvirt/internal/obs"
+)
+
+// LoadOptions configures a closed-loop load run against a pmod daemon:
+// Clients independent connections, each with its own session pool,
+// issuing a ReadFraction/write mix until Duration elapses.
+type LoadOptions struct {
+	Addr         string
+	Clients      int
+	Duration     time.Duration
+	ReadFraction float64 // of ops, [0,1]
+	TxFraction   float64 // of writes issued as TX_COMMIT, [0,1]
+	ValueSize    int     // bytes per write / read span
+	PoolSize     uint64  // per-client session pool size
+	Seed         int64
+}
+
+func (o *LoadOptions) withDefaults() LoadOptions {
+	v := *o
+	if v.Clients <= 0 {
+		v.Clients = 50
+	}
+	if v.Duration <= 0 {
+		v.Duration = 2 * time.Second
+	}
+	if v.ReadFraction < 0 || v.ReadFraction > 1 {
+		v.ReadFraction = 0.7
+	}
+	if v.TxFraction < 0 || v.TxFraction > 1 {
+		v.TxFraction = 0.1
+	}
+	if v.ValueSize <= 0 {
+		v.ValueSize = 128
+	}
+	if v.PoolSize == 0 {
+		v.PoolSize = 1 << 20
+	}
+	return v
+}
+
+// LoadReport is the outcome of one load run. Latency reuses the obs
+// layer's mergeable log2 histogram (nanoseconds), so percentiles come
+// from the same machinery as the simulator's cycle histograms.
+type LoadReport struct {
+	Clients  int
+	Elapsed  time.Duration
+	Ops      uint64
+	Reads    uint64
+	Writes   uint64
+	Txs      uint64
+	Retries  uint64 // RETRY backpressure responses absorbed
+	Evicted  uint64 // sessions re-opened after idle eviction
+	Errors   uint64 // protocol or transport errors (excluding retries)
+	FirstErr string
+	// IsolationViolations counts reads whose bytes belong to another
+	// client's write pattern — any nonzero value means the server mixed
+	// sessions.
+	IsolationViolations uint64
+	Latency             obs.Histogram
+}
+
+// Throughput returns completed ops/second.
+func (r *LoadReport) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// clientPattern is the byte every write of client i carries; reads must
+// only ever observe zero (never-written) or the session's own pattern.
+func clientPattern(i int) byte { return byte(0x11 + i%229) }
+
+// RunLoad drives a pmod daemon with Clients concurrent closed-loop
+// connections and aggregates their counts and latency histograms.
+func RunLoad(opts LoadOptions) (*LoadReport, error) {
+	o := opts.withDefaults()
+	rep := &LoadReport{Clients: o.Clients}
+	var (
+		mu       sync.Mutex
+		firstErr atomic.Value
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	deadline := start.Add(o.Duration)
+	for i := 0; i < o.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			local, err := runClient(i, o, deadline)
+			if err != nil && firstErr.Load() == nil {
+				firstErr.Store(err.Error())
+			}
+			mu.Lock()
+			rep.Ops += local.Ops
+			rep.Reads += local.Reads
+			rep.Writes += local.Writes
+			rep.Txs += local.Txs
+			rep.Retries += local.Retries
+			rep.Evicted += local.Evicted
+			rep.Errors += local.Errors
+			rep.IsolationViolations += local.IsolationViolations
+			rep.Latency.Merge(&local.Latency)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	if msg, ok := firstErr.Load().(string); ok {
+		rep.FirstErr = msg
+	}
+	return rep, nil
+}
+
+// runClient is one closed-loop session: dial, HELLO, OPEN, ATTACH, then
+// a randomized op mix until the deadline. Retries back off; an idle
+// eviction transparently re-opens the session.
+func runClient(i int, o LoadOptions, deadline time.Time) (*LoadReport, error) {
+	local := &LoadReport{}
+	rng := rand.New(rand.NewSource(o.Seed + int64(i)*7919))
+	cl, err := Dial(o.Addr)
+	if err != nil {
+		local.Errors++
+		return local, err
+	}
+	defer cl.Close()
+
+	name := fmt.Sprintf("load-%d", i)
+	setup := func() error {
+		if _, err := cl.Open(name, o.PoolSize); err != nil {
+			return err
+		}
+		return cl.Attach(true)
+	}
+	if err := cl.Hello(name); err != nil {
+		local.Errors++
+		return local, err
+	}
+	if err := setup(); err != nil {
+		local.Errors++
+		return local, err
+	}
+
+	pat := clientPattern(i)
+	value := make([]byte, o.ValueSize)
+	for j := range value {
+		value[j] = pat
+	}
+	// Keep clear of the pool header + redo-log area.
+	const dataBase = 256 << 10
+	span := o.PoolSize - dataBase - uint64(o.ValueSize)
+	var firstErr error
+	for time.Now().Before(deadline) {
+		off := dataBase + uint64(rng.Int63n(int64(span)))
+		var (
+			opStart = time.Now()
+			err     error
+			kind    int
+		)
+		switch {
+		case rng.Float64() < o.ReadFraction:
+			kind = 0
+			var data []byte
+			data, err = cl.Read(uint32(off), uint32(o.ValueSize))
+			if err == nil {
+				for _, b := range data {
+					if b != 0 && b != pat {
+						local.IsolationViolations++
+						break
+					}
+				}
+			}
+		case rng.Float64() < o.TxFraction:
+			kind = 2
+			err = cl.TxCommit([]TxWrite{{Off: uint32(off), Data: value}})
+		default:
+			kind = 1
+			err = cl.Write(uint32(off), value)
+		}
+		switch {
+		case err == nil:
+			local.Latency.Observe(uint64(time.Since(opStart).Nanoseconds()))
+			local.Ops++
+			switch kind {
+			case 0:
+				local.Reads++
+			case 1:
+				local.Writes++
+			case 2:
+				local.Txs++
+			}
+		case errors.Is(err, ErrServerBusy):
+			local.Retries++
+			time.Sleep(time.Duration(100+rng.Intn(400)) * time.Microsecond)
+		default:
+			var se *ServerError
+			if errors.As(err, &se) && se.Code == ErrEvicted {
+				local.Evicted++
+				if err := setup(); err != nil {
+					local.Errors++
+					if firstErr == nil {
+						firstErr = err
+					}
+					return local, firstErr
+				}
+				continue
+			}
+			local.Errors++
+			if firstErr == nil {
+				firstErr = err
+			}
+			return local, firstErr
+		}
+	}
+	return local, nil
+}

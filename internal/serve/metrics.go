@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"domainvirt/internal/obs"
+)
+
+// Metrics is the daemon's live counter and latency state. Counters are
+// lock-free atomics bumped on the request path; the per-op log2 latency
+// histograms reuse the observability layer's mergeable obs.Histogram
+// (values in nanoseconds) under one short mutex.
+type Metrics struct {
+	Requests  [numOps]atomic.Uint64 // by opcode
+	OKs       atomic.Uint64
+	Errors    [24]atomic.Uint64 // by ErrCode
+	Retries   atomic.Uint64
+	BytesIn   atomic.Uint64 // frame payload bytes received
+	BytesOut  atomic.Uint64 // frame payload bytes sent
+	ReadData  atomic.Uint64 // pool bytes served to clients
+	WroteData atomic.Uint64 // pool bytes written for clients
+
+	Opens     atomic.Uint64
+	Attaches  atomic.Uint64
+	Detaches  atomic.Uint64
+	Evictions atomic.Uint64
+	TxCommits atomic.Uint64
+
+	mu  sync.Mutex
+	lat [numOps]obs.Histogram // request latency in ns, by opcode
+}
+
+// ObserveLatency records one request's service latency.
+func (m *Metrics) ObserveLatency(op Op, ns uint64) {
+	if int(op) >= numOps {
+		return
+	}
+	m.mu.Lock()
+	m.lat[op].Observe(ns)
+	m.mu.Unlock()
+}
+
+// CountError bumps the typed-error counter for code.
+func (m *Metrics) CountError(code ErrCode) {
+	if int(code) < len(m.Errors) {
+		m.Errors[code].Add(1)
+	}
+}
+
+// latSnapshot copies the latency histograms out from under the mutex.
+func (m *Metrics) latSnapshot() [numOps]obs.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lat
+}
+
+// errNames maps error codes to stable label values.
+var errNames = map[ErrCode]string{
+	ErrBadFrame: "bad_frame", ErrBadOp: "bad_op", ErrTooLarge: "too_large",
+	ErrNoHello: "no_hello", ErrNoSession: "no_session", ErrExists: "exists",
+	ErrNotAttached: "not_attached", ErrDenied: "denied", ErrRange: "range",
+	ErrEvicted: "evicted", ErrDraining: "draining", ErrTx: "tx", ErrInternal: "internal",
+}
+
+// EngineTotals aggregates the protection-engine counters the daemon
+// exposes: how often isolation actually fired while serving traffic.
+type EngineTotals struct {
+	DomainFaults uint64 // denied cross-domain accesses
+	PageFaults   uint64
+	PermSwitches uint64 // SETPERM windows opened/closed
+	Evictions    uint64 // key/DTTLB/PTLB evictions (shootdown-equivalents)
+	TLBFlushed   uint64 // shootdown-equivalent TLB invalidations
+}
+
+// WritePrometheus renders the daemon snapshot in Prometheus text format:
+// request/response counters, byte counters, session lifecycle counters,
+// per-op latency histograms, and — when a protection engine is active —
+// the engine's isolation counters.
+func (m *Metrics) WritePrometheus(w io.Writer, sessions, conns int, eng *EngineTotals) error {
+	fmt.Fprintf(w, "# HELP pmod_requests_total Requests received, by opcode.\n# TYPE pmod_requests_total counter\n")
+	for op := Op(1); op < numOps; op++ {
+		fmt.Fprintf(w, "pmod_requests_total{op=%q} %d\n", op.String(), m.Requests[op].Load())
+	}
+	fmt.Fprintf(w, "# HELP pmod_responses_total Responses sent, by status.\n# TYPE pmod_responses_total counter\n")
+	var errs uint64
+	for i := range m.Errors {
+		errs += m.Errors[i].Load()
+	}
+	fmt.Fprintf(w, "pmod_responses_total{status=\"ok\"} %d\n", m.OKs.Load())
+	fmt.Fprintf(w, "pmod_responses_total{status=\"err\"} %d\n", errs)
+	fmt.Fprintf(w, "pmod_responses_total{status=\"retry\"} %d\n", m.Retries.Load())
+	fmt.Fprintf(w, "# HELP pmod_errors_total Typed protocol errors, by code.\n# TYPE pmod_errors_total counter\n")
+	for code := ErrBadFrame; code <= ErrInternal; code++ {
+		if n := m.Errors[code].Load(); n > 0 {
+			fmt.Fprintf(w, "pmod_errors_total{code=%q} %d\n", errNames[code], n)
+		}
+	}
+	fmt.Fprintf(w, "# HELP pmod_bytes_total Wire payload bytes, by direction.\n# TYPE pmod_bytes_total counter\n")
+	fmt.Fprintf(w, "pmod_bytes_total{dir=\"in\"} %d\n", m.BytesIn.Load())
+	fmt.Fprintf(w, "pmod_bytes_total{dir=\"out\"} %d\n", m.BytesOut.Load())
+	fmt.Fprintf(w, "# HELP pmod_pool_bytes_total Pool data bytes moved for clients.\n# TYPE pmod_pool_bytes_total counter\n")
+	fmt.Fprintf(w, "pmod_pool_bytes_total{dir=\"read\"} %d\n", m.ReadData.Load())
+	fmt.Fprintf(w, "pmod_pool_bytes_total{dir=\"write\"} %d\n", m.WroteData.Load())
+
+	fmt.Fprintf(w, "# HELP pmod_sessions_lifecycle_total Session lifecycle events.\n# TYPE pmod_sessions_lifecycle_total counter\n")
+	fmt.Fprintf(w, "pmod_sessions_lifecycle_total{event=\"open\"} %d\n", m.Opens.Load())
+	fmt.Fprintf(w, "pmod_sessions_lifecycle_total{event=\"attach\"} %d\n", m.Attaches.Load())
+	fmt.Fprintf(w, "pmod_sessions_lifecycle_total{event=\"detach\"} %d\n", m.Detaches.Load())
+	fmt.Fprintf(w, "pmod_sessions_lifecycle_total{event=\"evict\"} %d\n", m.Evictions.Load())
+	fmt.Fprintf(w, "# HELP pmod_tx_commits_total Durable transactions committed.\n# TYPE pmod_tx_commits_total counter\n")
+	fmt.Fprintf(w, "pmod_tx_commits_total %d\n", m.TxCommits.Load())
+
+	fmt.Fprintf(w, "# HELP pmod_sessions_active Live sessions.\n# TYPE pmod_sessions_active gauge\n")
+	fmt.Fprintf(w, "pmod_sessions_active %d\n", sessions)
+	fmt.Fprintf(w, "# HELP pmod_conns_active Live connections.\n# TYPE pmod_conns_active gauge\n")
+	fmt.Fprintf(w, "pmod_conns_active %d\n", conns)
+
+	if eng != nil {
+		fmt.Fprintf(w, "# HELP pmod_engine_events_total Protection-engine events across all shards.\n# TYPE pmod_engine_events_total counter\n")
+		fmt.Fprintf(w, "pmod_engine_events_total{event=\"domain_fault\"} %d\n", eng.DomainFaults)
+		fmt.Fprintf(w, "pmod_engine_events_total{event=\"page_fault\"} %d\n", eng.PageFaults)
+		fmt.Fprintf(w, "pmod_engine_events_total{event=\"perm_switch\"} %d\n", eng.PermSwitches)
+		fmt.Fprintf(w, "pmod_engine_events_total{event=\"key_eviction\"} %d\n", eng.Evictions)
+		fmt.Fprintf(w, "pmod_engine_events_total{event=\"tlb_shootdown\"} %d\n", eng.TLBFlushed)
+	}
+
+	lat := m.latSnapshot()
+	for op := Op(1); op < numOps; op++ {
+		if lat[op].Count == 0 {
+			continue
+		}
+		h := lat[op]
+		if err := obs.PromHistogram(w, "pmod_op_latency_ns",
+			"Request service latency in nanoseconds.",
+			fmt.Sprintf("op=%q", op.String()), &h); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,736 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/pmo"
+	"domainvirt/internal/sim"
+	"domainvirt/internal/txn"
+)
+
+// serverSite is the single vetted SETPERM call site the daemon uses for
+// its permission windows; when an engine is active it is approved with
+// the ERIM-style inspector so gadget-reuse from any other site is
+// flagged (security_test.go's TestGadgetReuseBlocked scenario).
+const serverSite = core.SiteID(1)
+
+// Options configures a Server.
+type Options struct {
+	// Store is the PMO namespace to serve; nil creates an in-memory one.
+	Store *pmo.Store
+	// Shards is the session-table shard count, rounded up to a power of
+	// two (default 8). Each shard has its own mutex, address space, and
+	// — when Engine is set — its own protection-engine machine.
+	Shards int
+	// Workers is the request worker-pool size (default 2*GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the request queue; a full queue answers RETRY
+	// instead of building unbounded latency (default 256).
+	QueueDepth int
+	// IdleTimeout evicts sessions with no request for this long
+	// (default 2m; 0 disables eviction).
+	IdleTimeout time.Duration
+	// Engine, when non-empty and not "none", runs every shard's address
+	// space under that protection scheme: each session's pool is its
+	// own domain, and every request executes inside a least-privilege
+	// SETPERM window for the session's thread.
+	Engine sim.Scheme
+	// DefaultPoolSize is used when OPEN asks for size 0 (default 1 MiB).
+	DefaultPoolSize uint64
+	// SyncEvery periodically persists dirty pools of a file-backed
+	// store from the janitor (default 1s; 0 disables periodic sync —
+	// drain still syncs).
+	SyncEvery time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	v := *o
+	if v.Store == nil {
+		v.Store = pmo.NewStore()
+	}
+	if v.Shards <= 0 {
+		v.Shards = 8
+	}
+	n := 1
+	for n < v.Shards {
+		n <<= 1
+	}
+	v.Shards = n
+	if v.Workers <= 0 {
+		v.Workers = 2 * runtime.GOMAXPROCS(0)
+	}
+	if v.QueueDepth <= 0 {
+		v.QueueDepth = 256
+	}
+	if v.IdleTimeout == 0 {
+		v.IdleTimeout = 2 * time.Minute
+	}
+	if v.DefaultPoolSize == 0 {
+		v.DefaultPoolSize = 1 << 20
+	}
+	if v.SyncEvery == 0 {
+		v.SyncEvery = time.Second
+	}
+	if v.Engine == "none" {
+		v.Engine = ""
+	}
+	return v
+}
+
+// session is one client's open PMO session: its pool, its (possibly
+// detached) attachment, and the simulated thread its requests run as.
+type session struct {
+	id       uint64
+	client   string
+	pool     *pmo.Pool
+	att      *pmo.Attachment // nil while detached
+	thread   core.ThreadID
+	lastUsed atomic.Int64 // unix nanos
+}
+
+// shard is one slice of the session table. Its mutex serializes every
+// request against its sessions, which also serializes all traffic into
+// its address space and machine (the simulator replays one interleaved
+// trace per shard).
+type shard struct {
+	mu         sync.Mutex
+	space      *pmo.Space
+	machine    *sim.Machine // nil in library mode
+	sessions   map[uint64]*session
+	nextThread core.ThreadID
+}
+
+// conn is one client connection: at most one session, one writer lock.
+type conn struct {
+	c       net.Conn
+	bw      *bufio.Writer
+	writeMu sync.Mutex
+
+	stateMu sync.Mutex
+	client  string
+	sid     uint64
+}
+
+func (cn *conn) send(s *Server, payload []byte) {
+	cn.writeMu.Lock()
+	defer cn.writeMu.Unlock()
+	if writeFrame(cn.bw, payload) == nil {
+		cn.bw.Flush()
+	}
+	s.met.BytesOut.Add(uint64(len(payload)))
+}
+
+// job is one parsed request bound for the worker pool.
+type job struct {
+	cn  *conn
+	req *Request
+}
+
+// Server is the concurrent PMO service: a sharded session table over a
+// pmo.Store, a bounded worker pool with RETRY backpressure, idle-session
+// eviction, per-request least-privilege domain windows, and graceful
+// drain.
+type Server struct {
+	opts  Options
+	store *pmo.Store
+	met   *Metrics
+
+	shards []*shard
+	mask   uint64
+
+	nextSID atomic.Uint64
+	jobs    chan job
+
+	connMu sync.Mutex
+	conns  map[*conn]struct{}
+
+	draining  atomic.Bool
+	lis       net.Listener
+	readersWG sync.WaitGroup
+	workersWG sync.WaitGroup
+	janitorCh chan struct{}
+	janitorWG sync.WaitGroup
+	started   atomic.Bool
+}
+
+// NewServer builds a server; call Serve to start handling a listener.
+func NewServer(opts Options) *Server {
+	o := opts.withDefaults()
+	s := &Server{
+		opts:      o,
+		store:     o.Store,
+		met:       &Metrics{},
+		mask:      uint64(o.Shards - 1),
+		jobs:      make(chan job, o.QueueDepth),
+		conns:     make(map[*conn]struct{}),
+		janitorCh: make(chan struct{}),
+	}
+	for i := 0; i < o.Shards; i++ {
+		sh := &shard{sessions: make(map[uint64]*session), nextThread: 1}
+		if o.Engine != "" {
+			m := sim.NewMachine(sim.DefaultConfig(), o.Engine)
+			insp := core.NewInspector()
+			insp.Approve(serverSite, "pmod vetted permission gate")
+			m.SetInspector(insp)
+			sh.machine = m
+			sh.space = pmo.NewSpace(m)
+		} else {
+			sh.space = pmo.NewSpace(nil)
+		}
+		s.shards = append(s.shards, sh)
+	}
+	return s
+}
+
+// Metrics returns the server's live metrics.
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Engine returns the configured protection scheme ("" for library mode).
+func (s *Server) Engine() sim.Scheme { return s.opts.Engine }
+
+func (s *Server) shardOf(sid uint64) *shard { return s.shards[sid&s.mask] }
+
+// SessionCount returns the number of live sessions across all shards.
+func (s *Server) SessionCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ConnCount returns the number of live connections.
+func (s *Server) ConnCount() int {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return len(s.conns)
+}
+
+// EngineTotals sums the protection-engine counters across shards, or
+// nil in library mode.
+func (s *Server) EngineTotals() *EngineTotals {
+	if s.opts.Engine == "" {
+		return nil
+	}
+	t := &EngineTotals{}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		res := sh.machine.Result()
+		sh.mu.Unlock()
+		t.DomainFaults += res.Counters.DomainFaults
+		t.PageFaults += res.Counters.PageFaults
+		t.PermSwitches += res.Counters.PermSwitches
+		t.Evictions += res.Counters.Evictions
+		t.TLBFlushed += res.Counters.TLBFlushed
+	}
+	return t
+}
+
+// WriteMetrics renders the full Prometheus snapshot (also the STATS op
+// body and the -metrics HTTP endpoint body).
+func (s *Server) WriteMetrics(w io.Writer) error {
+	return s.met.WritePrometheus(w, s.SessionCount(), s.ConnCount(), s.EngineTotals())
+}
+
+// Serve accepts connections until Shutdown (returns nil) or a listener
+// error. It starts the worker pool and the janitor on first call.
+func (s *Server) Serve(lis net.Listener) error {
+	s.connMu.Lock()
+	s.lis = lis
+	draining := s.draining.Load()
+	s.connMu.Unlock()
+	if draining {
+		lis.Close()
+		return nil
+	}
+	if s.started.CompareAndSwap(false, true) {
+		for i := 0; i < s.opts.Workers; i++ {
+			s.workersWG.Add(1)
+			go s.worker()
+		}
+		s.janitorWG.Add(1)
+		go s.janitor()
+	}
+	for {
+		c, err := lis.Accept()
+		if err != nil {
+			if s.draining.Load() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		cn := &conn{c: c, bw: bufio.NewWriter(c)}
+		s.connMu.Lock()
+		if s.draining.Load() {
+			s.connMu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[cn] = struct{}{}
+		s.connMu.Unlock()
+		s.readersWG.Add(1)
+		go s.readLoop(cn)
+	}
+}
+
+// readLoop parses frames off one connection and feeds the worker pool;
+// framing errors are answered inline with typed errors so a malformed
+// client can never occupy a worker.
+func (s *Server) readLoop(cn *conn) {
+	defer s.readersWG.Done()
+	br := bufio.NewReader(cn.c)
+	var buf []byte
+	for {
+		payload, err := readFrame(br, buf)
+		if err != nil {
+			var tooBig errFrameTooLarge
+			if errors.As(err, &tooBig) {
+				// Unrecoverable framing: answer, then drop the conn.
+				s.respondErr(cn, 0, wireErr(ErrTooLarge, tooBig.Error()))
+			}
+			if s.draining.Load() {
+				// Deadline pop from Shutdown: stop reading, leave the
+				// conn open so in-flight responses still flush.
+				return
+			}
+			s.dropConn(cn, true)
+			return
+		}
+		buf = payload[:0]
+		s.met.BytesIn.Add(uint64(len(payload)))
+		req, werr := ParseRequest(payload)
+		if int(req.Op) < numOps {
+			s.met.Requests[req.Op].Add(1)
+		}
+		if werr != nil {
+			s.respondErr(cn, req.ID, werr)
+			continue
+		}
+		// WRITE/TX payload slices alias the read buffer; copy them out
+		// since the worker runs after the reader reuses it.
+		if req.Data != nil {
+			req.Data = append([]byte(nil), req.Data...)
+		}
+		for i := range req.Tx {
+			req.Tx[i].Data = append([]byte(nil), req.Tx[i].Data...)
+		}
+		select {
+		case s.jobs <- job{cn: cn, req: req}:
+		default:
+			// Backpressure: the queue is full; make the client retry
+			// rather than queueing unbounded work.
+			s.met.Retries.Add(1)
+			cn.send(s, EncodeResponse(&Response{Status: StatusRetry, ID: req.ID}))
+		}
+	}
+}
+
+// dropConn unregisters and closes a connection and evicts its session.
+func (s *Server) dropConn(cn *conn, close bool) {
+	s.connMu.Lock()
+	_, live := s.conns[cn]
+	delete(s.conns, cn)
+	s.connMu.Unlock()
+	if !live {
+		return
+	}
+	if close {
+		cn.c.Close()
+	}
+	cn.stateMu.Lock()
+	sid := cn.sid
+	cn.sid = 0
+	cn.stateMu.Unlock()
+	if sid != 0 {
+		s.evictSession(sid)
+	}
+}
+
+// evictSession removes one session, detaching it if needed.
+func (s *Server) evictSession(sid uint64) {
+	sh := s.shardOf(sid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sess, ok := sh.sessions[sid]
+	if !ok {
+		return
+	}
+	if sess.att != nil {
+		sh.space.Thread = sess.thread
+		sh.space.Detach(sess.pool)
+		sess.att = nil
+	}
+	delete(sh.sessions, sid)
+}
+
+func (s *Server) worker() {
+	defer s.workersWG.Done()
+	for jb := range s.jobs {
+		start := time.Now()
+		resp := s.dispatch(jb.cn, jb.req)
+		s.met.ObserveLatency(jb.req.Op, uint64(time.Since(start).Nanoseconds()))
+		switch resp.Status {
+		case StatusOK:
+			s.met.OKs.Add(1)
+		case StatusErr:
+			s.met.CountError(resp.Code)
+		}
+		jb.cn.send(s, EncodeResponse(resp))
+	}
+}
+
+func (s *Server) respondErr(cn *conn, id uint32, werr *WireError) {
+	s.met.CountError(werr.Code)
+	cn.send(s, EncodeResponse(&Response{Status: StatusErr, ID: id, Code: werr.Code, Msg: werr.Msg}))
+}
+
+func errResp(id uint32, code ErrCode, format string, args ...any) *Response {
+	return &Response{Status: StatusErr, ID: id, Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// dispatch executes one request. Panics cannot reach the connection
+// handler: every path validates before touching the pool.
+func (s *Server) dispatch(cn *conn, req *Request) *Response {
+	switch req.Op {
+	case OpHello:
+		cn.stateMu.Lock()
+		cn.client = req.Client
+		cn.stateMu.Unlock()
+		return &Response{Status: StatusOK, ID: req.ID}
+	case OpStats:
+		var b writerBuf
+		if err := s.WriteMetrics(&b); err != nil {
+			return errResp(req.ID, ErrInternal, "serve: rendering stats: %v", err)
+		}
+		return &Response{Status: StatusOK, ID: req.ID, Data: b.b}
+	}
+
+	cn.stateMu.Lock()
+	client, sid := cn.client, cn.sid
+	cn.stateMu.Unlock()
+	if client == "" {
+		return errResp(req.ID, ErrNoHello, "serve: HELLO required before %s", req.Op)
+	}
+
+	if req.Op == OpOpen {
+		return s.doOpen(cn, client, sid, req)
+	}
+
+	if sid == 0 {
+		return errResp(req.ID, ErrNoSession, "serve: OPEN required before %s", req.Op)
+	}
+	sh := s.shardOf(sid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sess, ok := sh.sessions[sid]
+	if !ok {
+		// Idle-evicted between requests: tell the client to re-OPEN.
+		cn.stateMu.Lock()
+		cn.sid = 0
+		cn.stateMu.Unlock()
+		return errResp(req.ID, ErrEvicted, "serve: session %d evicted; re-OPEN", sid)
+	}
+	sess.lastUsed.Store(time.Now().UnixNano())
+	sh.space.Thread = sess.thread
+
+	switch req.Op {
+	case OpAttach:
+		return s.doAttach(sh, sess, req)
+	case OpRead:
+		return s.doRead(sh, sess, req)
+	case OpWrite:
+		return s.doWrite(sh, sess, req)
+	case OpTxCommit:
+		return s.doTx(sh, sess, req)
+	case OpDetach:
+		if sess.att == nil {
+			return errResp(req.ID, ErrNotAttached, "serve: session not attached")
+		}
+		if err := sh.space.Detach(sess.pool); err != nil {
+			return errResp(req.ID, ErrInternal, "serve: detach: %v", err)
+		}
+		sess.att = nil
+		s.met.Detaches.Add(1)
+		return &Response{Status: StatusOK, ID: req.ID}
+	}
+	return errResp(req.ID, ErrBadOp, "serve: unhandled op %d", req.Op)
+}
+
+// doOpen opens or creates the client's session pool. Pools are created
+// owner-only (no "other" mode bits), so the store's namespace permission
+// check denies every cross-client OPEN.
+func (s *Server) doOpen(cn *conn, client string, sid uint64, req *Request) *Response {
+	if sid != 0 {
+		return errResp(req.ID, ErrExists, "serve: connection already holds session %d", sid)
+	}
+	size := req.Size
+	if size == 0 {
+		size = s.opts.DefaultPoolSize
+	}
+	pool, err := s.store.Open(req.Name, client, true)
+	if err != nil {
+		created, cerr := s.store.Create(req.Name, size, pmo.ModeOwnerRead|pmo.ModeOwnerWrite, client)
+		if cerr != nil {
+			// The pool exists but this client may not write it — the
+			// cross-client case reports the open denial, not the
+			// create collision.
+			return errResp(req.ID, ErrDenied, "serve: open %q: %v", req.Name, err)
+		}
+		pool = created
+	}
+	nsid := s.nextSID.Add(1)
+	sh := s.shardOf(nsid)
+	sess := &session{id: nsid, client: client, pool: pool}
+	sess.lastUsed.Store(time.Now().UnixNano())
+	sh.mu.Lock()
+	sess.thread = sh.nextThread
+	sh.nextThread++
+	sh.sessions[nsid] = sess
+	sh.mu.Unlock()
+	cn.stateMu.Lock()
+	if cn.sid != 0 {
+		// A concurrently pipelined OPEN won; retract this session.
+		held := cn.sid
+		cn.stateMu.Unlock()
+		s.evictSession(nsid)
+		return errResp(req.ID, ErrExists, "serve: connection already holds session %d", held)
+	}
+	cn.sid = nsid
+	cn.stateMu.Unlock()
+	s.met.Opens.Add(1)
+	return &Response{Status: StatusOK, ID: req.ID, SID: nsid}
+}
+
+func (s *Server) doAttach(sh *shard, sess *session, req *Request) *Response {
+	if sess.att != nil {
+		return errResp(req.ID, ErrExists, "serve: session already attached")
+	}
+	perm := core.PermR
+	if req.Writable {
+		perm = core.PermRW
+	}
+	att, err := sh.space.Attach(sess.pool, perm, "")
+	if err != nil {
+		// Exclusive-writer conflicts and engine capacity limits (e.g.
+		// MPK running out of protection keys) surface here as typed
+		// denials the client can act on.
+		return errResp(req.ID, ErrDenied, "serve: attach: %v", err)
+	}
+	sess.att = att
+	s.met.Attaches.Add(1)
+	return &Response{Status: StatusOK, ID: req.ID}
+}
+
+// window runs fn inside a least-privilege SETPERM window: the session's
+// thread gets perm on its own domain for exactly one request, then drops
+// back to no access. Every other session's domain stays inaccessible
+// throughout, so a compromised handler touching a foreign attachment
+// faults in the engine.
+func (s *Server) window(sh *shard, sess *session, perm core.Perm, fn func()) {
+	sh.space.SetPerm(sess.pool, perm, serverSite)
+	fn()
+	sh.space.SetPerm(sess.pool, core.PermNone, serverSite)
+}
+
+func (s *Server) checkSpan(sess *session, id uint32, off, n uint32) *Response {
+	if n > MaxIO {
+		return errResp(id, ErrTooLarge, "serve: span %d over limit %d", n, MaxIO)
+	}
+	end := uint64(off) + uint64(n)
+	if end > sess.pool.Size() {
+		return errResp(id, ErrRange, "serve: [%d,%d) outside pool of size %d", off, end, sess.pool.Size())
+	}
+	return nil
+}
+
+func (s *Server) doRead(sh *shard, sess *session, req *Request) *Response {
+	if sess.att == nil {
+		return errResp(req.ID, ErrNotAttached, "serve: ATTACH required before READ")
+	}
+	if r := s.checkSpan(sess, req.ID, req.Off, req.Len); r != nil {
+		return r
+	}
+	data := make([]byte, req.Len)
+	s.window(sh, sess, core.PermR, func() {
+		sess.att.Read(req.Off, data)
+	})
+	s.met.ReadData.Add(uint64(len(data)))
+	return &Response{Status: StatusOK, ID: req.ID, Data: data}
+}
+
+func (s *Server) doWrite(sh *shard, sess *session, req *Request) *Response {
+	if sess.att == nil {
+		return errResp(req.ID, ErrNotAttached, "serve: ATTACH required before WRITE")
+	}
+	if !sess.att.Perm.CanWrite() {
+		return errResp(req.ID, ErrDenied, "serve: session attached read-only")
+	}
+	if r := s.checkSpan(sess, req.ID, req.Off, uint32(len(req.Data))); r != nil {
+		return r
+	}
+	s.window(sh, sess, core.PermRW, func() {
+		sess.att.Write(req.Off, req.Data)
+	})
+	s.met.WroteData.Add(uint64(len(req.Data)))
+	return &Response{Status: StatusOK, ID: req.ID}
+}
+
+func (s *Server) doTx(sh *shard, sess *session, req *Request) *Response {
+	if sess.att == nil {
+		return errResp(req.ID, ErrNotAttached, "serve: ATTACH required before TX_COMMIT")
+	}
+	if !sess.att.Perm.CanWrite() {
+		return errResp(req.ID, ErrDenied, "serve: session attached read-only")
+	}
+	for _, tw := range req.Tx {
+		if r := s.checkSpan(sess, req.ID, tw.Off, uint32(len(tw.Data))); r != nil {
+			return r
+		}
+	}
+	var txErr error
+	s.window(sh, sess, core.PermRW, func() {
+		tx, err := txn.Begin(sess.pool)
+		if err != nil {
+			txErr = err
+			return
+		}
+		for _, tw := range req.Tx {
+			if err := tx.Write(tw.Off, tw.Data); err != nil {
+				tx.Abort()
+				txErr = err
+				return
+			}
+		}
+		txErr = tx.Commit()
+	})
+	if txErr != nil {
+		return errResp(req.ID, ErrTx, "serve: tx: %v", txErr)
+	}
+	var n uint64
+	for _, tw := range req.Tx {
+		n += uint64(len(tw.Data))
+	}
+	s.met.WroteData.Add(n)
+	s.met.TxCommits.Add(1)
+	return &Response{Status: StatusOK, ID: req.ID}
+}
+
+// janitor evicts idle sessions and periodically syncs a file-backed
+// store.
+func (s *Server) janitor() {
+	defer s.janitorWG.Done()
+	tick := s.opts.IdleTimeout / 4
+	if tick <= 0 || tick > s.opts.SyncEvery {
+		tick = s.opts.SyncEvery
+	}
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	var lastSync time.Time
+	for {
+		select {
+		case <-s.janitorCh:
+			return
+		case now := <-t.C:
+			if s.opts.IdleTimeout > 0 {
+				cutoff := now.Add(-s.opts.IdleTimeout).UnixNano()
+				for _, sh := range s.shards {
+					sh.mu.Lock()
+					for sid, sess := range sh.sessions {
+						if sess.lastUsed.Load() < cutoff {
+							if sess.att != nil {
+								sh.space.Thread = sess.thread
+								sh.space.Detach(sess.pool)
+								sess.att = nil
+							}
+							delete(sh.sessions, sid)
+							s.met.Evictions.Add(1)
+						}
+					}
+					sh.mu.Unlock()
+				}
+			}
+			if s.store.Dir() != "" && now.Sub(lastSync) >= s.opts.SyncEvery {
+				s.store.Sync()
+				lastSync = now
+			}
+		}
+	}
+}
+
+// Shutdown drains the server gracefully: stop accepting, stop reading,
+// finish every queued request, flush responses, evict sessions, and
+// persist the store. It is idempotent; ctx bounds the wait.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Pop readers out of blocking reads; they observe draining and exit
+	// without closing their connections, so queued responses still land.
+	s.connMu.Lock()
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	for cn := range s.conns {
+		cn.c.SetReadDeadline(time.Now())
+	}
+	s.connMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.readersWG.Wait()
+		if s.started.Load() {
+			close(s.jobs) // workers finish all queued requests, then exit
+			s.workersWG.Wait()
+			close(s.janitorCh)
+			s.janitorWG.Wait()
+		}
+		s.connMu.Lock()
+		for cn := range s.conns {
+			cn.c.Close()
+			delete(s.conns, cn)
+		}
+		s.connMu.Unlock()
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			for sid, sess := range sh.sessions {
+				if sess.att != nil {
+					sh.space.Thread = sess.thread
+					sh.space.Detach(sess.pool)
+					sess.att = nil
+				}
+				delete(sh.sessions, sid)
+			}
+			sh.mu.Unlock()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		return s.store.Sync()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// writerBuf is a minimal io.Writer over a byte slice.
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

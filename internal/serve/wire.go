@@ -1,0 +1,354 @@
+// Package serve is the network-facing PMO service layer: a concurrent
+// daemon (cmd/pmod) that serves persistent memory objects to remote
+// clients over a length-prefixed binary protocol, isolating each
+// client's session in its own PMO/domain — the paper's motivating
+// server scenario (Section III) as a real request-serving process
+// rather than a trace replay.
+//
+// The package provides the wire protocol (this file), the sharded
+// session server (server.go), a Go client (client.go), and a
+// closed-loop load generator (loadgen.go).
+package serve
+
+import "encoding/binary"
+
+// Frame format: a 4-byte big-endian payload length, then the payload.
+// Every payload starts with a 1-byte opcode and a 4-byte request ID the
+// response echoes, so a client may pipeline requests.
+const (
+	// MaxFrame is the hard cap on payload length; a declared length
+	// beyond it is unrecoverable (the stream cannot be resynchronized)
+	// and closes the connection after a typed error.
+	MaxFrame = 1 << 20
+	// MaxIO is the largest byte span one READ or WRITE may move.
+	MaxIO = 256 << 10
+	// minPayload is opcode + request ID.
+	minPayload = 5
+)
+
+// Op is a request opcode.
+type Op uint8
+
+// Request opcodes.
+const (
+	OpHello    Op = 1 // declare client identity: str name
+	OpOpen     Op = 2 // open-or-create the session pool: str name, u64 size
+	OpAttach   Op = 3 // map the session pool: u8 writable
+	OpRead     Op = 4 // u32 off, u32 len -> data
+	OpWrite    Op = 5 // u32 off, u32 len, bytes
+	OpTxCommit Op = 6 // u16 count, count * (u32 off, u32 len, bytes), durably
+	OpDetach   Op = 7 // unmap the session pool
+	OpStats    Op = 8 // -> Prometheus text snapshot
+	numOps        = 9
+)
+
+var opNames = [numOps]string{"?", "hello", "open", "attach", "read", "write", "tx_commit", "detach", "stats"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && o > 0 {
+		return opNames[o]
+	}
+	return "?"
+}
+
+// Status is the first byte of every response payload.
+type Status uint8
+
+// Response statuses.
+const (
+	StatusOK    Status = 0
+	StatusErr   Status = 1
+	StatusRetry Status = 2 // backpressure: queue full, try again
+)
+
+// ErrCode is a typed protocol error; malformed or disallowed requests
+// always yield one of these — the server never panics and never closes
+// a connection without first sending the code (when the stream allows).
+type ErrCode uint16
+
+// Error codes.
+const (
+	ErrBadFrame    ErrCode = 1  // unparseable payload
+	ErrBadOp       ErrCode = 2  // unknown opcode
+	ErrTooLarge    ErrCode = 3  // frame or I/O span over the limit
+	ErrNoHello     ErrCode = 4  // session op before HELLO
+	ErrNoSession   ErrCode = 5  // session op before OPEN
+	ErrExists      ErrCode = 6  // OPEN with a live session / double ATTACH
+	ErrNotAttached ErrCode = 7  // data op before ATTACH
+	ErrDenied      ErrCode = 8  // namespace or domain permission denied
+	ErrRange       ErrCode = 9  // access outside the pool
+	ErrEvicted     ErrCode = 10 // session idle-evicted; re-OPEN to continue
+	ErrDraining    ErrCode = 11 // server shutting down
+	ErrTx          ErrCode = 12 // transaction begin/commit failed
+	ErrInternal    ErrCode = 13
+)
+
+// WireError is a typed protocol error with its human-readable cause.
+type WireError struct {
+	Code ErrCode
+	Msg  string
+}
+
+func (e *WireError) Error() string { return e.Msg }
+
+func wireErr(code ErrCode, msg string) *WireError { return &WireError{Code: code, Msg: msg} }
+
+// TxWrite is one write of a TX_COMMIT batch.
+type TxWrite struct {
+	Off  uint32
+	Data []byte
+}
+
+// Request is one decoded client request.
+type Request struct {
+	Op Op
+	ID uint32
+
+	Client string // HELLO
+	Name   string // OPEN
+	Size   uint64 // OPEN
+
+	Writable bool // ATTACH
+
+	Off  uint32    // READ, WRITE
+	Len  uint32    // READ
+	Data []byte    // WRITE
+	Tx   []TxWrite // TX_COMMIT
+}
+
+// --- cursor helpers ---
+
+type wreader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *wreader) need(n int) bool {
+	if r.bad || r.off+n > len(r.b) {
+		r.bad = true
+		return false
+	}
+	return true
+}
+
+func (r *wreader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *wreader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *wreader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *wreader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *wreader) bytes(n int) []byte {
+	if n < 0 || !r.need(n) {
+		r.bad = true
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *wreader) str() string {
+	n := int(r.u16())
+	return string(r.bytes(n))
+}
+
+func (r *wreader) done() bool { return !r.bad && r.off == len(r.b) }
+
+type wwriter struct{ b []byte }
+
+func (w *wwriter) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *wwriter) u16(v uint16) { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *wwriter) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *wwriter) u64(v uint64) { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *wwriter) bytes(p []byte) {
+	w.b = append(w.b, p...)
+}
+func (w *wwriter) str(s string) {
+	w.u16(uint16(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// ParseRequest decodes one request payload. It never panics: any
+// malformed input yields a *WireError (with the request ID when the
+// header was intact, so the error can be answered on the right request).
+func ParseRequest(payload []byte) (*Request, *WireError) {
+	if len(payload) < minPayload {
+		return &Request{}, wireErr(ErrBadFrame, "serve: short payload")
+	}
+	r := &wreader{b: payload}
+	req := &Request{Op: Op(r.u8()), ID: r.u32()}
+	switch req.Op {
+	case OpHello:
+		req.Client = r.str()
+		if r.done() && req.Client == "" {
+			return req, wireErr(ErrBadFrame, "serve: empty client name")
+		}
+	case OpOpen:
+		req.Name = r.str()
+		req.Size = r.u64()
+		if r.done() && req.Name == "" {
+			return req, wireErr(ErrBadFrame, "serve: empty pool name")
+		}
+	case OpAttach:
+		req.Writable = r.u8() != 0
+	case OpRead:
+		req.Off = r.u32()
+		req.Len = r.u32()
+		if r.done() && req.Len > MaxIO {
+			return req, wireErr(ErrTooLarge, "serve: read span over MaxIO")
+		}
+	case OpWrite:
+		req.Off = r.u32()
+		n := r.u32()
+		if n > MaxIO {
+			return req, wireErr(ErrTooLarge, "serve: write span over MaxIO")
+		}
+		req.Data = r.bytes(int(n))
+	case OpTxCommit:
+		count := int(r.u16())
+		for i := 0; i < count && !r.bad; i++ {
+			off := r.u32()
+			n := r.u32()
+			if n > MaxIO {
+				return req, wireErr(ErrTooLarge, "serve: tx write span over MaxIO")
+			}
+			req.Tx = append(req.Tx, TxWrite{Off: off, Data: r.bytes(int(n))})
+		}
+	case OpDetach, OpStats:
+		// no body
+	default:
+		return req, wireErr(ErrBadOp, "serve: unknown opcode")
+	}
+	if !r.done() {
+		return req, wireErr(ErrBadFrame, "serve: truncated or oversized body")
+	}
+	return req, nil
+}
+
+// EncodeRequest renders req as a frame payload (without the length
+// prefix).
+func EncodeRequest(req *Request) []byte {
+	w := &wwriter{b: make([]byte, 0, 16+len(req.Data))}
+	w.u8(uint8(req.Op))
+	w.u32(req.ID)
+	switch req.Op {
+	case OpHello:
+		w.str(req.Client)
+	case OpOpen:
+		w.str(req.Name)
+		w.u64(req.Size)
+	case OpAttach:
+		if req.Writable {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	case OpRead:
+		w.u32(req.Off)
+		w.u32(req.Len)
+	case OpWrite:
+		w.u32(req.Off)
+		w.u32(uint32(len(req.Data)))
+		w.bytes(req.Data)
+	case OpTxCommit:
+		w.u16(uint16(len(req.Tx)))
+		for _, t := range req.Tx {
+			w.u32(t.Off)
+			w.u32(uint32(len(t.Data)))
+			w.bytes(t.Data)
+		}
+	}
+	return w.b
+}
+
+// Response is one decoded server response.
+type Response struct {
+	Status Status
+	ID     uint32
+	Code   ErrCode // StatusErr only
+	Msg    string  // StatusErr only
+	SID    uint64  // OPEN result
+	Data   []byte  // READ and STATS result
+}
+
+// EncodeResponse renders a response payload.
+func EncodeResponse(resp *Response) []byte {
+	w := &wwriter{b: make([]byte, 0, 16+len(resp.Data))}
+	w.u8(uint8(resp.Status))
+	w.u32(resp.ID)
+	switch resp.Status {
+	case StatusErr:
+		w.u16(uint16(resp.Code))
+		w.str(resp.Msg)
+	case StatusOK:
+		if resp.SID != 0 {
+			w.u64(resp.SID)
+		} else {
+			w.bytes(resp.Data)
+		}
+	}
+	return w.b
+}
+
+// ParseResponse decodes a response payload. wantSID tells the parser the
+// OK body carries a session ID (OPEN) rather than raw data.
+func ParseResponse(payload []byte, wantSID bool) (*Response, *WireError) {
+	if len(payload) < minPayload {
+		return nil, wireErr(ErrBadFrame, "serve: short response")
+	}
+	r := &wreader{b: payload}
+	resp := &Response{Status: Status(r.u8()), ID: r.u32()}
+	switch resp.Status {
+	case StatusErr:
+		resp.Code = ErrCode(r.u16())
+		resp.Msg = r.str()
+		if r.bad {
+			return nil, wireErr(ErrBadFrame, "serve: truncated error response")
+		}
+	case StatusOK:
+		if wantSID {
+			resp.SID = r.u64()
+			if r.bad {
+				return nil, wireErr(ErrBadFrame, "serve: truncated open response")
+			}
+		} else {
+			resp.Data = r.b[r.off:]
+		}
+	case StatusRetry:
+		// no body
+	default:
+		return nil, wireErr(ErrBadFrame, "serve: unknown response status")
+	}
+	return resp, nil
+}

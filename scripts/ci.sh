@@ -17,9 +17,31 @@ go test -race ./...
 go test -race -run 'TestObsDeterminism|TestObsRecorderDoesNotPerturb|TestObsSamplerDisabled' .
 go test -race -run 'TestHistogramMergeProperty|TestExportersDeterministic' ./internal/obs/
 
+# Service layer: the concurrency-hardened PMO library and the daemon,
+# run explicitly so a race regression names the layer that broke.
+go test -race ./internal/serve/... ./internal/pmo/...
+
 # Smoke: an observed run must write a parseable, nonempty epoch series.
 obsdir="$(mktemp -d)"
 trap 'rm -rf "$obsdir"' EXIT
 go run ./cmd/pmosim -workload avl -scheme mpkvirt -pmos 64 -ops 5000 \
     -obs-out "$obsdir" -obs-epoch 10000 >/dev/null
 go run ./scripts/checkjsonl -min-lines 2 "$obsdir"/avl-mpkvirt-series.jsonl
+
+# Smoke: a live pmod daemon under 50 closed-loop clients for 2 seconds
+# must serve with zero protocol errors and zero isolation violations
+# (pmoload exits nonzero otherwise), then drain cleanly on SIGTERM.
+go build -o "$obsdir/pmod" ./cmd/pmod
+go build -o "$obsdir/pmoload" ./cmd/pmoload
+"$obsdir/pmod" -listen 127.0.0.1:0 -addr-file "$obsdir/pmod.addr" \
+    -engine domainvirt -store "$obsdir/pmostore" &
+pmod_pid=$!
+for _ in $(seq 50); do
+    [ -s "$obsdir/pmod.addr" ] && break
+    sleep 0.1
+done
+[ -s "$obsdir/pmod.addr" ] || { echo "pmod never bound" >&2; exit 1; }
+"$obsdir/pmoload" -addr-file "$obsdir/pmod.addr" -clients 50 -duration 2s
+kill -TERM "$pmod_pid"
+wait "$pmod_pid"
+echo "ci.sh: all gates passed"
