@@ -1,0 +1,190 @@
+// Command benchjson turns `go test -bench -benchmem` output into a
+// machine-readable JSON document and gates regressions against a
+// checked-in baseline.
+//
+// Generate (reads bench output on stdin, preserves the existing file's
+// note and reference sections):
+//
+//	go test -bench . -benchmem ./internal/sim/ | benchjson -out BENCH_sim.json
+//
+// Check (reads bench output on stdin, compares against the baseline;
+// exits nonzero on any alloc increase or a >tolerance ns/op slowdown):
+//
+//	go test -bench . -benchmem ./internal/sim/ | benchjson -check BENCH_sim.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// entry is one benchmark's measured steady-state cost. When the input
+// carries several runs of the same benchmark (-count), ns/op keeps the
+// minimum (least scheduler noise) and the alloc columns keep the
+// maximum (an alloc that appears in any run is real).
+type entry struct {
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+type doc struct {
+	Schema int `json:"schema"`
+	// Note is free-form provenance (what machine, what methodology);
+	// regeneration preserves it.
+	Note string `json:"note,omitempty"`
+	// Reference records measurements outside the regenerated set, e.g.
+	// the pre-optimization medians a speedup claim was made against;
+	// regeneration preserves it.
+	Reference  map[string]float64 `json:"reference,omitempty"`
+	Benchmarks map[string]entry   `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write parsed benchmarks as JSON to this file (preserving its note/reference)")
+	check := flag.String("check", "", "compare parsed benchmarks against this baseline JSON")
+	tol := flag.Float64("ns-tolerance", 0.10, "allowed fractional ns/op regression in -check mode (negative disables the ns check)")
+	note := flag.String("note", "", "set the note field when writing -out")
+	flag.Parse()
+	if (*out == "") == (*check == "") {
+		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -out or -check is required")
+		os.Exit(2)
+	}
+
+	got, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(got) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	if *out != "" {
+		d := doc{Schema: 1, Benchmarks: got}
+		if prev, err := load(*out); err == nil {
+			d.Note, d.Reference = prev.Note, prev.Reference
+		}
+		if *note != "" {
+			d.Note = *note
+		}
+		buf, err := json.MarshalIndent(&d, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(got), *out)
+		return
+	}
+
+	base, err := load(*check)
+	if err != nil {
+		fatal(err)
+	}
+	if errs := compare(base.Benchmarks, got, *tol); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "benchjson: FAIL:", e)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: %d benchmarks within budget of %s\n", len(base.Benchmarks), *check)
+}
+
+// compare gates cand against base: every baseline benchmark must be
+// present, must not allocate more, and (when tol >= 0) must not be more
+// than tol slower per op.
+func compare(base, cand map[string]entry, tol float64) []string {
+	var errs []string
+	for name, b := range base {
+		c, ok := cand[name]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("%s: missing from candidate run", name))
+			continue
+		}
+		if c.AllocsOp > b.AllocsOp {
+			errs = append(errs, fmt.Sprintf("%s: allocs/op %d > baseline %d", name, c.AllocsOp, b.AllocsOp))
+		}
+		if tol >= 0 && c.NsOp > b.NsOp*(1+tol) {
+			errs = append(errs, fmt.Sprintf("%s: %.2f ns/op exceeds baseline %.2f by more than %.0f%%",
+				name, c.NsOp, b.NsOp, tol*100))
+		}
+	}
+	return errs
+}
+
+// parseBench extracts benchmark result lines from `go test -bench`
+// output. Names are stored without the Benchmark prefix and without the
+// trailing -GOMAXPROCS suffix.
+func parseBench(r io.Reader) (map[string]entry, error) {
+	out := make(map[string]entry)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(f[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		e := entry{NsOp: -1, BytesOp: -1, AllocsOp: -1}
+		// f[1] is the iteration count; then (value, unit) pairs.
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				e.NsOp = v
+			case "B/op":
+				e.BytesOp = int64(v)
+			case "allocs/op":
+				e.AllocsOp = int64(v)
+			}
+		}
+		if e.NsOp < 0 {
+			continue
+		}
+		if prev, ok := out[name]; ok {
+			if prev.NsOp < e.NsOp {
+				e.NsOp = prev.NsOp
+			}
+			if prev.BytesOp > e.BytesOp {
+				e.BytesOp = prev.BytesOp
+			}
+			if prev.AllocsOp > e.AllocsOp {
+				e.AllocsOp = prev.AllocsOp
+			}
+		}
+		out[name] = e
+	}
+	return out, sc.Err()
+}
+
+func load(path string) (*doc, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(buf, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: domainvirt/internal/sim
+BenchmarkReplayTrace/domainvirt-8   	  500000	        74.03 ns/op	       0 B/op	       0 allocs/op
+BenchmarkReplayTrace/domainvirt-8   	  500000	        80.11 ns/op	       1 B/op	       0 allocs/op
+BenchmarkFetch-8                    	 1000000	        31.50 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	rt := got["ReplayTrace/domainvirt"]
+	if rt.NsOp != 74.03 {
+		t.Errorf("ns/op = %v, want the min 74.03 across counts", rt.NsOp)
+	}
+	if rt.BytesOp != 1 {
+		t.Errorf("B/op = %v, want the max 1 across counts", rt.BytesOp)
+	}
+	if got["Fetch"].NsOp != 31.50 {
+		t.Errorf("Fetch ns/op = %v", got["Fetch"].NsOp)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := map[string]entry{
+		"A": {NsOp: 100, AllocsOp: 0},
+		"B": {NsOp: 50, AllocsOp: 2},
+		"C": {NsOp: 10, AllocsOp: 0},
+	}
+	cand := map[string]entry{
+		"A": {NsOp: 109, AllocsOp: 0}, // within 10%
+		"B": {NsOp: 40, AllocsOp: 3},  // faster but allocates more
+		// C missing
+	}
+	errs := compare(base, cand, 0.10)
+	if len(errs) != 2 {
+		t.Fatalf("got %d failures %v, want 2 (alloc increase, missing)", len(errs), errs)
+	}
+	// Disabling the ns check must not change alloc strictness.
+	cand["A"] = entry{NsOp: 500, AllocsOp: 0}
+	cand["C"] = entry{NsOp: 10, AllocsOp: 0}
+	if errs := compare(base, cand, -1); len(errs) != 1 {
+		t.Fatalf("with ns check off got %v, want only the alloc failure", errs)
+	}
+}

@@ -38,10 +38,13 @@ type line struct {
 	state State
 }
 
-// Cache is one set-associative tag-only cache.
+// Cache is one set-associative tag-only cache. Lines and recency stamps
+// live in flat set-major arrays (set s, way w at index s*ways+w): one
+// bounds check and no per-set slice-header chase on the lookup scans
+// that dominate the simulator's hot path.
 type Cache struct {
-	sets    [][]line
-	lru     [][]uint32
+	lines   []line
+	lru     []uint32
 	clock   uint32
 	ways    int
 	setMask uint64
@@ -60,24 +63,21 @@ func New(cfg Config) *Cache {
 	if nsets&(nsets-1) != 0 {
 		panic("cache: set count must be a power of two")
 	}
-	c := &Cache{
-		sets:    make([][]line, nsets),
-		lru:     make([][]uint32, nsets),
+	return &Cache{
+		lines:   make([]line, blocks),
+		lru:     make([]uint32, blocks),
 		ways:    cfg.Ways,
 		setMask: uint64(nsets - 1),
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
-		c.lru[i] = make([]uint32, cfg.Ways)
-	}
-	return c
 }
 
-func (c *Cache) setOf(block uint64) int { return int(block & c.setMask) }
+// baseOf returns the flat index of way 0 of block's set.
+func (c *Cache) baseOf(block uint64) int { return int(block&c.setMask) * c.ways }
 
 // Probe looks up block, returning its state without changing recency.
 func (c *Cache) Probe(block uint64) (State, bool) {
-	set := c.sets[c.setOf(block)]
+	base := c.baseOf(block)
+	set := c.lines[base : base+c.ways]
 	for w := range set {
 		if set[w].state != Invalid && set[w].tag == block {
 			return set[w].state, true
@@ -88,41 +88,71 @@ func (c *Cache) Probe(block uint64) (State, bool) {
 
 // Touch looks up block and refreshes recency; returns hit state.
 func (c *Cache) Touch(block uint64) (State, bool) {
-	si := c.setOf(block)
-	set := c.sets[si]
+	st, _, hit := c.TouchPos(block)
+	return st, hit
+}
+
+// TouchPos is Touch returning, additionally, the flat line index of the
+// hit so the caller can update its state via SetStateAt without a second
+// scan.
+func (c *Cache) TouchPos(block uint64) (State, int, bool) {
+	base := c.baseOf(block)
+	set := c.lines[base : base+c.ways]
 	for w := range set {
 		if set[w].state != Invalid && set[w].tag == block {
 			c.clock++
-			c.lru[si][w] = c.clock
+			c.lru[base+w] = c.clock
 			c.hits++
-			return set[w].state, true
+			return set[w].state, base + w, true
 		}
 	}
 	c.misses++
-	return Invalid, false
+	return Invalid, 0, false
+}
+
+// TouchAt revalidates a previously observed hit position: if pos still
+// holds a live line for block it replays exactly the bookkeeping a
+// TouchPos hit performs (recency refresh, hit count) and returns the
+// state. Any staleness — the line evicted, invalidated, or replaced —
+// returns false with no state change (no miss is counted), so callers
+// fall back to a full TouchPos. A tag equal to block can only live in
+// block's own set and in at most one way of it, so the position check is
+// a complete hit test.
+func (c *Cache) TouchAt(pos int, block uint64) (State, bool) {
+	if pos < 0 || pos >= len(c.lines) {
+		return Invalid, false
+	}
+	ln := &c.lines[pos]
+	if ln.state == Invalid || ln.tag != block {
+		return Invalid, false
+	}
+	c.clock++
+	c.lru[pos] = c.clock
+	c.hits++
+	return ln.state, true
 }
 
 // SetState updates the state of block if present.
 func (c *Cache) SetState(block uint64, s State) {
-	si := c.setOf(block)
-	set := c.sets[si]
+	base := c.baseOf(block)
+	set := c.lines[base : base+c.ways]
 	for w := range set {
 		if set[w].state != Invalid && set[w].tag == block {
-			if s == Invalid {
-				set[w].state = Invalid
-			} else {
-				set[w].state = s
-			}
+			set[w].state = s
 			return
 		}
 	}
 }
 
+// SetStateAt updates the line at a flat index previously returned by
+// TouchPos for the same block, skipping the set rescan.
+func (c *Cache) SetStateAt(idx int, s State) { c.lines[idx].state = s }
+
 // Fill inserts block with state s, returning the evicted block (if any)
 // and whether it was dirty (Modified).
 func (c *Cache) Fill(block uint64, s State) (victim uint64, dirty, evicted bool) {
-	si := c.setOf(block)
-	set := c.sets[si]
+	base := c.baseOf(block)
+	set := c.lines[base : base+c.ways]
 	way := -1
 	for w := range set {
 		if set[w].state != Invalid && set[w].tag == block {
@@ -140,10 +170,10 @@ func (c *Cache) Fill(block uint64, s State) (victim uint64, dirty, evicted bool)
 	}
 	if way < 0 {
 		way = 0
-		oldest := c.lru[si][0]
+		oldest := c.lru[base]
 		for w := 1; w < c.ways; w++ {
-			if c.lru[si][w] < oldest {
-				oldest = c.lru[si][w]
+			if c.lru[base+w] < oldest {
+				oldest = c.lru[base+w]
 				way = w
 			}
 		}
@@ -153,7 +183,7 @@ func (c *Cache) Fill(block uint64, s State) (victim uint64, dirty, evicted bool)
 	}
 	set[way] = line{tag: block, state: s}
 	c.clock++
-	c.lru[si][way] = c.clock
+	c.lru[base+way] = c.clock
 	return victim, dirty, evicted
 }
 

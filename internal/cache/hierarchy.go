@@ -21,6 +21,11 @@ type Hierarchy struct {
 	l1La uint64
 	l2La uint64
 
+	// lastPos memoizes, per core, the flat L1 position of the most recent
+	// hit. Cache.TouchAt revalidates it before use, so a stale position
+	// only costs the fallback scan — it can never change an outcome.
+	lastPos []int
+
 	remoteInvals uint64
 	dirtyFwds    uint64
 }
@@ -41,6 +46,7 @@ func NewHierarchy(ncores int, l1cfg, l2cfg Config, mem MemBackend) *Hierarchy {
 	}
 	for i := 0; i < ncores; i++ {
 		h.l1 = append(h.l1, New(l1cfg))
+		h.lastPos = append(h.lastPos, -1)
 	}
 	return h
 }
@@ -57,38 +63,62 @@ const (
 
 // Access performs a load or store by core to pa and returns the latency in
 // cycles and the level that satisfied it.
+//
+// On a single-core machine all directory maintenance is skipped: every
+// directory consumer (remote invalidation, dirty forwarding, sharer
+// tracking) is cross-core, so with one core the directory can never add
+// latency or change any observable statistic.
 func (h *Hierarchy) Access(core int, pa memlayout.PA, write bool) (uint64, Level) {
 	block := BlockOf(pa)
 	l1 := h.l1[core]
 	lat := h.l1La
+	single := len(h.l1) == 1
 
-	if st, hit := l1.Touch(block); hit {
+	st, hit := l1.TouchAt(h.lastPos[core], block)
+	pos := h.lastPos[core]
+	if !hit {
+		st, pos, hit = l1.TouchPos(block)
+		if hit {
+			h.lastPos[core] = pos
+		}
+	}
+	if hit {
 		if write {
-			if st == Shared {
-				// Upgrade: invalidate other sharers via the directory.
-				lat += h.invalidateOthers(core, block)
+			if st != Modified {
+				l1.SetStateAt(pos, Modified)
 			}
-			l1.SetState(block, Modified)
-			// Record ownership so later readers dirty-forward from us.
-			if de := h.dir[block]; de != nil {
-				de.sharers = 1 << uint(core)
-				de.owner = core
+			if !single {
+				de := h.dir[block]
+				if st == Shared {
+					// Upgrade: invalidate other sharers via the directory.
+					lat += h.invalidateOthers(core, block, de)
+				}
+				// Record ownership so later readers dirty-forward from us.
+				if de != nil {
+					de.sharers = 1 << uint(core)
+					de.owner = core
+				}
 			}
 		}
 		return lat, LevelL1
 	}
 
-	// L1 miss: consult shared L2 + directory.
+	// L1 miss: consult shared L2 + directory. The directory entry is
+	// fetched once; no path below can add or remove dir[block] (L1/L2
+	// fill victims are always other blocks), so the pointer stays valid.
 	lat += h.l2La
-	de := h.dir[block]
-	if de != nil && de.owner >= 0 && de.owner != core {
-		// Dirty in a remote L1: force writeback to L2 and transfer.
-		h.l1[de.owner].SetState(block, Shared)
-		h.dirtyFwds++
-		lat += h.l2La
-		de.sharers |= 1 << uint(de.owner)
-		de.owner = -1
-		h.l2.Fill(block, Modified)
+	var de *dirEntry
+	if !single {
+		de = h.dir[block]
+		if de != nil && de.owner >= 0 && de.owner != core {
+			// Dirty in a remote L1: force writeback to L2 and transfer.
+			h.l1[de.owner].SetState(block, Shared)
+			h.dirtyFwds++
+			lat += h.l2La
+			de.sharers |= 1 << uint(de.owner)
+			de.owner = -1
+			h.l2.Fill(block, Modified)
+		}
 	}
 
 	level := LevelL2
@@ -104,38 +134,44 @@ func (h *Hierarchy) Access(core int, pa memlayout.PA, write bool) (uint64, Level
 		}
 	}
 
-	st := Shared
+	st = Shared
 	if write {
-		lat += h.invalidateOthers(core, block)
+		if !single {
+			lat += h.invalidateOthers(core, block, de)
+		}
 		st = Modified
 	}
 	if v, dirty, ev := l1.Fill(block, st); ev {
-		h.dropSharer(core, v)
+		if !single {
+			h.dropSharer(core, v)
+		}
 		if dirty {
 			h.l2.Fill(v, Modified)
 		}
 	}
 
-	if de == nil {
-		de = &dirEntry{owner: -1}
-		h.dir[block] = de
-	}
-	if write {
-		de.sharers = 1 << uint(core)
-		de.owner = core
-	} else {
-		de.sharers |= 1 << uint(core)
-		if de.owner == core {
-			de.owner = -1
+	if !single {
+		if de == nil {
+			de = &dirEntry{owner: -1}
+			h.dir[block] = de
+		}
+		if write {
+			de.sharers = 1 << uint(core)
+			de.owner = core
+		} else {
+			de.sharers |= 1 << uint(core)
+			if de.owner == core {
+				de.owner = -1
+			}
 		}
 	}
 	return lat, level
 }
 
-// invalidateOthers removes all remote L1 copies of block and returns the
-// extra latency of the invalidation round.
-func (h *Hierarchy) invalidateOthers(core int, block uint64) uint64 {
-	de := h.dir[block]
+// invalidateOthers removes all remote L1 copies of block (whose directory
+// entry the caller already fetched) and returns the extra latency of the
+// invalidation round.
+func (h *Hierarchy) invalidateOthers(core int, block uint64, de *dirEntry) uint64 {
 	if de == nil {
 		return 0
 	}

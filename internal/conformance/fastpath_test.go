@@ -1,0 +1,51 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+
+	"domainvirt/internal/sim"
+)
+
+// TestFastPathCycleIdentity is the referee for the simulator's hot-path
+// optimizations: every generated program must replay to bit-identical
+// per-scheme cycle and overhead totals with the per-core L0 fast path
+// enabled (the default) and disabled (every access forced down the full
+// TLB-lookup/engine-check pipeline). A fast path that changed a single
+// simulated cycle, counter, or verdict would either diverge here or
+// shift a total.
+func TestFastPathCycleIdentity(t *testing.T) {
+	for prof := Profile(0); prof < NumProfiles; prof++ {
+		prof := prof
+		t.Run(prof.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 6; seed++ {
+				p := Generate(seed, prof)
+
+				fast := Replay(p, sim.DefaultConfig())
+				slow := sim.DefaultConfig()
+				slow.DisableFastPath = true
+				full := Replay(p, slow)
+
+				if fast.Diverged() {
+					t.Fatalf("seed %d: fast-path replay diverged: %v", seed, fast.Divergences[0])
+				}
+				if full.Diverged() {
+					t.Fatalf("seed %d: full-pipeline replay diverged: %v", seed, full.Divergences[0])
+				}
+				if !reflect.DeepEqual(fast.Cycles, full.Cycles) {
+					t.Fatalf("seed %d: cycles differ with fast path off:\n  fast: %v\n  full: %v",
+						seed, fast.Cycles, full.Cycles)
+				}
+				if !reflect.DeepEqual(fast.Overhead, full.Overhead) {
+					t.Fatalf("seed %d: overhead differs with fast path off:\n  fast: %v\n  full: %v",
+						seed, fast.Overhead, full.Overhead)
+				}
+				if fast.Denials != full.Denials {
+					t.Fatalf("seed %d: denial count differs: fast %d, full %d",
+						seed, fast.Denials, full.Denials)
+				}
+			}
+		})
+	}
+}

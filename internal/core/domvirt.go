@@ -11,43 +11,48 @@ import (
 // the paper's base design (a 10-bit domain ID per TLB entry).
 const MaxDomainVirtDomains = 1 << 10
 
+// ptlbEntry is one PTLB slot: a cached (domain → permission) binding with
+// valid and dirty bits. One struct per slot keeps the lookup scan on a
+// single contiguous array with one bounds check, instead of four parallel
+// slices.
+type ptlbEntry struct {
+	domain DomainID
+	perm   Perm
+	valid  bool
+	dirty  bool
+}
+
 // ptlb is one core's Permission Table Lookaside Buffer: a small
 // fully-associative cache of (domain → permission) for the thread running
 // on the core, with a dirty bit per entry and pseudo-LRU replacement.
 type ptlb struct {
-	domains []DomainID
-	perms   []Perm
-	valid   []bool
-	dirty   []bool
-	plru    *PLRU
+	ents []ptlbEntry
+	plru *PLRU
 }
 
 func newPTLB(entries int) *ptlb {
 	return &ptlb{
-		domains: make([]DomainID, entries),
-		perms:   make([]Perm, entries),
-		valid:   make([]bool, entries),
-		dirty:   make([]bool, entries),
-		plru:    NewPLRU(entries),
+		ents: make([]ptlbEntry, entries),
+		plru: NewPLRU(entries),
 	}
 }
 
 func (t *ptlb) lookup(d DomainID) int {
-	for i := range t.domains {
-		if t.valid[i] && t.domains[i] == d {
+	for i := range t.ents {
+		if t.ents[i].valid && t.ents[i].domain == d {
 			return i
 		}
 	}
 	return -1
 }
 
-// insert fills (d, p), evicting the PLRU victim; it reports whether a
-// valid victim was displaced and whether that dirty victim had to be
-// written back to the Permission Table.
-func (t *ptlb) insert(d DomainID, p Perm) (evicted, wroteBack bool) {
-	slot := -1
-	for i := range t.domains {
-		if !t.valid[i] {
+// insert fills (d, p), evicting the PLRU victim; it returns the slot the
+// entry landed in, whether a valid victim was displaced, and whether that
+// dirty victim had to be written back to the Permission Table.
+func (t *ptlb) insert(d DomainID, p Perm) (slot int, evicted, wroteBack bool) {
+	slot = -1
+	for i := range t.ents {
+		if !t.ents[i].valid {
 			slot = i
 			break
 		}
@@ -55,23 +60,20 @@ func (t *ptlb) insert(d DomainID, p Perm) (evicted, wroteBack bool) {
 	if slot < 0 {
 		slot = t.plru.Victim()
 		evicted = true
-		wroteBack = t.dirty[slot]
+		wroteBack = t.ents[slot].dirty
 	}
-	t.domains[slot] = d
-	t.perms[slot] = p
-	t.valid[slot] = true
-	t.dirty[slot] = false
+	t.ents[slot] = ptlbEntry{domain: d, perm: p, valid: true}
 	t.plru.Touch(slot)
-	return evicted, wroteBack
+	return slot, evicted, wroteBack
 }
 
 func (t *ptlb) flush() (dirty int) {
-	for i := range t.domains {
-		if t.valid[i] && t.dirty[i] {
+	for i := range t.ents {
+		if t.ents[i].valid && t.ents[i].dirty {
 			dirty++
 		}
-		t.valid[i] = false
-		t.dirty[i] = false
+		t.ents[i].valid = false
+		t.ents[i].dirty = false
 	}
 	return dirty
 }
@@ -133,8 +135,8 @@ func (e *DomainVirt) Detach(d DomainID) {
 	delete(e.pt, d)
 	for _, t := range e.ptlbs {
 		if i := t.lookup(d); i >= 0 {
-			t.valid[i] = false
-			t.dirty[i] = false
+			t.ents[i].valid = false
+			t.ents[i].dirty = false
 		}
 	}
 }
@@ -161,12 +163,12 @@ func (e *DomainVirt) SetPerm(coreID int, th ThreadID, d DomainID, p Perm) uint64
 	e.bd.Add(stats.CatPermSwitch, c)
 	e.ctr.PermSwitches++
 	if i := t.lookup(d); i >= 0 {
-		t.perms[i] = p
-		t.dirty[i] = true
+		t.ents[i].perm = p
+		t.ents[i].dirty = true
 		t.plru.Touch(i)
 		return c
 	}
-	evicted, wroteBack := t.insert(d, p)
+	slot, evicted, wroteBack := t.insert(d, p)
 	if evicted {
 		e.emit(coreID, stats.EvPTLBEviction, 1)
 	}
@@ -174,9 +176,7 @@ func (e *DomainVirt) SetPerm(coreID int, th ThreadID, d DomainID, p Perm) uint64
 		c += e.costs.PTLBEntryOp
 		e.bd.Add(stats.CatEntryChange, e.costs.PTLBEntryOp)
 	}
-	if i := t.lookup(d); i >= 0 {
-		t.dirty[i] = true
-	}
+	t.ents[slot].dirty = true
 	return c
 }
 
@@ -192,24 +192,35 @@ func (e *DomainVirt) FillTag(_ int, _ ThreadID, va memlayout.VA) (uint16, uint64
 // lookup (the "access latency" of Table VII); a PTLB miss adds the
 // 30-cycle Permission Table lookup and an entry fill.
 func (e *DomainVirt) Check(ctx AccessCtx) Verdict {
+	v, _ := e.CheckFill(ctx)
+	return v
+}
+
+// CheckFill is Check returning, additionally, the PTLB slot now holding
+// the checked domain (-1 for a domainless access), so the simulator's
+// last-translation fast path can replay repeated same-page checks via
+// CheckRepeat without rescanning the PTLB.
+func (e *DomainVirt) CheckFill(ctx AccessCtx) (Verdict, int) {
 	d := DomainID(ctx.Tag)
 	if d == NullDomain {
-		return Verdict{Allowed: true}
+		return Verdict{Allowed: true}, -1
 	}
 	t := e.ptlbs[ctx.Core]
 	cost := e.costs.PTLBAccess
 	e.bd.Add(stats.CatPTLBAccess, e.costs.PTLBAccess)
 	var perm Perm
-	if i := t.lookup(d); i >= 0 {
+	slot := t.lookup(d)
+	if slot >= 0 {
 		e.ctr.PTLBHits++
-		t.plru.Touch(i)
-		perm = t.perms[i]
+		t.plru.Touch(slot)
+		perm = t.ents[slot].perm
 	} else {
 		e.ctr.PTLBMisses++
 		cost += e.costs.PTLBMiss
 		e.bd.Add(stats.CatPTLBMiss, e.costs.PTLBMiss)
 		perm = e.ptPerm(d, ctx.Thread)
-		evicted, wroteBack := t.insert(d, perm)
+		var evicted, wroteBack bool
+		slot, evicted, wroteBack = t.insert(d, perm)
 		if evicted {
 			e.emit(ctx.Core, stats.EvPTLBEviction, 1)
 		}
@@ -218,7 +229,29 @@ func (e *DomainVirt) Check(ctx AccessCtx) Verdict {
 			e.bd.Add(stats.CatEntryChange, e.costs.PTLBEntryOp)
 		}
 	}
-	return Verdict{Allowed: perm.Allows(ctx.Write), Cycles: cost}
+	return Verdict{Allowed: perm.Allows(ctx.Write), Cycles: cost}, slot
+}
+
+// CheckRepeat replays the PTLB-hit arm of Check for a memoized
+// (core, slot, domain) triple: identical counters, breakdown attribution,
+// PLRU touch, and verdict as a Check whose lookup hits that slot — a
+// domain occupies at most one valid PTLB slot, so the slot test is a
+// complete hit test. It returns false (no state change) when the slot no
+// longer holds the domain (evicted by an interleaved miss, flushed by a
+// context switch); callers then fall back to the full CheckFill.
+func (e *DomainVirt) CheckRepeat(coreID, slot int, d DomainID, write bool) (Verdict, bool) {
+	t := e.ptlbs[coreID]
+	if slot < 0 || slot >= len(t.ents) {
+		return Verdict{}, false
+	}
+	ent := &t.ents[slot]
+	if !ent.valid || ent.domain != d {
+		return Verdict{}, false
+	}
+	e.ctr.PTLBHits++
+	e.bd.Add(stats.CatPTLBAccess, e.costs.PTLBAccess)
+	t.plru.Touch(slot)
+	return Verdict{Allowed: ent.perm.Allows(write), Cycles: e.costs.PTLBAccess}, true
 }
 
 // ContextSwitch implements Engine: thread-specific PTLB state is written

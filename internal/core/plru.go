@@ -7,10 +7,19 @@ package core
 //
 // The tree is stored implicitly: node 1 is the root, node i has children
 // 2i and 2i+1; leaves correspond to slots. Each internal node holds one
-// bit pointing toward the less recently used subtree.
+// bit pointing toward the less recently used subtree. For the common
+// small sizes (every engine uses 16 slots) the node bits pack into a
+// single uint64, and because the bits a Touch writes depend only on the
+// slot, each slot's whole root→leaf update collapses into two precomputed
+// masks — one AND-NOT, one OR. Slot counts above 64 fall back to the
+// per-node walk over a bool array.
 type PLRU struct {
-	bits  []bool // 1-indexed internal nodes; len == slots
+	bits  uint64 // packed node bits (bit i = node i) when slots <= 64
+	big   []bool // fallback node storage when slots > 64
 	slots int
+
+	touchClear []uint64 // per-slot: every node bit on the slot's path
+	touchSet   []uint64 // per-slot: the path bits Touch sets to true
 }
 
 // NewPLRU returns a PLRU over the given power-of-two slot count.
@@ -18,19 +27,50 @@ func NewPLRU(slots int) *PLRU {
 	if slots <= 0 || slots&(slots-1) != 0 {
 		panic("core: PLRU slots must be a power of two")
 	}
-	return &PLRU{bits: make([]bool, slots), slots: slots}
+	p := &PLRU{slots: slots}
+	if slots > 64 {
+		p.big = make([]bool, slots)
+		return p
+	}
+	p.touchClear = make([]uint64, slots)
+	p.touchSet = make([]uint64, slots)
+	for s := 0; s < slots; s++ {
+		node := 1
+		var clearM, setM uint64
+		for half := slots >> 1; half > 0; half >>= 1 {
+			left := s&half == 0
+			clearM |= 1 << uint(node)
+			if left {
+				// Point toward the other (colder) subtree.
+				setM |= 1 << uint(node)
+			}
+			node *= 2
+			if !left {
+				node++
+			}
+		}
+		p.touchClear[s], p.touchSet[s] = clearM, setM
+	}
+	return p
 }
 
 // Touch marks slot as most recently used: every node on the root→leaf
-// path is pointed away from it.
+// path is pointed away from it. At depth d the subtree under the current
+// node spans 2*half slots (half starts at slots/2 and halves per level),
+// so slot&half selects the child containing slot.
 func (p *PLRU) Touch(slot int) {
+	if p.big == nil {
+		p.bits = p.bits&^p.touchClear[slot] | p.touchSet[slot]
+		return
+	}
 	node := 1
-	for node < p.slots {
-		half := p.slots >> treeDepth(node)
-		left := slot%(half*2) < half
-		// Point toward the other subtree (the colder one).
-		p.bits[node] = left
-		node = node*2 + b2i(!left)
+	for half := p.slots >> 1; half > 0; half >>= 1 {
+		left := slot&half == 0
+		p.big[node] = left
+		node *= 2
+		if !left {
+			node++
+		}
 	}
 }
 
@@ -39,10 +79,21 @@ func (p *PLRU) Touch(slot int) {
 func (p *PLRU) Victim() int {
 	node := 1
 	slot := 0
-	for node < p.slots {
-		half := p.slots >> treeDepth(node)
-		if p.bits[node] {
-			// Bit points right: the right subtree is colder.
+	if p.big == nil {
+		bits := p.bits
+		for half := p.slots >> 1; half > 0; half >>= 1 {
+			if bits&(1<<uint(node)) != 0 {
+				// Bit points right: the right subtree is colder.
+				slot += half
+				node = node*2 + 1
+			} else {
+				node = node * 2
+			}
+		}
+		return slot
+	}
+	for half := p.slots >> 1; half > 0; half >>= 1 {
+		if p.big[node] {
 			slot += half
 			node = node*2 + 1
 		} else {
@@ -64,22 +115,4 @@ func (p *PLRU) VictimExcluding(skip func(int) bool) int {
 		p.Touch(v)
 	}
 	panic("core: PLRU has no eligible victim")
-}
-
-// treeDepth returns the depth of internal node (root = depth 1), i.e. the
-// position of its highest set bit.
-func treeDepth(node int) int {
-	d := 0
-	for node > 0 {
-		node >>= 1
-		d++
-	}
-	return d
-}
-
-func b2i(b bool) int {
-	if b {
-		return 1
-	}
-	return 0
 }

@@ -24,6 +24,10 @@ const (
 
 	// NumLevels is the number of radix levels (PML4..PT).
 	NumLevels = 4
+
+	// LineSize is the cache-line size in bytes; accesses are split at
+	// line boundaries (see SplitLine).
+	LineSize = 64
 )
 
 // LevelShift returns the address shift covered by radix level lvl, where
@@ -125,7 +129,7 @@ func AttachLevel(size uint64) (lvl int, slots int, footprint uint64) {
 // pieces and calls fn for each piece's starting address and length. Line
 // size is 64 bytes.
 func SplitLine(va VA, size uint32, fn func(VA, uint32)) {
-	const line = 64
+	const line = LineSize
 	for size > 0 {
 		off := uint64(va) & (line - 1)
 		chunk := uint32(line - off)

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"domainvirt/internal/sim"
+)
+
+// benchServer builds a server with one attached writable session,
+// driving the setup ops through dispatch exactly as a worker would.
+func benchServer(tb testing.TB, engine sim.Scheme) (*Server, *conn) {
+	tb.Helper()
+	s := NewServer(Options{Engine: engine, IdleTimeout: time.Hour})
+	cn := &conn{c: benchConn{}}
+	s.conns[cn] = struct{}{}
+	w := &workCtx{}
+	open := func(req *Request) *Response { return s.dispatch(cn, req, w) }
+	if r := open(&Request{Op: OpHello, ID: 1, Client: "bench"}); r.Status != StatusOK {
+		tb.Fatalf("hello: %+v", r)
+	}
+	if r := open(&Request{Op: OpOpen, ID: 2, Name: "bench-pool", Size: 1 << 20}); r.Status != StatusOK {
+		tb.Fatalf("open: %+v", r)
+	}
+	if r := open(&Request{Op: OpAttach, ID: 3, Writable: true}); r.Status != StatusOK {
+		tb.Fatalf("attach: %+v", r)
+	}
+	return s, cn
+}
+
+type benchConn struct{ net.Conn }
+
+func (benchConn) Close() error { return nil }
+
+// BenchmarkRequestPath measures the worker-side request path — parse,
+// detach, dispatch, encode — with the per-worker reusable storage the
+// real worker loop uses. Steady state is allocation-free.
+func BenchmarkRequestPath(b *testing.B) {
+	payloadData := make([]byte, 128)
+	for _, eng := range []sim.Scheme{"", "domainvirt"} {
+		name := "none"
+		if eng != "" {
+			name = string(eng)
+		}
+		for _, op := range []string{"read", "write"} {
+			b.Run(name+"/"+op, func(b *testing.B) {
+				s, cn := benchServer(b, eng)
+				var raw []byte
+				if op == "read" {
+					raw = EncodeRequest(&Request{Op: OpRead, ID: 7, Off: 4096, Len: 128})
+				} else {
+					raw = EncodeRequest(&Request{Op: OpWrite, ID: 7, Off: 4096, Data: payloadData})
+				}
+				var req Request
+				w := &workCtx{}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if werr := parseRequestInto(&req, raw); werr != nil {
+						b.Fatal(werr)
+					}
+					req.detach()
+					r := s.dispatch(cn, &req, w)
+					if r.Status != StatusOK {
+						b.Fatalf("dispatch: %+v", r)
+					}
+					w.enc = appendResponse(w.enc[:0], r)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkWireRoundTrip measures pure encode/parse of a WRITE request
+// and an OK response with reused buffers: the zero-alloc wire path.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	data := make([]byte, 128)
+	raw := EncodeRequest(&Request{Op: OpWrite, ID: 9, Off: 64, Data: data})
+	var req Request
+	var resp, back Response
+	var enc []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if werr := parseRequestInto(&req, raw); werr != nil {
+			b.Fatal(werr)
+		}
+		req.detach()
+		resp = Response{Status: StatusOK, ID: req.ID}
+		enc = appendResponse(enc[:0], &resp)
+		if werr := parseResponseInto(&back, enc, false); werr != nil {
+			b.Fatal(werr)
+		}
+	}
+}
+
+// TestWireRoundTripAllocFree pins the wire layer's zero-allocation
+// contract: once the request's scratch and the encode buffer have
+// grown, encode→parse→detach of data-carrying frames never allocates.
+func TestWireRoundTripAllocFree(t *testing.T) {
+	raw := EncodeRequest(&Request{Op: OpWrite, ID: 9, Off: 64, Data: make([]byte, 256)})
+	tx := EncodeRequest(&Request{Op: OpTxCommit, ID: 10, Tx: []TxWrite{
+		{Off: 0, Data: make([]byte, 64)}, {Off: 128, Data: make([]byte, 64)},
+	}})
+	var req Request
+	var resp, back Response
+	var enc []byte
+	round := func() {
+		for _, payload := range [][]byte{raw, tx} {
+			if werr := parseRequestInto(&req, payload); werr != nil {
+				t.Fatal(werr)
+			}
+			req.detach()
+		}
+		resp = Response{Status: StatusOK, ID: req.ID}
+		enc = appendResponse(enc[:0], &resp)
+		if werr := parseResponseInto(&back, enc, false); werr != nil {
+			t.Fatal(werr)
+		}
+	}
+	round() // warm: grow scratch and encode buffers once
+	if allocs := testing.AllocsPerRun(500, round); allocs != 0 {
+		t.Fatalf("wire round trip allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestRequestPathAllocFree pins the worker-side request path at zero
+// allocations per steady-state READ and WRITE, both in library mode and
+// under a protection engine.
+func TestRequestPathAllocFree(t *testing.T) {
+	for _, eng := range []sim.Scheme{"", "domainvirt"} {
+		name := "none"
+		if eng != "" {
+			name = string(eng)
+		}
+		t.Run(name, func(t *testing.T) {
+			s, cn := benchServer(t, eng)
+			rawR := EncodeRequest(&Request{Op: OpRead, ID: 7, Off: 4096, Len: 128})
+			rawW := EncodeRequest(&Request{Op: OpWrite, ID: 8, Off: 4096, Data: make([]byte, 128)})
+			var req Request
+			w := &workCtx{}
+			round := func() {
+				for _, payload := range [][]byte{rawR, rawW} {
+					if werr := parseRequestInto(&req, payload); werr != nil {
+						t.Fatal(werr)
+					}
+					req.detach()
+					r := s.dispatch(cn, &req, w)
+					if r.Status != StatusOK {
+						t.Fatalf("dispatch: %+v", r)
+					}
+					w.enc = appendResponse(w.enc[:0], r)
+				}
+			}
+			round() // warm: grow scratch, READ data, and encode buffers
+			if allocs := testing.AllocsPerRun(300, round); allocs != 0 {
+				t.Fatalf("request path allocates %v times per run, want 0", allocs)
+			}
+		})
+	}
+}

@@ -136,6 +136,28 @@ type job struct {
 	req *Request
 }
 
+// reqPool recycles decoded requests — with their Tx and scratch
+// backing arrays — across the read→worker path. Once the buffers have
+// grown to the working-set size, a steady stream of data requests is
+// parsed, queued, dispatched, and answered without allocating.
+var reqPool = sync.Pool{New: func() any { return new(Request) }}
+
+// workCtx is one worker's reusable request-scoped storage: the response
+// under construction, its encoded frame, and the READ data buffer. The
+// worker finishes sending the frame before taking the next job, so
+// nothing here outlives one dispatch.
+type workCtx struct {
+	resp Response
+	enc  []byte
+	data []byte
+}
+
+// ok fills the worker's response with a bare success for id.
+func (w *workCtx) ok(id uint32) *Response {
+	w.resp = Response{Status: StatusOK, ID: id}
+	return &w.resp
+}
+
 // Server is the concurrent PMO service: a sharded session table over a
 // pmo.Store, a bounded worker pool with RETRY backpressure, idle-session
 // eviction, per-request least-privilege domain windows, and graceful
@@ -310,22 +332,20 @@ func (s *Server) readLoop(cn *conn) {
 		}
 		buf = payload[:0]
 		s.met.BytesIn.Add(uint64(len(payload)))
-		req, werr := ParseRequest(payload)
+		req := reqPool.Get().(*Request)
+		werr := parseRequestInto(req, payload)
 		if int(req.Op) < numOps {
 			s.met.Requests[req.Op].Add(1)
 		}
 		if werr != nil {
 			s.respondErr(cn, req.ID, werr)
+			reqPool.Put(req)
 			continue
 		}
-		// WRITE/TX payload slices alias the read buffer; copy them out
-		// since the worker runs after the reader reuses it.
-		if req.Data != nil {
-			req.Data = append([]byte(nil), req.Data...)
-		}
-		for i := range req.Tx {
-			req.Tx[i].Data = append([]byte(nil), req.Tx[i].Data...)
-		}
+		// WRITE/TX payload slices alias the read buffer; copy them into
+		// the request's own scratch since the worker runs after the
+		// reader reuses it.
+		req.detach()
 		select {
 		case s.jobs <- job{cn: cn, req: req}:
 		default:
@@ -333,6 +353,7 @@ func (s *Server) readLoop(cn *conn) {
 			// rather than queueing unbounded work.
 			s.met.Retries.Add(1)
 			cn.send(s, EncodeResponse(&Response{Status: StatusRetry, ID: req.ID}))
+			reqPool.Put(req)
 		}
 	}
 }
@@ -377,9 +398,10 @@ func (s *Server) evictSession(sid uint64) {
 
 func (s *Server) worker() {
 	defer s.workersWG.Done()
+	w := &workCtx{}
 	for jb := range s.jobs {
 		start := time.Now()
-		resp := s.dispatch(jb.cn, jb.req)
+		resp := s.dispatch(jb.cn, jb.req, w)
 		s.met.ObserveLatency(jb.req.Op, uint64(time.Since(start).Nanoseconds()))
 		switch resp.Status {
 		case StatusOK:
@@ -387,7 +409,12 @@ func (s *Server) worker() {
 		case StatusErr:
 			s.met.CountError(resp.Code)
 		}
-		jb.cn.send(s, EncodeResponse(resp))
+		// send copies the frame into the connection's buffered writer
+		// before returning, so the worker's encode buffer (and the
+		// pooled request) are free for the next job.
+		w.enc = appendResponse(w.enc[:0], resp)
+		jb.cn.send(s, w.enc)
+		reqPool.Put(jb.req)
 	}
 }
 
@@ -401,14 +428,16 @@ func errResp(id uint32, code ErrCode, format string, args ...any) *Response {
 }
 
 // dispatch executes one request. Panics cannot reach the connection
-// handler: every path validates before touching the pool.
-func (s *Server) dispatch(cn *conn, req *Request) *Response {
+// handler: every path validates before touching the pool. Success
+// responses are built in the caller's workCtx; only error paths (which
+// format a message anyway) allocate.
+func (s *Server) dispatch(cn *conn, req *Request, w *workCtx) *Response {
 	switch req.Op {
 	case OpHello:
 		cn.stateMu.Lock()
 		cn.client = req.Client
 		cn.stateMu.Unlock()
-		return &Response{Status: StatusOK, ID: req.ID}
+		return w.ok(req.ID)
 	case OpStats:
 		var b writerBuf
 		if err := s.WriteMetrics(&b); err != nil {
@@ -425,7 +454,7 @@ func (s *Server) dispatch(cn *conn, req *Request) *Response {
 	}
 
 	if req.Op == OpOpen {
-		return s.doOpen(cn, client, sid, req)
+		return s.doOpen(cn, client, sid, req, w)
 	}
 
 	if sid == 0 {
@@ -447,13 +476,13 @@ func (s *Server) dispatch(cn *conn, req *Request) *Response {
 
 	switch req.Op {
 	case OpAttach:
-		return s.doAttach(sh, sess, req)
+		return s.doAttach(sh, sess, req, w)
 	case OpRead:
-		return s.doRead(sh, sess, req)
+		return s.doRead(sh, sess, req, w)
 	case OpWrite:
-		return s.doWrite(sh, sess, req)
+		return s.doWrite(sh, sess, req, w)
 	case OpTxCommit:
-		return s.doTx(sh, sess, req)
+		return s.doTx(sh, sess, req, w)
 	case OpDetach:
 		if sess.att == nil {
 			return errResp(req.ID, ErrNotAttached, "serve: session not attached")
@@ -463,7 +492,7 @@ func (s *Server) dispatch(cn *conn, req *Request) *Response {
 		}
 		sess.att = nil
 		s.met.Detaches.Add(1)
-		return &Response{Status: StatusOK, ID: req.ID}
+		return w.ok(req.ID)
 	}
 	return errResp(req.ID, ErrBadOp, "serve: unhandled op %d", req.Op)
 }
@@ -471,7 +500,7 @@ func (s *Server) dispatch(cn *conn, req *Request) *Response {
 // doOpen opens or creates the client's session pool. Pools are created
 // owner-only (no "other" mode bits), so the store's namespace permission
 // check denies every cross-client OPEN.
-func (s *Server) doOpen(cn *conn, client string, sid uint64, req *Request) *Response {
+func (s *Server) doOpen(cn *conn, client string, sid uint64, req *Request, w *workCtx) *Response {
 	if sid != 0 {
 		return errResp(req.ID, ErrExists, "serve: connection already holds session %d", sid)
 	}
@@ -510,10 +539,11 @@ func (s *Server) doOpen(cn *conn, client string, sid uint64, req *Request) *Resp
 	cn.sid = nsid
 	cn.stateMu.Unlock()
 	s.met.Opens.Add(1)
-	return &Response{Status: StatusOK, ID: req.ID, SID: nsid}
+	w.resp = Response{Status: StatusOK, ID: req.ID, SID: nsid}
+	return &w.resp
 }
 
-func (s *Server) doAttach(sh *shard, sess *session, req *Request) *Response {
+func (s *Server) doAttach(sh *shard, sess *session, req *Request, w *workCtx) *Response {
 	if sess.att != nil {
 		return errResp(req.ID, ErrExists, "serve: session already attached")
 	}
@@ -530,7 +560,7 @@ func (s *Server) doAttach(sh *shard, sess *session, req *Request) *Response {
 	}
 	sess.att = att
 	s.met.Attaches.Add(1)
-	return &Response{Status: StatusOK, ID: req.ID}
+	return w.ok(req.ID)
 }
 
 // window runs fn inside a least-privilege SETPERM window: the session's
@@ -555,22 +585,26 @@ func (s *Server) checkSpan(sess *session, id uint32, off, n uint32) *Response {
 	return nil
 }
 
-func (s *Server) doRead(sh *shard, sess *session, req *Request) *Response {
+func (s *Server) doRead(sh *shard, sess *session, req *Request, w *workCtx) *Response {
 	if sess.att == nil {
 		return errResp(req.ID, ErrNotAttached, "serve: ATTACH required before READ")
 	}
 	if r := s.checkSpan(sess, req.ID, req.Off, req.Len); r != nil {
 		return r
 	}
-	data := make([]byte, req.Len)
+	if cap(w.data) < int(req.Len) {
+		w.data = make([]byte, req.Len)
+	}
+	data := w.data[:req.Len]
 	s.window(sh, sess, core.PermR, func() {
 		sess.att.Read(req.Off, data)
 	})
 	s.met.ReadData.Add(uint64(len(data)))
-	return &Response{Status: StatusOK, ID: req.ID, Data: data}
+	w.resp = Response{Status: StatusOK, ID: req.ID, Data: data}
+	return &w.resp
 }
 
-func (s *Server) doWrite(sh *shard, sess *session, req *Request) *Response {
+func (s *Server) doWrite(sh *shard, sess *session, req *Request, w *workCtx) *Response {
 	if sess.att == nil {
 		return errResp(req.ID, ErrNotAttached, "serve: ATTACH required before WRITE")
 	}
@@ -584,10 +618,10 @@ func (s *Server) doWrite(sh *shard, sess *session, req *Request) *Response {
 		sess.att.Write(req.Off, req.Data)
 	})
 	s.met.WroteData.Add(uint64(len(req.Data)))
-	return &Response{Status: StatusOK, ID: req.ID}
+	return w.ok(req.ID)
 }
 
-func (s *Server) doTx(sh *shard, sess *session, req *Request) *Response {
+func (s *Server) doTx(sh *shard, sess *session, req *Request, w *workCtx) *Response {
 	if sess.att == nil {
 		return errResp(req.ID, ErrNotAttached, "serve: ATTACH required before TX_COMMIT")
 	}
@@ -624,7 +658,7 @@ func (s *Server) doTx(sh *shard, sess *session, req *Request) *Response {
 	}
 	s.met.WroteData.Add(n)
 	s.met.TxCommits.Add(1)
-	return &Response{Status: StatusOK, ID: req.ID}
+	return w.ok(req.ID)
 }
 
 // janitor evicts idle sessions and periodically syncs a file-backed

@@ -114,6 +114,46 @@ type Request struct {
 	Len  uint32    // READ
 	Data []byte    // WRITE
 	Tx   []TxWrite // TX_COMMIT
+
+	// scratch is the request's private copy of Data and Tx spans after
+	// detach; it is retained (like the Tx backing array) across reuse
+	// through the request pool so a steady request stream stops
+	// allocating once the buffers have grown to the working-set size.
+	scratch []byte
+}
+
+// reset clears req for reuse, keeping the Tx and scratch backing arrays.
+func (req *Request) reset() {
+	tx, scratch := req.Tx[:0], req.scratch[:0]
+	*req = Request{Tx: tx, scratch: scratch}
+}
+
+// detach copies Data and every Tx span out of the caller's frame buffer
+// into req's own scratch storage, so the request stays valid after the
+// reader reuses that buffer for the next frame.
+func (req *Request) detach() {
+	n := len(req.Data)
+	for i := range req.Tx {
+		n += len(req.Tx[i].Data)
+	}
+	if n == 0 {
+		return
+	}
+	if cap(req.scratch) < n {
+		req.scratch = make([]byte, n)
+	}
+	buf := req.scratch[:n]
+	off := 0
+	if len(req.Data) > 0 {
+		off += copy(buf, req.Data)
+		req.Data = buf[:off:off]
+	}
+	for i := range req.Tx {
+		start := off
+		off += copy(buf[off:], req.Tx[i].Data)
+		req.Tx[i].Data = buf[start:off:off]
+	}
+	req.scratch = buf
 }
 
 // --- cursor helpers ---
@@ -203,22 +243,33 @@ func (w *wwriter) str(s string) {
 // malformed input yields a *WireError (with the request ID when the
 // header was intact, so the error can be answered on the right request).
 func ParseRequest(payload []byte) (*Request, *WireError) {
+	req := &Request{}
+	return req, parseRequestInto(req, payload)
+}
+
+// parseRequestInto is ParseRequest decoding into a caller-owned (often
+// pooled) request, reusing its Tx backing array: the allocation-free
+// form the server's read loop runs per frame. Data and Tx spans alias
+// payload until detach is called.
+func parseRequestInto(req *Request, payload []byte) *WireError {
+	req.reset()
 	if len(payload) < minPayload {
-		return &Request{}, wireErr(ErrBadFrame, "serve: short payload")
+		return wireErr(ErrBadFrame, "serve: short payload")
 	}
-	r := &wreader{b: payload}
-	req := &Request{Op: Op(r.u8()), ID: r.u32()}
+	r := wreader{b: payload}
+	req.Op = Op(r.u8())
+	req.ID = r.u32()
 	switch req.Op {
 	case OpHello:
 		req.Client = r.str()
 		if r.done() && req.Client == "" {
-			return req, wireErr(ErrBadFrame, "serve: empty client name")
+			return wireErr(ErrBadFrame, "serve: empty client name")
 		}
 	case OpOpen:
 		req.Name = r.str()
 		req.Size = r.u64()
 		if r.done() && req.Name == "" {
-			return req, wireErr(ErrBadFrame, "serve: empty pool name")
+			return wireErr(ErrBadFrame, "serve: empty pool name")
 		}
 	case OpAttach:
 		req.Writable = r.u8() != 0
@@ -226,13 +277,13 @@ func ParseRequest(payload []byte) (*Request, *WireError) {
 		req.Off = r.u32()
 		req.Len = r.u32()
 		if r.done() && req.Len > MaxIO {
-			return req, wireErr(ErrTooLarge, "serve: read span over MaxIO")
+			return wireErr(ErrTooLarge, "serve: read span over MaxIO")
 		}
 	case OpWrite:
 		req.Off = r.u32()
 		n := r.u32()
 		if n > MaxIO {
-			return req, wireErr(ErrTooLarge, "serve: write span over MaxIO")
+			return wireErr(ErrTooLarge, "serve: write span over MaxIO")
 		}
 		req.Data = r.bytes(int(n))
 	case OpTxCommit:
@@ -241,25 +292,32 @@ func ParseRequest(payload []byte) (*Request, *WireError) {
 			off := r.u32()
 			n := r.u32()
 			if n > MaxIO {
-				return req, wireErr(ErrTooLarge, "serve: tx write span over MaxIO")
+				return wireErr(ErrTooLarge, "serve: tx write span over MaxIO")
 			}
 			req.Tx = append(req.Tx, TxWrite{Off: off, Data: r.bytes(int(n))})
 		}
 	case OpDetach, OpStats:
 		// no body
 	default:
-		return req, wireErr(ErrBadOp, "serve: unknown opcode")
+		return wireErr(ErrBadOp, "serve: unknown opcode")
 	}
 	if !r.done() {
-		return req, wireErr(ErrBadFrame, "serve: truncated or oversized body")
+		return wireErr(ErrBadFrame, "serve: truncated or oversized body")
 	}
-	return req, nil
+	return nil
 }
 
 // EncodeRequest renders req as a frame payload (without the length
 // prefix).
 func EncodeRequest(req *Request) []byte {
-	w := &wwriter{b: make([]byte, 0, 16+len(req.Data))}
+	return appendRequest(make([]byte, 0, 16+len(req.Data)), req)
+}
+
+// appendRequest appends req's frame payload to dst (append-style: dst
+// may be nil, and the grown slice is returned) so callers can reuse one
+// encode buffer across requests.
+func appendRequest(dst []byte, req *Request) []byte {
+	w := wwriter{b: dst}
 	w.u8(uint8(req.Op))
 	w.u32(req.ID)
 	switch req.Op {
@@ -304,7 +362,14 @@ type Response struct {
 
 // EncodeResponse renders a response payload.
 func EncodeResponse(resp *Response) []byte {
-	w := &wwriter{b: make([]byte, 0, 16+len(resp.Data))}
+	return appendResponse(make([]byte, 0, 16+len(resp.Data)), resp)
+}
+
+// appendResponse appends resp's frame payload to dst (append-style, as
+// appendRequest) so the server's workers can reuse one encode buffer
+// per worker.
+func appendResponse(dst []byte, resp *Response) []byte {
+	w := wwriter{b: dst}
 	w.u8(uint8(resp.Status))
 	w.u32(resp.ID)
 	switch resp.Status {
@@ -324,23 +389,36 @@ func EncodeResponse(resp *Response) []byte {
 // ParseResponse decodes a response payload. wantSID tells the parser the
 // OK body carries a session ID (OPEN) rather than raw data.
 func ParseResponse(payload []byte, wantSID bool) (*Response, *WireError) {
-	if len(payload) < minPayload {
-		return nil, wireErr(ErrBadFrame, "serve: short response")
+	resp := &Response{}
+	if werr := parseResponseInto(resp, payload, wantSID); werr != nil {
+		return nil, werr
 	}
-	r := &wreader{b: payload}
-	resp := &Response{Status: Status(r.u8()), ID: r.u32()}
+	return resp, nil
+}
+
+// parseResponseInto is ParseResponse decoding into a caller-owned
+// response (allocation-free except the StatusErr message). Data aliases
+// payload.
+func parseResponseInto(resp *Response, payload []byte, wantSID bool) *WireError {
+	*resp = Response{}
+	if len(payload) < minPayload {
+		return wireErr(ErrBadFrame, "serve: short response")
+	}
+	r := wreader{b: payload}
+	resp.Status = Status(r.u8())
+	resp.ID = r.u32()
 	switch resp.Status {
 	case StatusErr:
 		resp.Code = ErrCode(r.u16())
 		resp.Msg = r.str()
 		if r.bad {
-			return nil, wireErr(ErrBadFrame, "serve: truncated error response")
+			return wireErr(ErrBadFrame, "serve: truncated error response")
 		}
 	case StatusOK:
 		if wantSID {
 			resp.SID = r.u64()
 			if r.bad {
-				return nil, wireErr(ErrBadFrame, "serve: truncated open response")
+				return wireErr(ErrBadFrame, "serve: truncated open response")
 			}
 		} else {
 			resp.Data = r.b[r.off:]
@@ -348,7 +426,7 @@ func ParseResponse(payload []byte, wantSID bool) (*Response, *WireError) {
 	case StatusRetry:
 		// no body
 	default:
-		return nil, wireErr(ErrBadFrame, "serve: unknown response status")
+		return wireErr(ErrBadFrame, "serve: unknown response status")
 	}
-	return resp, nil
+	return nil
 }

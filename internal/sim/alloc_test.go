@@ -1,0 +1,83 @@
+package sim_test
+
+import (
+	"testing"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/sim"
+)
+
+// TestAccessAllocFree pins the steady-state access path at zero heap
+// allocations per operation for every scheme, in both hot regimes: the
+// L0 same-page fast path and the page-striding TLB-hit path. The access
+// path runs millions of times per experiment; a single allocation per
+// op would dominate replay throughput.
+func TestAccessAllocFree(t *testing.T) {
+	for _, s := range benchSchemes {
+		s := s
+		t.Run(string(s), func(t *testing.T) {
+			m := benchMachine(t, s, 4, 8)
+			r := benchRegion(1)
+			i := 0
+			step := func() {
+				// Same-page lines (L0 regime) plus a page stride
+				// (TLB-hit regime), read and write.
+				va := r.Base + memlayout.VA((i&7)*64)
+				m.Access(1, va, 8, i&1 == 0)
+				m.Access(1, r.Base+memlayout.VA((i&7)*memlayout.PageSize), 8, false)
+				i++
+			}
+			step() // warm
+			if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+				t.Errorf("scheme %s: access path allocates %v times per run, want 0", s, allocs)
+			}
+		})
+	}
+}
+
+// TestAccessSlowPathAllocFree is TestAccessAllocFree with the L0 fast
+// path disabled: the full TLB-lookup/engine-check pipeline must also be
+// allocation-free, since the fast path legitimately misses (page
+// strides, context switches, permission changes).
+func TestAccessSlowPathAllocFree(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.DisableFastPath = true
+	m := sim.NewMachine(cfg, sim.SchemeDomainVirt)
+	r := benchRegion(1)
+	if err := m.Attach(1, r, core.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	m.SetPerm(1, 1, core.PermRW, 0)
+	if !m.Access(1, r.Base, 8, false) {
+		t.Fatal("warmup access denied")
+	}
+	i := 0
+	step := func() {
+		m.Access(1, r.Base+memlayout.VA((i&7)*64), 8, i&1 == 0)
+		i++
+	}
+	step()
+	if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+		t.Errorf("slow path allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestFetchAllocFree pins the instruction-fetch path at zero heap
+// allocations per steady-state operation.
+func TestFetchAllocFree(t *testing.T) {
+	m := benchMachine(t, sim.SchemeDomainVirt, 1, 8)
+	va := benchRegion(1).Base
+	for i := 0; i < 8; i++ {
+		m.Fetch(1, va+memlayout.VA(i*memlayout.PageSize))
+	}
+	i := 0
+	step := func() {
+		m.Fetch(1, va+memlayout.VA((i&7)*memlayout.PageSize))
+		i++
+	}
+	step()
+	if allocs := testing.AllocsPerRun(1000, step); allocs != 0 {
+		t.Errorf("fetch path allocates %v times per run, want 0", allocs)
+	}
+}

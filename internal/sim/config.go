@@ -59,8 +59,17 @@ type Config struct {
 	DTTLBEntries int
 	PTLBEntries  int
 
-	// MaxFaultRecords bounds the retained fault diagnostics.
+	// MaxFaultRecords bounds the retained fault diagnostics; denials
+	// beyond the cap are counted (Machine.FaultsDropped) but not stored,
+	// so fault-heavy adversarial traces cannot grow memory unboundedly.
 	MaxFaultRecords int
+
+	// DisableFastPath turns off the per-core last-translation (L0) fast
+	// path, forcing every access down the full TLB-lookup/engine-check
+	// pipeline. Simulated cycles, counters, and verdicts are identical
+	// either way (the conformance suite enforces this); the knob exists
+	// for that A/B check and for perf debugging.
+	DisableFastPath bool
 }
 
 // DefaultConfig returns the paper's simulation parameters (Table II) on a

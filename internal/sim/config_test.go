@@ -83,7 +83,14 @@ func TestFaultRecordCap(t *testing.T) {
 	if got := len(m.Faults()); got != 4 {
 		t.Errorf("retained faults = %d, want cap 4", got)
 	}
+	if got := m.FaultsDropped(); got != 16 {
+		t.Errorf("dropped faults = %d, want 16", got)
+	}
 	if m.Result().Counters.DomainFaults != 20 {
 		t.Errorf("fault counter = %d, want 20", m.Result().Counters.DomainFaults)
+	}
+	m.ResetStats()
+	if len(m.Faults()) != 0 || m.FaultsDropped() != 0 {
+		t.Errorf("ResetStats left faults=%d dropped=%d", len(m.Faults()), m.FaultsDropped())
 	}
 }

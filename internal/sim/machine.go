@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"domainvirt/internal/cache"
 	"domainvirt/internal/core"
@@ -38,6 +39,58 @@ func (f FaultRecord) String() string {
 	return fmt.Sprintf("%s fault: %s %#x by thread %d (domain %d)", kind, op, uint64(f.VA), f.Thread, f.Domain)
 }
 
+// L0 verdict-replay modes: how a memoized engine check is re-applied on a
+// fast-path hit. Every mode replays, by construction, exactly the
+// counters, breakdown attribution, and cycles the full Check would have
+// produced for the same (engine state, tag, write) — see
+// ARCHITECTURE.md "Performance model & hot-path invariants".
+const (
+	// l0Full re-runs the concrete engine Check: always bit-identical,
+	// used for engines whose Check has state-dependent side effects
+	// (libmpk's LRU clock, MPK-family PKRU reads, external engines).
+	l0Full uint8 = iota
+	// l0Pass covers (engine, tag) pairs whose Check is provably the pure
+	// verdict {allowed, 0 cycles}: baseline/lowerbound always, and the
+	// null (domainless) tag under MPK, MPKVirt, and DomainVirt.
+	l0Pass
+	// l0DVSlot replays DomainVirt's PTLB-hit arm through a memoized PTLB
+	// slot (CheckRepeat), falling back to the full CheckFill when an
+	// interleaved miss evicted the slot.
+	l0DVSlot
+	// l0PKRU replays a keyed MPK/MPKVirt check from the memoized PKRU
+	// read. Their Check is a pure, costless PKRU lookup, and every path
+	// that can change the verdict either bumps the mutation generation
+	// (SetPerm, Attach, Detach, key remap — the remap's Range_Flush
+	// shootdown bumps it) or clears the L0 (context switch), so within a
+	// generation the memoized {read-allow, write-allow} pair is the live
+	// PKRU content.
+	l0PKRU
+)
+
+// l0Entries sizes the per-core L0 micro-TLB: a small direct-mapped array
+// of last-translation slots indexed by the low VPN bits, so streams that
+// rotate over a few hot pages keep one memoized translation per page.
+// Must be a power of two.
+const l0Entries = 8
+
+// l0Slot is one entry of a core's L0 micro-TLB: the L1 TLB position of a
+// recent translation plus how to replay its permission check. It is
+// valid only while gen matches the machine's mutation generation; any
+// SetPerm/Attach/Detach/shootdown/affinity change bumps the generation
+// and thereby drops every core's slots. The TLB position is additionally
+// self-validating (tlb.TouchHit re-checks the entry), so staleness can
+// only send an access down the slow path, never corrupt a replay.
+type l0Slot struct {
+	gen    uint64 // Machine.mutGen at fill time; 0 never matches
+	vpn    uint64
+	pos    int // flat L1 TLB position of the memoized entry
+	mode   uint8
+	allowR bool          // memoized read verdict (l0PKRU only)
+	allowW bool          // memoized write verdict (l0PKRU only)
+	slot   int           // memoized PTLB slot (l0DVSlot only)
+	dom    core.DomainID // memoized domain (l0DVSlot only)
+}
+
 // coreState is the per-core microarchitectural state. The tlb* fields
 // shadow the machine-wide counters per core so the observability sampler
 // can report per-core TLB hit rates.
@@ -46,6 +99,7 @@ type coreState struct {
 	l1tlb     *tlb.TLB
 	l2tlb     *tlb.TLB
 	debt      *tlb.Debt
+	l0        [l0Entries]l0Slot
 	cycles    uint64
 	instRem   uint64
 	thread    core.ThreadID
@@ -54,6 +108,20 @@ type coreState struct {
 	tlbL2Hits uint64
 	tlbMisses uint64
 }
+
+// engineKind discriminates the built-in engines for devirtualized
+// dispatch; ekOther routes through the Engine interface unchanged.
+type engineKind uint8
+
+const (
+	ekOther engineKind = iota
+	ekBaseline
+	ekLowerbound
+	ekMPK
+	ekLibmpk
+	ekMPKVirt
+	ekDomainVirt
+)
 
 // Machine is one simulated multicore running a protected process. It
 // implements trace.Sink so workloads (or trace replays) drive it directly.
@@ -69,10 +137,45 @@ type Machine struct {
 	ctr stats.Counters
 
 	domains   map[core.DomainID]domainInfo
+	spans     []domSpan // sorted attach regions backing demandMap
 	inspector *core.Inspector
 	affinity  map[core.ThreadID]int
 
-	faults []FaultRecord
+	// curTh/curCore memoize the last coreFor resolution: a repeated call
+	// for the running thread is a no-op (placement is deterministic,
+	// c.active and c.thread are already set), so the map lookup and
+	// modulo only run when the thread actually changes. SetAffinity and
+	// ResetStats invalidate the memo.
+	curTh   core.ThreadID
+	curCore *coreState
+
+	// cpiShift/cpiPow2 precompute the Instr divide for power-of-two
+	// CPIDen (the default 1/4): cyc = num >> cpiShift is exact.
+	cpiShift uint
+	cpiPow2  bool
+
+	// mutGen is the mutation generation: bumped by every operation that
+	// can change translations, permissions, or per-core engine state
+	// (SetPerm, Attach, Detach, TLB shootdowns, PTE key rewrites,
+	// affinity moves). A core's l0Slot is valid only while its recorded
+	// generation matches, so one counter increment invalidates every
+	// memoized translation machine-wide.
+	mutGen uint64
+
+	// Devirtualized engine dispatch: ekind selects a concrete-typed
+	// Check call on the per-access path so the interface call (an
+	// inlining barrier) only remains for engines constructed outside
+	// this package (ablation wrappers).
+	ekind       engineKind
+	ebaseline   *core.Baseline
+	elowerbound *core.Lowerbound
+	empk        *core.MPK
+	elibmpk     *core.Libmpk
+	empkvirt    *core.MPKVirt
+	edomvirt    *core.DomainVirt
+
+	faults        []FaultRecord
+	faultsDropped uint64
 
 	// rec is the optional observability recorder; recNext is the retired
 	// count at which the next epoch sample fires (MaxUint64 when no
@@ -85,6 +188,15 @@ type Machine struct {
 type domainInfo struct {
 	region memlayout.Region
 	perm   core.Perm
+}
+
+// domSpan is one attached region in demandMap's sorted index. Attach
+// regions never overlap (the engine's domain table rejects overlap before
+// the span is recorded), so binary search by end address finds the unique
+// candidate span for any address.
+type domSpan struct {
+	base, end memlayout.VA
+	writable  bool
 }
 
 // NewMachine builds a machine with the given scheme's engine.
@@ -113,8 +225,97 @@ func NewMachineWithEngine(cfg Config, eng core.Engine) *Machine {
 			debt:  tlb.NewDebt(),
 		})
 	}
+	m.mutGen = 1 // l0Slot.gen zero value never matches
+	if den := m.cfg.CPIDen; den > 0 && den&(den-1) == 0 {
+		m.cpiPow2 = true
+		for den > 1 {
+			m.cpiShift++
+			den >>= 1
+		}
+	}
+	switch e := eng.(type) {
+	case *core.Baseline:
+		m.ekind, m.ebaseline = ekBaseline, e
+	case *core.Lowerbound:
+		m.ekind, m.elowerbound = ekLowerbound, e
+	case *core.MPK:
+		m.ekind, m.empk = ekMPK, e
+	case *core.Libmpk:
+		m.ekind, m.elibmpk = ekLibmpk, e
+	case *core.MPKVirt:
+		m.ekind, m.empkvirt = ekMPKVirt, e
+	case *core.DomainVirt:
+		m.ekind, m.edomvirt = ekDomainVirt, e
+	}
 	eng.Bind(m, &m.bd, &m.ctr)
 	return m
+}
+
+// bumpGen invalidates every core's last-translation slot.
+func (m *Machine) bumpGen() { m.mutGen++ }
+
+// check dispatches a permission check to the engine's concrete type.
+// Each arm calls the same method the interface would reach, so dispatch
+// is behavior-preserving by construction.
+func (m *Machine) check(ctx core.AccessCtx) core.Verdict {
+	switch m.ekind {
+	case ekBaseline:
+		return m.ebaseline.Check(ctx)
+	case ekLowerbound:
+		return m.elowerbound.Check(ctx)
+	case ekMPK:
+		return m.empk.Check(ctx)
+	case ekLibmpk:
+		return m.elibmpk.Check(ctx)
+	case ekMPKVirt:
+		return m.empkvirt.Check(ctx)
+	case ekDomainVirt:
+		return m.edomvirt.Check(ctx)
+	}
+	return m.engine.Check(ctx)
+}
+
+// l0fill classifies how a memoized check for tag replays under the bound
+// engine and fills the slot's replay state. dvSlot is the PTLB slot
+// CheckFill reported (DomainVirt only). For the MPK family the pure
+// PKRU verdict is sampled for both access kinds (Check is side-effect
+// free, so the extra probe changes nothing).
+func (m *Machine) l0fill(l0 *l0Slot, coreID int, tag uint16, dvSlot int) {
+	l0.slot, l0.dom = -1, core.NullDomain
+	switch m.ekind {
+	case ekBaseline, ekLowerbound:
+		l0.mode = l0Pass
+		return
+	case ekMPK:
+		if tag == core.TagNone {
+			l0.mode = l0Pass
+			return
+		}
+		l0.mode = l0PKRU
+		l0.allowR = m.empk.Check(core.AccessCtx{Core: coreID, Tag: tag}).Allowed
+		l0.allowW = m.empk.Check(core.AccessCtx{Core: coreID, Tag: tag, Write: true}).Allowed
+		return
+	case ekMPKVirt:
+		if tag == core.TagNone {
+			l0.mode = l0Pass
+			return
+		}
+		l0.mode = l0PKRU
+		l0.allowR = m.empkvirt.Check(core.AccessCtx{Core: coreID, Tag: tag}).Allowed
+		l0.allowW = m.empkvirt.Check(core.AccessCtx{Core: coreID, Tag: tag, Write: true}).Allowed
+		return
+	case ekDomainVirt:
+		if tag == core.TagNone {
+			l0.mode = l0Pass
+			return
+		}
+		l0.mode = l0DVSlot
+		l0.slot, l0.dom = dvSlot, core.DomainID(tag)
+		return
+	}
+	// libmpk (LRU clock side effects even on hits) and external engines:
+	// always re-run the real Check.
+	l0.mode = l0Full
 }
 
 // Engine returns the bound protection engine.
@@ -205,21 +406,40 @@ func (m *Machine) SetAffinity(th core.ThreadID, coreID int) {
 		coreID = 0
 	}
 	m.affinity[th] = coreID
+	m.curCore = nil
+	m.bumpGen()
 }
 
 // coreFor maps a thread to its core (static round-robin placement unless
 // migrated via SetAffinity) and performs a context switch when the core
-// was running another thread.
+// was running another thread. The nil-map and single-core short circuits
+// keep the unpinned common case free of map and modulo work.
 func (m *Machine) coreFor(th core.ThreadID) *coreState {
+	if th == m.curTh && m.curCore != nil {
+		return m.curCore
+	}
+	c := m.coreForSlow(th)
+	m.curTh, m.curCore = th, c
+	return c
+}
+
+func (m *Machine) coreForSlow(th core.ThreadID) *coreState {
 	idx := 0
-	if pinned, ok := m.affinity[th]; ok {
-		idx = pinned
-	} else if th > 0 {
+	pinned := false
+	if m.affinity != nil {
+		idx, pinned = m.affinity[th]
+	}
+	if !pinned && th > 0 && len(m.cores) > 1 {
 		idx = int((uint32(th) - 1) % uint32(len(m.cores)))
 	}
 	c := m.cores[idx]
 	c.active = true
 	if c.thread != th {
+		// The engine swaps per-core thread state (PKRU, PTLB/DTTLB):
+		// drop the memoized translations before their verdicts go stale.
+		for i := range c.l0 {
+			c.l0[i].gen = 0
+		}
 		if c.thread != 0 {
 			m.ctr.ContextSwitches++
 			c.cycles += m.cfg.CtxSwitchCost
@@ -236,8 +456,14 @@ func (m *Machine) Instr(th core.ThreadID, n uint64) {
 	c := m.coreFor(th)
 	m.ctr.Instructions += n
 	num := n*m.cfg.CPINum + c.instRem
-	cyc := num / m.cfg.CPIDen
-	c.instRem = num % m.cfg.CPIDen
+	var cyc uint64
+	if m.cpiPow2 {
+		cyc = num >> m.cpiShift
+		c.instRem = num & (1<<m.cpiShift - 1)
+	} else {
+		cyc = num / m.cfg.CPIDen
+		c.instRem = num % m.cfg.CPIDen
+	}
 	c.cycles += cyc
 	m.bd.AddN(stats.CatBase, cyc, 0)
 	if m.rec != nil {
@@ -252,6 +478,12 @@ func (m *Machine) Instr(th core.ThreadID, n uint64) {
 func (m *Machine) Access(th core.ThreadID, va memlayout.VA, size uint32, write bool) bool {
 	if size == 0 {
 		size = 1
+	}
+	// Single-line fast path: almost every access fits one cache line, so
+	// SplitLine's closure and indirect call only run for straddlers. The
+	// guard is the exact complement of "SplitLine would call fn twice".
+	if uint64(va)&(memlayout.LineSize-1)+uint64(size) <= memlayout.LineSize {
+		return m.access1(th, va, write)
 	}
 	allowed := true
 	memlayout.SplitLine(va, size, func(pva memlayout.VA, _ uint32) {
@@ -270,20 +502,64 @@ func (m *Machine) access1(th core.ThreadID, va memlayout.VA, write bool) bool {
 		m.ctr.Loads++
 	}
 
-	// cyc is the total latency of this access; baseCyc is the portion an
-	// unprotected run would also pay (attributed to CatBase). Engine
-	// costs are attributed by the engine itself.
-	var cyc, baseCyc uint64
-	cyc += m.cfg.L1TLBLat
-	baseCyc += m.cfg.L1TLBLat
+	// cyc is the total latency of this access; baseCyc (identical until
+	// the slow path diverges) is the portion an unprotected run would
+	// also pay, attributed to CatBase. Engine costs are attributed by
+	// the engine itself.
+	cyc := m.cfg.L1TLBLat
 	vpn := memlayout.PageNum(va)
 
+	// L0 fast path: repeated same-page access with no intervening
+	// mutation. TouchHit revalidates the memoized L1 TLB position and
+	// replays the exact Lookup-hit bookkeeping; the memoized mode
+	// replays the exact engine check. Falls through to the full path on
+	// any staleness.
+	if l0 := &c.l0[vpn&(l0Entries-1)]; l0.gen == m.mutGen && l0.vpn == vpn {
+		if e, ok := c.l1tlb.TouchHit(l0.pos, vpn); ok {
+			m.ctr.TLBL1Hits++
+			c.tlbL1Hits++
+			var verdict core.Verdict
+			switch l0.mode {
+			case l0Pass:
+				verdict = core.Verdict{Allowed: true}
+			case l0PKRU:
+				if write {
+					verdict = core.Verdict{Allowed: l0.allowW}
+				} else {
+					verdict = core.Verdict{Allowed: l0.allowR}
+				}
+			case l0DVSlot:
+				var live bool
+				verdict, live = m.edomvirt.CheckRepeat(c.id, l0.slot, l0.dom, write)
+				if !live {
+					// The memoized PTLB slot was evicted by an
+					// interleaved miss: run the real check (identical
+					// to the slow path's, the TLB hit already
+					// replayed) and re-memoize the new slot.
+					verdict, l0.slot = m.edomvirt.CheckFill(core.AccessCtx{
+						Core: c.id, Thread: th, VA: va, Write: write,
+						TLBHit: true, Tag: e.Tag,
+					})
+				}
+			default: // l0Full
+				verdict = m.check(core.AccessCtx{
+					Core: c.id, Thread: th, VA: va, Write: write,
+					TLBHit: true, Tag: e.Tag,
+				})
+			}
+			return m.finishAccess(c, th, va, write, e.PFN, e.Writable, verdict, cyc, cyc)
+		}
+	}
+
+	baseCyc := cyc
 	var entry tlb.Entry
 	tlbHit := true
-	if e, ok := c.l1tlb.Lookup(vpn); ok {
+	var pos int
+	if e, p, ok := c.l1tlb.LookupPos(vpn); ok {
 		m.ctr.TLBL1Hits++
 		c.tlbL1Hits++
 		entry = *e
+		pos = p
 	} else {
 		cyc += m.cfg.L2TLBLat
 		baseCyc += m.cfg.L2TLBLat
@@ -291,7 +567,7 @@ func (m *Machine) access1(th core.ThreadID, va memlayout.VA, write bool) bool {
 			m.ctr.TLBL2Hits++
 			c.tlbL2Hits++
 			entry = *e2
-			c.l1tlb.Insert(entry)
+			pos, _, _ = c.l1tlb.InsertPos(entry)
 		} else {
 			// TLB miss: page walk (and, for the domain engines, the
 			// DTT/DRT machinery via FillTag).
@@ -319,21 +595,45 @@ func (m *Machine) access1(th core.ThreadID, va memlayout.VA, write bool) bool {
 			cyc += extra
 			entry = tlb.Entry{VPN: vpn, PFN: pte.PFN, Writable: pte.Writable, Tag: tag, Valid: true}
 			c.l2tlb.Insert(entry)
-			c.l1tlb.Insert(entry)
+			pos, _, _ = c.l1tlb.InsertPos(entry)
 		}
 	}
 
-	verdict := m.engine.Check(core.AccessCtx{
+	ctx := core.AccessCtx{
 		Core:   c.id,
 		Thread: th,
 		VA:     va,
 		Write:  write,
 		TLBHit: tlbHit,
 		Tag:    entry.Tag,
-	})
+	}
+	var verdict core.Verdict
+	dvSlot := -1
+	if m.ekind == ekDomainVirt {
+		verdict, dvSlot = m.edomvirt.CheckFill(ctx)
+	} else {
+		verdict = m.check(ctx)
+	}
+
+	if !m.cfg.DisableFastPath {
+		l0 := &c.l0[vpn&(l0Entries-1)]
+		l0.gen = m.mutGen
+		l0.vpn = vpn
+		l0.pos = pos
+		m.l0fill(l0, c.id, entry.Tag, dvSlot)
+	}
+
+	return m.finishAccess(c, th, va, write, entry.PFN, entry.Writable, verdict, cyc, baseCyc)
+}
+
+// finishAccess applies one access's verdict: fault recording on denial,
+// the cache-hierarchy access on success, and the cycle attribution both
+// outcomes share. It is the common tail of the L0 fast path and the full
+// translation path, which makes the two cycle-identical by construction.
+func (m *Machine) finishAccess(c *coreState, th core.ThreadID, va memlayout.VA, write bool, pfn uint64, writable bool, verdict core.Verdict, cyc, baseCyc uint64) bool {
 	cyc += verdict.Cycles
 
-	pageOK := !write || entry.Writable
+	pageOK := !write || writable
 	if !verdict.Allowed || !pageOK {
 		m.recordFault(FaultRecord{
 			Thread: th,
@@ -356,7 +656,7 @@ func (m *Machine) access1(th core.ThreadID, va memlayout.VA, write bool) bool {
 		return false // access suppressed
 	}
 
-	pa := memlayout.PA(entry.PFN<<memlayout.PageShift) + memlayout.PA(memlayout.PageOffset(va))
+	pa := memlayout.PA(pfn<<memlayout.PageShift) + memlayout.PA(memlayout.PageOffset(va))
 	lat, _ := m.caches.Access(c.id, pa, write)
 	cyc += lat
 	baseCyc += lat
@@ -371,21 +671,35 @@ func (m *Machine) access1(th core.ThreadID, va memlayout.VA, write bool) bool {
 
 // demandMap allocates and maps a frame for the first touch of a page.
 // Pages inside an attached PMO region are NVM-backed with the attach
-// permission; everything else is writable DRAM.
+// permission; everything else is writable DRAM. The attach regions are
+// held in a sorted span index (rebuilt on the rare Attach/Detach), so
+// the lookup is a binary search instead of a linear scan over every
+// live domain.
 func (m *Machine) demandMap(va memlayout.VA) pagetable.PTE {
 	kind := mem.DRAM
 	writable := true
-	for _, di := range m.domains {
-		if di.region.Contains(va) {
-			kind = mem.NVM
-			writable = di.perm.CanWrite()
-			break
-		}
+	i := sort.Search(len(m.spans), func(i int) bool { return m.spans[i].end > va })
+	if i < len(m.spans) && m.spans[i].base <= va {
+		kind = mem.NVM
+		writable = m.spans[i].writable
 	}
 	pa := m.memory.AllocFrame(kind)
 	m.pt.Map(memlayout.PageBase(va), pa, writable)
 	pte, _ := m.pt.Lookup(va)
 	return pte
+}
+
+// rebuildSpans regenerates the sorted span index from the domain map.
+func (m *Machine) rebuildSpans() {
+	m.spans = m.spans[:0]
+	for _, di := range m.domains {
+		m.spans = append(m.spans, domSpan{
+			base:     di.region.Base,
+			end:      di.region.End(),
+			writable: di.perm.CanWrite(),
+		})
+	}
+	sort.Slice(m.spans, func(i, j int) bool { return m.spans[i].base < m.spans[j].base })
 }
 
 // Fetch implements trace.Sink: one instruction fetch. Domain permissions
@@ -445,6 +759,7 @@ func (m *Machine) SetPerm(th core.ThreadID, d core.DomainID, p core.Perm, site c
 		m.recordFault(FaultRecord{Thread: th, Domain: d})
 		return
 	}
+	m.bumpGen()
 	c := m.coreFor(th)
 	cost := m.engine.SetPerm(c.id, th, d, p)
 	c.cycles += cost
@@ -463,6 +778,8 @@ func (m *Machine) Attach(d core.DomainID, r memlayout.Region, perm core.Perm) er
 	}
 	m.FlushTLBRangeAll(r)
 	m.domains[d] = domainInfo{region: r, perm: perm}
+	m.rebuildSpans()
+	m.bumpGen()
 	return nil
 }
 
@@ -470,6 +787,8 @@ func (m *Machine) Attach(d core.DomainID, r memlayout.Region, perm core.Perm) er
 func (m *Machine) Detach(d core.DomainID) {
 	m.engine.Detach(d)
 	delete(m.domains, d)
+	m.rebuildSpans()
+	m.bumpGen()
 }
 
 // Fence implements trace.Sink: a persist barrier, present in the baseline
@@ -483,17 +802,27 @@ func (m *Machine) Fence(th core.ThreadID) {
 func (m *Machine) recordFault(f FaultRecord) {
 	if len(m.faults) < m.cfg.MaxFaultRecords {
 		m.faults = append(m.faults, f)
+	} else {
+		// The retained window is full: count the drop so fault-heavy
+		// adversarial traces bound memory without losing the signal
+		// that more faults occurred.
+		m.faultsDropped++
 	}
 }
 
 // Faults returns the recorded fault diagnostics.
 func (m *Machine) Faults() []FaultRecord { return m.faults }
 
+// FaultsDropped returns how many fault records were dropped after the
+// retained window reached Config.MaxFaultRecords.
+func (m *Machine) FaultsDropped() uint64 { return m.faultsDropped }
+
 // NumCores implements core.Hooks.
 func (m *Machine) NumCores() int { return len(m.cores) }
 
 // FlushTLBRangeAll implements core.Hooks: the TLB shootdown primitive.
 func (m *Machine) FlushTLBRangeAll(r memlayout.Region) int {
+	m.bumpGen()
 	total := 0
 	for _, c := range m.cores {
 		owe := func(vpn uint64) { c.debt.Owe(vpn) }
@@ -518,6 +847,7 @@ func (m *Machine) PopulatedPages(r memlayout.Region) int {
 
 // SetPTEKeys implements core.Hooks.
 func (m *Machine) SetPTEKeys(r memlayout.Region, key uint8) int {
+	m.bumpGen()
 	return m.pt.SetKey(r, key)
 }
 
@@ -529,6 +859,8 @@ func (m *Machine) ResetStats() {
 	m.bd.Reset()
 	m.ctr = stats.Counters{}
 	m.faults = nil
+	m.faultsDropped = 0
+	m.curCore = nil // cores go inactive; the next coreFor re-marks them
 	for _, c := range m.cores {
 		c.cycles = 0
 		c.instRem = 0

@@ -37,3 +37,41 @@ func BenchmarkTLBRangeFlush(b *testing.B) {
 		t.FlushRange(r, nil)
 	}
 }
+
+// BenchmarkDebtReset measures the owe→settle→reset cycle a machine
+// stats reset drives. Reset clears the map in place, so the loop must
+// run allocation-free once the map has grown.
+func BenchmarkDebtReset(b *testing.B) {
+	d := NewDebt()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for vpn := uint64(0); vpn < 32; vpn++ {
+			d.Owe(vpn)
+		}
+		d.Settle(7)
+		d.Reset()
+	}
+}
+
+// TestDebtResetAllocFree pins Reset's in-place-clear contract: emptying
+// and refilling the debt set never reallocates the map storage.
+func TestDebtResetAllocFree(t *testing.T) {
+	d := NewDebt()
+	cycle := func() {
+		for vpn := uint64(0); vpn < 32; vpn++ {
+			d.Owe(vpn)
+		}
+		if !d.Settle(7) || d.Settle(99) {
+			t.Fatal("debt settle gave wrong answer")
+		}
+		d.Reset()
+		if d.Len() != 0 {
+			t.Fatalf("len = %d after Reset", d.Len())
+		}
+	}
+	cycle() // warm: let the map grow its buckets once
+	if allocs := testing.AllocsPerRun(500, cycle); allocs != 0 {
+		t.Errorf("debt owe/settle/reset cycle allocates %v times per run, want 0", allocs)
+	}
+}

@@ -27,10 +27,14 @@ type Config struct {
 	Ways    int
 }
 
-// TLB is a set-associative TLB with per-set LRU replacement.
+// TLB is a set-associative TLB with per-set LRU replacement. Entries and
+// recency stamps live in flat set-major arrays (set s, way w at index
+// s*ways+w): the per-access lookup scan touches one contiguous run with a
+// single bounds check instead of chasing nested slice headers, and a flat
+// position doubles as a compact handle for TouchHit revalidation.
 type TLB struct {
-	sets    [][]Entry
-	lru     [][]uint32 // per-way recency stamps
+	entries []Entry
+	lru     []uint32 // per-way recency stamps
 	clock   uint32
 	ways    int
 	setMask uint64
@@ -50,44 +54,78 @@ func New(cfg Config) *TLB {
 	if nsets&(nsets-1) != 0 {
 		panic("tlb: set count must be a power of two")
 	}
-	t := &TLB{
-		sets:    make([][]Entry, nsets),
-		lru:     make([][]uint32, nsets),
+	return &TLB{
+		entries: make([]Entry, cfg.Entries),
+		lru:     make([]uint32, cfg.Entries),
 		ways:    cfg.Ways,
 		setMask: uint64(nsets - 1),
 	}
-	for i := range t.sets {
-		t.sets[i] = make([]Entry, cfg.Ways)
-		t.lru[i] = make([]uint32, cfg.Ways)
-	}
-	return t
 }
 
-func (t *TLB) setOf(vpn uint64) int { return int(vpn & t.setMask) }
+// baseOf returns the flat index of way 0 of vpn's set.
+func (t *TLB) baseOf(vpn uint64) int { return int(vpn&t.setMask) * t.ways }
 
 // Lookup probes the TLB for vpn. On a hit it returns a pointer to the
 // entry (valid until the next mutation) and refreshes its recency.
 func (t *TLB) Lookup(vpn uint64) (*Entry, bool) {
-	si := t.setOf(vpn)
-	set := t.sets[si]
+	e, _, ok := t.LookupPos(vpn)
+	return e, ok
+}
+
+// LookupPos is Lookup returning, additionally, the flat position of the
+// hit entry so callers can revalidate it later via TouchHit.
+func (t *TLB) LookupPos(vpn uint64) (e *Entry, pos int, ok bool) {
+	base := t.baseOf(vpn)
+	set := t.entries[base : base+t.ways]
 	for w := range set {
 		if set[w].Valid && set[w].VPN == vpn {
 			t.clock++
-			t.lru[si][w] = t.clock
+			t.lru[base+w] = t.clock
 			t.hits++
-			return &set[w], true
+			return &set[w], base + w, true
 		}
 	}
 	t.misses++
-	return nil, false
+	return nil, 0, false
+}
+
+// TouchHit revalidates a previously observed entry position: if pos still
+// holds a valid entry for vpn it replays exactly the bookkeeping a Lookup
+// hit performs (recency refresh, hit count) and returns the entry. Any
+// staleness — the entry evicted, invalidated, or replaced — returns false
+// with no state change, so callers fall back to a full Lookup. A VPN
+// lives in at most one way of its set, making the position check a
+// complete hit test.
+func (t *TLB) TouchHit(pos int, vpn uint64) (*Entry, bool) {
+	if pos < 0 || pos >= len(t.entries) {
+		return nil, false
+	}
+	e := &t.entries[pos]
+	if !e.Valid || e.VPN != vpn {
+		return nil, false
+	}
+	t.clock++
+	t.lru[pos] = t.clock
+	t.hits++
+	return e, true
+}
+
+// InsertPos is Insert returning, additionally, the flat position the
+// entry landed in.
+func (t *TLB) InsertPos(e Entry) (pos int, victim Entry, evicted bool) {
+	return t.insert(e, t.baseOf(e.VPN))
 }
 
 // Insert fills e into the TLB, evicting the LRU way if the set is full.
 // It returns the evicted entry, if any.
 func (t *TLB) Insert(e Entry) (victim Entry, evicted bool) {
+	_, victim, evicted = t.insert(e, t.baseOf(e.VPN))
+	return victim, evicted
+}
+
+func (t *TLB) insert(e Entry, base int) (pos int, victim Entry, evicted bool) {
 	e.Valid = true
-	si := t.setOf(e.VPN)
-	set := t.sets[si]
+	set := t.entries[base : base+t.ways]
 	// Prefer an existing entry for the same VPN, then an invalid way.
 	way := -1
 	for w := range set {
@@ -106,10 +144,10 @@ func (t *TLB) Insert(e Entry) (victim Entry, evicted bool) {
 	}
 	if way < 0 {
 		way = 0
-		oldest := t.lru[si][0]
+		oldest := t.lru[base]
 		for w := 1; w < t.ways; w++ {
-			if t.lru[si][w] < oldest {
-				oldest = t.lru[si][w]
+			if t.lru[base+w] < oldest {
+				oldest = t.lru[base+w]
 				way = w
 			}
 		}
@@ -118,14 +156,14 @@ func (t *TLB) Insert(e Entry) (victim Entry, evicted bool) {
 	}
 	set[way] = e
 	t.clock++
-	t.lru[si][way] = t.clock
-	return victim, evicted
+	t.lru[base+way] = t.clock
+	return base + way, victim, evicted
 }
 
 // Invalidate removes the entry for vpn if present.
 func (t *TLB) Invalidate(vpn uint64) bool {
-	si := t.setOf(vpn)
-	set := t.sets[si]
+	base := t.baseOf(vpn)
+	set := t.entries[base : base+t.ways]
 	for w := range set {
 		if set[w].Valid && set[w].VPN == vpn {
 			set[w].Valid = false
@@ -142,16 +180,14 @@ func (t *TLB) FlushRange(r memlayout.Region, fn func(vpn uint64)) int {
 	lo := memlayout.PageNum(r.Base)
 	hi := memlayout.PageNum(r.End() - 1)
 	n := 0
-	for si := range t.sets {
-		set := t.sets[si]
-		for w := range set {
-			if set[w].Valid && set[w].VPN >= lo && set[w].VPN <= hi {
-				if fn != nil {
-					fn(set[w].VPN)
-				}
-				set[w].Valid = false
-				n++
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.Valid && e.VPN >= lo && e.VPN <= hi {
+			if fn != nil {
+				fn(e.VPN)
 			}
+			e.Valid = false
+			n++
 		}
 	}
 	return n
@@ -160,12 +196,10 @@ func (t *TLB) FlushRange(r memlayout.Region, fn func(vpn uint64)) int {
 // FlushAll invalidates every entry and returns the number flushed.
 func (t *TLB) FlushAll() int {
 	n := 0
-	for si := range t.sets {
-		for w := range t.sets[si] {
-			if t.sets[si][w].Valid {
-				t.sets[si][w].Valid = false
-				n++
-			}
+	for i := range t.entries {
+		if t.entries[i].Valid {
+			t.entries[i].Valid = false
+			n++
 		}
 	}
 	return n
@@ -189,8 +223,13 @@ func NewDebt() *Debt { return &Debt{pages: make(map[uint64]struct{})} }
 // Owe records that vpn was flushed by an invalidation.
 func (d *Debt) Owe(vpn uint64) { d.pages[vpn] = struct{}{} }
 
-// Settle reports whether vpn was owed, consuming the debt.
+// Settle reports whether vpn was owed, consuming the debt. The empty-set
+// fast path keeps the common case (no outstanding shootdowns) off the map
+// hash entirely — Settle runs on every TLB miss.
 func (d *Debt) Settle(vpn uint64) bool {
+	if len(d.pages) == 0 {
+		return false
+	}
 	if _, ok := d.pages[vpn]; ok {
 		delete(d.pages, vpn)
 		return true
@@ -201,5 +240,6 @@ func (d *Debt) Settle(vpn uint64) bool {
 // Len returns the number of outstanding owed pages.
 func (d *Debt) Len() int { return len(d.pages) }
 
-// Reset clears the debt set.
-func (d *Debt) Reset() { d.pages = make(map[uint64]struct{}) }
+// Reset empties the debt set in place, reusing the map's storage so a
+// reset-heavy caller (one per machine stats reset) never reallocates.
+func (d *Debt) Reset() { clear(d.pages) }

@@ -21,6 +21,14 @@ go test -race -run 'TestHistogramMergeProperty|TestExportersDeterministic' ./int
 # run explicitly so a race regression names the layer that broke.
 go test -race ./internal/serve/... ./internal/pmo/...
 
+# Hot-path budget smoke: run every benchmark briefly and enforce the
+# allocation budgets of BENCH_sim.json (allocs/op must not grow; the
+# timing gate is disabled here because a short CI run is too noisy —
+# scripts/bench.sh check is the full timing gate).
+go test -run '^$' -bench . -benchmem -benchtime 200x \
+    ./internal/sim/ ./internal/tlb/ ./internal/serve/ \
+    | go run ./cmd/benchjson -check BENCH_sim.json -ns-tolerance -1
+
 # Smoke: an observed run must write a parseable, nonempty epoch series.
 obsdir="$(mktemp -d)"
 trap 'rm -rf "$obsdir"' EXIT
