@@ -18,6 +18,7 @@ package domainvirt
 import (
 	"domainvirt/internal/conformance"
 	"domainvirt/internal/core"
+	"domainvirt/internal/crashconform"
 	"domainvirt/internal/memlayout"
 	"domainvirt/internal/obs"
 	"domainvirt/internal/pmo"
@@ -192,6 +193,27 @@ type (
 // persist a .prog repro. The error covers I/O problems only; invariant
 // violations are reported via ConformReport.Diverged.
 func Conform(opt ConformOptions) (*ConformReport, error) { return conformance.Run(opt) }
+
+// Crash-consistency conformance API: kill-at-every-step recovery
+// checking of the durable transaction layer under a fault-injecting
+// persistence model (torn stores, reordered flushes, dropped tails).
+type (
+	// CrashConformOptions configures a crash-conformance sweep.
+	CrashConformOptions = crashconform.Options
+	// CrashConformReport aggregates a sweep's checks and violations.
+	CrashConformReport = crashconform.Report
+)
+
+// CrashConform sweeps generated transaction workloads: each victim
+// transaction is recorded at persistence-media granularity, then for
+// every crash point and fault mode the reconstructed NVM image is
+// recovered and checked for prefix consistency (all-pre or all-post,
+// never a mix), idempotency, and clean logs. Failing workloads leave
+// .crash repros in CorpusDir when set. The error covers setup/I-O
+// problems only; contract violations are reported via Failed.
+func CrashConform(opt CrashConformOptions) (*CrashConformReport, error) {
+	return crashconform.Run(opt)
+}
 
 // Service API: the concurrent PMO daemon (cmd/pmod) and its closed-loop
 // client and load generator (cmd/pmoload). The server shards its session

@@ -10,6 +10,10 @@
 //	pmod -listen 127.0.0.1:0 -addr-file /tmp/pmod.addr -store /var/lib/pmod
 //	pmod -listen 127.0.0.1:7070 -metrics 127.0.0.1:9090
 //
+// With -store, interrupted durable transactions left behind by a
+// crashed predecessor are recovered (redone or discarded) before the
+// listener opens, and the store is re-synced to disk every -sync.
+//
 // SIGINT/SIGTERM trigger a graceful drain: the listener closes, every
 // queued request finishes and flushes, sessions detach, and a
 // file-backed store syncs before exit.
@@ -48,6 +52,7 @@ func run() int {
 		storeDir = flag.String("store", "", "file-backed store directory (empty = in-memory)")
 		metrics  = flag.String("metrics", "", "serve Prometheus text metrics on this HTTP address (empty = off)")
 		idle     = flag.Duration("idle", 2*time.Minute, "evict sessions idle this long (0 disables)")
+		syncEach = flag.Duration("sync", time.Second, "background sync interval for a file-backed store")
 		poolSize = flag.Uint64("poolsize", 1<<20, "pool size when OPEN asks for 0")
 		drainFor = flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGTERM")
 		version  = flag.Bool("version", false, "print version and exit")
@@ -64,6 +69,15 @@ func run() int {
 		if err != nil {
 			return fail(err)
 		}
+		// A previous process may have died mid-transaction: settle every
+		// pool's redo log before serving any client.
+		redone, err := domainvirt.RecoverStore(st)
+		if err != nil {
+			return fail(fmt.Errorf("recover store %s: %w", *storeDir, err))
+		}
+		if redone > 0 {
+			fmt.Fprintf(os.Stderr, "pmod: recovered store: %d interrupted transaction(s) redone\n", redone)
+		}
 		store = st
 	}
 	srv := serve.NewServer(serve.Options{
@@ -72,6 +86,7 @@ func run() int {
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		IdleTimeout:     *idle,
+		SyncEvery:       *syncEach,
 		Engine:          sim.Scheme(*engine),
 		DefaultPoolSize: *poolSize,
 	})

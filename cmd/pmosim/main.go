@@ -8,6 +8,7 @@
 //	pmosim -workload echo -scheme mpk -ops 20000 -compare
 //	pmosim -workload avl -scheme mpkvirt -obs-out obs/ -obs-epoch 10000
 //	pmosim -conform -conform-programs 1000 -conform-out corpus/
+//	pmosim -crashconform -crashconform-workloads 200 -crashconform-out crashes/
 //
 // -obs-out attaches the observability recorder to the run and exports
 // the run manifest, the epoch-sampled counter time series (JSONL and
@@ -20,6 +21,13 @@
 // protection engine and checked for verdict, fault-attribution, and
 // cycle-accounting agreement. Exits nonzero on any divergence, leaving
 // minimized .prog repros in -conform-out.
+//
+// -crashconform runs the crash-consistency conformance sweep instead of
+// a workload: generated durable transactions are recorded at
+// persistence-media granularity, crashed after every recorded step
+// under every fault mode (strict, dropped tails, reordered flushes,
+// torn stores), recovered, and checked for prefix consistency. Exits
+// nonzero on any violation, leaving .crash repros in -crashconform-out.
 package main
 
 import (
@@ -64,6 +72,12 @@ func run() int {
 		conformSeed     = flag.Int64("conform-seed", 1, "campaign seed offset (-conform)")
 		conformOut      = flag.String("conform-out", "", "directory for minimized .prog repros of divergences (-conform)")
 
+		crashConform          = flag.Bool("crashconform", false, "run the crash-consistency conformance sweep instead of a workload")
+		crashConformWorkloads = flag.Int("crashconform-workloads", 200, "number of generated transaction workloads to sweep (-crashconform)")
+		crashConformSeed      = flag.Int64("crashconform-seed", 1, "first workload seed (-crashconform)")
+		crashConformSeeds     = flag.Int("crashconform-seeds", 3, "fault-injection seeds per crash point and mode (-crashconform)")
+		crashConformOut       = flag.String("crashconform-out", "", "directory for .crash repros of failing workloads (-crashconform)")
+
 		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -96,6 +110,22 @@ func run() int {
 		}
 		fmt.Print(rep.Summary())
 		if rep.Diverged() {
+			return 1
+		}
+		return 0
+	}
+	if *crashConform {
+		rep, err := domainvirt.CrashConform(domainvirt.CrashConformOptions{
+			Workloads:  *crashConformWorkloads,
+			Seed:       *crashConformSeed,
+			FaultSeeds: *crashConformSeeds,
+			CorpusDir:  *crashConformOut,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Print(rep.Summary())
+		if rep.Failed() {
 			return 1
 		}
 		return 0

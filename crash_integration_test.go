@@ -1,0 +1,186 @@
+package domainvirt_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"domainvirt"
+)
+
+// The service-layer half of the crash-consistency story: a pmod daemon
+// under durable-transaction load is SIGKILLed mid-stream, restarted on
+// the same store directory, and must come back with every pool in a
+// prefix-consistent state — each TX_COMMIT wrote the same value to two
+// slots, so after recovery the slots must agree — and immediately
+// accept new transactions. internal/crashconform proves the same
+// contract at media-step granularity; this test proves the wiring:
+// pmod recovers the store on startup before serving.
+func TestPmodKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "pmod")
+	store := t.TempDir()
+
+	const (
+		pools = 4
+		slotA = 72 << 10 // inside the heap, clear of the redo-log area
+		slotB = slotA + 8
+	)
+
+	daemon := startPmod(t, bin, store)
+
+	// Drive each pool with a stream of two-slot transactions; every
+	// commit writes the same value to both slots.
+	clients := make([]*domainvirt.ServeClient, pools)
+	for i := range clients {
+		c, err := domainvirt.DialServer(daemon.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if err := c.Hello(fmt.Sprintf("crash-client-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Open(fmt.Sprintf("crash-pool-%d", i), 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Attach(true); err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+	stop := make(chan struct{})
+	done := make(chan int, pools)
+	for i, c := range clients {
+		go func(i int, c *domainvirt.ServeClient) {
+			var buf [8]byte
+			committed := 0
+			for v := uint64(1); ; v++ {
+				select {
+				case <-stop:
+					done <- committed
+					return
+				default:
+				}
+				binary.LittleEndian.PutUint64(buf[:], v)
+				data := append([]byte(nil), buf[:]...)
+				err := c.TxCommit([]domainvirt.TxWrite{
+					{Off: slotA, Data: data},
+					{Off: slotB, Data: data},
+				})
+				if err != nil {
+					// The daemon died under us — expected once killed.
+					done <- committed
+					return
+				}
+				committed++
+			}
+		}(i, c)
+	}
+
+	// Let the load overlap several background sync intervals, then pull
+	// the rug: SIGKILL, no drain, no final sync.
+	time.Sleep(600 * time.Millisecond)
+	if err := daemon.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	daemon.cmd.Wait()
+	close(stop)
+	total := 0
+	for range clients {
+		total += <-done
+	}
+	if total == 0 {
+		t.Fatal("no transaction committed before the kill; the test exercised nothing")
+	}
+	t.Logf("killed pmod after %d commits across %d pools", total, pools)
+
+	// Restart on the same store. Startup recovery must settle any
+	// interrupted transaction the kill left in a synced pool image.
+	daemon2 := startPmod(t, bin, store)
+	defer func() {
+		daemon2.cmd.Process.Kill()
+		daemon2.cmd.Wait()
+	}()
+
+	for i := 0; i < pools; i++ {
+		c, err := domainvirt.DialServer(daemon2.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		// Pools are owned by the user that created them: reconnect as the
+		// original client.
+		if err := c.Hello(fmt.Sprintf("crash-client-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Open(fmt.Sprintf("crash-pool-%d", i), 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Attach(true); err != nil {
+			t.Fatal(err)
+		}
+		a := readU64(t, c, slotA)
+		b := readU64(t, c, slotB)
+		if a != b {
+			t.Errorf("pool %d: slots disagree after recovery: %d != %d (torn transaction survived)", i, a, b)
+		}
+		// The recovered store accepts and applies fresh transactions.
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], a+1000)
+		err = c.TxCommit([]domainvirt.TxWrite{
+			{Off: slotA, Data: buf[:]},
+			{Off: slotB, Data: buf[:]},
+		})
+		if err != nil {
+			t.Fatalf("pool %d: post-recovery commit: %v", i, err)
+		}
+		if got := readU64(t, c, slotA); got != a+1000 {
+			t.Errorf("pool %d: post-recovery commit not applied: %d", i, got)
+		}
+	}
+}
+
+type pmodProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startPmod launches a pmod daemon on an ephemeral port with a fast
+// background sync and waits for it to bind.
+func startPmod(t *testing.T, bin, store string) *pmodProc {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "pmod.addr")
+	cmd := exec.Command(bin,
+		"-listen", "127.0.0.1:0", "-addr-file", addrFile,
+		"-store", store, "-sync", "20ms", "-engine", "domainvirt")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			return &pmodProc{cmd: cmd, addr: string(b)}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cmd.Process.Kill()
+	cmd.Wait()
+	t.Fatal("pmod never wrote its address file")
+	return nil
+}
+
+func readU64(t *testing.T, c *domainvirt.ServeClient, off uint32) uint64 {
+	t.Helper()
+	b, err := c.Read(off, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return binary.LittleEndian.Uint64(b)
+}

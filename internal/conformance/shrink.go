@@ -5,35 +5,32 @@ package conformance
 // budget bounds worst-case shrink time on large programs.
 const shrinkBudget = 400
 
-// Minimize greedily shrinks p's op list while the failing predicate
-// keeps holding — ddmin-style: try removing chunks, halving the chunk
-// size whenever a pass over the list removes nothing. The returned
-// program still satisfies failing (or is p unchanged if p does not).
-// The predicate must be deterministic.
-func Minimize(p Program, failing func(Program) bool) Program {
-	if !failing(p) {
-		return p
+// MinimizeSlice greedily shrinks items while the failing predicate keeps
+// holding — ddmin-style: try removing chunks, halving the chunk size
+// whenever a pass over the list removes nothing. The returned slice
+// still satisfies failing (or is items unchanged if items does not).
+// The predicate must be deterministic; budget caps how many candidate
+// evaluations the search may spend. Shared by program minimization here
+// and crash-schedule minimization in internal/crashconform.
+func MinimizeSlice[T any](items []T, budget int, failing func([]T) bool) []T {
+	if !failing(items) {
+		return items
 	}
-	budget := shrinkBudget
-	probe := func(ops []Op) bool {
+	probe := func(cand []T) bool {
 		if budget == 0 {
 			return false
 		}
 		budget--
-		q := p
-		q.Ops = ops
-		return failing(q)
+		return failing(cand)
 	}
-
-	ops := p.Ops
-	for chunk := (len(ops) + 1) / 2; chunk >= 1; {
+	for chunk := (len(items) + 1) / 2; chunk >= 1; {
 		removed := false
-		for start := 0; start+chunk <= len(ops); {
-			cand := make([]Op, 0, len(ops)-chunk)
-			cand = append(cand, ops[:start]...)
-			cand = append(cand, ops[start+chunk:]...)
+		for start := 0; start+chunk <= len(items); {
+			cand := make([]T, 0, len(items)-chunk)
+			cand = append(cand, items[:start]...)
+			cand = append(cand, items[start+chunk:]...)
 			if probe(cand) {
-				ops = cand
+				items = cand
 				removed = true
 			} else {
 				start += chunk
@@ -42,14 +39,25 @@ func Minimize(p Program, failing func(Program) bool) Program {
 		if budget == 0 {
 			break
 		}
-		if !removed || chunk > len(ops) {
+		if !removed || chunk > len(items) {
 			if chunk == 1 {
 				break
 			}
 			chunk /= 2
 		}
 	}
-	p.Ops = ops
+	return items
+}
+
+// Minimize greedily shrinks p's op list while the failing predicate
+// keeps holding. The returned program still satisfies failing (or is p
+// unchanged if p does not). The predicate must be deterministic.
+func Minimize(p Program, failing func(Program) bool) Program {
+	p.Ops = MinimizeSlice(p.Ops, shrinkBudget, func(ops []Op) bool {
+		q := p
+		q.Ops = ops
+		return failing(q)
+	})
 	return p
 }
 

@@ -1,0 +1,200 @@
+package crashconform
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"domainvirt/internal/persist"
+)
+
+// The .crash corpus format is a line-oriented text encoding of a
+// Workload plus the fault config that caught a recovery bug —
+// human-readable so a checked-in repro doubles as documentation of the
+// bug it pins down (mirroring the .prog conformance corpus):
+//
+//	crash repro v1
+//	pools 2 bug decision-nofence mode reorder seeds 5
+//	setup multi 1 commit 0:0=9
+//	victim multi 0 commit 1:1=7
+//
+// Lines starting with '#' are comments. The bug field names the seeded
+// recovery bug the repro demonstrates: replayed with the bug enabled
+// (Buggy) the sweep must find a violation — the "caught" half — and
+// replayed against current code (Fixed) it must be clean.
+
+const corpusHeader = "crash repro v1"
+
+// Repro is one checked-in crash-conformance reproduction.
+type Repro struct {
+	// Name is the corpus file name (set by LoadCorpus).
+	Name string
+	// Bug names the seeded recovery bug this repro pins.
+	Bug string
+	// Mode and Seeds bound the injection sweep that catches Bug.
+	Mode  persist.FaultMode
+	Seeds int
+	// Workload is the scenario (Workload.Bug is left empty; use Buggy
+	// or Fixed to select the replay flavor).
+	Workload Workload
+}
+
+// Fixed returns the workload against current, fixed code.
+func (r Repro) Fixed() Workload { w := r.Workload; w.Bug = ""; return w }
+
+// Buggy returns the workload with the documented bug re-introduced.
+func (r Repro) Buggy() Workload { w := r.Workload; w.Bug = r.Bug; return w }
+
+// Options returns sweep options matching the repro's recorded injection.
+func (r Repro) Options() Options {
+	return Options{Modes: []persist.FaultMode{r.Mode}, FaultSeeds: r.Seeds}
+}
+
+// WriteTo serializes r in the corpus text format.
+func (r Repro) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", corpusHeader)
+	fmt.Fprintf(&b, "pools %d bug %s mode %s seeds %d\n",
+		r.Workload.Pools, bugOrNone(r.Bug), r.Mode, r.Seeds)
+	for _, t := range r.Workload.Setup {
+		fmt.Fprintf(&b, "setup %s\n", t)
+	}
+	fmt.Fprintf(&b, "victim %s\n", r.Workload.Victim)
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func bugOrNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// ReadRepro parses the corpus text format.
+func ReadRepro(rd io.Reader) (Repro, error) {
+	var r Repro
+	sc := bufio.NewScanner(rd)
+	line := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line++
+			s := strings.TrimSpace(sc.Text())
+			if s == "" || strings.HasPrefix(s, "#") {
+				continue
+			}
+			return s, true
+		}
+		return "", false
+	}
+
+	s, ok := next()
+	if !ok || s != corpusHeader {
+		return r, fmt.Errorf("crashconform: missing %q header", corpusHeader)
+	}
+	s, ok = next()
+	if !ok {
+		return r, fmt.Errorf("crashconform: missing repro header line")
+	}
+	var bug, mode string
+	if _, err := fmt.Sscanf(s, "pools %d bug %s mode %s seeds %d",
+		&r.Workload.Pools, &bug, &mode, &r.Seeds); err != nil {
+		return r, fmt.Errorf("crashconform: line %d: %v", line, err)
+	}
+	if bug != "none" {
+		r.Bug = bug
+	}
+	if !ValidBug(r.Bug) {
+		return r, fmt.Errorf("crashconform: line %d: unknown bug %q", line, bug)
+	}
+	m, err := persist.ParseFaultMode(mode)
+	if err != nil {
+		return r, fmt.Errorf("crashconform: line %d: %v", line, err)
+	}
+	r.Mode = m
+
+	sawVictim := false
+	for {
+		s, ok := next()
+		if !ok {
+			break
+		}
+		kind, rest, found := strings.Cut(s, " ")
+		if !found {
+			return r, fmt.Errorf("crashconform: line %d: bad line %q", line, s)
+		}
+		t, err := parseTxSpec(rest)
+		if err != nil {
+			return r, fmt.Errorf("crashconform: line %d: %v", line, err)
+		}
+		switch kind {
+		case "setup":
+			if sawVictim {
+				return r, fmt.Errorf("crashconform: line %d: setup after victim", line)
+			}
+			r.Workload.Setup = append(r.Workload.Setup, t)
+		case "victim":
+			if sawVictim {
+				return r, fmt.Errorf("crashconform: line %d: duplicate victim", line)
+			}
+			r.Workload.Victim = t
+			sawVictim = true
+		default:
+			return r, fmt.Errorf("crashconform: line %d: unknown line kind %q", line, kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return r, err
+	}
+	if !sawVictim {
+		return r, fmt.Errorf("crashconform: repro has no victim")
+	}
+	return r, r.Workload.Validate()
+}
+
+// SaveRepro writes r into dir (created if needed) as name.crash and
+// returns the path.
+func SaveRepro(dir, name string, r Repro) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name+".crash")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if _, err := r.WriteTo(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// LoadCorpus reads every *.crash file in dir, sorted by name; a missing
+// directory yields an empty corpus.
+func LoadCorpus(dir string) ([]Repro, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.crash"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make([]Repro, 0, len(paths))
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ReadRepro(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		r.Name = filepath.Base(path)
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,521 @@
+package crashconform
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"domainvirt/internal/conformance"
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/persist"
+	"domainvirt/internal/pmo"
+	"domainvirt/internal/txn"
+)
+
+// Options configures a conformance run.
+type Options struct {
+	// Workloads is how many generated workloads to sweep (default 100).
+	Workloads int
+	// Seed is the first workload seed; workload i uses Seed+i.
+	Seed int64
+	// Modes are the fault models applied at every crash point (default
+	// DefaultModes).
+	Modes []persist.FaultMode
+	// FaultSeeds is how many injection seeds to try per (point, mode);
+	// deterministic modes run once (default 3).
+	FaultSeeds int
+	// ShrinkBudget caps candidate replays per schedule minimization
+	// (default 400).
+	ShrinkBudget int
+	// CorpusDir, when set, receives a .crash repro file for every
+	// workload that produced a violation, replayable with RunWorkload
+	// (mirroring the conformance .prog corpus).
+	CorpusDir string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workloads <= 0 {
+		o.Workloads = 100
+	}
+	if len(o.Modes) == 0 {
+		o.Modes = DefaultModes()
+	}
+	if o.FaultSeeds <= 0 {
+		o.FaultSeeds = 3
+	}
+	if o.ShrinkBudget <= 0 {
+		o.ShrinkBudget = 400
+	}
+	return o
+}
+
+// DefaultModes are the fault models recovery is required to survive:
+// strict persistence, dropped write-back tails, reordered flushes, and
+// reordered flushes with torn 8-byte stores. FaultIgnoreFences is
+// deliberately absent — recovery cannot survive fence-blind hardware,
+// and the harness uses that mode only to prove its own referee detects
+// inconsistency.
+func DefaultModes() []persist.FaultMode {
+	return []persist.FaultMode{
+		persist.FaultNone,
+		persist.FaultDropTail,
+		persist.FaultReorder,
+		persist.FaultReorder | persist.FaultTorn,
+	}
+}
+
+// Violation is one conformance failure.
+type Violation struct {
+	// Seed identifies the workload (Workload.Seed).
+	Seed int64
+	// Bug names the seeded bug active during the run, if any.
+	Bug string
+	// Referee marks a trace-level write-ahead-logging ordering violation
+	// (K/Mode/FaultSeed are meaningless for those).
+	Referee bool
+	// K is the crash point: the number of journal steps executed.
+	K int
+	// Mode and FaultSeed select the injection that produced the image.
+	Mode      persist.FaultMode
+	FaultSeed int64
+	// Detail describes the failed check.
+	Detail string
+}
+
+func (v Violation) String() string {
+	tag := ""
+	if v.Bug != "" {
+		tag = " bug=" + v.Bug
+	}
+	if v.Referee {
+		return fmt.Sprintf("workload %d%s: referee: %s", v.Seed, tag, v.Detail)
+	}
+	return fmt.Sprintf("workload %d%s: crash k=%d mode=%s seed=%d: %s",
+		v.Seed, tag, v.K, v.Mode, v.FaultSeed, v.Detail)
+}
+
+// Report aggregates a sweep.
+type Report struct {
+	Workloads  int
+	Checks     int // crash-image recover+verify cycles
+	Violations []Violation
+}
+
+// Failed reports whether any check failed.
+func (r *Report) Failed() bool { return len(r.Violations) > 0 }
+
+// Summary renders a human-readable digest.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "crashconform: %d workloads, %d crash-recovery checks, %d violations\n",
+		r.Workloads, r.Checks, len(r.Violations))
+	for i, v := range r.Violations {
+		if i == 10 {
+			fmt.Fprintf(&b, "  ... %d more\n", len(r.Violations)-10)
+			break
+		}
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	return b.String()
+}
+
+// Run sweeps generated workloads: every crash point of every workload's
+// victim transaction under every configured fault mode, plus the
+// trace-level referee.
+func Run(opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	r := &Report{}
+	for i := 0; i < opt.Workloads; i++ {
+		w := Generate(opt.Seed + int64(i))
+		vs, checks, err := RunWorkload(w, opt)
+		if err != nil {
+			return r, fmt.Errorf("workload seed %d: %w", w.Seed, err)
+		}
+		r.Workloads++
+		r.Checks += checks
+		r.Violations = append(r.Violations, vs...)
+		if len(vs) > 0 && opt.CorpusDir != "" {
+			if err := saveViolationRepro(opt, w, vs); err != nil {
+				return r, err
+			}
+		}
+		if len(r.Violations) >= 20 {
+			break
+		}
+	}
+	return r, nil
+}
+
+// saveViolationRepro persists a failing workload as a .crash file. The
+// recorded mode is taken from the first image-level violation so a
+// replay reproduces the same injection; a referee-only failure records
+// FaultReorder, the mode most likely to surface the ordering bug the
+// referee saw in the trace.
+func saveViolationRepro(opt Options, w Workload, vs []Violation) error {
+	mode := persist.FaultReorder
+	for _, v := range vs {
+		if !v.Referee {
+			mode = v.Mode
+			break
+		}
+	}
+	_, err := SaveRepro(opt.CorpusDir, fmt.Sprintf("sweep-seed%d", w.Seed), Repro{
+		Bug:      w.Bug,
+		Mode:     mode,
+		Seeds:    opt.FaultSeeds,
+		Workload: w,
+	})
+	return err
+}
+
+// maxViolationsPerWorkload stops a workload's sweep once it has clearly
+// failed; remaining crash points add noise, not information.
+const maxViolationsPerWorkload = 4
+
+// RunWorkload checks one workload: it builds the store, executes Setup,
+// records the Victim under a persist.Journal, runs the trace-level
+// referee, then for every crash point k and every (mode, seed) loads the
+// reconstructed image into a replica store and verifies the recovery
+// contract. It returns the violations and the number of crash-image
+// checks performed.
+func RunWorkload(w Workload, opt Options) ([]Violation, int, error) {
+	opt = opt.withDefaults()
+	if err := w.Validate(); err != nil {
+		return nil, 0, err
+	}
+	_, pools, err := buildStore(w)
+	if err != nil {
+		return nil, 0, err
+	}
+	pre := readSlots(pools)
+	post := expectedPost(pre, w.Victim)
+
+	j := persist.NewJournal()
+	for _, p := range pools {
+		j.Arm(p)
+	}
+	verr := execTx(pools, w.Victim, w.Bug)
+	j.Disarm()
+	if verr != nil {
+		return nil, 0, fmt.Errorf("victim: %w", verr)
+	}
+
+	var out []Violation
+	for _, d := range walCheck(j, pools, w.Victim) {
+		out = append(out, Violation{Seed: w.Seed, Bug: w.Bug, Referee: true, Detail: d})
+	}
+
+	replica, rpools, err := buildReplica(w)
+	if err != nil {
+		return nil, 0, err
+	}
+	checks := 0
+	for k := 0; k <= j.Len(); k++ {
+		for _, mode := range opt.Modes {
+			seeds := opt.FaultSeeds
+			if mode == persist.FaultNone {
+				seeds = 1 // seed-independent: the strict model
+			}
+			for s := 0; s < seeds; s++ {
+				fc := persist.FaultConfig{Mode: mode, Seed: int64(s)}
+				imgs := j.CrashImages(k, fc)
+				checks++
+				if d := checkImages(replica, rpools, imgs, pre, post); d != "" {
+					out = append(out, Violation{
+						Seed: w.Seed, Bug: w.Bug, K: k,
+						Mode: mode, FaultSeed: int64(s), Detail: d,
+					})
+					if len(out) >= maxViolationsPerWorkload {
+						return out, checks, nil
+					}
+				}
+			}
+		}
+	}
+	return out, checks, nil
+}
+
+// checkImages loads one crash image set into the replica store, runs
+// recovery, and verifies the full contract: recovery succeeds, a second
+// recovery is an idempotent no-op, every log ends clean, and the data
+// slots jointly hold either the pre- or the post-transaction values.
+// Returns "" on success or a description of the first failure.
+func checkImages(store *pmo.Store, pools []*pmo.Pool, imgs map[uint32][]byte, pre, post [][]uint64) string {
+	for _, p := range pools {
+		img, ok := imgs[p.ID()]
+		if !ok {
+			return fmt.Sprintf("no crash image for pool %q", p.Name())
+		}
+		if err := p.LoadImage(img); err != nil {
+			return fmt.Sprintf("load image: %v", err)
+		}
+	}
+	if _, err := txn.RecoverStore(store); err != nil {
+		return fmt.Sprintf("recovery error: %v", err)
+	}
+	if redone2, err := txn.RecoverStore(store); err != nil {
+		return fmt.Sprintf("second recovery error: %v", err)
+	} else if redone2 != 0 {
+		return fmt.Sprintf("recovery not idempotent: second pass redid %d logs", redone2)
+	}
+	for _, p := range pools {
+		if st := txn.LogStateOf(p); st != txn.StateClean {
+			return fmt.Sprintf("pool %q log state %d after recovery", p.Name(), st)
+		}
+	}
+	got := readSlots(pools)
+	if !slotsEqual(got, pre) && !slotsEqual(got, post) {
+		return fmt.Sprintf("mixed state after recovery: slots %v, want pre %v or post %v", got, pre, post)
+	}
+	return ""
+}
+
+// buildStore creates the workload's pools and executes its setup
+// transactions (pre-journal, bug-free).
+func buildStore(w Workload) (*pmo.Store, []*pmo.Pool, error) {
+	s := pmo.NewStore()
+	pools := make([]*pmo.Pool, w.Pools)
+	for i := range pools {
+		p, err := s.Create(fmt.Sprintf("p%d", i), PoolSize, pmo.ModeDefault, "crashconform")
+		if err != nil {
+			return nil, nil, err
+		}
+		pools[i] = p
+	}
+	for i, t := range w.Setup {
+		if err := execTx(pools, t, ""); err != nil {
+			return nil, nil, fmt.Errorf("setup %d: %w", i, err)
+		}
+	}
+	return s, pools, nil
+}
+
+// buildReplica creates a bare store with the same pool layout (and,
+// because creation order matches, the same pool IDs) to receive crash
+// images; setup state arrives via LoadImage, not re-execution.
+func buildReplica(w Workload) (*pmo.Store, []*pmo.Pool, error) {
+	s := pmo.NewStore()
+	pools := make([]*pmo.Pool, w.Pools)
+	for i := range pools {
+		p, err := s.Create(fmt.Sprintf("p%d", i), PoolSize, pmo.ModeDefault, "crashconform")
+		if err != nil {
+			return nil, nil, err
+		}
+		pools[i] = p
+	}
+	return s, pools, nil
+}
+
+// execTx runs one TxSpec. bug selects which seeded recovery bug (if
+// any) to re-introduce in the transaction's commit protocol.
+func execTx(pools []*pmo.Pool, t TxSpec, bug string) error {
+	if t.Multi {
+		m, err := txn.BeginMulti(pools[t.Coord])
+		if err != nil {
+			return err
+		}
+		m.UnsafeNoPrepareFence = bug == BugPrepareNoFence
+		m.UnsafeNoDecisionFence = bug == BugDecisionNoFence
+		for _, wr := range t.Writes {
+			if err := m.WriteU64(pools[wr.Pool], SlotOff(wr.Slot), wr.Val); err != nil {
+				return err
+			}
+		}
+		if t.Abort {
+			m.Abort()
+			return nil
+		}
+		return m.Commit()
+	}
+	tx, err := txn.Begin(pools[t.Writes[0].Pool])
+	if err != nil {
+		return err
+	}
+	tx.UnsafeOmitStageFence = bug == BugStageNoFence
+	for _, wr := range t.Writes {
+		if err := tx.WriteU64(SlotOff(wr.Slot), wr.Val); err != nil {
+			return err
+		}
+	}
+	if t.Abort {
+		tx.Abort()
+		return nil
+	}
+	return tx.Commit()
+}
+
+// readSlots snapshots every pool's data slots.
+func readSlots(pools []*pmo.Pool) [][]uint64 {
+	out := make([][]uint64, len(pools))
+	for i, p := range pools {
+		vals := make([]uint64, NumSlots)
+		for s := range vals {
+			vals[s] = p.ReadU64(SlotOff(s))
+		}
+		out[i] = vals
+	}
+	return out
+}
+
+// expectedPost derives the committed image: last-writer-wins over pre
+// (identical to pre for an aborted victim).
+func expectedPost(pre [][]uint64, victim TxSpec) [][]uint64 {
+	post := make([][]uint64, len(pre))
+	for i, vals := range pre {
+		post[i] = append([]uint64(nil), vals...)
+	}
+	if victim.Abort {
+		return post
+	}
+	for _, wr := range victim.Writes {
+		post[wr.Pool][wr.Slot] = wr.Val
+	}
+	return post
+}
+
+func slotsEqual(a, b [][]uint64) bool {
+	for i := range a {
+		for s := range a[i] {
+			if a[i][s] != b[i][s] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// walCheck is the trace-level referee: it feeds the journal into a
+// persist.Checker and asserts the write-ahead-logging epoch rules over
+// the victim's recorded commit/prepare/decision records —
+//
+//   - single-pool commit record: every staged log entry persisted in a
+//     strictly earlier epoch than the committed mark;
+//   - participant prepared mark: the entry count, coordinator pointer,
+//     and staged entries all strictly earlier than the mark;
+//   - coordinator decision: the zeroed count strictly earlier than the
+//     committed mark.
+//
+// These catch a missing fence deterministically, where the image-level
+// sweep needs a reordering seed that happens to drop the right store.
+func walCheck(j *persist.Journal, pools []*pmo.Pool, victim TxSpec) []string {
+	steps := j.Steps()
+	byID := make(map[uint32]*pmo.Pool, len(pools))
+	for _, p := range pools {
+		byID[p.ID()] = p
+	}
+	var coordID uint32
+	if victim.Multi {
+		coordID = pools[victim.Coord].ID()
+	}
+
+	type record struct {
+		pool *pmo.Pool
+		idx  int
+		kind string
+	}
+	var recs []record
+	for i, s := range steps {
+		if s.Fence || len(s.Data) != 8 {
+			continue
+		}
+		p, ok := byID[s.Pool]
+		if !ok {
+			continue
+		}
+		logOff, logSize := p.LogArea()
+		if logSize == 0 || s.Off != logOff {
+			continue // not the log-state word
+		}
+		switch v := binary.LittleEndian.Uint64(s.Data); {
+		case v == txn.StatePrepared:
+			recs = append(recs, record{p, i, "prepared"})
+		case v == txn.StateCommitted && victim.Multi && s.Pool == coordID:
+			recs = append(recs, record{p, i, "decision"})
+		case v == txn.StateCommitted:
+			recs = append(recs, record{p, i, "commit"})
+		}
+	}
+
+	var out []string
+	for _, r := range recs {
+		logOff, logSize := r.pool.LogArea()
+		minOff := logOff + 8 // count word onward (prepared, decision)
+		if r.kind == "commit" {
+			// The single-pool commit record shares an epoch with its
+			// count by design (an empty committed log is a consistent
+			// no-op); only the staged entries are ordering-critical.
+			minOff = logOff + 16
+		}
+		vaSet := make(map[memlayout.VA]struct{})
+		for _, s := range steps[:r.idx] {
+			if s.Fence || s.Pool != r.pool.ID() {
+				continue
+			}
+			end := s.Off + uint64(len(s.Data))
+			for wOff := s.Off &^ 7; wOff < end; wOff += 8 {
+				if wOff >= minOff && wOff < logOff+logSize && wOff != logOff {
+					vaSet[persist.PoolVA(s.Pool, wOff)] = struct{}{}
+				}
+			}
+		}
+		if len(vaSet) == 0 {
+			continue
+		}
+		c := persist.NewChecker(nil)
+		j.Feed(c, r.idx+1)
+		vas := make([]memlayout.VA, 0, len(vaSet))
+		for va := range vaSet {
+			vas = append(vas, va)
+		}
+		if err := c.CheckPersistedBefore(vas, persist.PoolVA(r.pool.ID(), logOff)); err != nil {
+			out = append(out, fmt.Sprintf("%s record on pool %q: %v", r.kind, r.pool.Name(), err))
+		}
+	}
+	return out
+}
+
+// MinimizeSchedule ddmin-shrinks the step prefix behind a crash
+// violation to the smallest subsequence of recorded durable-media steps
+// that still drives recovery into an inconsistency under the same fault
+// config. The workload is re-executed to re-record the journal (the
+// generator and transaction layer are deterministic), so w must be the
+// violation's workload, Bug included.
+func MinimizeSchedule(w Workload, v Violation, budget int) ([]persist.Step, error) {
+	if v.Referee {
+		return nil, fmt.Errorf("crashconform: referee violations have no crash schedule")
+	}
+	if budget <= 0 {
+		budget = 400
+	}
+	_, pools, err := buildStore(w)
+	if err != nil {
+		return nil, err
+	}
+	pre := readSlots(pools)
+	post := expectedPost(pre, w.Victim)
+	j := persist.NewJournal()
+	for _, p := range pools {
+		j.Arm(p)
+	}
+	verr := execTx(pools, w.Victim, w.Bug)
+	j.Disarm()
+	if verr != nil {
+		return nil, verr
+	}
+	k := v.K
+	if k > j.Len() {
+		k = j.Len()
+	}
+	steps := j.Steps()[:k]
+	bases := j.CrashImages(0, persist.FaultConfig{}) // arm-time snapshots
+	replica, rpools, err := buildReplica(w)
+	if err != nil {
+		return nil, err
+	}
+	fc := persist.FaultConfig{Mode: v.Mode, Seed: v.FaultSeed}
+	failing := func(cand []persist.Step) bool {
+		imgs := persist.ApplyCrash(bases, cand, fc)
+		return checkImages(replica, rpools, imgs, pre, post) != ""
+	}
+	return conformance.MinimizeSlice(steps, budget, failing), nil
+}

@@ -1,0 +1,256 @@
+// Package crashconform is the kill-at-every-step crash-recovery
+// conformance harness. It generates durable-transaction workloads over
+// PMO pools (single-pool txn.Tx and cross-pool txn.MultiTx), records the
+// victim transaction's durable-media traffic with a persist.Journal,
+// then simulates a crash after every recorded step under several fault
+// models (torn 8-byte stores, reordered flushes across fence
+// boundaries, dropped write-back tails). Each reconstructed crash image
+// is loaded into a replica store, recovered with txn.RecoverStore, and
+// checked against the prefix-consistency contract:
+//
+//	after recovery, every slot the victim wrote holds either its
+//	pre-transaction or its post-transaction value, jointly across all
+//	pools of the transaction — never a mix; recovery never errors,
+//	recovering twice is idempotent, and every log ends clean.
+//
+// A second, trace-level referee extends the persist.Checker: the journal
+// is fed into the checker and PMTest-style write-ahead-logging rules are
+// asserted over the recorded epochs (staged entries strictly before the
+// commit record; a participant's count and coordinator pointer strictly
+// before its prepared mark; the coordinator's zeroed count strictly
+// before its committed mark). The referee catches missing fences
+// deterministically, without needing a lucky reordering seed.
+//
+// Failing crash schedules are ddmin-shrunk (conformance.MinimizeSlice)
+// and can be saved as human-readable .crash repro files; the checked-in
+// corpus under testdata/repros pins recovery bugs this harness caught
+// (see the Unsafe* knobs in internal/txn) in their fixed state.
+package crashconform
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Pool geometry shared by the harness and its repro corpus. Slots sit
+// past the pool header (one page) and the default 64 KiB redo-log area.
+const (
+	// PoolSize is every generated pool's size.
+	PoolSize = 80 << 10
+	// NumSlots is how many u64 data slots each pool exposes.
+	NumSlots = 8
+	slotBase = 72 << 10
+)
+
+// SlotOff returns the pool offset of data slot i.
+func SlotOff(i int) uint32 { return uint32(slotBase + 8*i) }
+
+// Seeded recovery bugs a workload can re-introduce via the Unsafe*
+// knobs in internal/txn, for caught-then-fixed demonstrations.
+const (
+	// BugStageNoFence omits the fence between staged log entries and the
+	// commit record of a single-pool transaction.
+	BugStageNoFence = "stage-nofence"
+	// BugPrepareNoFence omits the fence between a participant's
+	// count/coordinator-pointer stores and its prepared mark.
+	BugPrepareNoFence = "prepare-nofence"
+	// BugDecisionNoFence omits the fence between the coordinator's
+	// zeroed count and its committed mark.
+	BugDecisionNoFence = "decision-nofence"
+)
+
+// ValidBug reports whether s names a known seeded bug ("" for none).
+func ValidBug(s string) bool {
+	switch s {
+	case "", BugStageNoFence, BugPrepareNoFence, BugDecisionNoFence:
+		return true
+	}
+	return false
+}
+
+// WriteSpec is one durable u64 write: Val into slot Slot of pool Pool
+// (a pool index, not a pool ID).
+type WriteSpec struct {
+	Pool int
+	Slot int
+	Val  uint64
+}
+
+// TxSpec is one transaction of a workload. Single-pool specs write one
+// pool via txn.Tx; Multi specs run two-phase commit via txn.MultiTx
+// with pool index Coord as coordinator (the coordinator is never
+// written). Abort discards instead of committing.
+type TxSpec struct {
+	Multi  bool
+	Abort  bool
+	Coord  int
+	Writes []WriteSpec
+}
+
+// Workload is one crash-conformance scenario: Setup transactions run
+// before the journal is armed (they establish pre-state, including
+// stale log contents from earlier pool roles), then the Victim runs
+// under the journal and is crashed at every step. Bug optionally
+// re-introduces a seeded recovery bug in the victim.
+type Workload struct {
+	Seed   int64
+	Pools  int
+	Setup  []TxSpec
+	Victim TxSpec
+	Bug    string
+}
+
+// Generate derives a deterministic workload from seed: 2–4 pools, up to
+// three setup transactions, one victim. Setup transactions deliberately
+// reuse pools in different roles (a future coordinator may first be a
+// single-pool writer or a 2PC participant) so stale log bytes from the
+// earlier role are present when the victim crashes — the exact
+// precondition under which the decision-record ordering bug corrupted
+// recovery.
+func Generate(seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	w := Workload{Seed: seed, Pools: 2 + rng.Intn(3)}
+	nSetup := rng.Intn(4)
+	for i := 0; i < nSetup; i++ {
+		w.Setup = append(w.Setup, genTx(rng, w.Pools, true))
+	}
+	w.Victim = genTx(rng, w.Pools, false)
+	return w
+}
+
+func genTx(rng *rand.Rand, pools int, setup bool) TxSpec {
+	var t TxSpec
+	n := 1 + rng.Intn(4)
+	if rng.Intn(2) == 0 {
+		t.Multi = true
+		t.Coord = rng.Intn(pools)
+		for i := 0; i < n; i++ {
+			p := rng.Intn(pools)
+			if p == t.Coord {
+				p = (p + 1) % pools
+			}
+			t.Writes = append(t.Writes, WriteSpec{Pool: p, Slot: rng.Intn(NumSlots), Val: genVal(rng)})
+		}
+	} else {
+		p := rng.Intn(pools)
+		for i := 0; i < n; i++ {
+			t.Writes = append(t.Writes, WriteSpec{Pool: p, Slot: rng.Intn(NumSlots), Val: genVal(rng)})
+		}
+	}
+	if setup {
+		t.Abort = rng.Intn(10) == 0
+	} else {
+		t.Abort = rng.Intn(8) == 0
+	}
+	return t
+}
+
+// genVal returns a nonzero, human-recognizable value.
+func genVal(rng *rand.Rand) uint64 { return uint64(rng.Intn(1_000_000)) + 1 }
+
+// String renders t in the repro text form: "single|multi <pool> commit|
+// abort p:s=v,...".
+func (t TxSpec) String() string {
+	var b strings.Builder
+	kind, anchor := "single", 0
+	if t.Multi {
+		kind, anchor = "multi", t.Coord
+	} else if len(t.Writes) > 0 {
+		anchor = t.Writes[0].Pool
+	}
+	verb := "commit"
+	if t.Abort {
+		verb = "abort"
+	}
+	fmt.Fprintf(&b, "%s %d %s ", kind, anchor, verb)
+	for i, wr := range t.Writes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%d=%d", wr.Pool, wr.Slot, wr.Val)
+	}
+	return b.String()
+}
+
+// parseTxSpec parses the String form.
+func parseTxSpec(s string) (TxSpec, error) {
+	var t TxSpec
+	f := strings.Fields(s)
+	if len(f) != 4 {
+		return t, fmt.Errorf("crashconform: bad tx spec %q", s)
+	}
+	switch f[0] {
+	case "single":
+	case "multi":
+		t.Multi = true
+	default:
+		return t, fmt.Errorf("crashconform: bad tx kind %q", f[0])
+	}
+	var anchor int
+	if _, err := fmt.Sscanf(f[1], "%d", &anchor); err != nil {
+		return t, fmt.Errorf("crashconform: bad tx pool %q", f[1])
+	}
+	if t.Multi {
+		t.Coord = anchor
+	}
+	switch f[2] {
+	case "commit":
+	case "abort":
+		t.Abort = true
+	default:
+		return t, fmt.Errorf("crashconform: bad tx verb %q", f[2])
+	}
+	for _, part := range strings.Split(f[3], ",") {
+		var wr WriteSpec
+		if _, err := fmt.Sscanf(part, "%d:%d=%d", &wr.Pool, &wr.Slot, &wr.Val); err != nil {
+			return t, fmt.Errorf("crashconform: bad write %q", part)
+		}
+		t.Writes = append(t.Writes, wr)
+	}
+	if !t.Multi && len(t.Writes) > 0 {
+		anchor := t.Writes[0].Pool
+		for _, wr := range t.Writes {
+			if wr.Pool != anchor {
+				return t, fmt.Errorf("crashconform: single tx spans pools in %q", s)
+			}
+		}
+	}
+	return t, nil
+}
+
+// Validate checks pool/slot indexes and structural rules.
+func (w Workload) Validate() error {
+	if w.Pools < 1 || w.Pools > 16 {
+		return fmt.Errorf("crashconform: %d pools out of range", w.Pools)
+	}
+	if !ValidBug(w.Bug) {
+		return fmt.Errorf("crashconform: unknown bug %q", w.Bug)
+	}
+	check := func(t TxSpec) error {
+		if len(t.Writes) == 0 {
+			return fmt.Errorf("crashconform: tx with no writes")
+		}
+		if t.Multi && (t.Coord < 0 || t.Coord >= w.Pools) {
+			return fmt.Errorf("crashconform: coordinator %d out of range", t.Coord)
+		}
+		for _, wr := range t.Writes {
+			if wr.Pool < 0 || wr.Pool >= w.Pools {
+				return fmt.Errorf("crashconform: write pool %d out of range", wr.Pool)
+			}
+			if wr.Slot < 0 || wr.Slot >= NumSlots {
+				return fmt.Errorf("crashconform: write slot %d out of range", wr.Slot)
+			}
+			if t.Multi && wr.Pool == t.Coord {
+				return fmt.Errorf("crashconform: write targets coordinator pool %d", wr.Pool)
+			}
+		}
+		return nil
+	}
+	for _, t := range w.Setup {
+		if err := check(t); err != nil {
+			return err
+		}
+	}
+	return check(w.Victim)
+}

@@ -1,0 +1,290 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/pmo"
+)
+
+func newFaultPool(t *testing.T) *pmo.Pool {
+	t.Helper()
+	s := pmo.NewStore()
+	p, err := s.Create("f", 128<<10, pmo.ModeDefault, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func u64(v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func readAt(img []byte, off uint32) uint64 {
+	return binary.LittleEndian.Uint64(img[off : off+8])
+}
+
+func TestJournalRecordsStoresAndFences(t *testing.T) {
+	p := newFaultPool(t)
+	j := NewJournal()
+	j.Arm(p)
+	defer j.Disarm()
+
+	p.WriteU64(100<<10, 7)
+	p.Fence()
+	p.WriteU64(100<<10+8, 9)
+
+	steps := j.Steps()
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d, want 3", len(steps))
+	}
+	if steps[0].Fence || steps[0].Off != 100<<10 || !bytes.Equal(steps[0].Data, u64(7)) {
+		t.Errorf("step 0 = %+v", steps[0])
+	}
+	if !steps[1].Fence {
+		t.Errorf("step 1 not a fence: %+v", steps[1])
+	}
+	if steps[2].Off != 100<<10+8 {
+		t.Errorf("step 2 = %+v", steps[2])
+	}
+}
+
+func TestJournalDisarmStopsRecording(t *testing.T) {
+	p := newFaultPool(t)
+	j := NewJournal()
+	j.Arm(p)
+	p.WriteU64(100<<10, 1)
+	j.Disarm()
+	p.WriteU64(100<<10, 2)
+	if j.Len() != 1 {
+		t.Errorf("steps after disarm = %d, want 1", j.Len())
+	}
+}
+
+// Fenced stores are durable at any later crash point under every mode
+// (except the deliberately fence-blind one).
+func TestFencedStoresAlwaysDurable(t *testing.T) {
+	p := newFaultPool(t)
+	off := uint32(100 << 10)
+	p.WriteU64(off, 1) // pre-arm baseline
+	j := NewJournal()
+	j.Arm(p)
+	defer j.Disarm()
+	p.WriteU64(off, 2)
+	p.Fence()
+	p.WriteU64(off+8, 3) // open at crash
+
+	modes := []FaultMode{FaultNone, FaultDropTail, FaultReorder, FaultReorder | FaultTorn}
+	for _, mode := range modes {
+		for seed := int64(0); seed < 20; seed++ {
+			imgs := j.CrashImages(j.Len(), FaultConfig{Mode: mode, Seed: seed})
+			img := imgs[p.ID()]
+			if got := readAt(img, off); got != 2 {
+				t.Fatalf("mode %v seed %d: fenced store = %d, want 2", mode, seed, got)
+			}
+		}
+	}
+}
+
+// Crash point 0 is exactly the arm-time baseline.
+func TestCrashAtZeroIsBaseline(t *testing.T) {
+	p := newFaultPool(t)
+	off := uint32(100 << 10)
+	p.WriteU64(off, 42)
+	j := NewJournal()
+	j.Arm(p)
+	defer j.Disarm()
+	p.WriteU64(off, 99)
+	p.Fence()
+	imgs := j.CrashImages(0, FaultConfig{Mode: FaultReorder, Seed: 1})
+	if got := readAt(imgs[p.ID()], off); got != 42 {
+		t.Errorf("crash at 0 = %d, want baseline 42", got)
+	}
+}
+
+// Same (k, config) must reconstruct bit-identical images.
+func TestCrashImagesDeterministic(t *testing.T) {
+	p := newFaultPool(t)
+	j := NewJournal()
+	j.Arm(p)
+	defer j.Disarm()
+	for i := uint32(0); i < 16; i++ {
+		p.WriteU64(100<<10+i*8, uint64(i)*0x0101010101010101)
+		if i%5 == 4 {
+			p.Fence()
+		}
+	}
+	for k := 0; k <= j.Len(); k++ {
+		fc := FaultConfig{Mode: FaultDropTail | FaultReorder | FaultTorn, Seed: int64(k) * 7}
+		a := j.CrashImages(k, fc)
+		b := j.CrashImages(k, fc)
+		if !bytes.Equal(a[p.ID()], b[p.ID()]) {
+			t.Fatalf("crash image at k=%d not deterministic", k)
+		}
+	}
+}
+
+// FaultNone persists every issued store: the strict model.
+func TestFaultNonePersistsEverything(t *testing.T) {
+	p := newFaultPool(t)
+	off := uint32(100 << 10)
+	j := NewJournal()
+	j.Arm(p)
+	defer j.Disarm()
+	p.WriteU64(off, 5)
+	p.WriteU64(off+8, 6)
+	imgs := j.CrashImages(j.Len(), FaultConfig{})
+	img := imgs[p.ID()]
+	if readAt(img, off) != 5 || readAt(img, off+8) != 6 {
+		t.Errorf("strict model lost open stores: %d %d", readAt(img, off), readAt(img, off+8))
+	}
+}
+
+// DropTail alone only ever loses a suffix of the open-epoch units.
+func TestDropTailIsPrefixClosed(t *testing.T) {
+	p := newFaultPool(t)
+	off := uint32(100 << 10)
+	j := NewJournal()
+	j.Arm(p)
+	defer j.Disarm()
+	const n = 8
+	for i := uint32(0); i < n; i++ {
+		p.WriteU64(off+i*8, uint64(i)+10)
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		img := j.CrashImages(j.Len(), FaultConfig{Mode: FaultDropTail, Seed: seed})[p.ID()]
+		// Once one store is lost, all later ones must be lost too.
+		lost := false
+		for i := uint32(0); i < n; i++ {
+			got := readAt(img, off+i*8)
+			if got == 0 {
+				lost = true
+			} else if lost {
+				t.Fatalf("seed %d: store %d persisted after a dropped predecessor", seed, i)
+			} else if got != uint64(i)+10 {
+				t.Fatalf("seed %d: store %d = %d", seed, i, got)
+			}
+		}
+	}
+}
+
+// Torn words keep exactly one 4-byte half.
+func TestTornStoreHalves(t *testing.T) {
+	p := newFaultPool(t)
+	off := uint32(100 << 10)
+	p.WriteU64(off, 0x1111111122222222)
+	j := NewJournal()
+	j.Arm(p)
+	defer j.Disarm()
+	p.WriteU64(off, 0x3333333344444444)
+	sawTear := false
+	for seed := int64(0); seed < 200; seed++ {
+		img := j.CrashImages(j.Len(), FaultConfig{Mode: FaultTorn, Seed: seed})[p.ID()]
+		switch got := readAt(img, off); got {
+		case 0x3333333344444444: // persisted whole
+		case 0x1111111144444444, 0x3333333322222222: // torn halves
+			sawTear = true
+		default:
+			t.Fatalf("seed %d: impossible torn value %#x", seed, got)
+		}
+	}
+	if !sawTear {
+		t.Error("no tear observed in 200 seeds")
+	}
+}
+
+// IgnoreFences treats fenced stores as losable — the referee-sensitivity
+// model.
+func TestIgnoreFencesCanLoseFencedStores(t *testing.T) {
+	p := newFaultPool(t)
+	off := uint32(100 << 10)
+	j := NewJournal()
+	j.Arm(p)
+	defer j.Disarm()
+	p.WriteU64(off, 7)
+	p.Fence()
+	lostOnce := false
+	for seed := int64(0); seed < 50 && !lostOnce; seed++ {
+		img := j.CrashImages(j.Len(), FaultConfig{Mode: FaultIgnoreFences | FaultReorder, Seed: seed})[p.ID()]
+		if readAt(img, off) != 7 {
+			lostOnce = true
+		}
+	}
+	if !lostOnce {
+		t.Error("fence-blind model never lost a fenced store")
+	}
+}
+
+func TestFaultModeRoundTrip(t *testing.T) {
+	modes := []FaultMode{
+		FaultNone, FaultDropTail, FaultReorder, FaultTorn,
+		FaultDropTail | FaultReorder | FaultTorn, FaultIgnoreFences | FaultReorder,
+	}
+	for _, m := range modes {
+		back, err := ParseFaultMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("round trip %v -> %q -> (%v, %v)", m, m.String(), back, err)
+		}
+	}
+	if _, err := ParseFaultMode("bogus"); err == nil {
+		t.Error("ParseFaultMode accepted bogus")
+	}
+}
+
+// Feed drives the Checker referee: a store fenced before another must
+// satisfy CheckPersistedBefore; an unfenced pair must not.
+func TestJournalFeedsChecker(t *testing.T) {
+	p := newFaultPool(t)
+	a, b := uint32(100<<10), uint32(100<<10+64)
+	j := NewJournal()
+	j.Arm(p)
+	defer j.Disarm()
+	p.WriteU64(a, 1)
+	p.Fence()
+	p.WriteU64(b, 2)
+
+	c := NewChecker(nil)
+	j.Feed(c, -1)
+	if err := c.CheckPersistedBefore([]memlayout.VA{PoolVA(p.ID(), uint64(a))}, PoolVA(p.ID(), uint64(b))); err != nil {
+		t.Errorf("fenced pair rejected: %v", err)
+	}
+
+	// Same-epoch pair: must be rejected.
+	j2 := NewJournal()
+	p2 := newFaultPool(t)
+	j2.Arm(p2)
+	defer j2.Disarm()
+	p2.WriteU64(a, 1)
+	p2.WriteU64(b, 2)
+	c2 := NewChecker(nil)
+	j2.Feed(c2, -1)
+	if err := c2.CheckPersistedBefore([]memlayout.VA{PoolVA(p2.ID(), uint64(a))}, PoolVA(p2.ID(), uint64(b))); err == nil {
+		t.Error("unfenced pair accepted")
+	}
+}
+
+func TestCheckerStoreBound(t *testing.T) {
+	c := NewChecker(nil)
+	c.SetMaxStores(4)
+	for i := 0; i < 16; i++ {
+		c.Access(1, memlayout.VA(0x1000+i*8), 8, true)
+	}
+	if got := c.Stores(); got != 4 {
+		t.Errorf("Stores = %d, want cap 4", got)
+	}
+	if got := c.StoresDropped(); got != 12 {
+		t.Errorf("StoresDropped = %d, want 12", got)
+	}
+	// Updates to tracked locations still land.
+	c.Fence(1)
+	c.Access(1, memlayout.VA(0x1000), 8, true)
+	rec, ok := c.EpochOf(memlayout.VA(0x1000))
+	if !ok || rec.Epoch != 1 {
+		t.Errorf("tracked location not updated: %+v ok=%v", rec, ok)
+	}
+}

@@ -29,12 +29,22 @@ type StoreRecord struct {
 	Seq    uint64 // global program order
 }
 
+// DefaultMaxStoreRecords bounds the per-Checker store map: tracking the
+// last-store epoch of every 8-byte location is unbounded state on long
+// fault-injection runs, so locations beyond the cap are counted but not
+// recorded (the same policy sim.Config.MaxFaultRecords applies to fault
+// diagnostics). Ordering checks that name a dropped location fail loudly
+// with "no store observed" rather than silently passing.
+const DefaultMaxStoreRecords = 1 << 20
+
 // Checker is a pass-through trace.Sink recording store epochs.
 type Checker struct {
-	next   trace.Sink
-	epochs map[core.ThreadID]Epoch
-	stores map[memlayout.VA]StoreRecord
-	seq    uint64
+	next          trace.Sink
+	epochs        map[core.ThreadID]Epoch
+	stores        map[memlayout.VA]StoreRecord
+	seq           uint64
+	maxStores     int
+	storesDropped uint64
 }
 
 // NewChecker wraps next (nil for audit-only use).
@@ -43,11 +53,25 @@ func NewChecker(next trace.Sink) *Checker {
 		next = trace.Discard{}
 	}
 	return &Checker{
-		next:   next,
-		epochs: make(map[core.ThreadID]Epoch),
-		stores: make(map[memlayout.VA]StoreRecord),
+		next:      next,
+		epochs:    make(map[core.ThreadID]Epoch),
+		stores:    make(map[memlayout.VA]StoreRecord),
+		maxStores: DefaultMaxStoreRecords,
 	}
 }
+
+// SetMaxStores overrides the retained-location cap (n <= 0 keeps the
+// current cap).
+func (c *Checker) SetMaxStores(n int) {
+	if n > 0 {
+		c.maxStores = n
+	}
+}
+
+// StoresDropped returns how many distinct 8-byte locations were not
+// recorded after the store map reached its cap. Epoch updates to already
+// -tracked locations are never dropped.
+func (c *Checker) StoresDropped() uint64 { return c.storesDropped }
 
 // Instr implements trace.Sink.
 func (c *Checker) Instr(th core.ThreadID, n uint64) { c.next.Instr(th, n) }
@@ -61,7 +85,12 @@ func (c *Checker) Access(th core.ThreadID, va memlayout.VA, size uint32, write b
 		rec := StoreRecord{Thread: th, Epoch: c.epochs[th], Seq: c.seq}
 		memlayout.SplitLine(va, size, func(p memlayout.VA, n uint32) {
 			for off := uint64(0); off < uint64(n); off += 8 {
-				c.stores[p+memlayout.VA(off)] = rec
+				key := p + memlayout.VA(off)
+				if _, tracked := c.stores[key]; !tracked && len(c.stores) >= c.maxStores {
+					c.storesDropped++
+					continue
+				}
+				c.stores[key] = rec
 			}
 		})
 	}

@@ -72,6 +72,14 @@ type Pool struct {
 	allocMu sync.Mutex
 
 	frames map[uint64]*[memlayout.PageSize]byte
+	// hookStore/hookFence observe the pool's durable-media traffic for
+	// fault-injection testing (see internal/persist). hookStore is called
+	// under p.mu with the raw bytes of every store that reaches the
+	// backing frames; it must not touch the pool and must copy src if it
+	// retains it. hookFence is called outside p.mu on every persist
+	// barrier issued through Fence.
+	hookStore func(off uint64, src []byte)
+	hookFence func()
 	// atts are the current attachments. The paper's sharing policy is
 	// enforced at attach time: a writable attachment is exclusive; any
 	// number of read-only attachments may coexist.
@@ -259,6 +267,9 @@ func (p *Pool) writeRaw(off uint64, src []byte) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.dirty = true
+	if p.hookStore != nil {
+		p.hookStore(off, src)
+	}
 	for len(src) > 0 {
 		pageOff := off & (memlayout.PageSize - 1)
 		n := memlayout.PageSize - pageOff
@@ -379,4 +390,65 @@ func (p *Pool) SetRoot(o OID) {
 // LogArea returns the reserved redo-log region (offset, size).
 func (p *Pool) LogArea() (uint64, uint64) {
 	return p.readU64Raw(hdrLogOff), p.readU64Raw(hdrLogSize)
+}
+
+// SetPersistHooks installs (or, with nils, removes) observers of the
+// pool's durable-media traffic: store fires for every byte range that
+// reaches the backing frames, fence for every persist barrier issued via
+// Fence. Used by the fault-injection layer in internal/persist.
+func (p *Pool) SetPersistHooks(store func(off uint64, src []byte), fence func()) {
+	p.mu.Lock()
+	p.hookStore = store
+	p.hookFence = fence
+	p.mu.Unlock()
+}
+
+// Fence issues a persist barrier on behalf of this pool: it notifies a
+// persist hook if installed and forwards to the primary attachment's
+// space (unattached pools in pure library mode still notify the hook, so
+// fault-injection sees the program's ordering intent).
+func (p *Pool) Fence() {
+	p.mu.Lock()
+	hf := p.hookFence
+	var att *Attachment
+	if len(p.atts) > 0 {
+		att = p.atts[0]
+	}
+	p.mu.Unlock()
+	if hf != nil {
+		hf()
+	}
+	if att != nil {
+		att.Fence()
+	}
+}
+
+// CopyImage returns the pool's full byte image — the simulated NVM
+// contents, including header, log area, and data. Crash-injection
+// testing snapshots images and rebuilds pools from faulted variants.
+func (p *Pool) CopyImage() []byte {
+	img := make([]byte, p.size)
+	p.readRaw(0, img)
+	return img
+}
+
+// LoadImage overwrites the pool's entire byte contents with img (which
+// must be exactly Size() bytes), bypassing persist hooks and access
+// instrumentation: it models restoring an NVM image after power loss.
+func (p *Pool) LoadImage(img []byte) error {
+	if uint64(len(img)) != p.size {
+		return fmt.Errorf("pmo: image size %d != pool %q size %d", len(img), p.name, p.size)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dirty = true
+	for off := uint64(0); off < p.size; off += memlayout.PageSize {
+		n := uint64(memlayout.PageSize)
+		if off+n > p.size {
+			n = p.size - off
+		}
+		f := p.frame(off, true)
+		copy(f[:n], img[off:off+n])
+	}
+	return nil
 }

@@ -44,6 +44,23 @@ type MultiTx struct {
 	pools map[uint32]*pmo.Pool
 	crash CrashPoint
 	done  bool
+
+	// UnsafeNoPrepareFence and UnsafeNoDecisionFence reintroduce two
+	// recovery bugs the crash-conformance harness caught, for
+	// fault-injection demonstrations ONLY (see the .crash repros in
+	// internal/crashconform/testdata/repros):
+	//
+	// NoPrepareFence omits the barrier between a participant's
+	// count/coordinator-pointer stores and its prepared mark, so under
+	// reordered flushes the prepared mark can persist alone and recovery
+	// consults a stale or zero coordinator pointer.
+	//
+	// NoDecisionFence omits the barrier between the coordinator's
+	// count=0 store and its committed mark, so the committed mark can
+	// persist while a stale entry count from an earlier transaction
+	// survives — recovery then replays the coordinator's old log.
+	UnsafeNoPrepareFence  bool
+	UnsafeNoDecisionFence bool
 }
 
 // BeginMulti starts a cross-pool transaction coordinated by coord. Every
@@ -156,14 +173,20 @@ func (m *MultiTx) Commit() error {
 	m.done = true
 	parts := m.participants()
 
-	// Phase 1: prepare every participant — persist staged entries, the
-	// entry count, the coordinator pointer, and the prepared mark.
+	// Phase 1: prepare every participant — persist staged entries, then
+	// the entry count and coordinator pointer, then the prepared mark.
+	// The mark gets its own epoch: recovery trusts the coordinator
+	// pointer of any pool marked prepared, so the pointer must be
+	// durable strictly before the mark can be.
 	for _, p := range parts {
 		t := m.parts[p.ID()]
 		lo := uint32(t.logOff)
-		t.fence()
+		t.fence() // persist staged entries
 		p.WriteU64(lo+logCountOff, t.count)
 		p.WriteU64(lo+logCoordOff, uint64(m.coord.ID()))
+		if !m.UnsafeNoPrepareFence {
+			t.fence() // persist count + coordinator pointer
+		}
 		p.WriteU64(lo+logStateOff, logPrepared)
 		t.fence()
 	}
@@ -173,13 +196,17 @@ func (m *MultiTx) Commit() error {
 
 	// Phase 2: the coordinator's committed mark is the atomic decision.
 	// Its entry count is zeroed so single-pool recovery treats the
-	// decision record as an empty (trivially redone) log.
+	// decision record as an empty (trivially redone) log — and the zero
+	// must be durable strictly before the mark, or a crash can leave the
+	// committed mark over a stale count from an earlier transaction and
+	// recovery replays the coordinator's old log.
 	clo := uint32(coordLogOff(m.coord))
 	m.coord.WriteU64(clo+logCountOff, 0)
-	m.coord.WriteU64(clo+logStateOff, logCommitted)
-	if att := m.coord.Attachment(); att != nil {
-		att.Fence()
+	if !m.UnsafeNoDecisionFence {
+		m.coord.Fence() // persist the zeroed decision count
 	}
+	m.coord.WriteU64(clo+logStateOff, logCommitted)
+	m.coord.Fence()
 	if m.crash == CrashAfterDecide {
 		return ErrCrashed
 	}
@@ -199,9 +226,7 @@ func (m *MultiTx) Commit() error {
 		applied++
 	}
 	m.coord.WriteU64(clo+logStateOff, logClean)
-	if att := m.coord.Attachment(); att != nil {
-		att.Fence()
-	}
+	m.coord.Fence()
 	return nil
 }
 
@@ -245,33 +270,33 @@ func RecoverMulti(pool *pmo.Pool, lookup func(uint32) (*pmo.Pool, bool)) (bool, 
 	}
 	// Redo this participant's log (multi layout).
 	count := pool.ReadU64(lo + logCountOff)
-	cursor := uint64(multiEntriesOff)
-	for i := uint64(0); i < count; i++ {
-		if cursor+entryHdrSize > logSize {
-			return false, fmt.Errorf("txn: pool %q multi log corrupt", pool.Name())
-		}
-		target := pool.ReadU64(uint32(logOff + cursor))
-		length := pool.ReadU64(uint32(logOff + cursor + 8))
-		if cursor+entryHdrSize+length > logSize {
-			return false, fmt.Errorf("txn: pool %q multi log corrupt (entry %d)", pool.Name(), i)
-		}
-		buf := make([]byte, length)
-		pool.Read(uint32(logOff+cursor+entryHdrSize), buf)
-		pool.Write(uint32(target), buf)
-		cursor += entryHdrSize + alignUp8(length)
+	if err := redoEntries(pool, logOff, logSize, multiEntriesOff, count); err != nil {
+		return false, err
 	}
 	pool.WriteU64(lo+logStateOff, logClean)
 	return true, nil
 }
 
-// RecoverStore runs multi-pool recovery over every pool in a store: first
-// all prepared participants consult their coordinators, then coordinator
-// logs left committed are cleared (their participants have been settled).
+// RecoverStore runs multi-pool recovery over every pool in a store:
+// first every prepared participant consults its coordinator, and only
+// then are remaining logs (single-pool logs and coordinator decision
+// records) settled. The order is load-bearing: a coordinator's
+// committed mark is the only durable evidence of the decision, and
+// clearing it before all participants have consulted it makes later
+// participants abort a committed transaction — the kill-at-every-step
+// harness in internal/crashconform caught exactly that (a mid-apply
+// crash recovered one pool's writes and discarded another's).
 func RecoverStore(store *pmo.Store) (redone int, err error) {
 	infos := store.List()
+	// Pass 1: prepared participants only. Nothing is cleared except
+	// participant logs, so every consult sees the coordinator's mark
+	// exactly as the crash left it.
 	for _, info := range infos {
 		p, ok := store.Get(info.Name)
 		if !ok {
+			continue
+		}
+		if LogStateOf(p) != StatePrepared {
 			continue
 		}
 		r, err := RecoverMulti(p, store.ByID)
@@ -282,23 +307,19 @@ func RecoverStore(store *pmo.Store) (redone int, err error) {
 			redone++
 		}
 	}
-	// Clear decided coordinator marks.
+	// Pass 2: settle everything else — committed single-pool logs redo,
+	// coordinator decision records (count 0) clear, active logs discard.
 	for _, info := range infos {
 		p, ok := store.Get(info.Name)
 		if !ok {
 			continue
 		}
-		logOff, logSize := p.LogArea()
-		if logSize == 0 {
-			continue
+		r, err := Recover(p)
+		if err != nil {
+			return redone, err
 		}
-		if p.ReadU64(uint32(logOff)+logStateOff) == logCommitted {
-			// Either a single-pool committed log (Recover handled it
-			// above via RecoverMulti's fallback) or a coordinator
-			// decision record; both are safe to settle now.
-			if _, err := Recover(p); err != nil {
-				return redone, err
-			}
+		if r {
+			redone++
 		}
 	}
 	return redone, nil

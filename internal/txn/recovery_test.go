@@ -1,0 +1,161 @@
+package txn
+
+import (
+	"strings"
+	"testing"
+)
+
+// Abort after partially staged writes — including a write rejected for
+// overflowing the log — must leave home locations untouched and the
+// pool immediately reusable.
+func TestAbortAfterPartialWrites(t *testing.T) {
+	p := newPool(t)
+	o, _ := p.Alloc(64)
+	p.WriteU64(o.Offset(), 1)
+	p.WriteU64(o.Offset()+8, 2)
+
+	tx, err := Begin(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.WriteU64(o.Offset(), 10); err != nil {
+		t.Fatal(err)
+	}
+	// Overflow the log mid-transaction.
+	_, logSize := p.LogArea()
+	if err := tx.Write(o.Offset()+8, make([]byte, logSize)); err == nil {
+		t.Fatal("oversized write accepted")
+	} else if !strings.Contains(err.Error(), "log full") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The transaction is still usable after the rejected write.
+	if err := tx.WriteU64(o.Offset()+8, 20); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+
+	if p.ReadU64(o.Offset()) != 1 || p.ReadU64(o.Offset()+8) != 2 {
+		t.Errorf("abort leaked staged writes: %d %d", p.ReadU64(o.Offset()), p.ReadU64(o.Offset()+8))
+	}
+	if st := LogStateOf(p); st != StateClean {
+		t.Errorf("log state %d after abort", st)
+	}
+	// The pool accepts and applies a fresh transaction.
+	tx2, err := Begin(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.WriteU64(o.Offset(), 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ReadU64(o.Offset()) != 30 {
+		t.Error("post-abort transaction not applied")
+	}
+}
+
+// Recovering twice is idempotent: the second pass finds a clean log and
+// redoes nothing.
+func TestDoubleRecoverIdempotent(t *testing.T) {
+	p := newPool(t)
+	o, _ := p.Alloc(64)
+	tx, _ := Begin(p)
+	tx.SetCrashPoint(CrashAfterCommit)
+	if err := tx.WriteU64(o.Offset(), 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != ErrCrashed {
+		t.Fatalf("Commit = %v, want ErrCrashed", err)
+	}
+
+	redone, err := Recover(p)
+	if err != nil || !redone {
+		t.Fatalf("first Recover = (%v, %v), want (true, nil)", redone, err)
+	}
+	if p.ReadU64(o.Offset()) != 7 {
+		t.Error("redo did not apply the write")
+	}
+	redone, err = Recover(p)
+	if err != nil || redone {
+		t.Fatalf("second Recover = (%v, %v), want (false, nil)", redone, err)
+	}
+	if st := LogStateOf(p); st != StateClean {
+		t.Errorf("log state %d after double recovery", st)
+	}
+}
+
+// RecoverStore is idempotent across a whole store: after a cross-pool
+// crash the first pass redoes the prepared participants, the second
+// redoes nothing.
+func TestDoubleRecoverStoreIdempotent(t *testing.T) {
+	s, coord, pools, offs := multiSetup(t, 3)
+	tx, err := BeginMulti(coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.SetCrashPoint(CrashAfterDecide)
+	for i, p := range pools {
+		if err := tx.WriteU64(p, offs[i], uint64(200+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != ErrCrashed {
+		t.Fatalf("Commit = %v, want ErrCrashed", err)
+	}
+
+	redone, err := RecoverStore(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if redone != len(pools) {
+		t.Fatalf("first RecoverStore redid %d logs, want %d", redone, len(pools))
+	}
+	for i, p := range pools {
+		if got := p.ReadU64(offs[i]); got != uint64(200+i) {
+			t.Errorf("pool %d = %d after recovery", i, got)
+		}
+	}
+	redone, err = RecoverStore(s)
+	if err != nil || redone != 0 {
+		t.Fatalf("second RecoverStore = (%d, %v), want (0, nil)", redone, err)
+	}
+	if st := LogStateOf(coord); st != StateClean {
+		t.Errorf("coordinator log state %d", st)
+	}
+	for i, p := range pools {
+		if st := LogStateOf(p); st != StateClean {
+			t.Errorf("pool %d log state %d", i, st)
+		}
+	}
+}
+
+// A participant crash between prepare and decide recovers to neither
+// pool committed; a crash after decide recovers to both — never one of
+// the two (the cross-pool both-or-neither contract at the txn layer;
+// internal/crashconform sweeps the same property at every media step).
+func TestMultiRecoverBothOrNeither(t *testing.T) {
+	for _, cp := range []CrashPoint{CrashAfterPrepare, CrashAfterDecide, CrashMidApplyMulti} {
+		s, coord, pools, offs := multiSetup(t, 2)
+		tx, err := BeginMulti(coord)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.SetCrashPoint(cp)
+		tx.WriteU64(pools[0], offs[0], 201)
+		tx.WriteU64(pools[1], offs[1], 202)
+		if err := tx.Commit(); err != ErrCrashed {
+			t.Fatalf("crash %d: Commit = %v", cp, err)
+		}
+		if _, err := RecoverStore(s); err != nil {
+			t.Fatalf("crash %d: %v", cp, err)
+		}
+		a, b := pools[0].ReadU64(offs[0]), pools[1].ReadU64(offs[1])
+		wantOld := a == 100 && b == 100
+		wantNew := a == 201 && b == 202
+		if !wantOld && !wantNew {
+			t.Errorf("crash %d: mixed recovery state (%d, %d)", cp, a, b)
+		}
+	}
+}

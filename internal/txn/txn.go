@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
 	"domainvirt/internal/pmo"
 )
@@ -68,6 +69,15 @@ type Tx struct {
 	// multi marks this as a participant leg of a cross-pool MultiTx,
 	// whose log layout reserves a coordinator-pointer slot.
 	multi bool
+
+	// UnsafeOmitStageFence reintroduces a write-ahead-logging bug for
+	// fault-injection demonstrations ONLY: Commit skips the persist
+	// barrier between the staged log entries and the commit record, so
+	// under reordered flushes the commit record can reach NVM before an
+	// entry and recovery replays a torn log. Never set in production
+	// code; internal/crashconform uses it to prove the referee catches
+	// the missing fence.
+	UnsafeOmitStageFence bool
 }
 
 // Begin starts a transaction on pool. The pool must have a log area and
@@ -153,13 +163,10 @@ func (t *Tx) ReadU64(off uint32) uint64 {
 // ReadOID reads a persistent pointer with read-your-writes semantics.
 func (t *Tx) ReadOID(off uint32) pmo.OID { return pmo.OID(t.ReadU64(off)) }
 
-// fence emits a persist barrier when the pool is attached to an
-// instrumented space.
-func (t *Tx) fence() {
-	if att := t.pool.Attachment(); att != nil {
-		att.Fence()
-	}
-}
+// fence emits a persist barrier through the pool: fault-injection hooks
+// observe it even in pure library mode, and an attached instrumented
+// space receives the trace event.
+func (t *Tx) fence() { t.pool.Fence() }
 
 // Commit makes the staged writes durable: persist the log, write the
 // commit record, apply to home locations, clear the log. An armed crash
@@ -172,7 +179,9 @@ func (t *Tx) Commit() error {
 	t.done = true
 	lo := uint32(t.logOff)
 
-	t.fence() // persist staged entries
+	if !t.UnsafeOmitStageFence {
+		t.fence() // persist staged entries
+	}
 	if t.crash == CrashBeforeCommit {
 		return ErrCrashed
 	}
@@ -226,20 +235,8 @@ func Recover(pool *pmo.Pool) (redone bool, err error) {
 	case logCommitted:
 		// Redo every logged write (idempotent).
 		count := pool.ReadU64(lo + logCountOff)
-		cursor := uint64(logEntriesOff)
-		for i := uint64(0); i < count; i++ {
-			if cursor+entryHdrSize > logSize {
-				return false, fmt.Errorf("txn: pool %q log corrupt (entry %d)", pool.Name(), i)
-			}
-			target := pool.ReadU64(uint32(logOff + cursor))
-			length := pool.ReadU64(uint32(logOff + cursor + 8))
-			if cursor+entryHdrSize+length > logSize || length > logSize {
-				return false, fmt.Errorf("txn: pool %q log corrupt (entry %d length %d)", pool.Name(), i, length)
-			}
-			buf := make([]byte, length)
-			pool.Read(uint32(logOff+cursor+entryHdrSize), buf)
-			pool.Write(uint32(target), buf)
-			cursor += entryHdrSize + alignUp8(length)
+		if err := redoEntries(pool, logOff, logSize, logEntriesOff, count); err != nil {
+			return false, err
 		}
 		pool.WriteU64(lo+logStateOff, logClean)
 		// An empty committed log (a cross-pool coordinator's decision
@@ -250,4 +247,56 @@ func Recover(pool *pmo.Pool) (redone bool, err error) {
 	}
 }
 
+// redoEntries replays count staged entries starting at cursor within the
+// log area, validating every header against both the log bounds and the
+// pool bounds. Recovery runs over whatever bytes a crash left behind, so
+// a torn or stale log must yield an error — never a panic, a wild write
+// outside the pool, or an attempt to allocate a corrupt u64 length.
+func redoEntries(pool *pmo.Pool, logOff, logSize, cursor, count uint64) error {
+	for i := uint64(0); i < count; i++ {
+		if cursor+entryHdrSize > logSize {
+			return fmt.Errorf("txn: pool %q log corrupt (entry %d header past log end)", pool.Name(), i)
+		}
+		target := pool.ReadU64(uint32(logOff + cursor))
+		length := pool.ReadU64(uint32(logOff + cursor + 8))
+		if length > logSize || cursor+entryHdrSize+length > logSize {
+			return fmt.Errorf("txn: pool %q log corrupt (entry %d length %d)", pool.Name(), i, length)
+		}
+		if target > math.MaxUint32 || target > pool.Size() || length > pool.Size()-target {
+			return fmt.Errorf("txn: pool %q log corrupt (entry %d target %#x+%d outside pool)",
+				pool.Name(), i, target, length)
+		}
+		buf := make([]byte, length)
+		pool.Read(uint32(logOff+cursor+entryHdrSize), buf)
+		pool.Write(uint32(target), buf)
+		cursor += entryHdrSize + alignUp8(length)
+	}
+	return nil
+}
+
 func alignUp8(v uint64) uint64 { return (v + 7) &^ 7 }
+
+// Log-state diagnostics, exported for tests and the crash-conformance
+// referee in internal/crashconform.
+const (
+	// StateClean is an idle log.
+	StateClean uint64 = logClean
+	// StateActive is a log with staged, uncommitted entries.
+	StateActive uint64 = logActive
+	// StateCommitted is a committed-but-unapplied log (or a cross-pool
+	// coordinator's decision record).
+	StateCommitted uint64 = logCommitted
+	// StatePrepared is a cross-pool participant awaiting its
+	// coordinator's decision.
+	StatePrepared uint64 = logPrepared
+)
+
+// LogStateOf reads pool's current log-state word (StateClean if the pool
+// has no log area).
+func LogStateOf(pool *pmo.Pool) uint64 {
+	logOff, logSize := pool.LogArea()
+	if logSize == 0 {
+		return StateClean
+	}
+	return pool.ReadU64(uint32(logOff + logStateOff))
+}

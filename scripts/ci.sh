@@ -21,6 +21,15 @@ go test -race -run 'TestHistogramMergeProperty|TestExportersDeterministic' ./int
 # run explicitly so a race regression names the layer that broke.
 go test -race ./internal/serve/... ./internal/pmo/...
 
+# Crash-consistency gate: the persistence fault model, the transaction
+# layer (including the checked-in FuzzRecover seed corpus, which runs as
+# regression cases under plain `go test`), and the kill-at-every-step
+# conformance suite, race-enabled; then a bounded generated sweep via
+# the CLI entry point and a short live fuzz of log-recovery.
+go test -race ./internal/persist/ ./internal/txn/ ./internal/crashconform/
+go run ./cmd/pmosim -crashconform -crashconform-workloads 40
+go test -fuzz FuzzRecover -fuzztime 5s -run '^$' ./internal/txn/
+
 # Hot-path budget smoke: run every benchmark briefly and enforce the
 # allocation budgets of BENCH_sim.json (allocs/op must not grow; the
 # timing gate is disabled here because a short CI run is too noisy —
