@@ -11,6 +11,11 @@
 // exits nonzero on any alloc increase or a >tolerance ns/op slowdown):
 //
 //	go test -bench . -benchmem ./internal/sim/ | benchjson -check BENCH_sim.json
+//
+// Render (reads the baseline file only, no stdin; writes a deterministic
+// markdown results page):
+//
+//	benchjson -render BENCH_sim.json -md RESULTS.md
 package main
 
 import (
@@ -20,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -49,12 +56,37 @@ type doc struct {
 func main() {
 	out := flag.String("out", "", "write parsed benchmarks as JSON to this file (preserving its note/reference)")
 	check := flag.String("check", "", "compare parsed benchmarks against this baseline JSON")
+	render := flag.String("render", "", "render this baseline JSON as a markdown results page (no stdin)")
+	md := flag.String("md", "", "markdown output path for -render (default stdout)")
 	tol := flag.Float64("ns-tolerance", 0.10, "allowed fractional ns/op regression in -check mode (negative disables the ns check)")
 	note := flag.String("note", "", "set the note field when writing -out")
 	flag.Parse()
-	if (*out == "") == (*check == "") {
-		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -out or -check is required")
+	set := 0
+	for _, f := range []string{*out, *check, *render} {
+		if f != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		fmt.Fprintln(os.Stderr, "benchjson: exactly one of -out, -check, or -render is required")
 		os.Exit(2)
+	}
+
+	if *render != "" {
+		d, err := load(*render)
+		if err != nil {
+			fatal(err)
+		}
+		buf := renderMarkdown(d, filepath.Base(*render))
+		if *md == "" {
+			os.Stdout.Write(buf)
+			return
+		}
+		if err := os.WriteFile(*md, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchjson: rendered %d benchmarks to %s\n", len(d.Benchmarks), *md)
+		return
 	}
 
 	got, err := parseBench(os.Stdin)
@@ -95,6 +127,60 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchjson: %d benchmarks within budget of %s\n", len(base.Benchmarks), *check)
+}
+
+// renderMarkdown turns a baseline document into a deterministic results
+// page: benchmarks grouped by their top-level name, one table per group,
+// plus the note and reference sections. Byte-stable for a given input so
+// the generated file can be committed and diffed.
+func renderMarkdown(d *doc, source string) []byte {
+	groups := map[string][]string{}
+	for name := range d.Benchmarks {
+		g := name
+		if i := strings.IndexByte(name, '/'); i > 0 {
+			g = name[:i]
+		}
+		groups[g] = append(groups[g], name)
+	}
+	var gnames []string
+	for g := range groups {
+		gnames = append(gnames, g)
+	}
+	sort.Strings(gnames)
+
+	var b strings.Builder
+	b.WriteString("# Benchmark results\n\n")
+	fmt.Fprintf(&b, "Generated from `%s` by `benchjson -render` — do not edit by hand;\n", source)
+	b.WriteString("regenerate with `scripts/bench.sh render` (or `update` to re-measure first).\n")
+	if d.Note != "" {
+		fmt.Fprintf(&b, "\n> %s\n", d.Note)
+	}
+	for _, g := range gnames {
+		names := groups[g]
+		sort.Strings(names)
+		fmt.Fprintf(&b, "\n## %s\n\n", g)
+		b.WriteString("| benchmark | ns/op | B/op | allocs/op |\n")
+		b.WriteString("|---|---:|---:|---:|\n")
+		for _, name := range names {
+			e := d.Benchmarks[name]
+			fmt.Fprintf(&b, "| `%s` | %s | %d | %d |\n",
+				name, strconv.FormatFloat(e.NsOp, 'f', -1, 64), e.BytesOp, e.AllocsOp)
+		}
+	}
+	if len(d.Reference) > 0 {
+		b.WriteString("\n## Reference measurements\n\n")
+		b.WriteString("| name | value |\n")
+		b.WriteString("|---|---:|\n")
+		var refs []string
+		for k := range d.Reference {
+			refs = append(refs, k)
+		}
+		sort.Strings(refs)
+		for _, k := range refs {
+			fmt.Fprintf(&b, "| `%s` | %s |\n", k, strconv.FormatFloat(d.Reference[k], 'f', -1, 64))
+		}
+	}
+	return []byte(b.String())
 }
 
 // compare gates cand against base: every baseline benchmark must be

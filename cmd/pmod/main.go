@@ -9,6 +9,16 @@
 //	pmod -listen 127.0.0.1:7070 -engine domainvirt
 //	pmod -listen 127.0.0.1:0 -addr-file /tmp/pmod.addr -store /var/lib/pmod
 //	pmod -listen 127.0.0.1:7070 -metrics 127.0.0.1:9090
+//	pmod -trace-sample 64 -trace-slow 5ms -trace-spans spans.jsonl
+//	pmod -trace-out /tmp/capture -trace-rotate 67108864
+//
+// With -trace-sample/-trace-slow, every request is timed through the
+// stage taxonomy (read/decode, queue, lock, engine, persist, write);
+// retained spans drain over the TRACE wire op, the /debug/spans HTTP
+// endpoint (with -debug -metrics), or the -trace-spans JSONL dump. With
+// -trace-out, each shard tees its live protection-engine event stream
+// into binary trace segments that `pmotrace replay` can re-run under
+// any scheme.
 //
 // With -store, interrupted durable transactions left behind by a
 // crashed predecessor are recovered (redone or discarded) before the
@@ -23,16 +33,19 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"domainvirt"
 	"domainvirt/internal/buildinfo"
 	"domainvirt/internal/pmo"
+	"domainvirt/internal/reqtrace"
 	"domainvirt/internal/serve"
 	"domainvirt/internal/sim"
 )
@@ -56,6 +69,14 @@ func run() int {
 		poolSize = flag.Uint64("poolsize", 1<<20, "pool size when OPEN asks for 0")
 		drainFor = flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGTERM")
 		version  = flag.Bool("version", false, "print version and exit")
+
+		trSample = flag.Int("trace-sample", 0, "retain every Nth request span (0 = tracing off unless -trace-slow)")
+		trSlow   = flag.Duration("trace-slow", 0, "always retain spans of requests slower than this (0 = off)")
+		trRing   = flag.Int("trace-ring", 1024, "retained-span ring size (rounded up to a power of two)")
+		trSpans  = flag.String("trace-spans", "", "write the retained spans as JSONL to this file on drain")
+		trOut    = flag.String("trace-out", "", "record live traffic to per-shard binary trace segments in this directory")
+		trRotate = flag.Int64("trace-rotate", 0, "rotate capture segments at this many bytes (0 = single segment per shard)")
+		debug    = flag.Bool("debug", false, "expose /debug/spans on the -metrics HTTP server")
 	)
 	flag.Parse()
 	if *version {
@@ -80,7 +101,7 @@ func run() int {
 		}
 		store = st
 	}
-	srv := serve.NewServer(serve.Options{
+	opts := serve.Options{
 		Store:           store,
 		Shards:          *shards,
 		Workers:         *workers,
@@ -89,7 +110,23 @@ func run() int {
 		SyncEvery:       *syncEach,
 		Engine:          sim.Scheme(*engine),
 		DefaultPoolSize: *poolSize,
-	})
+		Trace: reqtrace.Config{
+			SampleEvery: *trSample,
+			Slow:        *trSlow,
+			RingSize:    *trRing,
+		},
+	}
+	if *trOut != "" {
+		dir := *trOut
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fail(err)
+		}
+		opts.CaptureOpen = func(shard, seg int) (io.WriteCloser, error) {
+			return os.Create(filepath.Join(dir, fmt.Sprintf("shard-%d-seg-%d.pmotrc", shard, seg)))
+		}
+		opts.CaptureMaxSegmentBytes = *trRotate
+	}
+	srv := serve.NewServer(opts)
 
 	lis, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -107,6 +144,17 @@ func run() int {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			srv.WriteMetrics(w)
 		})
+		if *debug {
+			mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
+				tr := srv.Tracer()
+				if tr == nil {
+					http.Error(w, "tracing disabled (run with -trace-sample or -trace-slow)", http.StatusNotFound)
+					return
+				}
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				tr.WriteSpansJSONL(w)
+			})
+		}
 		msrv := &http.Server{Addr: *metrics, Handler: mux}
 		go msrv.ListenAndServe()
 		defer msrv.Close()
@@ -129,7 +177,7 @@ func run() int {
 		if err != nil {
 			return fail(err)
 		}
-		return 0
+		return finish(srv, *trSpans)
 	case sig := <-sigs:
 		fmt.Fprintf(os.Stderr, "pmod: %v, draining (%v budget)\n", sig, *drainFor)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
@@ -141,8 +189,42 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Fprintln(os.Stderr, "pmod: drained cleanly")
-		return 0
+		return finish(srv, *trSpans)
 	}
+}
+
+// finish runs the post-drain observability epilogue: the retained-span
+// dump and the capture accounting. Shutdown has already flushed and
+// closed the capture segments.
+func finish(srv *serve.Server, spansPath string) int {
+	if spansPath != "" {
+		if tr := srv.Tracer(); tr != nil {
+			f, err := os.Create(spansPath)
+			if err != nil {
+				return fail(err)
+			}
+			if err := tr.WriteSpansJSONL(f); err != nil {
+				f.Close()
+				return fail(err)
+			}
+			if err := f.Close(); err != nil {
+				return fail(err)
+			}
+			fin, sampled, slow := tr.Counts()
+			fmt.Fprintf(os.Stderr, "pmod: wrote span dump to %s (%d finished, %d sampled, %d slow)\n",
+				spansPath, fin, sampled, slow)
+		} else {
+			fmt.Fprintln(os.Stderr, "pmod: -trace-spans set but tracing was disabled; nothing written")
+		}
+	}
+	if st, ok := srv.CaptureStats(); ok {
+		fmt.Fprintf(os.Stderr, "pmod: capture: %d events (%d dropped), %d bytes, %d segment(s)\n",
+			st.Events, st.Dropped, st.Bytes, st.Segments)
+		if err := srv.CaptureErr(); err != nil {
+			return fail(fmt.Errorf("capture: %w", err))
+		}
+	}
+	return 0
 }
 
 func fail(err error) int {

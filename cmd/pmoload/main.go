@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"domainvirt/internal/buildinfo"
+	"domainvirt/internal/reqtrace"
 	"domainvirt/internal/serve"
 )
 
@@ -37,6 +38,7 @@ func run() int {
 		value    = flag.Int("value", 128, "bytes per write / read span")
 		poolSize = flag.Uint64("poolsize", 1<<20, "per-client session pool size")
 		seed     = flag.Int64("seed", 1, "client RNG seed base")
+		trace    = flag.Bool("trace", false, "drain the daemon's request spans (TRACE op) and print the stage breakdown")
 		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -64,6 +66,7 @@ func run() int {
 		ValueSize:    *value,
 		PoolSize:     *poolSize,
 		Seed:         *seed,
+		FetchTrace:   *trace,
 	})
 	if err != nil {
 		return fail(err)
@@ -81,6 +84,29 @@ func run() int {
 		fmt.Printf("latency p50          %s\n", time.Duration(rep.Latency.Quantile(0.50)))
 		fmt.Printf("latency p95          %s\n", time.Duration(rep.Latency.Quantile(0.95)))
 		fmt.Printf("latency p99          %s\n", time.Duration(rep.Latency.Quantile(0.99)))
+		fmt.Printf("latency p99.9        %s\n", time.Duration(rep.Latency.Quantile(0.999)))
+	}
+	switch {
+	case rep.Trace != nil:
+		b := rep.Trace
+		fmt.Printf("daemon spans         %d retained (%d sampled, %d slow)\n", b.Spans, b.Sampled, b.Slow)
+		fmt.Printf("  queue wait         p50 %s  p99 %s\n",
+			time.Duration(b.Queue.Quantile(0.50)), time.Duration(b.Queue.Quantile(0.99)))
+		fmt.Printf("  service time       p50 %s  p99 %s\n",
+			time.Duration(b.Service.Quantile(0.50)), time.Duration(b.Service.Quantile(0.99)))
+		fmt.Printf("  server total       p50 %s  p99 %s  p99.9 %s\n",
+			time.Duration(b.Total.Quantile(0.50)), time.Duration(b.Total.Quantile(0.99)),
+			time.Duration(b.Total.Quantile(0.999)))
+		for s := reqtrace.Stage(0); s < reqtrace.NumStages; s++ {
+			h := &b.Stages[s]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Printf("  stage %-12s p50 %s  p99 %s\n", s.String(),
+				time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.99)))
+		}
+	case *trace:
+		fmt.Fprintln(os.Stderr, "pmoload: -trace set but the daemon retained no spans (is it running with -trace-sample?)")
 	}
 	if rep.FirstErr != "" {
 		fmt.Fprintln(os.Stderr, "pmoload: first error:", rep.FirstErr)

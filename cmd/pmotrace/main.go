@@ -10,16 +10,29 @@
 //	pmotrace stat   -i avl.trace
 //	pmotrace audit  -i avl.trace
 //	pmotrace replay -i avl.trace -scheme domainvirt
+//	pmotrace replay -i /tmp/capture -scheme all -obs-out obs/
+//
+// The replay input may also be a directory of per-shard capture
+// segments recorded by a live pmod daemon (`pmod -trace-out`): every
+// *.pmotrc file replays independently (each segment is self-contained)
+// and the per-scheme results aggregate across segments. With -scheme
+// all the same captured traffic runs through every protection engine —
+// a paired experiment on production traffic — and -obs-out exports a
+// manifest, series files, and latency histograms per scheme.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"domainvirt"
 	"domainvirt/internal/buildinfo"
+	"domainvirt/internal/obs"
+	"domainvirt/internal/sim"
 	"domainvirt/internal/stats"
 	"domainvirt/internal/trace"
 	"domainvirt/internal/workload"
@@ -41,9 +54,11 @@ func main() {
 		ops     = fs.Int("ops", 5000, "measured operations")
 		initial = fs.Int("init", 1024, "initial elements")
 		seed    = fs.Int64("seed", 42, "workload seed")
-		out     = fs.String("o", "", "output trace file (record)")
-		in      = fs.String("i", "", "input trace file (stat, audit, replay)")
-		scheme  = fs.String("scheme", "domainvirt", "protection scheme (replay)")
+		out      = fs.String("o", "", "output trace file (record)")
+		in       = fs.String("i", "", "input trace file or capture directory (stat, audit, replay)")
+		scheme   = fs.String("scheme", "domainvirt", "protection scheme, or \"all\" for every engine (replay)")
+		obsOut   = fs.String("obs-out", "", "export per-scheme manifests/series/histograms into this directory (replay)")
+		obsEpoch = fs.Uint64("obs-epoch", 0, "obs sampling epoch in retired instructions (0 = totals only)")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		fatal(err)
@@ -61,10 +76,13 @@ func main() {
 		}
 
 	case "stat":
-		needIn(*in)
+		files := inputs(*in)
 		var c trace.Counter
-		n := replayInto(*in, &c)
-		fmt.Printf("%s: %d events\n", *in, n)
+		var n uint64
+		for _, p := range files {
+			n += replayInto(p, &c)
+		}
+		fmt.Printf("%s: %d events in %d file(s)\n", *in, n, len(files))
 		fmt.Printf("  instructions: %d\n", c.Instrs)
 		fmt.Printf("  loads/stores: %d / %d\n", c.Loads, c.Stores)
 		fmt.Printf("  SETPERMs:     %d\n", c.SetPerms)
@@ -72,43 +90,57 @@ func main() {
 		fmt.Printf("  fences:       %d\n", c.Fences)
 
 	case "audit":
-		needIn(*in)
-		a := trace.NewAuditor(nil)
-		replayInto(*in, a)
-		findings := a.Finish()
-		fmt.Printf("%s: %d permission switches, peak %d write-enabled domain(s) per thread\n",
-			*in, a.Switches, a.MaxWritable)
-		if len(findings) == 0 {
-			fmt.Println("audit: least-privilege window discipline holds")
-			return
+		// Each capture segment is self-contained (the attach table and
+		// open windows are re-emitted on rotation), so segments audit
+		// independently.
+		bad := false
+		for _, p := range inputs(*in) {
+			a := trace.NewAuditor(nil)
+			replayInto(p, a)
+			findings := a.Finish()
+			fmt.Printf("%s: %d permission switches, peak %d write-enabled domain(s) per thread\n",
+				p, a.Switches, a.MaxWritable)
+			for _, f := range findings {
+				fmt.Println("audit:", f)
+				bad = true
+			}
 		}
-		for _, f := range findings {
-			fmt.Println("audit:", f)
+		if bad {
+			os.Exit(1)
 		}
-		os.Exit(1)
+		fmt.Println("audit: least-privilege window discipline holds")
 
 	case "replay":
-		needIn(*in)
+		files := inputs(*in)
+		schemes := []string{*scheme}
+		if *scheme == "all" {
+			schemes = schemes[:0]
+			for _, s := range sim.AllSchemes {
+				schemes = append(schemes, string(s))
+			}
+		}
 		cfg := domainvirt.DefaultConfig()
-		m := domainvirt.NewMachine(cfg, domainvirt.Scheme(*scheme))
-		f, err := os.Open(*in)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		n, err := trace.Replay(f, m)
-		if err != nil {
-			fatal(err)
-		}
-		res := m.Result()
-		fmt.Printf("replayed %d events under %s: %d cycles\n", n, *scheme, res.Cycles)
-		fmt.Printf("  switches/sec: %.0f\n", res.SwitchesPerSec(cfg.ClockHz))
-		fmt.Printf("  domain/page faults: %d / %d\n", res.Counters.DomainFaults, res.Counters.PageFaults)
-		if ov := res.Breakdown.OverheadCycles(); ov > 0 {
-			fmt.Printf("  protection overhead: %d cycles\n", ov)
-			for i := 1; i < stats.NumCategories; i++ {
-				if v := res.Breakdown.Cycles[stats.Category(i)]; v > 0 {
-					fmt.Printf("    %-20s %d\n", stats.Category(i).String()+":", v)
+		var baseline uint64
+		for _, sc := range schemes {
+			if len(schemes) > 1 {
+				fmt.Printf("--- scheme %s ---\n", sc)
+			}
+			res, n := replayScheme(files, sc, cfg, *in, *obsOut, *obsEpoch)
+			fmt.Printf("replayed %d events under %s: %d cycles\n", n, sc, res.Cycles)
+			fmt.Printf("  switches/sec: %.0f\n", res.SwitchesPerSec(cfg.ClockHz))
+			fmt.Printf("  domain/page faults: %d / %d\n", res.Counters.DomainFaults, res.Counters.PageFaults)
+			if sc == string(sim.SchemeBaseline) {
+				baseline = res.Cycles
+			} else if baseline > 0 {
+				fmt.Printf("  overhead vs baseline: %.2f%%\n",
+					100*(float64(res.Cycles)-float64(baseline))/float64(baseline))
+			}
+			if ov := res.Breakdown.OverheadCycles(); ov > 0 {
+				fmt.Printf("  protection overhead: %d cycles\n", ov)
+				for i := 1; i < stats.NumCategories; i++ {
+					if v := res.Breakdown.Cycles[stats.Category(i)]; v > 0 {
+						fmt.Printf("    %-20s %d\n", stats.Category(i).String()+":", v)
+					}
 				}
 			}
 		}
@@ -151,6 +183,82 @@ func record(name, path string, p domainvirt.Params) error {
 	}
 	fmt.Println()
 	return nil
+}
+
+// replayScheme runs every input file through a fresh machine under one
+// scheme and aggregates the results. With obsOut set, one recorder
+// accumulates latency histograms across all segments and the export set
+// (manifest, series, histograms) lands in that directory.
+func replayScheme(files []string, scheme string, cfg domainvirt.Config, in, obsOut string, epoch uint64) (stats.Result, uint64) {
+	var rec *obs.Recorder
+	if obsOut != "" {
+		rec = obs.NewRecorder(obs.Options{Epoch: epoch})
+	}
+	agg := stats.Result{Scheme: scheme}
+	var events uint64
+	var cores int
+	for i, path := range files {
+		m := domainvirt.NewMachine(cfg, domainvirt.Scheme(scheme))
+		if rec != nil {
+			m.SetRecorder(rec)
+		}
+		events += replayInto(path, m)
+		if rec != nil && i == len(files)-1 {
+			m.FlushObs()
+		}
+		res := m.Result()
+		agg.Cycles += res.Cycles
+		agg.WorkSum += res.WorkSum
+		agg.Breakdown.Merge(&res.Breakdown)
+		agg.Counters.Merge(&res.Counters)
+		cores = m.NumCores()
+	}
+	if rec != nil {
+		name := strings.TrimSuffix(filepath.Base(in), filepath.Ext(in))
+		rec.SetManifest(obs.Manifest{
+			Scheme:      scheme,
+			Workload:    "trace:" + name,
+			Ops:         int(events),
+			Cores:       cores,
+			Epoch:       rec.EpochLen(),
+			ConfigHash:  obs.ConfigHash(cfg),
+			ToolVersion: obs.ToolVersion,
+		})
+		paths, err := rec.ExportDir(obsOut, name+"-"+scheme)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range paths {
+			fmt.Printf("  wrote %s\n", p)
+		}
+	}
+	return agg, events
+}
+
+// inputs resolves -i: a file is itself; a directory yields its sorted
+// *.pmotrc / *.trace members (a pmod -trace-out capture directory).
+func inputs(in string) []string {
+	needIn(in)
+	fi, err := os.Stat(in)
+	if err != nil {
+		fatal(err)
+	}
+	if !fi.IsDir() {
+		return []string{in}
+	}
+	var files []string
+	for _, pat := range []string{"*.pmotrc", "*.trace"} {
+		m, err := filepath.Glob(filepath.Join(in, pat))
+		if err != nil {
+			fatal(err)
+		}
+		files = append(files, m...)
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		fatal(fmt.Errorf("%s: no *.pmotrc or *.trace files", in))
+	}
+	return files
 }
 
 func replayInto(path string, sink trace.Sink) uint64 {

@@ -192,15 +192,32 @@ func (r *Recorder) promLabels() string {
 	return fmt.Sprintf(`scheme=%q,workload=%q`, r.manifest.Scheme, r.manifest.Workload)
 }
 
-// PromHistogram writes one histogram in Prometheus text format with
-// cumulative le buckets. labels may be empty.
+// PromHistogramHeader writes the HELP/TYPE header of a histogram
+// family. Valid exposition format requires exactly one header per
+// metric name, before any of its series — callers emitting several
+// labeled series of one family write the header once, then each
+// series via PromHistogramSeries.
+func PromHistogramHeader(w io.Writer, name, help string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	return err
+}
+
+// PromHistogram writes one complete histogram family (header plus a
+// single series) in Prometheus text format with cumulative le buckets.
+// labels may be empty.
 func PromHistogram(w io.Writer, name, help, labels string, h *Histogram) error {
+	if err := PromHistogramHeader(w, name, help); err != nil {
+		return err
+	}
+	return PromHistogramSeries(w, name, labels, h)
+}
+
+// PromHistogramSeries writes one labeled series of a histogram family
+// (cumulative le buckets, _sum, _count) without the HELP/TYPE header.
+func PromHistogramSeries(w io.Writer, name, labels string, h *Histogram) error {
 	sep := ""
 	if labels != "" {
 		sep = ","
-	}
-	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
-		return err
 	}
 	top := 0
 	for i := 0; i < NumBuckets; i++ {
@@ -218,10 +235,14 @@ func PromHistogram(w io.Writer, name, help, labels string, h *Histogram) error {
 	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, h.Count); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum{%s} %d\n", name, labels, h.Sum); err != nil {
+	brace := "{" + labels + "}"
+	if labels == "" {
+		brace = ""
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, brace, h.Sum); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count)
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, brace, h.Count)
 	return err
 }
 

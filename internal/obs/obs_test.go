@@ -285,10 +285,18 @@ func TestPromHistogramCumulative(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := b.String()
-	for _, want := range []string{`x_bucket{le="+Inf"} 4`, "x_sum{} 106", "x_count{} 4", "# TYPE x histogram"} {
+	for _, want := range []string{`x_bucket{le="+Inf"} 4`, "x_sum 106\n", "x_count 4\n", "# TYPE x histogram"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("prometheus output missing %q:\n%s", want, out)
 		}
+	}
+	// Unlabeled series must use the canonical bare form, never `{}`
+	// (the linter and real scrapers treat `x_sum{}` as noncanonical).
+	if strings.Contains(out, "{}") {
+		t.Errorf("prometheus output contains empty label braces:\n%s", out)
+	}
+	if f := LintProm(strings.NewReader(out)); len(f) != 0 {
+		t.Errorf("exporter output fails lint: %v", f)
 	}
 }
 

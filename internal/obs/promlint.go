@@ -1,0 +1,391 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintProm validates a Prometheus text-exposition snapshot the way the
+// JSONL checker validates exporter output: structural rules a scraper
+// would reject plus the sanity rules our exporters promise. It returns
+// one finding per violation (empty means valid).
+//
+// Checked: HELP/TYPE appear at most once per metric family and before
+// any of its samples; a family's samples are contiguous (a family never
+// resumes after another family's samples); TYPE values are legal;
+// sample lines parse (name, optional labels, float value); label names
+// never repeat within a sample and keep one consistent order across a
+// family; counter and histogram values are finite and non-negative;
+// histogram series have strictly increasing `le` thresholds with
+// non-decreasing cumulative counts, a +Inf bucket, a _sum, and a _count
+// equal to the +Inf bucket.
+func LintProm(r io.Reader) []string {
+	l := &promLinter{
+		families: map[string]*promFamily{},
+		hists:    map[string]map[string]*histSeries{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		l.line(line, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		l.addf(line, "read error: %v", err)
+	}
+	l.finish()
+	return l.findings
+}
+
+type promFamily struct {
+	help       bool
+	typ        string
+	sampleSeen bool
+	labelOrder []string // non-le label names, first-seen order
+	orderSet   bool
+}
+
+type histSeries struct {
+	buckets []bucketSample
+	sumSeen bool
+	count   *float64
+}
+
+type bucketSample struct {
+	le  float64
+	cnt float64
+	ln  int
+}
+
+type promLinter struct {
+	findings []string
+	families map[string]*promFamily
+	// hists[family][baseLabelKey] accumulates one histogram series.
+	hists map[string]map[string]*histSeries
+	order []string // families in first-sample order
+	cur   string   // family currently emitting samples
+	done  map[string]bool
+}
+
+func (l *promLinter) addf(line int, format string, args ...any) {
+	l.findings = append(l.findings, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func (l *promLinter) family(name string) *promFamily {
+	f := l.families[name]
+	if f == nil {
+		f = &promFamily{}
+		l.families[name] = f
+	}
+	return f
+}
+
+func (l *promLinter) line(n int, s string) {
+	if strings.TrimSpace(s) == "" {
+		return
+	}
+	if strings.HasPrefix(s, "#") {
+		fields := strings.SplitN(s, " ", 4)
+		if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+			return // free comment
+		}
+		name, f := fields[2], (*promFamily)(nil)
+		f = l.family(name)
+		if f.sampleSeen {
+			l.addf(n, "%s %s after the family's samples", fields[1], name)
+		}
+		switch fields[1] {
+		case "HELP":
+			if f.help {
+				l.addf(n, "duplicate HELP for %s", name)
+			}
+			f.help = true
+		case "TYPE":
+			if f.typ != "" {
+				l.addf(n, "duplicate TYPE for %s", name)
+			}
+			typ := ""
+			if len(fields) >= 4 {
+				typ = strings.TrimSpace(fields[3])
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+				f.typ = typ
+			default:
+				l.addf(n, "illegal TYPE %q for %s", typ, name)
+				f.typ = "untyped"
+			}
+		}
+		return
+	}
+	l.sample(n, s)
+}
+
+// familyOf resolves a sample name to its metric family: _bucket/_sum/
+// _count suffixes fold into a declared histogram or summary family.
+func (l *promLinter) familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		if f, ok := l.families[base]; ok && (f.typ == "histogram" || f.typ == "summary") {
+			return base
+		}
+	}
+	return name
+}
+
+func (l *promLinter) sample(n int, s string) {
+	name, labels, valStr, ok := splitSample(s)
+	if !ok {
+		l.addf(n, "unparseable sample line %q", s)
+		return
+	}
+	val, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		l.addf(n, "bad value %q for %s", valStr, name)
+		return
+	}
+	fam := l.familyOf(name)
+	f := l.family(fam)
+	f.sampleSeen = true
+
+	// Contiguity: once the exposition moves on, a family may not resume.
+	if fam != l.cur {
+		if l.done == nil {
+			l.done = map[string]bool{}
+		}
+		if l.done[fam] {
+			l.addf(n, "family %s resumes after other samples (non-contiguous)", fam)
+		}
+		if l.cur != "" {
+			l.done[l.cur] = true
+		}
+		l.cur = fam
+		l.order = append(l.order, fam)
+	}
+
+	// Label structure: no duplicates; consistent non-le order.
+	seen := map[string]bool{}
+	var names []string
+	le, hasLE := "", false
+	for _, kv := range labels {
+		if seen[kv[0]] {
+			l.addf(n, "duplicate label %q in %s", kv[0], name)
+		}
+		seen[kv[0]] = true
+		if kv[0] == "le" {
+			le, hasLE = kv[1], true
+			continue
+		}
+		names = append(names, kv[0])
+	}
+	if !f.orderSet {
+		f.labelOrder, f.orderSet = names, true
+	} else if !sameOrder(f.labelOrder, names) && len(names) > 0 && len(f.labelOrder) > 0 {
+		l.addf(n, "label order %v in %s differs from family order %v", names, name, f.labelOrder)
+	}
+
+	// Value sanity by type.
+	isCounterish := f.typ == "counter" || f.typ == "histogram" || f.typ == "summary"
+	if isCounterish {
+		if math.IsNaN(val) {
+			l.addf(n, "NaN value for %s %s", f.typ, name)
+		}
+		if val < 0 && !strings.HasSuffix(name, "_sum") {
+			l.addf(n, "negative value %v for %s %s", val, f.typ, name)
+		}
+	}
+
+	// Histogram accounting.
+	if f.typ == "histogram" && fam != name {
+		hs := l.hists[fam]
+		if hs == nil {
+			hs = map[string]*histSeries{}
+			l.hists[fam] = hs
+		}
+		key := labelKey(names, labels)
+		ser := hs[key]
+		if ser == nil {
+			ser = &histSeries{}
+			hs[key] = ser
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			if !hasLE {
+				l.addf(n, "%s bucket without le label", fam)
+				return
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				l.addf(n, "bad le %q in %s", le, fam)
+				return
+			}
+			ser.buckets = append(ser.buckets, bucketSample{le: bound, cnt: val, ln: n})
+		case strings.HasSuffix(name, "_sum"):
+			ser.sumSeen = true
+		case strings.HasSuffix(name, "_count"):
+			v := val
+			ser.count = &v
+		}
+	}
+}
+
+func (l *promLinter) finish() {
+	fams := make([]string, 0, len(l.hists))
+	for fam := range l.hists {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		keys := make([]string, 0, len(l.hists[fam]))
+		for k := range l.hists[fam] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			ser := l.hists[fam][key]
+			label := fam
+			if key != "" {
+				label = fam + "{" + key + "}"
+			}
+			var inf *bucketSample
+			for i := range ser.buckets {
+				b := &ser.buckets[i]
+				if i > 0 {
+					prev := &ser.buckets[i-1]
+					if b.le <= prev.le {
+						l.addf(b.ln, "%s le %v not increasing after %v", label, b.le, prev.le)
+					}
+					if b.cnt < prev.cnt {
+						l.addf(b.ln, "%s cumulative count decreases (%v after %v)", label, b.cnt, prev.cnt)
+					}
+				}
+				if math.IsInf(b.le, +1) {
+					inf = b
+				}
+			}
+			if inf == nil {
+				l.findings = append(l.findings, fmt.Sprintf("%s has no +Inf bucket", label))
+				continue
+			}
+			if ser.count == nil {
+				l.findings = append(l.findings, fmt.Sprintf("%s has no _count", label))
+			} else if *ser.count != inf.cnt {
+				l.findings = append(l.findings, fmt.Sprintf("%s _count %v != +Inf bucket %v", label, *ser.count, inf.cnt))
+			}
+			if !ser.sumSeen {
+				l.findings = append(l.findings, fmt.Sprintf("%s has no _sum", label))
+			}
+		}
+	}
+}
+
+func sameOrder(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// labelKey renders the non-le labels (with values) as a stable series
+// key.
+func labelKey(names []string, labels [][2]string) string {
+	var sb strings.Builder
+	for _, name := range names {
+		for _, kv := range labels {
+			if kv[0] == name {
+				if sb.Len() > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(kv[0])
+				sb.WriteString("=")
+				sb.WriteString(kv[1])
+				break
+			}
+		}
+	}
+	return sb.String()
+}
+
+// splitSample parses `name{k="v",...} value` (labels optional).
+func splitSample(s string) (name string, labels [][2]string, value string, ok bool) {
+	i := 0
+	for i < len(s) && s[i] != '{' && s[i] != ' ' {
+		i++
+	}
+	if i == 0 || i == len(s) {
+		return "", nil, "", false
+	}
+	name = s[:i]
+	if s[i] == '{' {
+		j := i + 1
+		for {
+			// label name
+			k := j
+			for j < len(s) && s[j] != '=' && s[j] != '}' {
+				j++
+			}
+			if j >= len(s) {
+				return "", nil, "", false
+			}
+			if s[j] == '}' {
+				if j != k { // trailing garbage like {a}
+					return "", nil, "", false
+				}
+				j++
+				break
+			}
+			lname := strings.TrimSpace(s[k:j])
+			j++ // '='
+			if j >= len(s) || s[j] != '"' {
+				return "", nil, "", false
+			}
+			j++
+			var val strings.Builder
+			for j < len(s) && s[j] != '"' {
+				if s[j] == '\\' && j+1 < len(s) {
+					j++
+				}
+				val.WriteByte(s[j])
+				j++
+			}
+			if j >= len(s) {
+				return "", nil, "", false
+			}
+			j++ // closing quote
+			labels = append(labels, [2]string{lname, val.String()})
+			if j < len(s) && s[j] == ',' {
+				j++
+				continue
+			}
+			if j < len(s) && s[j] == '}' {
+				j++
+				break
+			}
+			return "", nil, "", false
+		}
+		i = j
+	}
+	rest := strings.TrimSpace(s[i:])
+	if rest == "" {
+		return "", nil, "", false
+	}
+	// Optional timestamp after the value.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	return name, labels, rest, true
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func lint(t *testing.T, text string) []string {
+	t.Helper()
+	return LintProm(strings.NewReader(text))
+}
+
+func wantClean(t *testing.T, text string) {
+	t.Helper()
+	if f := lint(t, text); len(f) != 0 {
+		t.Fatalf("valid exposition flagged:\n%s\ninput:\n%s", strings.Join(f, "\n"), text)
+	}
+}
+
+func wantFinding(t *testing.T, text, substr string) {
+	t.Helper()
+	for _, f := range lint(t, text) {
+		if strings.Contains(f, substr) {
+			return
+		}
+	}
+	t.Fatalf("no finding containing %q for:\n%s\ngot: %v", substr, text, lint(t, text))
+}
+
+func TestLintPromAcceptsValid(t *testing.T) {
+	wantClean(t, `# HELP reqs_total Requests.
+# TYPE reqs_total counter
+reqs_total{op="read"} 10
+reqs_total{op="write"} 3
+# HELP temp Current temperature.
+# TYPE temp gauge
+temp -3.5
+`)
+	// A real exporter histogram must pass.
+	var h Histogram
+	for i := uint64(1); i < 2000; i *= 3 {
+		h.Observe(i)
+	}
+	var b bytes.Buffer
+	if err := PromHistogram(&b, "lat_ns", "Latency.", `op="read"`, &h); err != nil {
+		t.Fatal(err)
+	}
+	if err := PromHistogramSeries(&b, "lat_ns", `op="write"`, &h); err != nil {
+		t.Fatal(err)
+	}
+	wantClean(t, b.String())
+	// Unlabeled histogram too.
+	b.Reset()
+	if err := PromHistogram(&b, "lat_ns", "Latency.", "", &h); err != nil {
+		t.Fatal(err)
+	}
+	wantClean(t, b.String())
+}
+
+func TestLintPromEmptyIsValid(t *testing.T) {
+	wantClean(t, "")
+}
+
+func TestLintPromDuplicateHeader(t *testing.T) {
+	wantFinding(t, `# HELP x X.
+# HELP x X.
+# TYPE x counter
+x 1
+`, "duplicate HELP")
+	// The pre-fix serve bug: a header per labeled series.
+	wantFinding(t, `# HELP lat L.
+# TYPE lat histogram
+lat_bucket{op="a",le="+Inf"} 1
+lat_sum{op="a"} 1
+lat_count{op="a"} 1
+# HELP lat L.
+# TYPE lat histogram
+lat_bucket{op="b",le="+Inf"} 1
+lat_sum{op="b"} 1
+lat_count{op="b"} 1
+`, "after the family's samples")
+}
+
+func TestLintPromNonContiguousFamily(t *testing.T) {
+	wantFinding(t, `a_total 1
+b_total 2
+a_total 3
+`, "non-contiguous")
+}
+
+func TestLintPromRejectsBadValues(t *testing.T) {
+	wantFinding(t, `# TYPE c counter
+c NaN
+`, "NaN")
+	wantFinding(t, `# TYPE c counter
+c -4
+`, "negative")
+	wantFinding(t, `# TYPE h histogram
+h_bucket{le="1"} -2
+h_bucket{le="+Inf"} 1
+h_sum 1
+h_count 1
+`, "negative")
+	// Negative gauges are fine.
+	wantClean(t, `# TYPE g gauge
+g -4
+`)
+}
+
+func TestLintPromHistogramStructure(t *testing.T) {
+	wantFinding(t, `# TYPE h histogram
+h_bucket{le="8"} 1
+h_bucket{le="4"} 2
+h_bucket{le="+Inf"} 3
+h_sum 9
+h_count 3
+`, "not increasing")
+	wantFinding(t, `# TYPE h histogram
+h_bucket{le="4"} 5
+h_bucket{le="8"} 3
+h_bucket{le="+Inf"} 5
+h_sum 9
+h_count 5
+`, "cumulative count decreases")
+	wantFinding(t, `# TYPE h histogram
+h_bucket{le="4"} 1
+h_sum 9
+h_count 1
+`, "no +Inf")
+	wantFinding(t, `# TYPE h histogram
+h_bucket{le="+Inf"} 3
+h_sum 9
+h_count 4
+`, "_count 4 != +Inf bucket 3")
+	wantFinding(t, `# TYPE h histogram
+h_bucket{le="+Inf"} 3
+h_count 3
+`, "no _sum")
+}
+
+func TestLintPromLabelRules(t *testing.T) {
+	wantFinding(t, `x_total{a="1",a="2"} 1
+`, "duplicate label")
+	wantFinding(t, `# TYPE x counter
+x_total{a="1",b="2"} 1
+x_total{b="2",a="1"} 1
+`, "label order")
+}
+
+func TestLintPromUnparseable(t *testing.T) {
+	wantFinding(t, "x_total{a=\"1\" 3\n", "unparseable")
+	wantFinding(t, `# TYPE x bogus
+x 1
+`, "illegal TYPE")
+}

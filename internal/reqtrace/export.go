@@ -1,0 +1,186 @@
+package reqtrace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"domainvirt/internal/obs"
+)
+
+// jsonSpan is the canonical JSONL form of a Span. Fields marshal in
+// declaration order and the stage map's keys sort, so a given span set
+// always renders to identical bytes (the same determinism contract as
+// the obs exporters).
+type jsonSpan struct {
+	Seq     uint64            `json:"seq"`
+	Op      string            `json:"op"`
+	SID     uint64            `json:"sid"`
+	Status  uint8             `json:"status"`
+	Code    uint16            `json:"code"`
+	Bytes   uint32            `json:"bytes"`
+	Sampled bool              `json:"sampled"`
+	Slow    bool              `json:"slow"`
+	StartNs int64             `json:"start_ns"`
+	TotalNs uint64            `json:"total_ns"`
+	Stages  map[string]uint64 `json:"stages_ns"`
+}
+
+// opName maps an opcode to its exporter name via cfg.OpNames, falling
+// back to "op<N>".
+func (c Config) opName(op uint8) string {
+	if int(op) < len(c.OpNames) && c.OpNames[op] != "" {
+		return c.OpNames[op]
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// WriteSpansJSONL renders spans one JSON object per line in ascending
+// Seq order. Byte-deterministic for a given span set.
+func WriteSpansJSONL(w io.Writer, cfg Config, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range spans {
+		sp := &spans[i]
+		js := jsonSpan{
+			Seq:     sp.Seq,
+			Op:      cfg.opName(sp.Op),
+			SID:     sp.SID,
+			Status:  sp.Status,
+			Code:    sp.Code,
+			Bytes:   sp.Bytes,
+			Sampled: sp.Sampled,
+			Slow:    sp.Slow,
+			StartNs: sp.Start,
+			TotalNs: sp.Total,
+			Stages:  make(map[string]uint64, NumStages),
+		}
+		for s := Stage(0); s < NumStages; s++ {
+			js.Stages[s.String()] = sp.Stages[s]
+		}
+		if err := enc.Encode(js); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSpansJSONL drains the ring through the tracer's own config.
+// A nil tracer writes nothing.
+func (t *Tracer) WriteSpansJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	return WriteSpansJSONL(w, t.cfg, t.Snapshot())
+}
+
+// ParseSpansJSONL decodes a span dump produced by WriteSpansJSONL.
+// Stage names the parser does not know are dropped; op names are kept
+// as strings in the returned records.
+func ParseSpansJSONL(r io.Reader) ([]SpanRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<24)
+	var out []SpanRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var js jsonSpan
+		if err := json.Unmarshal(sc.Bytes(), &js); err != nil {
+			return nil, fmt.Errorf("reqtrace: span line %d: %w", line, err)
+		}
+		rec := SpanRecord{
+			Seq: js.Seq, Op: js.Op, SID: js.SID,
+			Status: js.Status, Code: js.Code, Bytes: js.Bytes,
+			Sampled: js.Sampled, Slow: js.Slow,
+			StartNs: js.StartNs, TotalNs: js.TotalNs,
+		}
+		for s := Stage(0); s < NumStages; s++ {
+			rec.Stages[s] = js.Stages[s.String()]
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SpanRecord is a parsed JSONL span: a Span with its op resolved to
+// the exporter name.
+type SpanRecord struct {
+	Seq     uint64
+	Op      string
+	SID     uint64
+	Status  uint8
+	Code    uint16
+	Bytes   uint32
+	Sampled bool
+	Slow    bool
+	StartNs int64
+	TotalNs uint64
+	Stages  [NumStages]uint64
+}
+
+// Breakdown aggregates parsed spans into the queue-wait vs
+// service-time attribution pmoload reports: per-stage histograms over
+// the retained spans plus the two composite histograms.
+type Breakdown struct {
+	Spans   int
+	Sampled int
+	Slow    int
+	// Queue is the queue-wait distribution; Service is everything
+	// else (read/decode + lock + engine + persist + write).
+	Queue   obs.Histogram
+	Service obs.Histogram
+	Total   obs.Histogram
+	Stages  [NumStages]obs.Histogram
+}
+
+// Aggregate builds a Breakdown from parsed spans.
+func Aggregate(recs []SpanRecord) *Breakdown {
+	b := &Breakdown{}
+	for i := range recs {
+		r := &recs[i]
+		b.Spans++
+		if r.Sampled {
+			b.Sampled++
+		}
+		if r.Slow {
+			b.Slow++
+		}
+		b.Queue.Observe(r.Stages[StageQueue])
+		b.Service.Observe(r.TotalNs - r.Stages[StageQueue])
+		b.Total.Observe(r.TotalNs)
+		for s := Stage(0); s < NumStages; s++ {
+			b.Stages[s].Observe(r.Stages[s])
+		}
+	}
+	return b
+}
+
+// WritePromStageHistograms renders the per-stage latency histograms as
+// one valid Prometheus histogram family (single HELP/TYPE header, one
+// series per stage label) under stageMetric, plus the total-latency
+// histogram under totalMetric. A nil tracer writes nothing.
+func (t *Tracer) WritePromStageHistograms(w io.Writer, stageMetric, totalMetric string) error {
+	if t == nil {
+		return nil
+	}
+	total, stages := t.Histograms()
+	if err := obs.PromHistogramHeader(w, stageMetric, "Request stage latency in nanoseconds."); err != nil {
+		return err
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		if err := obs.PromHistogramSeries(w, stageMetric, fmt.Sprintf("stage=%q", s.String()), &stages[s]); err != nil {
+			return err
+		}
+	}
+	if err := obs.PromHistogramHeader(w, totalMetric, "Request total in-daemon latency in nanoseconds."); err != nil {
+		return err
+	}
+	return obs.PromHistogramSeries(w, totalMetric, "", &total)
+}

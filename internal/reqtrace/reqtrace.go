@@ -1,0 +1,353 @@
+// Package reqtrace is the daemon-side request tracing layer: a
+// low-overhead per-request span recorder threaded through the pmod
+// request path. Every request, while tracing is enabled, accumulates
+// monotonic per-stage durations (frame read/decode, queue wait,
+// shard-lock wait, engine access/SETPERM window, persist, encode/write)
+// into a Span; finished spans feed per-stage mergeable log2 histograms
+// (the obs layer's Histogram) and — when selected by deterministic
+// 1-in-N sampling or the always-on slow-request threshold — a
+// fixed-size lock-free ring of recent spans that exporters drain as
+// byte-deterministic JSONL.
+//
+// The overhead contract mirrors internal/obs:
+//
+//   - Zero overhead when disabled. A nil *Tracer makes every hook a
+//     pointer check; no clock is read, nothing allocates, and the serve
+//     wire path stays allocation-free (enforced by the serve package's
+//     AllocsPerRun tests and scripts/bench.sh).
+//   - Zero perturbation of simulated cycles. The tracer observes only
+//     wall-clock time around the request path; it never injects events
+//     into the instrumentation stream, so a traced run's engine Result
+//     is identical to an untraced run of the same request sequence.
+package reqtrace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"domainvirt/internal/obs"
+)
+
+// Stage indexes one segment of the request path. The taxonomy is the
+// package contract (see ARCHITECTURE.md "Request tracing contract"):
+// stages are disjoint, additive segments of a request's wall-clock
+// residency in the daemon.
+type Stage uint8
+
+// The request-path stages, in pipeline order.
+const (
+	// StageRead covers reading the frame body off the socket (after
+	// the length prefix arrived) plus decoding it into a Request.
+	StageRead Stage = iota
+	// StageQueue is the wait in the bounded worker queue.
+	StageQueue
+	// StageLock is the wait for the session-table shard mutex.
+	StageLock
+	// StageEngine covers the protection-engine work: the SETPERM
+	// window open/close and the pool accesses inside it.
+	StageEngine
+	// StagePersist is durable-commit work (redo-log write + fences)
+	// inside a TX_COMMIT window.
+	StagePersist
+	// StageWrite covers encoding the response and handing it to the
+	// connection writer.
+	StageWrite
+	// NumStages is the taxonomy size.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"read_decode", "queue", "lock", "engine", "persist", "write",
+}
+
+// String returns the stable exporter name of the stage.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Span is one finished request's trace record. Durations are
+// nanoseconds of wall-clock time; Start is nanoseconds since the
+// tracer's epoch (monotonic, so spans order and subtract safely).
+type Span struct {
+	Seq     uint64 // 1-based arrival sequence number
+	Op      uint8  // wire opcode (exporters map names via Config.OpNames)
+	SID     uint64 // session ID, 0 when the request had none
+	Status  uint8  // response status byte
+	Code    uint16 // typed error code, 0 on success
+	Bytes   uint32 // payload bytes moved (READ/WRITE data length)
+	Sampled bool   // retained by 1-in-N sampling
+	Slow    bool   // retained by the slow-request threshold
+	Start   int64  // ns since tracer epoch
+	Total   uint64 // ns, sum of all stages
+	Stages  [NumStages]uint64
+}
+
+// Config configures a Tracer. The zero value means disabled: New
+// returns nil (and every hook on a nil Tracer is a no-op) unless at
+// least one retention rule is set.
+type Config struct {
+	// SampleEvery retains every Nth request's span in the ring
+	// (deterministic in arrival order: seq % N == 0). 0 disables
+	// sampled retention.
+	SampleEvery int
+	// Slow is the always-on slow-request threshold: any request whose
+	// total exceeds it is retained regardless of sampling. 0 disables.
+	Slow time.Duration
+	// RingSize bounds the retained-span ring (rounded up to a power of
+	// two; default 1024). The ring overwrites oldest-first.
+	RingSize int
+	// OpNames optionally maps opcode values to exporter names.
+	OpNames []string
+}
+
+// Enabled reports whether the configuration turns tracing on.
+func (c Config) Enabled() bool { return c.SampleEvery > 0 || c.Slow > 0 }
+
+// histStripes shards the histogram mutex so concurrent workers do not
+// serialize on one lock; stripes merge at export time (obs.Histogram
+// merging is associative and commutative).
+const histStripes = 8
+
+type histStripe struct {
+	mu     sync.Mutex
+	total  obs.Histogram
+	stages [NumStages]obs.Histogram
+}
+
+// Tracer records request spans. All methods are safe for concurrent
+// use; all methods on a nil Tracer are no-ops.
+type Tracer struct {
+	cfg   Config
+	epoch time.Time
+
+	seq      atomic.Uint64
+	finished atomic.Uint64
+	sampled  atomic.Uint64
+	slow     atomic.Uint64
+
+	// The retained-span ring is lock-free: each slot holds an immutable
+	// published *Span, overwritten oldest-first by swapping the pointer.
+	// Readers never block writers and vice versa. The copy allocation
+	// only happens for retained (sampled/slow) spans, never on the
+	// per-request hot path.
+	head  atomic.Uint64
+	mask  uint64
+	slots []atomic.Pointer[Span]
+
+	stripes [histStripes]histStripe
+
+	pool sync.Pool // *Active
+}
+
+// New returns a Tracer for cfg, or nil when cfg leaves tracing
+// disabled — callers thread the nil through and pay only pointer
+// checks.
+func New(cfg Config) *Tracer {
+	if !cfg.Enabled() {
+		return nil
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 1024
+	}
+	n := 1
+	for n < cfg.RingSize {
+		n <<= 1
+	}
+	t := &Tracer{
+		cfg:   cfg,
+		epoch: time.Now(),
+		mask:  uint64(n - 1),
+		slots: make([]atomic.Pointer[Span], n),
+	}
+	t.pool.New = func() any { return new(Active) }
+	return t
+}
+
+// Config returns the tracer's configuration (zero value when nil).
+func (t *Tracer) Config() Config {
+	if t == nil {
+		return Config{}
+	}
+	return t.cfg
+}
+
+// Active is the in-flight state of one traced request: the span under
+// construction and the timestamp of the previous stage boundary. An
+// Active is obtained from Begin, carried alongside the request, and
+// returned to the tracer by End; it is only ever touched by whichever
+// goroutine currently owns the request (reader, then worker).
+type Active struct {
+	span Span
+	last time.Time
+	t    *Tracer
+}
+
+// Begin starts a span for one arriving request. start is the stage-0
+// clock origin (stamped right after the frame header was read). A nil
+// tracer returns nil, and nil *Active receivers make every subsequent
+// hook a no-op.
+//
+// The exported hooks (Begin, Mark, End) are thin wrappers kept under
+// the inlining budget so that a disabled tracer costs exactly one
+// inlined nil check per call site — no CALL instruction on the hot
+// wire path. The bodies live in unexported slow-path methods.
+func (t *Tracer) Begin(op uint8, start time.Time) *Active {
+	if t == nil {
+		return nil
+	}
+	return t.begin(op, start)
+}
+
+func (t *Tracer) begin(op uint8, start time.Time) *Active {
+	a := t.pool.Get().(*Active)
+	a.span = Span{
+		Seq:   t.seq.Add(1),
+		Op:    op,
+		Start: start.Sub(t.epoch).Nanoseconds(),
+	}
+	a.last = start
+	a.t = t
+	return a
+}
+
+// Mark closes the current segment, attributing the time since the
+// previous boundary to stage s. Stages may be marked repeatedly; the
+// segments accumulate (doTx marks StageEngine around both halves of
+// its SETPERM window).
+func (a *Active) Mark(s Stage) {
+	if a == nil {
+		return
+	}
+	a.mark(s)
+}
+
+func (a *Active) mark(s Stage) {
+	now := time.Now()
+	a.span.Stages[s] += uint64(now.Sub(a.last))
+	a.last = now
+}
+
+// SetSID stamps the session the request resolved to.
+func (a *Active) SetSID(sid uint64) {
+	if a != nil {
+		a.span.SID = sid
+	}
+}
+
+// AddBytes accounts payload bytes moved by the request.
+func (a *Active) AddBytes(n uint32) {
+	if a != nil {
+		a.span.Bytes += n
+	}
+}
+
+// End finishes the span: the outcome is stamped, every finished span
+// feeds the per-stage histograms, and spans selected by sampling or
+// the slow threshold enter the ring. a must not be used after End.
+func (t *Tracer) End(a *Active, status uint8, code uint16) {
+	if t == nil || a == nil {
+		return
+	}
+	t.end(a, status, code)
+}
+
+func (t *Tracer) end(a *Active, status uint8, code uint16) {
+	sp := &a.span
+	sp.Status, sp.Code = status, code
+	var total uint64
+	for _, v := range sp.Stages {
+		total += v
+	}
+	sp.Total = total
+
+	st := &t.stripes[sp.Seq&(histStripes-1)]
+	st.mu.Lock()
+	st.total.Observe(total)
+	for i := range sp.Stages {
+		st.stages[i].Observe(sp.Stages[i])
+	}
+	st.mu.Unlock()
+	t.finished.Add(1)
+
+	sp.Sampled = t.cfg.SampleEvery > 0 && sp.Seq%uint64(t.cfg.SampleEvery) == 0
+	sp.Slow = t.cfg.Slow > 0 && total >= uint64(t.cfg.Slow)
+	if sp.Sampled {
+		t.sampled.Add(1)
+	}
+	if sp.Slow {
+		t.slow.Add(1)
+	}
+	if sp.Sampled || sp.Slow {
+		t.retain(sp)
+	}
+	*a = Active{}
+	t.pool.Put(a)
+}
+
+// retain publishes an immutable copy of sp into the ring. Writers
+// never block and never mutate a span after publishing it, so readers
+// can hold the pointer as long as they like.
+func (t *Tracer) retain(sp *Span) {
+	cp := new(Span)
+	*cp = *sp
+	idx := t.head.Add(1) - 1
+	t.slots[idx&t.mask].Store(cp)
+}
+
+// Counts reports lifetime totals: spans finished, retained by
+// sampling, and retained by the slow threshold.
+func (t *Tracer) Counts() (finished, sampled, slow uint64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	return t.finished.Load(), t.sampled.Load(), t.slow.Load()
+}
+
+// Snapshot copies the retained spans out of the ring, oldest first
+// (ascending Seq). Every published span is complete — publication is a
+// pointer swap — so the result is always a consistent set.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]Span, 0, len(t.slots))
+	for i := range t.slots {
+		if sp := t.slots[i].Load(); sp != nil {
+			out = append(out, *sp)
+		}
+	}
+	sortSpans(out)
+	return out
+}
+
+// Histograms merges the stripes into one total and one per-stage
+// histogram set (nanosecond latencies, every finished span).
+func (t *Tracer) Histograms() (total obs.Histogram, stages [NumStages]obs.Histogram) {
+	if t == nil {
+		return
+	}
+	for i := range t.stripes {
+		st := &t.stripes[i]
+		st.mu.Lock()
+		total.Merge(&st.total)
+		for j := range st.stages {
+			stages[j].Merge(&st.stages[j])
+		}
+		st.mu.Unlock()
+	}
+	return
+}
+
+// sortSpans orders spans by ascending Seq (insertion sort: snapshots
+// are nearly sorted already because the ring is written in order).
+func sortSpans(s []Span) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1].Seq > s[j].Seq; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

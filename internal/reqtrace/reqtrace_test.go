@@ -1,0 +1,287 @@
+package reqtrace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNil(t *testing.T) {
+	if tr := New(Config{}); tr != nil {
+		t.Fatalf("zero config must disable tracing, got %+v", tr)
+	}
+	// Every hook on the nil tracer and nil active must be a no-op.
+	var tr *Tracer
+	a := tr.Begin(1, time.Now())
+	if a != nil {
+		t.Fatalf("nil tracer Begin returned %+v", a)
+	}
+	a.Mark(StageQueue)
+	a.SetSID(7)
+	a.AddBytes(128)
+	tr.End(a, 0, 0)
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil tracer snapshot = %v", got)
+	}
+	if err := tr.WriteSpansJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	f, s, sl := tr.Counts()
+	if f != 0 || s != 0 || sl != 0 {
+		t.Fatalf("nil tracer counts = %d %d %d", f, s, sl)
+	}
+}
+
+func TestDisabledPathAllocFree(t *testing.T) {
+	// The disabled request path — what every pmod request pays when
+	// tracing is off — must not allocate.
+	var tr *Tracer
+	round := func() {
+		a := tr.Begin(4, time.Time{})
+		a.Mark(StageRead)
+		a.Mark(StageQueue)
+		a.SetSID(3)
+		a.Mark(StageEngine)
+		a.AddBytes(64)
+		a.Mark(StageWrite)
+		tr.End(a, 0, 0)
+	}
+	if allocs := testing.AllocsPerRun(500, round); allocs != 0 {
+		t.Fatalf("disabled tracing allocates %v times per request, want 0", allocs)
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	tr := New(Config{SampleEvery: 4, RingSize: 64})
+	for i := 0; i < 20; i++ {
+		a := tr.Begin(4, time.Now())
+		a.Mark(StageRead)
+		tr.End(a, 0, 0)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 5 {
+		t.Fatalf("1-in-4 of 20 requests retained %d spans, want 5", len(spans))
+	}
+	for _, sp := range spans {
+		if !sp.Sampled || sp.Seq%4 != 0 {
+			t.Fatalf("retained span seq %d sampled=%v, want multiples of 4", sp.Seq, sp.Sampled)
+		}
+	}
+	fin, sam, slow := tr.Counts()
+	if fin != 20 || sam != 5 || slow != 0 {
+		t.Fatalf("counts = %d %d %d, want 20 5 0", fin, sam, slow)
+	}
+}
+
+func TestSlowThresholdAlwaysOn(t *testing.T) {
+	// Sampling would never retain these (every millionth request), but
+	// the slow threshold must.
+	tr := New(Config{SampleEvery: 1 << 20, Slow: time.Millisecond, RingSize: 16})
+	for i := 0; i < 6; i++ {
+		a := tr.Begin(5, time.Now())
+		if i == 3 {
+			// Backdate the stage boundary so the queue stage measures
+			// well over the threshold without sleeping.
+			a.last = a.last.Add(-10 * time.Millisecond)
+		}
+		a.Mark(StageQueue)
+		tr.End(a, 0, 0)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("retained %d spans, want exactly the slow one", len(spans))
+	}
+	sp := spans[0]
+	if !sp.Slow || sp.Sampled {
+		t.Fatalf("span flags slow=%v sampled=%v, want slow only", sp.Slow, sp.Sampled)
+	}
+	if sp.Seq != 4 {
+		t.Fatalf("slow span seq = %d, want 4", sp.Seq)
+	}
+	if sp.Stages[StageQueue] < uint64(10*time.Millisecond) {
+		t.Fatalf("queue stage %dns, want >= 10ms", sp.Stages[StageQueue])
+	}
+	if sp.Total < sp.Stages[StageQueue] {
+		t.Fatalf("total %d < queue stage %d", sp.Total, sp.Stages[StageQueue])
+	}
+}
+
+func TestRingWrapsOldestFirst(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, RingSize: 4})
+	for i := 0; i < 10; i++ {
+		a := tr.Begin(1, time.Now())
+		tr.End(a, 0, 0)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("ring of 4 holds %d spans", len(spans))
+	}
+	for i, sp := range spans {
+		if want := uint64(7 + i); sp.Seq != want {
+			t.Fatalf("span[%d].Seq = %d, want %d (newest four, ascending)", i, sp.Seq, want)
+		}
+	}
+}
+
+func TestStagesAccumulateAndTotal(t *testing.T) {
+	tr := New(Config{SampleEvery: 1})
+	a := tr.Begin(6, time.Now())
+	a.last = a.last.Add(-time.Millisecond)
+	a.Mark(StageEngine)
+	a.last = a.last.Add(-2 * time.Millisecond)
+	a.Mark(StagePersist)
+	a.last = a.last.Add(-time.Millisecond)
+	a.Mark(StageEngine) // second engine segment accumulates
+	a.SetSID(42)
+	a.AddBytes(100)
+	a.AddBytes(28)
+	tr.End(a, 1, 12)
+	spans := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("retained %d spans", len(spans))
+	}
+	sp := spans[0]
+	if sp.SID != 42 || sp.Bytes != 128 || sp.Status != 1 || sp.Code != 12 {
+		t.Fatalf("span metadata = %+v", sp)
+	}
+	if sp.Stages[StageEngine] < uint64(2*time.Millisecond) {
+		t.Fatalf("engine stage %d, want accumulated >= 2ms", sp.Stages[StageEngine])
+	}
+	var sum uint64
+	for _, v := range sp.Stages {
+		sum += v
+	}
+	if sp.Total != sum {
+		t.Fatalf("total %d != stage sum %d", sp.Total, sum)
+	}
+}
+
+func TestHistogramsCoverEveryFinishedSpan(t *testing.T) {
+	tr := New(Config{SampleEvery: 1000, RingSize: 8})
+	const n = 100
+	for i := 0; i < n; i++ {
+		a := tr.Begin(4, time.Now())
+		a.Mark(StageRead)
+		tr.End(a, 0, 0)
+	}
+	total, stages := tr.Histograms()
+	if total.Count != n {
+		t.Fatalf("total histogram count = %d, want %d (all finished spans, not just retained)", total.Count, n)
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		if stages[s].Count != n {
+			t.Fatalf("stage %s count = %d, want %d", s, stages[s].Count, n)
+		}
+	}
+}
+
+func TestJSONLDeterministicRoundTrip(t *testing.T) {
+	tr := New(Config{SampleEvery: 1, RingSize: 32, OpNames: []string{"?", "hello", "open", "attach", "read"}})
+	for i := 0; i < 10; i++ {
+		a := tr.Begin(uint8(1+i%4), time.Now())
+		a.Mark(StageRead)
+		a.SetSID(uint64(i))
+		a.AddBytes(uint32(i * 16))
+		tr.End(a, 0, 0)
+	}
+	var b1, b2 bytes.Buffer
+	if err := tr.WriteSpansJSONL(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteSpansJSONL(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("span dump is not byte-deterministic across identical snapshots")
+	}
+	if !strings.Contains(b1.String(), `"op":"read"`) {
+		t.Fatalf("op names not applied:\n%s", b1.String())
+	}
+
+	recs, err := ParseSpansJSONL(&b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("parsed %d spans, want 10", len(recs))
+	}
+	spans := tr.Snapshot()
+	for i, rec := range recs {
+		sp := spans[i]
+		if rec.Seq != sp.Seq || rec.SID != sp.SID || rec.Bytes != sp.Bytes ||
+			rec.TotalNs != sp.Total || rec.Stages != sp.Stages {
+			t.Fatalf("round trip mismatch at %d: %+v vs %+v", i, rec, sp)
+		}
+	}
+
+	agg := Aggregate(recs)
+	if agg.Spans != 10 || agg.Total.Count != 10 || agg.Queue.Count != 10 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+}
+
+func TestConcurrentTracing(t *testing.T) {
+	tr := New(Config{SampleEvery: 2, Slow: time.Nanosecond, RingSize: 64})
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a := tr.Begin(4, time.Now())
+				a.Mark(StageRead)
+				a.Mark(StageQueue)
+				a.Mark(StageEngine)
+				tr.End(a, 0, 0)
+			}
+		}()
+	}
+	// Concurrent readers must never see torn spans.
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, sp := range tr.Snapshot() {
+				if sp.Seq == 0 || sp.Total < sp.Stages[StageQueue] {
+					t.Error("torn span escaped the seqlock")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	fin, _, _ := tr.Counts()
+	if fin != workers*per {
+		t.Fatalf("finished %d, want %d", fin, workers*per)
+	}
+	total, _ := tr.Histograms()
+	if total.Count != workers*per {
+		t.Fatalf("histogram count %d, want %d", total.Count, workers*per)
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Stage(0); s < NumStages; s++ {
+		n := s.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Fatalf("stage %d name %q invalid or duplicated", s, n)
+		}
+		seen[n] = true
+	}
+	if Stage(200).String() != "unknown" {
+		t.Fatal("out-of-range stage must stringify as unknown")
+	}
+}

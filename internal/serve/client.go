@@ -135,3 +135,14 @@ func (c *Client) Stats() ([]byte, error) {
 	}
 	return resp.Data, nil
 }
+
+// Trace fetches the daemon's retained request spans as JSONL (see
+// reqtrace.ParseSpansJSONL). The daemon answers ErrDisabled when it was
+// started without tracing.
+func (c *Client) Trace() ([]byte, error) {
+	resp, err := c.roundTrip(&Request{Op: OpTrace})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}

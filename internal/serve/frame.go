@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 )
 
 // errFrameTooLarge marks a declared payload length over the limit; the
@@ -19,16 +20,28 @@ func (e errFrameTooLarge) Error() string {
 // verbatim on a clean boundary; a partial frame yields
 // io.ErrUnexpectedEOF.
 func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	payload, _, err := readFrameTimed(r, buf, false)
+	return payload, err
+}
+
+// readFrameTimed is readFrame stamping the wall-clock instant the frame
+// header landed — the request's stage-0 origin for tracing. With stamp
+// false no clock is read (the tracing-disabled path pays nothing).
+func readFrameTimed(r io.Reader, buf []byte, stamp bool) ([]byte, time.Time, error) {
+	var t0 time.Time
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return nil, io.ErrUnexpectedEOF
+			return nil, t0, io.ErrUnexpectedEOF
 		}
-		return nil, err
+		return nil, t0, err
+	}
+	if stamp {
+		t0 = time.Now()
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return nil, errFrameTooLarge{n}
+		return nil, t0, errFrameTooLarge{n}
 	}
 	if cap(buf) < int(n) {
 		buf = make([]byte, n)
@@ -36,11 +49,11 @@ func readFrame(r io.Reader, buf []byte) ([]byte, error) {
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
 		if err == io.EOF {
-			return nil, io.ErrUnexpectedEOF
+			return nil, t0, io.ErrUnexpectedEOF
 		}
-		return nil, err
+		return nil, t0, err
 	}
-	return buf, nil
+	return buf, t0, nil
 }
 
 // writeFrame writes one length-prefixed payload.

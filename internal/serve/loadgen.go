@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"domainvirt/internal/obs"
+	"domainvirt/internal/reqtrace"
 )
 
 // LoadOptions configures a closed-loop load run against a pmod daemon:
@@ -23,6 +25,12 @@ type LoadOptions struct {
 	ValueSize    int     // bytes per write / read span
 	PoolSize     uint64  // per-client session pool size
 	Seed         int64
+	// FetchTrace drains the daemon's retained request spans (TRACE op)
+	// after the run and aggregates them into LoadReport.Trace, giving
+	// the client-side summary its queue-wait vs service-time
+	// attribution. Requires the daemon to run with tracing enabled;
+	// silently skipped otherwise.
+	FetchTrace bool
 }
 
 func (o *LoadOptions) withDefaults() LoadOptions {
@@ -67,6 +75,10 @@ type LoadReport struct {
 	// sessions.
 	IsolationViolations uint64
 	Latency             obs.Histogram
+	// Trace is the daemon-side stage breakdown aggregated from the
+	// retained request spans (nil unless FetchTrace was set and the
+	// daemon traced the run).
+	Trace *reqtrace.Breakdown
 }
 
 // Throughput returns completed ops/second.
@@ -119,7 +131,30 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	if msg, ok := firstErr.Load().(string); ok {
 		rep.FirstErr = msg
 	}
+	if o.FetchTrace {
+		rep.Trace = FetchTraceBreakdown(o.Addr)
+	}
 	return rep, nil
+}
+
+// FetchTraceBreakdown drains the daemon's retained spans over one extra
+// connection and aggregates them; nil when the daemon has tracing
+// disabled, is unreachable, or retained nothing.
+func FetchTraceBreakdown(addr string) *reqtrace.Breakdown {
+	cl, err := Dial(addr)
+	if err != nil {
+		return nil
+	}
+	defer cl.Close()
+	raw, err := cl.Trace()
+	if err != nil || len(raw) == 0 {
+		return nil
+	}
+	recs, err := reqtrace.ParseSpansJSONL(bytes.NewReader(raw))
+	if err != nil || len(recs) == 0 {
+		return nil
+	}
+	return reqtrace.Aggregate(recs)
 }
 
 // runClient is one closed-loop session: dial, HELLO, OPEN, ATTACH, then

@@ -63,6 +63,7 @@ var errNames = map[ErrCode]string{
 	ErrNoHello: "no_hello", ErrNoSession: "no_session", ErrExists: "exists",
 	ErrNotAttached: "not_attached", ErrDenied: "denied", ErrRange: "range",
 	ErrEvicted: "evicted", ErrDraining: "draining", ErrTx: "tx", ErrInternal: "internal",
+	ErrDisabled: "disabled",
 }
 
 // EngineTotals aggregates the protection-engine counters the daemon
@@ -93,7 +94,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, sessions, conns int, eng *EngineT
 	fmt.Fprintf(w, "pmod_responses_total{status=\"err\"} %d\n", errs)
 	fmt.Fprintf(w, "pmod_responses_total{status=\"retry\"} %d\n", m.Retries.Load())
 	fmt.Fprintf(w, "# HELP pmod_errors_total Typed protocol errors, by code.\n# TYPE pmod_errors_total counter\n")
-	for code := ErrBadFrame; code <= ErrInternal; code++ {
+	for code := ErrBadFrame; code <= maxErrCode; code++ {
 		if n := m.Errors[code].Load(); n > 0 {
 			fmt.Fprintf(w, "pmod_errors_total{code=%q} %d\n", errNames[code], n)
 		}
@@ -127,14 +128,20 @@ func (m *Metrics) WritePrometheus(w io.Writer, sessions, conns int, eng *EngineT
 		fmt.Fprintf(w, "pmod_engine_events_total{event=\"tlb_shootdown\"} %d\n", eng.TLBFlushed)
 	}
 
+	// One histogram family: HELP/TYPE exactly once, then every op's
+	// series. (Emitting the header per op renders an exposition parsers
+	// reject as a duplicate metric family.)
 	lat := m.latSnapshot()
+	if err := obs.PromHistogramHeader(w, "pmod_op_latency_ns",
+		"Request service latency in nanoseconds."); err != nil {
+		return err
+	}
 	for op := Op(1); op < numOps; op++ {
 		if lat[op].Count == 0 {
 			continue
 		}
 		h := lat[op]
-		if err := obs.PromHistogram(w, "pmod_op_latency_ns",
-			"Request service latency in nanoseconds.",
+		if err := obs.PromHistogramSeries(w, "pmod_op_latency_ns",
 			fmt.Sprintf("op=%q", op.String()), &h); err != nil {
 			return err
 		}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"domainvirt/internal/obs"
+	"domainvirt/internal/reqtrace"
+)
+
+// TestMetricsExpositionValidUnderLoad is the golden-format gate for the
+// STATS snapshot: while a concurrent load run mutates every counter and
+// histogram, each WriteMetrics snapshot must still be valid Prometheus
+// exposition — HELP/TYPE once per family, contiguous families, ordered
+// le thresholds, no NaN/negative counts. This is exactly what a scraper
+// sees mid-run.
+func TestMetricsExpositionValidUnderLoad(t *testing.T) {
+	srv, addr := startTestServer(t, Options{
+		Engine: "domainvirt",
+		Trace:  reqtrace.Config{SampleEvery: 2, RingSize: 256},
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rep, err := RunLoad(LoadOptions{
+			Addr: addr, Clients: 6, Duration: 400 * time.Millisecond,
+			ValueSize: 128, TxFraction: 0.2, Seed: 7,
+		})
+		if err != nil {
+			t.Errorf("load: %v", err)
+		} else if rep.Errors > 0 {
+			t.Errorf("load errors: %d (%s)", rep.Errors, rep.FirstErr)
+		}
+	}()
+
+	deadline := time.Now().Add(450 * time.Millisecond)
+	snapshots := 0
+	for time.Now().Before(deadline) {
+		var b bytes.Buffer
+		if err := srv.WriteMetrics(&b); err != nil {
+			t.Fatalf("WriteMetrics: %v", err)
+		}
+		if findings := obs.LintProm(bytes.NewReader(b.Bytes())); len(findings) != 0 {
+			t.Fatalf("snapshot %d invalid:\n%s\n--- exposition ---\n%s",
+				snapshots, strings.Join(findings, "\n"), b.String())
+		}
+		snapshots++
+		time.Sleep(5 * time.Millisecond)
+	}
+	wg.Wait()
+	if snapshots < 10 {
+		t.Fatalf("only %d snapshots linted; expected sustained concurrent scraping", snapshots)
+	}
+
+	// Final snapshot: the op-latency family must be a single family even
+	// with many ops populated (the duplicate-header regression), and the
+	// stage family must be present since tracing is on.
+	var b bytes.Buffer
+	if err := srv.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if n := strings.Count(text, "# HELP pmod_op_latency_ns "); n != 1 {
+		t.Fatalf("pmod_op_latency_ns HELP appears %d times, want 1", n)
+	}
+	if !strings.Contains(text, `pmod_stage_latency_ns_bucket{stage="queue",le=`) {
+		t.Fatal("final snapshot missing stage latency family")
+	}
+	if findings := obs.LintProm(strings.NewReader(text)); len(findings) != 0 {
+		t.Fatalf("final snapshot invalid:\n%s", strings.Join(findings, "\n"))
+	}
+}

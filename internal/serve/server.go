@@ -14,7 +14,9 @@ import (
 
 	"domainvirt/internal/core"
 	"domainvirt/internal/pmo"
+	"domainvirt/internal/reqtrace"
 	"domainvirt/internal/sim"
+	"domainvirt/internal/trace"
 	"domainvirt/internal/txn"
 )
 
@@ -51,6 +53,29 @@ type Options struct {
 	// store from the janitor (default 1s; 0 disables periodic sync —
 	// drain still syncs).
 	SyncEvery time.Duration
+	// Trace configures per-request span tracing (internal/reqtrace).
+	// The zero value disables it: the request path then pays only nil
+	// pointer checks (no clock reads, no allocations). OpNames is
+	// filled in automatically.
+	Trace reqtrace.Config
+	// CaptureOpen, when set, tees every shard's instrumentation stream
+	// into a trace.Capture recording the live traffic in the binary
+	// trace format. It is called lazily per (shard, segment) when that
+	// segment's first bytes are flushed. Works in engine and library
+	// mode alike.
+	CaptureOpen func(shard, seg int) (io.WriteCloser, error)
+	// CaptureMaxSegmentBytes rotates each shard's capture to a new
+	// independently-replayable segment past this size (0: no rotation).
+	CaptureMaxSegmentBytes int64
+	// CaptureBufferBytes bounds each shard capture's unflushed bytes;
+	// past it, data events are dropped (and counted) while control
+	// events are kept. Default 1 MiB.
+	CaptureBufferBytes int
+	// CaptureVerdicts additionally records each shard's Access/Fetch
+	// verdict bitstream (engine mode only), so a live run's enforcement
+	// decisions can be compared bit-for-bit against a replay of its
+	// captured trace.
+	CaptureVerdicts bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -105,7 +130,9 @@ type session struct {
 type shard struct {
 	mu         sync.Mutex
 	space      *pmo.Space
-	machine    *sim.Machine // nil in library mode
+	machine    *sim.Machine       // nil in library mode
+	capture    *trace.Capture     // nil unless CaptureOpen is set
+	verdicts   *trace.VerdictLog  // nil unless CaptureVerdicts (guarded by mu)
 	sessions   map[uint64]*session
 	nextThread core.ThreadID
 }
@@ -163,9 +190,10 @@ func (w *workCtx) ok(id uint32) *Response {
 // eviction, per-request least-privilege domain windows, and graceful
 // drain.
 type Server struct {
-	opts  Options
-	store *pmo.Store
-	met   *Metrics
+	opts   Options
+	store  *pmo.Store
+	met    *Metrics
+	tracer *reqtrace.Tracer // nil when tracing is disabled
 
 	shards []*shard
 	mask   uint64
@@ -197,17 +225,49 @@ func NewServer(opts Options) *Server {
 		conns:     make(map[*conn]struct{}),
 		janitorCh: make(chan struct{}),
 	}
+	if o.Trace.Enabled() {
+		if o.Trace.OpNames == nil {
+			o.Trace.OpNames = opNames[:]
+		}
+		s.tracer = reqtrace.New(o.Trace)
+		s.opts.Trace = o.Trace
+	}
 	for i := 0; i < o.Shards; i++ {
 		sh := &shard{sessions: make(map[uint64]*session), nextThread: 1}
+		// Sink stack per shard: capture (raw record, always permits) in
+		// front of the enforcing machine, with the verdict wrapper
+		// between the tee and the machine so live enforcement decisions
+		// land in a comparable bitstream.
+		var sinks []trace.Sink
+		if o.CaptureOpen != nil {
+			shardIdx := i
+			sh.capture = trace.NewCapture(trace.CaptureOptions{
+				Open:            func(seg int) (io.WriteCloser, error) { return o.CaptureOpen(shardIdx, seg) },
+				MaxSegmentBytes: o.CaptureMaxSegmentBytes,
+				BufferBytes:     o.CaptureBufferBytes,
+			})
+			sinks = append(sinks, sh.capture)
+		}
 		if o.Engine != "" {
 			m := sim.NewMachine(sim.DefaultConfig(), o.Engine)
 			insp := core.NewInspector()
 			insp.Approve(serverSite, "pmod vetted permission gate")
 			m.SetInspector(insp)
 			sh.machine = m
-			sh.space = pmo.NewSpace(m)
-		} else {
+			var ms trace.Sink = m
+			if o.CaptureVerdicts {
+				sh.verdicts = &trace.VerdictLog{}
+				ms = trace.WithVerdicts(m, sh.verdicts)
+			}
+			sinks = append(sinks, ms)
+		}
+		switch len(sinks) {
+		case 0:
 			sh.space = pmo.NewSpace(nil)
+		case 1:
+			sh.space = pmo.NewSpace(sinks[0])
+		default:
+			sh.space = pmo.NewSpace(trace.NewTee(sinks...))
 		}
 		s.shards = append(s.shards, sh)
 	}
@@ -216,6 +276,52 @@ func NewServer(opts Options) *Server {
 
 // Metrics returns the server's live metrics.
 func (s *Server) Metrics() *Metrics { return s.met }
+
+// Tracer returns the request tracer (nil when tracing is disabled).
+func (s *Server) Tracer() *reqtrace.Tracer { return s.tracer }
+
+// CaptureStats aggregates the shard captures' counters; ok is false
+// when capture is not configured.
+func (s *Server) CaptureStats() (st trace.CaptureStats, ok bool) {
+	for _, sh := range s.shards {
+		if sh.capture == nil {
+			continue
+		}
+		ok = true
+		c := sh.capture.Stats()
+		st.Events += c.Events
+		st.Dropped += c.Dropped
+		st.Bytes += c.Bytes
+		st.Segments += c.Segments
+	}
+	return st, ok
+}
+
+// CaptureErr returns the first capture I/O error across shards.
+func (s *Server) CaptureErr() error {
+	for _, sh := range s.shards {
+		if sh.capture != nil {
+			if err := sh.capture.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ShardVerdicts copies shard i's live verdict bitstream (nil unless
+// CaptureVerdicts is on and the shard has a log).
+func (s *Server) ShardVerdicts(i int) *trace.VerdictLog {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.verdicts == nil {
+		return nil
+	}
+	cp := &trace.VerdictLog{}
+	cp.Merge(sh.verdicts)
+	return cp
+}
 
 // Engine returns the configured protection scheme ("" for library mode).
 func (s *Server) Engine() sim.Scheme { return s.opts.Engine }
@@ -261,9 +367,27 @@ func (s *Server) EngineTotals() *EngineTotals {
 }
 
 // WriteMetrics renders the full Prometheus snapshot (also the STATS op
-// body and the -metrics HTTP endpoint body).
+// body and the -metrics HTTP endpoint body): the base counters, the
+// per-stage request-latency histograms when tracing is on, and the
+// capture counters when the shard tee is recording.
 func (s *Server) WriteMetrics(w io.Writer) error {
-	return s.met.WritePrometheus(w, s.SessionCount(), s.ConnCount(), s.EngineTotals())
+	if err := s.met.WritePrometheus(w, s.SessionCount(), s.ConnCount(), s.EngineTotals()); err != nil {
+		return err
+	}
+	if err := s.tracer.WritePromStageHistograms(w, "pmod_stage_latency_ns", "pmod_request_latency_ns"); err != nil {
+		return err
+	}
+	if st, ok := s.CaptureStats(); ok {
+		fmt.Fprintf(w, "# HELP pmod_capture_events_total Instrumentation events recorded by the shard capture tee.\n# TYPE pmod_capture_events_total counter\n")
+		fmt.Fprintf(w, "pmod_capture_events_total %d\n", st.Events)
+		fmt.Fprintf(w, "# HELP pmod_capture_dropped_total Data events dropped by capture backpressure.\n# TYPE pmod_capture_dropped_total counter\n")
+		fmt.Fprintf(w, "pmod_capture_dropped_total %d\n", st.Dropped)
+		fmt.Fprintf(w, "# HELP pmod_capture_bytes_total Encoded trace bytes handed to the capture flushers.\n# TYPE pmod_capture_bytes_total counter\n")
+		fmt.Fprintf(w, "pmod_capture_bytes_total %d\n", st.Bytes)
+		fmt.Fprintf(w, "# HELP pmod_capture_segments Capture segments started across shards.\n# TYPE pmod_capture_segments gauge\n")
+		fmt.Fprintf(w, "pmod_capture_segments %d\n", st.Segments)
+	}
+	return nil
 }
 
 // Serve accepts connections until Shutdown (returns nil) or a listener
@@ -313,9 +437,10 @@ func (s *Server) Serve(lis net.Listener) error {
 func (s *Server) readLoop(cn *conn) {
 	defer s.readersWG.Done()
 	br := bufio.NewReader(cn.c)
+	tracing := s.tracer != nil
 	var buf []byte
 	for {
-		payload, err := readFrame(br, buf)
+		payload, t0, err := readFrameTimed(br, buf, tracing)
 		if err != nil {
 			var tooBig errFrameTooLarge
 			if errors.As(err, &tooBig) {
@@ -345,12 +470,16 @@ func (s *Server) readLoop(cn *conn) {
 		// WRITE/TX payload slices alias the read buffer; copy them into
 		// the request's own scratch since the worker runs after the
 		// reader reuses it.
+		req.tr = s.tracer.Begin(uint8(req.Op), t0)
 		req.detach()
+		req.tr.Mark(reqtrace.StageRead)
 		select {
 		case s.jobs <- job{cn: cn, req: req}:
 		default:
 			// Backpressure: the queue is full; make the client retry
 			// rather than queueing unbounded work.
+			s.tracer.End(req.tr, uint8(StatusRetry), 0)
+			req.tr = nil
 			s.met.Retries.Add(1)
 			cn.send(s, EncodeResponse(&Response{Status: StatusRetry, ID: req.ID}))
 			reqPool.Put(req)
@@ -400,6 +529,7 @@ func (s *Server) worker() {
 	defer s.workersWG.Done()
 	w := &workCtx{}
 	for jb := range s.jobs {
+		jb.req.tr.Mark(reqtrace.StageQueue)
 		start := time.Now()
 		resp := s.dispatch(jb.cn, jb.req, w)
 		s.met.ObserveLatency(jb.req.Op, uint64(time.Since(start).Nanoseconds()))
@@ -414,6 +544,9 @@ func (s *Server) worker() {
 		// pooled request) are free for the next job.
 		w.enc = appendResponse(w.enc[:0], resp)
 		jb.cn.send(s, w.enc)
+		jb.req.tr.Mark(reqtrace.StageWrite)
+		s.tracer.End(jb.req.tr, uint8(resp.Status), uint16(resp.Code))
+		jb.req.tr = nil
 		reqPool.Put(jb.req)
 	}
 }
@@ -444,6 +577,15 @@ func (s *Server) dispatch(cn *conn, req *Request, w *workCtx) *Response {
 			return errResp(req.ID, ErrInternal, "serve: rendering stats: %v", err)
 		}
 		return &Response{Status: StatusOK, ID: req.ID, Data: b.b}
+	case OpTrace:
+		if s.tracer == nil {
+			return errResp(req.ID, ErrDisabled, "serve: tracing disabled; start pmod with -trace-sample or -trace-slow")
+		}
+		var b writerBuf
+		if err := s.tracer.WriteSpansJSONL(&b); err != nil {
+			return errResp(req.ID, ErrInternal, "serve: rendering spans: %v", err)
+		}
+		return &Response{Status: StatusOK, ID: req.ID, Data: b.b}
 	}
 
 	cn.stateMu.Lock()
@@ -463,6 +605,8 @@ func (s *Server) dispatch(cn *conn, req *Request, w *workCtx) *Response {
 	sh := s.shardOf(sid)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	req.tr.Mark(reqtrace.StageLock)
+	req.tr.SetSID(sid)
 	sess, ok := sh.sessions[sid]
 	if !ok {
 		// Idle-evicted between requests: tell the client to re-OPEN.
@@ -524,10 +668,12 @@ func (s *Server) doOpen(cn *conn, client string, sid uint64, req *Request, w *wo
 	sess := &session{id: nsid, client: client, pool: pool}
 	sess.lastUsed.Store(time.Now().UnixNano())
 	sh.mu.Lock()
+	req.tr.Mark(reqtrace.StageLock)
 	sess.thread = sh.nextThread
 	sh.nextThread++
 	sh.sessions[nsid] = sess
 	sh.mu.Unlock()
+	req.tr.SetSID(nsid)
 	cn.stateMu.Lock()
 	if cn.sid != 0 {
 		// A concurrently pipelined OPEN won; retract this session.
@@ -599,6 +745,8 @@ func (s *Server) doRead(sh *shard, sess *session, req *Request, w *workCtx) *Res
 	s.window(sh, sess, core.PermR, func() {
 		sess.att.Read(req.Off, data)
 	})
+	req.tr.Mark(reqtrace.StageEngine)
+	req.tr.AddBytes(req.Len)
 	s.met.ReadData.Add(uint64(len(data)))
 	w.resp = Response{Status: StatusOK, ID: req.ID, Data: data}
 	return &w.resp
@@ -617,6 +765,8 @@ func (s *Server) doWrite(sh *shard, sess *session, req *Request, w *workCtx) *Re
 	s.window(sh, sess, core.PermRW, func() {
 		sess.att.Write(req.Off, req.Data)
 	})
+	req.tr.Mark(reqtrace.StageEngine)
+	req.tr.AddBytes(uint32(len(req.Data)))
 	s.met.WroteData.Add(uint64(len(req.Data)))
 	return w.ok(req.ID)
 }
@@ -647,8 +797,13 @@ func (s *Server) doTx(sh *shard, sess *session, req *Request, w *workCtx) *Respo
 				return
 			}
 		}
+		// Staging the redo log is engine-window work; the durable
+		// commit (log replay + fences) is the persist stage.
+		req.tr.Mark(reqtrace.StageEngine)
 		txErr = tx.Commit()
+		req.tr.Mark(reqtrace.StagePersist)
 	})
+	req.tr.Mark(reqtrace.StageEngine) // window close
 	if txErr != nil {
 		return errResp(req.ID, ErrTx, "serve: tx: %v", txErr)
 	}
@@ -656,6 +811,7 @@ func (s *Server) doTx(sh *shard, sess *session, req *Request, w *workCtx) *Respo
 	for _, tw := range req.Tx {
 		n += uint64(len(tw.Data))
 	}
+	req.tr.AddBytes(uint32(n))
 	s.met.WroteData.Add(n)
 	s.met.TxCommits.Add(1)
 	return w.ok(req.ID)
@@ -755,7 +911,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return s.store.Sync()
+		// Captures close after the final detach events above, so the
+		// recorded stream ends balanced; their I/O errors surface
+		// alongside the store sync.
+		var capErr error
+		for _, sh := range s.shards {
+			if sh.capture != nil {
+				capErr = errors.Join(capErr, sh.capture.Close())
+			}
+		}
+		return errors.Join(s.store.Sync(), capErr)
 	case <-ctx.Done():
 		return ctx.Err()
 	}

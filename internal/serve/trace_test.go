@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"domainvirt/internal/reqtrace"
+)
+
+// TestTraceOpEndToEnd drives a traced daemon and drains the span ring
+// over the wire: every stage of the request path must be attributed,
+// and the Prometheus snapshot must carry the per-stage histograms.
+func TestTraceOpEndToEnd(t *testing.T) {
+	srv, addr := startTestServer(t, Options{
+		Engine: "domainvirt",
+		Trace:  reqtrace.Config{SampleEvery: 1, RingSize: 256},
+	})
+	cl := dialT(t, addr)
+	if err := cl.Hello("tracer"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Open("trace-pool", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Attach(true); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xAB}, 512)
+	const writes = 8
+	for i := 0; i < writes; i++ {
+		if err := cl.Write(uint32(300<<10+i*1024), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Read(300<<10, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.TxCommit([]TxWrite{{Off: 400 << 10, Data: data}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// End runs after the response is sent; let the last span land.
+	const issued = writes + 5 // hello, open, attach, writes, read, tx
+	waitFor(t, 2*time.Second, func() bool {
+		fin, _, _ := srv.Tracer().Counts()
+		return fin >= issued
+	})
+
+	raw, err := cl.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := reqtrace.ParseSpansJSONL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOp := map[string][]reqtrace.SpanRecord{}
+	for _, r := range recs {
+		byOp[r.Op] = append(byOp[r.Op], r)
+	}
+	for _, op := range []string{"hello", "open", "attach", "write", "read", "tx_commit"} {
+		if len(byOp[op]) == 0 {
+			t.Fatalf("no span for op %q in dump of %d spans", op, len(recs))
+		}
+	}
+	if got := len(byOp["write"]); got != writes {
+		t.Fatalf("retained %d write spans, want %d (SampleEvery=1 keeps all)", got, writes)
+	}
+	w := byOp["write"][0]
+	if w.SID == 0 {
+		t.Fatal("write span has no session ID")
+	}
+	if w.Bytes != 512 {
+		t.Fatalf("write span moved %d bytes, want 512", w.Bytes)
+	}
+	if w.Stages[reqtrace.StageEngine] == 0 {
+		t.Fatal("write span has no engine-stage time (SETPERM window not attributed)")
+	}
+	if w.TotalNs == 0 || w.Stages[reqtrace.StageRead] == 0 {
+		t.Fatalf("write span missing read/decode attribution: %+v", w)
+	}
+	tx := byOp["tx_commit"][0]
+	if tx.Stages[reqtrace.StagePersist] == 0 {
+		t.Fatal("tx span has no persist-stage time (durable commit not attributed)")
+	}
+	if byOp["read"][0].Bytes != 512 {
+		t.Fatalf("read span bytes = %d", byOp["read"][0].Bytes)
+	}
+
+	// The snapshot must include the per-stage latency family.
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(stats)
+	for _, want := range []string{
+		"# TYPE pmod_stage_latency_ns histogram",
+		`pmod_stage_latency_ns_bucket{stage="engine",le=`,
+		`pmod_stage_latency_ns_bucket{stage="queue",le=`,
+		"# TYPE pmod_request_latency_ns histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("snapshot missing %q", want)
+		}
+	}
+	if n := strings.Count(text, "# TYPE pmod_op_latency_ns histogram"); n != 1 {
+		t.Fatalf("pmod_op_latency_ns TYPE emitted %d times, want exactly 1", n)
+	}
+}
+
+// TestTraceOpDisabled: a daemon without tracing answers the TRACE op
+// with a typed ErrDisabled, not silence.
+func TestTraceOpDisabled(t *testing.T) {
+	_, addr := startTestServer(t, Options{})
+	cl := dialT(t, addr)
+	_, err := cl.Trace()
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != ErrDisabled {
+		t.Fatalf("Trace on untraced daemon = %v, want ErrDisabled", err)
+	}
+}
+
+// TestTracingZeroPerturbation: the same request sequence produces
+// identical simulated engine totals with tracing on and off — the
+// tracer observes wall clocks only, never the instruction stream.
+func TestTracingZeroPerturbation(t *testing.T) {
+	run := func(traced bool) *EngineTotals {
+		opts := Options{Engine: "domainvirt"}
+		if traced {
+			opts.Trace = reqtrace.Config{SampleEvery: 1, Slow: time.Nanosecond}
+		}
+		srv, addr := startTestServer(t, opts)
+		cl := dialT(t, addr)
+		if err := cl.Hello("perturb"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Open("p", 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Attach(true); err != nil {
+			t.Fatal(err)
+		}
+		data := bytes.Repeat([]byte{7}, 256)
+		for i := 0; i < 20; i++ {
+			if err := cl.Write(uint32(300<<10+i*512), data); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cl.Read(uint32(300<<10+i*512), 256); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cl.TxCommit([]TxWrite{{Off: 500 << 10, Data: data}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Detach(); err != nil {
+			t.Fatal(err)
+		}
+		return srv.EngineTotals()
+	}
+	off := run(false)
+	on := run(true)
+	if *off != *on {
+		t.Fatalf("tracing perturbed the simulation:\n  off: %+v\n  on:  %+v", off, on)
+	}
+}
+
+// TestLoadgenTraceBreakdown: the load generator surfaces the daemon's
+// queue-wait vs service-time attribution.
+func TestLoadgenTraceBreakdown(t *testing.T) {
+	_, addr := startTestServer(t, Options{
+		Engine: "domainvirt",
+		Trace:  reqtrace.Config{SampleEvery: 1, RingSize: 1024},
+	})
+	rep, err := RunLoad(LoadOptions{
+		Addr: addr, Clients: 4, Duration: 300 * time.Millisecond,
+		ValueSize: 64, Seed: 42, FetchTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors > 0 {
+		t.Fatalf("load errors: %d (%s)", rep.Errors, rep.FirstErr)
+	}
+	if rep.Trace == nil {
+		t.Fatal("FetchTrace produced no breakdown from a traced daemon")
+	}
+	if rep.Trace.Spans == 0 || rep.Trace.Queue.Count == 0 || rep.Trace.Service.Count == 0 {
+		t.Fatalf("breakdown = %+v", rep.Trace)
+	}
+	if rep.Trace.Total.Quantile(0.999) == 0 {
+		t.Fatal("p99.9 of total latency is zero")
+	}
+	// An untraced daemon yields nil, not an error.
+	_, addr2 := startTestServer(t, Options{})
+	rep2, err := RunLoad(LoadOptions{
+		Addr: addr2, Clients: 2, Duration: 100 * time.Millisecond,
+		ValueSize: 64, Seed: 43, FetchTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Trace != nil {
+		t.Fatal("untraced daemon produced a breakdown")
+	}
+}

@@ -10,7 +10,11 @@
 // closed-loop load generator (loadgen.go).
 package serve
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"domainvirt/internal/reqtrace"
+)
 
 // Frame format: a 4-byte big-endian payload length, then the payload.
 // Every payload starts with a 1-byte opcode and a 4-byte request ID the
@@ -39,10 +43,11 @@ const (
 	OpTxCommit Op = 6 // u16 count, count * (u32 off, u32 len, bytes), durably
 	OpDetach   Op = 7 // unmap the session pool
 	OpStats    Op = 8 // -> Prometheus text snapshot
-	numOps        = 9
+	OpTrace    Op = 9 // -> JSONL dump of the retained request spans
+	numOps        = 10
 )
 
-var opNames = [numOps]string{"?", "hello", "open", "attach", "read", "write", "tx_commit", "detach", "stats"}
+var opNames = [numOps]string{"?", "hello", "open", "attach", "read", "write", "tx_commit", "detach", "stats", "trace"}
 
 func (o Op) String() string {
 	if int(o) < len(opNames) && o > 0 {
@@ -81,6 +86,8 @@ const (
 	ErrDraining    ErrCode = 11 // server shutting down
 	ErrTx          ErrCode = 12 // transaction begin/commit failed
 	ErrInternal    ErrCode = 13
+	ErrDisabled    ErrCode = 14 // requested facility (e.g. tracing) not enabled
+	maxErrCode             = ErrDisabled
 )
 
 // WireError is a typed protocol error with its human-readable cause.
@@ -120,6 +127,11 @@ type Request struct {
 	// through the request pool so a steady request stream stops
 	// allocating once the buffers have grown to the working-set size.
 	scratch []byte
+
+	// tr is the request's in-flight trace span, nil when tracing is
+	// disabled. A pointer (not an embedded Active) so pooled-request
+	// reset stays a cheap struct copy.
+	tr *reqtrace.Active
 }
 
 // reset clears req for reuse, keeping the Tx and scratch backing arrays.
@@ -296,7 +308,7 @@ func parseRequestInto(req *Request, payload []byte) *WireError {
 			}
 			req.Tx = append(req.Tx, TxWrite{Off: off, Data: r.bytes(int(n))})
 		}
-	case OpDetach, OpStats:
+	case OpDetach, OpStats, OpTrace:
 		// no body
 	default:
 		return wireErr(ErrBadOp, "serve: unknown opcode")

@@ -1,0 +1,541 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/memlayout"
+)
+
+// captureChunkSize is the unit of hand-off from the event producer to
+// the background flusher. Encoding stays in-memory until a chunk fills,
+// so the producer (the serve shard, under its lock) never touches the
+// filesystem.
+const captureChunkSize = 32 << 10
+
+// CaptureOptions configures a Capture sink.
+type CaptureOptions struct {
+	// Open opens the writer for segment seg (0-based). It is called
+	// lazily by the background flusher when the segment's first bytes
+	// arrive, so an idle capture never creates a file.
+	Open func(seg int) (io.WriteCloser, error)
+	// MaxSegmentBytes rotates to a new segment once the current one
+	// holds at least this many encoded bytes. Each segment is an
+	// independently replayable trace file: rotation re-emits the live
+	// attach table and every open permission window at the head of the
+	// new segment. 0 disables rotation.
+	MaxSegmentBytes int64
+	// BufferBytes bounds encoded-but-unflushed bytes. Past the bound,
+	// data events (instr, load/store, fetch, fence) are dropped and
+	// counted; control events (attach, detach, setperm) are always
+	// kept so the stream stays structurally valid for replay.
+	// Default 1 MiB.
+	BufferBytes int
+}
+
+// CaptureStats is a point-in-time snapshot of a Capture's counters.
+type CaptureStats struct {
+	Events   uint64 // events encoded into the stream
+	Dropped  uint64 // data events dropped by backpressure
+	Bytes    uint64 // encoded bytes handed to the flusher
+	Segments int    // segments started
+}
+
+type captureMsg struct {
+	data   []byte
+	rotate bool // close the current segment after writing data
+}
+
+type captureAttach struct {
+	r    memlayout.Region
+	perm core.Perm
+}
+
+type captureWindow struct {
+	th   core.ThreadID
+	d    core.DomainID
+	perm core.Perm
+	site core.SiteID
+}
+
+// Capture is a Sink that records live traffic to the binary trace
+// format with bounded buffering, event-granularity drop-counting, and
+// segment rotation. It is the serve daemon's shard tee: event methods
+// are intended to be called by one producer at a time (the shard lock
+// already serializes them; a mutex keeps the type safe standalone) and
+// all filesystem work happens on a background flusher goroutine, so
+// capture never blocks the request path on disk.
+//
+// Capture is passive: Access and Fetch always permit (verdicts come
+// from the enforcing sink in the same Tee), and I/O errors are sticky
+// and silent — check Err — rather than failing live requests.
+type Capture struct {
+	opts CaptureOptions
+
+	mu       sync.Mutex
+	cur      []byte
+	segBytes int64
+	seg      int
+	closed   bool
+	lastVA   map[core.ThreadID]memlayout.VA
+	attached map[core.DomainID]captureAttach
+	windows  map[core.ThreadID]map[core.DomainID]captureWindow
+
+	buffered atomic.Int64 // bytes encoded but not yet written
+	events   atomic.Uint64
+	dropped  atomic.Uint64
+	bytes    atomic.Uint64
+	segments atomic.Int64
+
+	err  atomic.Pointer[error]
+	ch   chan captureMsg
+	done chan struct{}
+}
+
+// NewCapture starts a capture over opts.Open. Close must be called to
+// flush the end marker and join the flusher.
+func NewCapture(opts CaptureOptions) *Capture {
+	if opts.BufferBytes <= 0 {
+		opts.BufferBytes = 1 << 20
+	}
+	depth := opts.BufferBytes / captureChunkSize
+	if depth < 4 {
+		depth = 4
+	}
+	c := &Capture{
+		opts:     opts,
+		cur:      make([]byte, 0, captureChunkSize),
+		lastVA:   make(map[core.ThreadID]memlayout.VA),
+		attached: make(map[core.DomainID]captureAttach),
+		windows:  make(map[core.ThreadID]map[core.DomainID]captureWindow),
+		ch:       make(chan captureMsg, depth),
+		done:     make(chan struct{}),
+	}
+	c.segments.Store(1)
+	go c.flusher()
+	return c
+}
+
+// NewFileCapture is a convenience constructor: segment seg is created
+// at pathFor(seg).
+func NewFileCapture(pathFor func(seg int) string, create func(path string) (io.WriteCloser, error), maxSegmentBytes int64, bufferBytes int) *Capture {
+	return NewCapture(CaptureOptions{
+		Open:            func(seg int) (io.WriteCloser, error) { return create(pathFor(seg)) },
+		MaxSegmentBytes: maxSegmentBytes,
+		BufferBytes:     bufferBytes,
+	})
+}
+
+// Err returns the first flusher error, if any.
+func (c *Capture) Err() error {
+	if p := c.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Stats snapshots the capture counters.
+func (c *Capture) Stats() CaptureStats {
+	return CaptureStats{
+		Events:   c.events.Load(),
+		Dropped:  c.dropped.Load(),
+		Bytes:    c.bytes.Load(),
+		Segments: int(c.segments.Load()),
+	}
+}
+
+// overBudget reports whether data events must be dropped right now.
+func (c *Capture) overBudget() bool {
+	return c.buffered.Load()+int64(len(c.cur)) > int64(c.opts.BufferBytes)
+}
+
+func (c *Capture) putByte(b byte)      { c.cur = append(c.cur, b) }
+func (c *Capture) putUvarint(v uint64) { c.cur = binary.AppendUvarint(c.cur, v) }
+func (c *Capture) putVarint(v int64)   { c.cur = binary.AppendVarint(c.cur, v) }
+
+// finishEvent runs after each encoded event: hands full chunks to the
+// flusher and rotates segments at the boundary.
+func (c *Capture) finishEvent() {
+	c.events.Add(1)
+	if c.opts.MaxSegmentBytes > 0 && c.segBytes+int64(len(c.cur)) >= c.opts.MaxSegmentBytes {
+		c.rotateLocked()
+		return
+	}
+	if len(c.cur) >= captureChunkSize {
+		c.flushLocked(false)
+	}
+}
+
+// flushLocked hands the current chunk to the flusher. Rotation sends
+// block (rare, and the flusher always drains, even after an error);
+// ordinary chunk sends do not — a full channel just leaves the chunk
+// growing until backpressure dropping catches up.
+func (c *Capture) flushLocked(rotate bool) {
+	if len(c.cur) == 0 && !rotate {
+		return
+	}
+	msg := captureMsg{data: c.cur, rotate: rotate}
+	c.buffered.Add(int64(len(c.cur)))
+	if rotate {
+		c.ch <- msg
+	} else {
+		select {
+		case c.ch <- msg:
+		default:
+			c.buffered.Add(-int64(len(c.cur)))
+			return // keep accumulating; drop policy bounds growth
+		}
+	}
+	c.bytes.Add(uint64(len(c.cur)))
+	c.segBytes += int64(len(c.cur))
+	c.cur = make([]byte, 0, captureChunkSize)
+}
+
+// rotateLocked ends the current segment and primes the next one so it
+// replays standalone: the end marker closes this file, and the live
+// attach table plus every open permission window are re-emitted at the
+// head of the new segment. Per-thread VA deltas restart from zero.
+func (c *Capture) rotateLocked() {
+	c.putByte(evEnd)
+	c.flushLocked(true)
+	c.seg++
+	c.segments.Add(1)
+	c.segBytes = 0
+	clear(c.lastVA)
+
+	doms := make([]core.DomainID, 0, len(c.attached))
+	for d := range c.attached {
+		doms = append(doms, d)
+	}
+	sort.Slice(doms, func(i, j int) bool { return doms[i] < doms[j] })
+	for _, d := range doms {
+		a := c.attached[d]
+		c.putByte(evAttach)
+		c.putUvarint(uint64(d))
+		c.putUvarint(uint64(a.r.Base))
+		c.putUvarint(a.r.Size)
+		c.putUvarint(uint64(a.perm))
+	}
+	var open []captureWindow
+	for _, m := range c.windows {
+		for _, w := range m {
+			open = append(open, w)
+		}
+	}
+	sort.Slice(open, func(i, j int) bool {
+		if open[i].th != open[j].th {
+			return open[i].th < open[j].th
+		}
+		return open[i].d < open[j].d
+	})
+	for _, w := range open {
+		c.putByte(evSetPerm)
+		c.putUvarint(uint64(w.th))
+		c.putUvarint(uint64(w.d))
+		c.putUvarint(uint64(w.perm))
+		c.putUvarint(uint64(w.site))
+	}
+}
+
+// Instr implements Sink.
+func (c *Capture) Instr(th core.ThreadID, n uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.overBudget() {
+		c.dropped.Add(1)
+		return
+	}
+	c.putByte(evInstr)
+	c.putUvarint(uint64(th))
+	c.putUvarint(n)
+	c.finishEvent()
+}
+
+// Access implements Sink. Capture always permits; enforcement belongs
+// to the machine sink sharing the Tee.
+func (c *Capture) Access(th core.ThreadID, va memlayout.VA, size uint32, write bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.overBudget() {
+		c.dropped.Add(1)
+		return true
+	}
+	kind := evLoad
+	if write {
+		kind = evStore
+	}
+	c.putByte(kind)
+	c.putUvarint(uint64(th))
+	c.putVarint(int64(va) - int64(c.lastVA[th]))
+	c.putUvarint(uint64(size))
+	c.lastVA[th] = va
+	c.finishEvent()
+	return true
+}
+
+// Fetch implements Sink.
+func (c *Capture) Fetch(th core.ThreadID, va memlayout.VA) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.overBudget() {
+		c.dropped.Add(1)
+		return true
+	}
+	c.putByte(evFetch)
+	c.putUvarint(uint64(th))
+	c.putVarint(int64(va) - int64(c.lastVA[th]))
+	c.lastVA[th] = va
+	c.finishEvent()
+	return true
+}
+
+// SetPerm implements Sink. Control event: never dropped.
+func (c *Capture) SetPerm(th core.ThreadID, d core.DomainID, p core.Perm, site core.SiteID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	if p == core.PermNone {
+		delete(c.windows[th], d)
+	} else {
+		m := c.windows[th]
+		if m == nil {
+			m = make(map[core.DomainID]captureWindow)
+			c.windows[th] = m
+		}
+		m[d] = captureWindow{th: th, d: d, perm: p, site: site}
+	}
+	c.putByte(evSetPerm)
+	c.putUvarint(uint64(th))
+	c.putUvarint(uint64(d))
+	c.putUvarint(uint64(p))
+	c.putUvarint(uint64(site))
+	c.finishEvent()
+}
+
+// Attach implements Sink. Control event: never dropped, and capture
+// errors never abort a live attach.
+func (c *Capture) Attach(d core.DomainID, r memlayout.Region, perm core.Perm) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.attached[d] = captureAttach{r: r, perm: perm}
+	c.putByte(evAttach)
+	c.putUvarint(uint64(d))
+	c.putUvarint(uint64(r.Base))
+	c.putUvarint(r.Size)
+	c.putUvarint(uint64(perm))
+	c.finishEvent()
+	return nil
+}
+
+// Detach implements Sink. Control event: never dropped.
+func (c *Capture) Detach(d core.DomainID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	delete(c.attached, d)
+	for _, m := range c.windows {
+		delete(m, d)
+	}
+	c.putByte(evDetach)
+	c.putUvarint(uint64(d))
+	c.finishEvent()
+}
+
+// Fence implements Sink.
+func (c *Capture) Fence(th core.ThreadID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.overBudget() {
+		c.dropped.Add(1)
+		return
+	}
+	c.putByte(evFence)
+	c.putUvarint(uint64(th))
+	c.finishEvent()
+}
+
+// Close flushes the end marker, joins the flusher, and returns the
+// first I/O error. Idempotent.
+func (c *Capture) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return c.Err()
+	}
+	c.closed = true
+	c.putByte(evEnd)
+	c.flushLocked(true)
+	c.mu.Unlock()
+	close(c.ch)
+	<-c.done
+	return c.Err()
+}
+
+// flusher is the single consumer: it lazily opens segment files, writes
+// chunks, and swaps files at rotation boundaries. After an I/O error it
+// keeps draining (discarding) so producers never block.
+func (c *Capture) flusher() {
+	defer close(c.done)
+	var w io.WriteCloser
+	seg := 0
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		if c.err.CompareAndSwap(nil, &err) {
+			if w != nil {
+				w.Close()
+			}
+		}
+		w = nil
+	}
+	for msg := range c.ch {
+		c.buffered.Add(-int64(len(msg.data)))
+		if c.Err() == nil {
+			if w == nil && len(msg.data) > 0 {
+				var err error
+				w, err = c.opts.Open(seg)
+				if err != nil {
+					fail(err)
+				} else if _, err = w.Write(fileMagic[:]); err != nil {
+					fail(err)
+				}
+			}
+			if w != nil && len(msg.data) > 0 {
+				if _, err := w.Write(msg.data); err != nil {
+					fail(err)
+				}
+			}
+			if msg.rotate && w != nil {
+				fail(w.Close())
+				w = nil
+			}
+		}
+		if msg.rotate {
+			seg++
+		}
+	}
+	if w != nil {
+		fail(w.Close())
+	}
+}
+
+var _ Sink = (*Capture)(nil)
+
+// VerdictLog records the boolean outcomes of Access and Fetch as a
+// packed bitstream, so a live run's enforcement decisions can be
+// compared bit-for-bit against a replay's. Not safe for concurrent use;
+// in serve each shard owns one, written under the shard lock.
+type VerdictLog struct {
+	n      uint64
+	denied uint64
+	bits   []uint64
+}
+
+// Append records one verdict.
+func (v *VerdictLog) Append(ok bool) {
+	word := v.n / 64
+	if int(word) >= len(v.bits) {
+		v.bits = append(v.bits, 0)
+	}
+	if ok {
+		v.bits[word] |= 1 << (v.n % 64)
+	} else {
+		v.denied++
+	}
+	v.n++
+}
+
+// Len returns the number of verdicts recorded.
+func (v *VerdictLog) Len() uint64 { return v.n }
+
+// Denied returns the number of false (denied) verdicts.
+func (v *VerdictLog) Denied() uint64 { return v.denied }
+
+// Packed returns the verdicts as little-endian packed bytes; trailing
+// bits of the last byte are zero. Deterministic for a given sequence.
+func (v *VerdictLog) Packed() []byte {
+	out := make([]byte, (v.n+7)/8)
+	for i := range out {
+		out[i] = byte(v.bits[i/8] >> ((i % 8) * 8))
+	}
+	return out
+}
+
+// Equal reports whether two logs hold identical verdict sequences.
+func (v *VerdictLog) Equal(o *VerdictLog) bool {
+	if v.n != o.n {
+		return false
+	}
+	for i := uint64(0); i < (v.n+63)/64; i++ {
+		if v.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge appends o's verdicts after v's.
+func (v *VerdictLog) Merge(o *VerdictLog) {
+	for i := uint64(0); i < o.n; i++ {
+		v.Append(o.bits[i/64]&(1<<(i%64)) != 0)
+	}
+}
+
+// withVerdicts tees Access/Fetch outcomes into a VerdictLog.
+type withVerdicts struct {
+	next Sink
+	log  *VerdictLog
+}
+
+// WithVerdicts wraps next so every Access/Fetch verdict is appended to
+// log. Tee cannot observe the enforcing sink's verdicts (it only ANDs
+// them), so the wrapper sits between the Tee and the machine.
+func WithVerdicts(next Sink, log *VerdictLog) Sink {
+	return &withVerdicts{next: next, log: log}
+}
+
+func (s *withVerdicts) Instr(th core.ThreadID, n uint64) { s.next.Instr(th, n) }
+
+func (s *withVerdicts) Access(th core.ThreadID, va memlayout.VA, size uint32, write bool) bool {
+	ok := s.next.Access(th, va, size, write)
+	s.log.Append(ok)
+	return ok
+}
+
+func (s *withVerdicts) Fetch(th core.ThreadID, va memlayout.VA) bool {
+	ok := s.next.Fetch(th, va)
+	s.log.Append(ok)
+	return ok
+}
+
+func (s *withVerdicts) SetPerm(th core.ThreadID, d core.DomainID, p core.Perm, site core.SiteID) {
+	s.next.SetPerm(th, d, p, site)
+}
+
+func (s *withVerdicts) Attach(d core.DomainID, r memlayout.Region, perm core.Perm) error {
+	return s.next.Attach(d, r, perm)
+}
+
+func (s *withVerdicts) Detach(d core.DomainID) { s.next.Detach(d) }
+
+func (s *withVerdicts) Fence(th core.ThreadID) { s.next.Fence(th) }
+
+var _ Sink = (*withVerdicts)(nil)
+
+// ErrCaptureDropped is returned by audits that require a loss-free
+// capture when drops occurred.
+var ErrCaptureDropped = errors.New("trace: capture dropped events under backpressure")

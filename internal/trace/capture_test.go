@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/memlayout"
+)
+
+// memSegments collects capture segments in memory.
+type memSegments struct {
+	bufs []*bytes.Buffer
+}
+
+func (m *memSegments) open(seg int) (io.WriteCloser, error) {
+	for len(m.bufs) <= seg {
+		m.bufs = append(m.bufs, &bytes.Buffer{})
+	}
+	return nopCloser{m.bufs[seg]}, nil
+}
+
+type nopCloser struct{ io.Writer }
+
+func (nopCloser) Close() error { return nil }
+
+// driveEvents plays a representative event sequence into sink.
+func driveEvents(sink Sink) {
+	r := memlayout.Region{Base: 0x10000, Size: 1 << 16}
+	sink.Attach(1, r, core.PermNone)
+	sink.Attach(2, memlayout.Region{Base: 0x20000, Size: 1 << 16}, core.PermNone)
+	sink.SetPerm(0, 1, core.PermRW, 7)
+	for i := 0; i < 50; i++ {
+		sink.Instr(0, 10)
+		sink.Access(0, memlayout.VA(0x10000+i*64), 8, i%2 == 0)
+	}
+	sink.Fetch(0, 0x10040)
+	sink.Fence(0)
+	sink.SetPerm(0, 1, core.PermNone, 7)
+	sink.Detach(2)
+}
+
+func TestCaptureFormatMatchesWriter(t *testing.T) {
+	var ref bytes.Buffer
+	w, err := NewWriter(&ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveEvents(w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs := &memSegments{}
+	c := NewCapture(CaptureOptions{Open: segs.open})
+	driveEvents(c)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(segs.bufs) != 1 {
+		t.Fatalf("capture produced %d segments, want 1", len(segs.bufs))
+	}
+	if !bytes.Equal(ref.Bytes(), segs.bufs[0].Bytes()) {
+		t.Fatalf("capture output (%d bytes) differs from trace.Writer output (%d bytes)",
+			segs.bufs[0].Len(), ref.Len())
+	}
+	st := c.Stats()
+	if st.Dropped != 0 || st.Events == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// And the captured file replays cleanly.
+	var cnt Counter
+	if _, err := Replay(bytes.NewReader(segs.bufs[0].Bytes()), &cnt); err != nil {
+		t.Fatal(err)
+	}
+	if cnt.Attaches != 2 || cnt.SetPerms != 2 || cnt.Loads+cnt.Stores != 50 {
+		t.Fatalf("replayed counts = %+v", cnt)
+	}
+}
+
+func TestCaptureBackpressureKeepsControlEvents(t *testing.T) {
+	segs := &memSegments{}
+	c := NewCapture(CaptureOptions{Open: segs.open, BufferBytes: 1})
+	// First event fits (budget is checked before encoding); everything
+	// after is over budget, so data drops but control survives.
+	c.Instr(0, 1)
+	for i := 0; i < 100; i++ {
+		c.Access(0, memlayout.VA(0x1000+i*8), 8, true)
+	}
+	c.Attach(3, memlayout.Region{Base: 0x30000, Size: 4096}, core.PermNone)
+	c.SetPerm(1, 3, core.PermRW, 9)
+	c.SetPerm(1, 3, core.PermNone, 9)
+	c.Detach(3)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := c.Stats()
+	if st.Dropped != 100 {
+		t.Fatalf("dropped %d events, want the 100 accesses", st.Dropped)
+	}
+	var cnt Counter
+	if _, err := Replay(bytes.NewReader(segs.bufs[0].Bytes()), &cnt); err != nil {
+		t.Fatalf("lossy capture must still replay: %v", err)
+	}
+	if cnt.Attaches != 1 || cnt.Detaches != 1 || cnt.SetPerms != 2 {
+		t.Fatalf("control events lost: %+v", cnt)
+	}
+	if cnt.Loads+cnt.Stores != 0 {
+		t.Fatalf("%d data accesses survived, want 0", cnt.Loads+cnt.Stores)
+	}
+}
+
+func TestCaptureRotationSegmentsReplayStandalone(t *testing.T) {
+	segs := &memSegments{}
+	c := NewCapture(CaptureOptions{Open: segs.open, MaxSegmentBytes: 256})
+	r := memlayout.Region{Base: 0x10000, Size: 1 << 16}
+	c.Attach(1, r, core.PermNone)
+	c.SetPerm(0, 1, core.PermRW, 7) // window stays open across rotation
+	for i := 0; i < 200; i++ {
+		c.Access(0, memlayout.VA(0x10000+i*64), 8, true)
+	}
+	c.SetPerm(0, 1, core.PermNone, 7)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(segs.bufs) < 2 {
+		t.Fatalf("no rotation happened: %d segments", len(segs.bufs))
+	}
+	if got := c.Stats().Segments; got != len(segs.bufs) {
+		t.Fatalf("stats report %d segments, files say %d", got, len(segs.bufs))
+	}
+
+	totalStores := uint64(0)
+	for i, buf := range segs.bufs {
+		aud := NewAuditor(nil)
+		if _, err := Replay(bytes.NewReader(buf.Bytes()), aud); err != nil {
+			t.Fatalf("segment %d does not replay standalone: %v", i, err)
+		}
+		var cnt Counter
+		if _, err := Replay(bytes.NewReader(buf.Bytes()), &cnt); err != nil {
+			t.Fatal(err)
+		}
+		if cnt.Attaches == 0 {
+			t.Fatalf("segment %d has no attach table (rotation must re-emit state)", i)
+		}
+		if i > 0 && cnt.SetPerms == 0 {
+			t.Fatalf("segment %d lost the open permission window", i)
+		}
+		totalStores += cnt.Stores
+	}
+	if totalStores != 200 {
+		t.Fatalf("stores across segments = %d, want 200 (no drops configured)", totalStores)
+	}
+}
+
+func TestCaptureOpenErrorIsStickyNotFatal(t *testing.T) {
+	boom := errors.New("disk on fire")
+	c := NewCapture(CaptureOptions{
+		Open: func(int) (io.WriteCloser, error) { return nil, boom },
+	})
+	driveEvents(c) // must not panic or block
+	if err := c.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want the open error", err)
+	}
+	if !errors.Is(c.Err(), boom) {
+		t.Fatalf("Err = %v", c.Err())
+	}
+}
+
+// denyOdd denies every second access.
+type denyOdd struct {
+	Discard
+	n int
+}
+
+func (d *denyOdd) Access(core.ThreadID, memlayout.VA, uint32, bool) bool {
+	d.n++
+	return d.n%2 == 1
+}
+
+func TestWithVerdicts(t *testing.T) {
+	var log VerdictLog
+	s := WithVerdicts(&denyOdd{}, &log)
+	for i := 0; i < 10; i++ {
+		want := i%2 == 0
+		if got := s.Access(0, 0x1000, 8, false); got != want {
+			t.Fatalf("access %d verdict %v, want %v (wrapper must pass the verdict through)", i, got, want)
+		}
+	}
+	if log.Len() != 10 || log.Denied() != 5 {
+		t.Fatalf("log len=%d denied=%d", log.Len(), log.Denied())
+	}
+
+	var same VerdictLog
+	for i := 0; i < 10; i++ {
+		same.Append(i%2 == 0)
+	}
+	if !log.Equal(&same) {
+		t.Fatal("identical sequences compare unequal")
+	}
+	same.Append(true)
+	if log.Equal(&same) {
+		t.Fatal("different lengths compare equal")
+	}
+
+	if got, want := log.Packed(), []byte{0b01010101, 0b01}; !bytes.Equal(got, want) {
+		t.Fatalf("packed = %08b, want %08b", got, want)
+	}
+
+	var merged VerdictLog
+	merged.Merge(&log)
+	merged.Merge(&log)
+	if merged.Len() != 20 || merged.Denied() != 10 {
+		t.Fatalf("merge: len=%d denied=%d", merged.Len(), merged.Denied())
+	}
+}
+
+func TestVerdictLogLong(t *testing.T) {
+	var a, b VerdictLog
+	for i := 0; i < 1000; i++ {
+		v := i%7 != 0
+		a.Append(v)
+		b.Append(v)
+	}
+	if !a.Equal(&b) {
+		t.Fatal("equal 1000-bit streams compare unequal")
+	}
+	b.bits[3] ^= 1 << 17
+	if a.Equal(&b) {
+		t.Fatal("flipped bit not detected")
+	}
+}

@@ -5,7 +5,9 @@
 #
 #   scripts/bench.sh check    # default: fail on >10% ns/op regression
 #                             # or any allocs/op increase vs BENCH_sim.json
-#   scripts/bench.sh update   # re-measure and rewrite BENCH_sim.json
+#   scripts/bench.sh update   # re-measure, rewrite BENCH_sim.json, and
+#                             # regenerate RESULTS.md from it
+#   scripts/bench.sh render   # regenerate RESULTS.md only (no measuring)
 #
 # Tunables: BENCH_COUNT (runs per benchmark, min-ns wins; default 3),
 # BENCH_TIME (per-run benchtime; default 300ms), BENCH_TOLERANCE
@@ -27,12 +29,16 @@ run_bench() {
 case "$mode" in
 update)
     run_bench | tee /dev/stderr | go run ./cmd/benchjson -out BENCH_sim.json
+    go run ./cmd/benchjson -render BENCH_sim.json -md RESULTS.md
     ;;
 check)
     run_bench | tee /dev/stderr | go run ./cmd/benchjson -check BENCH_sim.json -ns-tolerance "$tol"
     ;;
+render)
+    go run ./cmd/benchjson -render BENCH_sim.json -md RESULTS.md
+    ;;
 *)
-    echo "usage: scripts/bench.sh [check|update]" >&2
+    echo "usage: scripts/bench.sh [check|update|render]" >&2
     exit 2
     ;;
 esac

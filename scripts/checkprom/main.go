@@ -1,0 +1,80 @@
+// Command checkprom validates Prometheus text-exposition files with the
+// obs layer's linter: HELP/TYPE once per family and before its samples,
+// contiguous families, consistent label ordering, finite non-negative
+// counter/histogram values, and structurally sound histogram series
+// (increasing le, +Inf bucket, _count == +Inf). CI uses it to gate the
+// pmod STATS snapshot and pmotrace's per-scheme .prom exports.
+//
+// Usage:
+//
+//	checkprom [-min-samples N] file.prom...
+//
+// Exits nonzero on any lint finding or on a file with fewer than
+// -min-samples sample lines.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"domainvirt/internal/obs"
+)
+
+func main() {
+	minSamples := flag.Int("min-samples", 1, "fail files with fewer than this many sample lines")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "checkprom: no files given")
+		os.Exit(2)
+	}
+	ok := true
+	for _, path := range flag.Args() {
+		findings, samples, err := check(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkprom: %s: %v\n", path, err)
+			ok = false
+			continue
+		}
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "checkprom: %s: %s\n", path, f)
+		}
+		if len(findings) > 0 {
+			ok = false
+			continue
+		}
+		if samples < *minSamples {
+			fmt.Fprintf(os.Stderr, "checkprom: %s: %d samples, want at least %d\n", path, samples, *minSamples)
+			ok = false
+			continue
+		}
+		fmt.Printf("%s: %d valid samples\n", path, samples)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func check(path string) ([]string, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	findings := obs.LintProm(f)
+	if _, err := f.Seek(0, 0); err != nil {
+		return findings, 0, err
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<24)
+	samples := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !strings.HasPrefix(line, "#") {
+			samples++
+		}
+	}
+	return findings, samples, sc.Err()
+}

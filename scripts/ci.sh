@@ -2,8 +2,12 @@
 # ci.sh — the full local gate: vet, build, and the race-enabled test
 # suite (which includes the 1,000-program differential conformance
 # campaign in internal/conformance), followed by the observability
-# gates: the byte-determinism tests and a pmosim -obs-out smoke run
-# whose JSONL export must parse. Run from the repo root.
+# gates: the byte-determinism tests, a pmosim -obs-out smoke run whose
+# JSONL export must parse, the request-tracing contract (disabled path
+# allocation-free, tracer and capture tee perturbation-free), a traced
+# pmod+pmoload smoke whose span dump, Prometheus snapshot, and traffic
+# capture must validate and replay, and the RESULTS.md drift check.
+# Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,20 +49,49 @@ go run ./cmd/pmosim -workload avl -scheme mpkvirt -pmos 64 -ops 5000 \
     -obs-out "$obsdir" -obs-epoch 10000 >/dev/null
 go run ./scripts/checkjsonl -min-lines 2 "$obsdir"/avl-mpkvirt-series.jsonl
 
+# Request-tracing contract, run explicitly: the disabled path must stay
+# allocation-free and neither the tracer nor the capture tee may perturb
+# the simulated engine totals.
+go test -race -run 'TestDisabledPathAllocFree|TestJSONLDeterministicRoundTrip' ./internal/reqtrace/
+go test -race -run 'TestTracingZeroPerturbation|TestCaptureZeroPerturbation|TestCaptureRoundTripConformance|TestMetricsExpositionValidUnderLoad' ./internal/serve/
+
 # Smoke: a live pmod daemon under 50 closed-loop clients for 2 seconds
 # must serve with zero protocol errors and zero isolation violations
-# (pmoload exits nonzero otherwise), then drain cleanly on SIGTERM.
+# (pmoload exits nonzero otherwise) while tracing every request and
+# recording live traffic through the shard tee, then drain cleanly on
+# SIGTERM. The drained artifacts feed the experiment pipeline: the span
+# dump must be valid JSONL, the Prometheus snapshot must lint clean, and
+# the capture must audit and replay under two schemes.
 go build -o "$obsdir/pmod" ./cmd/pmod
 go build -o "$obsdir/pmoload" ./cmd/pmoload
+go build -o "$obsdir/pmotrace" ./cmd/pmotrace
 "$obsdir/pmod" -listen 127.0.0.1:0 -addr-file "$obsdir/pmod.addr" \
-    -engine domainvirt -store "$obsdir/pmostore" &
+    -engine domainvirt -store "$obsdir/pmostore" \
+    -trace-sample 16 -trace-slow 10ms -trace-spans "$obsdir/spans.jsonl" \
+    -trace-out "$obsdir/capture" -metrics 127.0.0.1:0 &
 pmod_pid=$!
 for _ in $(seq 50); do
     [ -s "$obsdir/pmod.addr" ] && break
     sleep 0.1
 done
 [ -s "$obsdir/pmod.addr" ] || { echo "pmod never bound" >&2; exit 1; }
-"$obsdir/pmoload" -addr-file "$obsdir/pmod.addr" -clients 50 -duration 2s
+"$obsdir/pmoload" -addr-file "$obsdir/pmod.addr" -clients 50 -duration 2s -trace
 kill -TERM "$pmod_pid"
 wait "$pmod_pid"
+go run ./scripts/checkjsonl -min-lines 10 "$obsdir/spans.jsonl"
+"$obsdir/pmotrace" audit -i "$obsdir/capture"
+"$obsdir/pmotrace" replay -i "$obsdir/capture" -scheme domainvirt -obs-out "$obsdir/capture-obs"
+"$obsdir/pmotrace" replay -i "$obsdir/capture" -scheme mpkvirt
+go run ./scripts/checkprom "$obsdir/capture-obs"/capture-domainvirt-metrics.prom
+
+# The STATS snapshot of a traced daemon must be valid exposition format
+# (validated above under load by TestMetricsExpositionValidUnderLoad;
+# here the standalone linter gates the pmosim export too).
+go run ./scripts/checkprom "$obsdir"/avl-mpkvirt-metrics.prom
+
+# RESULTS.md is generated from the benchmark baseline; CI fails if it
+# drifted from BENCH_sim.json.
+go run ./cmd/benchjson -render BENCH_sim.json -md "$obsdir/RESULTS.md" >/dev/null
+diff -u RESULTS.md "$obsdir/RESULTS.md" \
+    || { echo "RESULTS.md is stale: run scripts/bench.sh render" >&2; exit 1; }
 echo "ci.sh: all gates passed"
