@@ -16,6 +16,9 @@
 package domainvirt
 
 import (
+	"context"
+
+	"domainvirt/internal/cluster"
 	"domainvirt/internal/conformance"
 	"domainvirt/internal/core"
 	"domainvirt/internal/crashconform"
@@ -230,11 +233,26 @@ type (
 	ServeClient = serve.Client
 	// TxWrite is one write of a wire-protocol TX_COMMIT.
 	TxWrite = serve.TxWrite
+	// ServeRequest is one wire-protocol request; batches of them
+	// pipeline through ServeClient.DoBatch on a v2 session.
+	ServeRequest = serve.Request
+	// ServeResponse is one wire-protocol response (DoBatch fills one
+	// per request, matched by correlation ID).
+	ServeResponse = serve.Response
 	// LoadOptions configures a closed-loop load run against a daemon.
 	LoadOptions = serve.LoadOptions
 	// LoadReport is the outcome of one load run, including the
 	// isolation-violation count and a latency Histogram.
 	LoadReport = serve.LoadReport
+)
+
+// Wire opcodes and statuses needed to build batch requests and read
+// their per-entry results.
+const (
+	OpRead     = serve.OpRead
+	OpWrite    = serve.OpWrite
+	OpTxCommit = serve.OpTxCommit
+	StatusOK   = serve.StatusOK
 )
 
 // NewServer builds a PMO service daemon; call Serve with a listener.
@@ -243,7 +261,33 @@ func NewServer(opts ServeOptions) *Server { return serve.NewServer(opts) }
 // DialServer connects a closed-loop client to a pmod daemon.
 func DialServer(addr string) (*ServeClient, error) { return serve.Dial(addr) }
 
+// DialServerContext is DialServer under a dial context (deadline or
+// cancellation).
+func DialServerContext(ctx context.Context, addr string) (*ServeClient, error) {
+	return serve.DialContext(ctx, addr)
+}
+
 // RunLoad drives a pmod daemon with concurrent closed-loop clients and
 // aggregates throughput, typed-error counts, isolation checks, and
 // latency histograms.
 func RunLoad(opts LoadOptions) (*serve.LoadReport, error) { return serve.RunLoad(opts) }
+
+// Cluster API: the session router (cmd/pmorouter) that fronts N pmod
+// backends. Sessions land on the backend that owns their pool via
+// rendezvous hashing; a down owner yields a typed UNAVAILABLE rather
+// than a silent failover onto the wrong node's (empty) pool.
+type (
+	// Router is the cluster session router.
+	Router = cluster.Router
+	// RouterOptions configures a Router (backends, timeouts, health
+	// probing, per-backend connection limits).
+	RouterOptions = cluster.Options
+)
+
+// NewRouter builds a session router over the given backends; call
+// Serve with a listener.
+func NewRouter(opts RouterOptions) (*Router, error) { return cluster.NewRouter(opts) }
+
+// PickNode returns the cluster node that owns key under the router's
+// rendezvous-hash placement (empty string for an empty node list).
+func PickNode(key string, nodes []string) string { return cluster.Pick(key, nodes) }

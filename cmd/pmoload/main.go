@@ -1,24 +1,38 @@
-// Command pmoload is a closed-loop load generator for a pmod daemon:
-// N concurrent clients each open their own session pool and issue a
+// Command pmoload is a load generator for a pmod daemon or a pmorouter
+// cluster front end. In its default (single-node) shape, N concurrent
+// closed-loop clients each open their own session pool and issue a
 // randomized read/write/transaction mix until the duration elapses,
 // verifying on every read that the bytes belong to their own session.
+//
+// Cluster shape (-pools > 0): sessions draw their pool from a shared,
+// optionally Zipf-skewed keyspace, churn through CLOSE/re-OPEN cycles
+// (-churn), pipeline ops through v2 BATCH frames (-batch), and can run
+// open-loop at a target arrival rate (-rate). With -nodes the report
+// breaks latency and errors down per cluster node using the router's
+// own placement function.
 //
 // Usage:
 //
 //	pmoload -addr 127.0.0.1:7070 -clients 50 -duration 2s
-//	pmoload -addr 127.0.0.1:7070 -clients 100 -mix 0.9 -tx 0.2 -value 256
+//	pmoload -addr 127.0.0.1:7000 -pools 1000 -zipf 1.2 -churn 0.01 -batch 8 \
+//	        -nodes 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072
 //
-// Exit status is nonzero if any client saw a protocol error or an
-// isolation violation (bytes from another client's write pattern).
+// Runs are reproducible: equal flags plus an equal -seed replay the
+// same op plan per client. Exit status is nonzero if any client saw a
+// protocol error or an isolation violation (bytes from another pool's
+// write pattern); -tolerate-unavailable downgrades a down backend's
+// typed UNAVAILABLE/DRAINING answers from errors to a counted outage.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"domainvirt/internal/buildinfo"
+	"domainvirt/internal/cluster"
 	"domainvirt/internal/reqtrace"
 	"domainvirt/internal/serve"
 )
@@ -29,16 +43,25 @@ func main() {
 
 func run() int {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7070", "pmod daemon address")
-		addrFile = flag.String("addr-file", "", "read the daemon address from this file (overrides -addr)")
-		clients  = flag.Int("clients", 50, "concurrent closed-loop clients")
+		addr     = flag.String("addr", "127.0.0.1:7070", "pmod daemon or pmorouter address")
+		addrFile = flag.String("addr-file", "", "read the target address from this file (overrides -addr)")
+		clients  = flag.Int("clients", 50, "concurrent clients")
 		duration = flag.Duration("duration", 2*time.Second, "run length")
 		mix      = flag.Float64("mix", 0.7, "read fraction of the op mix [0,1]")
 		tx       = flag.Float64("tx", 0.1, "fraction of writes issued as TX_COMMIT [0,1]")
 		value    = flag.Int("value", 128, "bytes per write / read span")
-		poolSize = flag.Uint64("poolsize", 1<<20, "per-client session pool size")
-		seed     = flag.Int64("seed", 1, "client RNG seed base")
+		poolSize = flag.Uint64("poolsize", 1<<20, "session pool size")
+		seed     = flag.Int64("seed", 1, "plan RNG seed; equal seeds replay equal op plans")
 		trace    = flag.Bool("trace", false, "drain the daemon's request spans (TRACE op) and print the stage breakdown")
+
+		pools    = flag.Int("pools", 0, "shared pool keyspace size (0 = one private pool per client)")
+		zipfS    = flag.Float64("zipf", 0, "Zipf skew s for pool popularity (>1 = skewed, else uniform)")
+		churn    = flag.Float64("churn", 0, "per-iteration probability of session close/re-open")
+		batch    = flag.Int("batch", 1, "ops pipelined per v2 BATCH frame (1 = scalar requests)")
+		rate     = flag.Float64("rate", 0, "open-loop aggregate arrival rate in ops/s (0 = closed loop)")
+		ioTO     = flag.Duration("io-timeout", 0, "per-round-trip I/O deadline (0 = none)")
+		nodes    = flag.String("nodes", "", "comma-separated cluster node addresses for per-node attribution (the router's backend list)")
+		tolerate = flag.Bool("tolerate-unavailable", false, "count UNAVAILABLE/DRAINING answers instead of failing (node-outage drills)")
 		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -55,19 +78,38 @@ func run() int {
 		target = string(b)
 	}
 
-	fmt.Fprintf(os.Stderr, "%s: %d clients -> %s for %v (read=%.2f tx=%.2f value=%dB)\n",
-		buildinfo.Stamp("pmoload"), *clients, target, *duration, *mix, *tx, *value)
-	rep, err := serve.RunLoad(serve.LoadOptions{
-		Addr:         target,
-		Clients:      *clients,
-		Duration:     *duration,
-		ReadFraction: *mix,
-		TxFraction:   *tx,
-		ValueSize:    *value,
-		PoolSize:     *poolSize,
-		Seed:         *seed,
-		FetchTrace:   *trace,
-	})
+	opts := serve.LoadOptions{
+		Addr:                target,
+		Clients:             *clients,
+		Duration:            *duration,
+		ReadFraction:        *mix,
+		TxFraction:          *tx,
+		ValueSize:           *value,
+		PoolSize:            *poolSize,
+		Seed:                *seed,
+		FetchTrace:          *trace,
+		Pools:               *pools,
+		ZipfS:               *zipfS,
+		Churn:               *churn,
+		Batch:               *batch,
+		Rate:                *rate,
+		IOTimeout:           *ioTO,
+		TolerateUnavailable: *tolerate,
+	}
+	if *nodes != "" {
+		for _, n := range strings.Split(*nodes, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				opts.NodeNames = append(opts.NodeNames, n)
+			}
+		}
+		names := opts.NodeNames
+		// Attribute each pool to the node the router would route it to.
+		opts.NodeOf = func(pool string) int { return cluster.PickIndex(pool, names) }
+	}
+
+	fmt.Fprintf(os.Stderr, "%s: %d clients -> %s for %v (read=%.2f tx=%.2f value=%dB pools=%d batch=%d)\n",
+		buildinfo.Stamp("pmoload"), *clients, target, *duration, *mix, *tx, *value, *pools, *batch)
+	rep, err := serve.RunLoad(opts)
 	if err != nil {
 		return fail(err)
 	}
@@ -75,9 +117,18 @@ func run() int {
 	fmt.Printf("clients              %d\n", rep.Clients)
 	fmt.Printf("elapsed              %v\n", rep.Elapsed.Round(time.Millisecond))
 	fmt.Printf("ops                  %d (reads %d, writes %d, txs %d)\n", rep.Ops, rep.Reads, rep.Writes, rep.Txs)
+	if rep.Batches > 0 {
+		fmt.Printf("batches              %d (%.1f ops per round trip)\n", rep.Batches, float64(rep.Ops)/float64(rep.Batches))
+	}
 	fmt.Printf("throughput           %.0f ops/s\n", rep.Throughput())
 	fmt.Printf("retries (backpressure) %d\n", rep.Retries)
 	fmt.Printf("evictions absorbed   %d\n", rep.Evicted)
+	if rep.Churns > 0 || rep.Conflicts > 0 {
+		fmt.Printf("session churns       %d (attach conflicts re-picked %d)\n", rep.Churns, rep.Conflicts)
+	}
+	if rep.Unavailable > 0 {
+		fmt.Printf("unavailable absorbed %d\n", rep.Unavailable)
+	}
 	fmt.Printf("errors               %d\n", rep.Errors)
 	fmt.Printf("isolation violations %d\n", rep.IsolationViolations)
 	if rep.Latency.Count > 0 {
@@ -85,6 +136,16 @@ func run() int {
 		fmt.Printf("latency p95          %s\n", time.Duration(rep.Latency.Quantile(0.95)))
 		fmt.Printf("latency p99          %s\n", time.Duration(rep.Latency.Quantile(0.99)))
 		fmt.Printf("latency p99.9        %s\n", time.Duration(rep.Latency.Quantile(0.999)))
+	}
+	for i := range rep.PerNode {
+		n := &rep.PerNode[i]
+		if n.Ops == 0 && n.Unavailable == 0 && n.Errors == 0 {
+			fmt.Printf("node %-21s no traffic\n", n.Name)
+			continue
+		}
+		fmt.Printf("node %-21s ops %d  unavailable %d  p50 %s  p99 %s\n",
+			n.Name, n.Ops, n.Unavailable,
+			time.Duration(n.Latency.Quantile(0.50)), time.Duration(n.Latency.Quantile(0.99)))
 	}
 	switch {
 	case rep.Trace != nil:

@@ -1,0 +1,167 @@
+// Command pmorouter is the cluster tier's front end: it speaks the pmod
+// wire protocol to clients and routes every session to the pmod backend
+// that owns its pool under rendezvous hashing, relaying frames
+// (including v2 BATCH containers) verbatim from then on.
+//
+// Usage:
+//
+//	pmorouter -listen 127.0.0.1:7000 -backends 127.0.0.1:7070,127.0.0.1:7071
+//	pmorouter -listen 127.0.0.1:0 -addr-file /tmp/router.addr -backends-file backends.txt
+//	pmorouter -backends ... -metrics 127.0.0.1:9091
+//
+// A down backend never causes failover — its pools are durable state
+// that no other node holds, so the router answers a typed UNAVAILABLE
+// until the owner returns. Backend saturation answers RETRY. A
+// pre-session STATS request returns the router's own Prometheus
+// snapshot; an in-session STATS relays to the owning backend.
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
+// relays finish, and every live upstream session is CLOSEd so backends
+// see clean departures.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"domainvirt/internal/buildinfo"
+	"domainvirt/internal/cluster"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		listen       = flag.String("listen", "127.0.0.1:7000", "address to serve the wire protocol on")
+		addrFile     = flag.String("addr-file", "", "write the bound listen address to this file (for -listen :0 scripting)")
+		backends     = flag.String("backends", "", "comma-separated pmod backend addresses")
+		backendsFile = flag.String("backends-file", "", "read backend addresses (one per line, # comments) from this file")
+		dialTimeout  = flag.Duration("dial-timeout", 2*time.Second, "upstream dial attempt bound")
+		dialRetries  = flag.Int("dial-retries", 2, "transient upstream dial retries (with doubling backoff)")
+		dialBackoff  = flag.Duration("dial-backoff", 50*time.Millisecond, "initial upstream dial retry backoff")
+		ioTimeout    = flag.Duration("io-timeout", 30*time.Second, "per-relay upstream I/O bound (negative disables)")
+		maxConns     = flag.Int("max-conns", 0, "upstream connection cap per backend; past it OPENs get RETRY (0 = unlimited)")
+		maxIdle      = flag.Int("max-idle", 64, "idle upstream conns kept per backend for session reuse")
+		healthEvery  = flag.Duration("health-every", time.Second, "backend health probe interval (negative disables)")
+		failAfter    = flag.Int("fail-after", 2, "consecutive failed probes that mark a backend down")
+		metrics      = flag.String("metrics", "", "serve Prometheus text metrics on this HTTP address (empty = off)")
+		drainFor     = flag.Duration("drain", 10*time.Second, "graceful-drain budget on SIGTERM")
+		version      = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.Stamp("pmorouter"))
+		return 0
+	}
+
+	addrs, err := backendList(*backends, *backendsFile)
+	if err != nil {
+		return fail(err)
+	}
+	r, err := cluster.NewRouter(cluster.Options{
+		Backends:           addrs,
+		DialTimeout:        *dialTimeout,
+		DialRetries:        *dialRetries,
+		DialBackoff:        *dialBackoff,
+		IOTimeout:          *ioTimeout,
+		MaxConnsPerBackend: *maxConns,
+		MaxIdlePerBackend:  *maxIdle,
+		HealthEvery:        *healthEvery,
+		FailAfter:          *failAfter,
+		Logf:               log.New(os.Stderr, "pmorouter: ", 0).Printf,
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fail(err)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(lis.Addr().String()), 0o644); err != nil {
+			return fail(err)
+		}
+	}
+	if *metrics != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			r.WriteMetrics(w)
+		})
+		msrv := &http.Server{Addr: *metrics, Handler: mux}
+		go msrv.ListenAndServe()
+		defer msrv.Close()
+	}
+
+	fmt.Fprintf(os.Stderr, "%s listening on %s, routing %d backend(s)\n",
+		buildinfo.Stamp("pmorouter"), lis.Addr(), len(addrs))
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- r.Serve(lis) }()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			return fail(err)
+		}
+		return 0
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "pmorouter: %v, draining (%v budget)\n", sig, *drainFor)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := r.Shutdown(ctx); err != nil {
+			return fail(fmt.Errorf("drain: %w", err))
+		}
+		if err := <-done; err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "pmorouter: drained cleanly")
+		return 0
+	}
+}
+
+// backendList merges the -backends and -backends-file sources.
+func backendList(flat, file string) ([]string, error) {
+	var addrs []string
+	for _, a := range strings.Split(flat, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if file != "" {
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(b), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			addrs = append(addrs, line)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("no backends: set -backends or -backends-file")
+	}
+	return addrs, nil
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "pmorouter:", err)
+	return 1
+}

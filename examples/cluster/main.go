@@ -1,0 +1,183 @@
+// Cluster walks through the cluster tier end to end: three in-process
+// pmod nodes behind a pmorouter, sessions routed to each pool's owner
+// by rendezvous hashing, v2 batch pipelining through the router, a
+// node outage answered with a typed UNAVAILABLE instead of a silent
+// failover, a cluster-shaped load burst with per-node attribution, and
+// a graceful drain.
+//
+// Run: go run ./examples/cluster
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"domainvirt"
+)
+
+func main() {
+	// 1. Three pmod nodes on loopback ports. Each is a full daemon:
+	// sharded session table, protection engine, owner-only pools.
+	var (
+		nodes    []string
+		servers  []*domainvirt.Server
+		backends []net.Listener
+	)
+	for i := 0; i < 3; i++ {
+		srv := domainvirt.NewServer(domainvirt.ServeOptions{
+			Engine: domainvirt.SchemeDomainVirt,
+			Shards: 2,
+		})
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go srv.Serve(lis)
+		servers = append(servers, srv)
+		backends = append(backends, lis)
+		nodes = append(nodes, lis.Addr().String())
+	}
+	fmt.Println("nodes:", nodes)
+
+	// 2. The router in front. It terminates HELLO itself (negotiating
+	// protocol v2), then routes each OPEN to the backend that owns the
+	// pool, multiplexing upstream connections across client sessions.
+	router, err := domainvirt.NewRouter(domainvirt.RouterOptions{
+		Backends:    nodes,
+		HealthEvery: 50 * time.Millisecond,
+		FailAfter:   2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	front, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go router.Serve(front)
+	addr := front.Addr().String()
+	fmt.Println("router listening on", addr)
+
+	// 3. A session through the router lands on its pool's owner — the
+	// same node PickNode names, so any replica (or operator) can predict
+	// placement without asking the router.
+	alice, err := domainvirt.DialServer(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer alice.Close()
+	must(alice.Hello("alice"))
+	fmt.Printf("alice: negotiated wire protocol v%d via the router\n", alice.Proto())
+	if _, err := alice.Open("alice-ledger", 512<<10); err != nil {
+		log.Fatal(err)
+	}
+	must(alice.Attach(true))
+	must(alice.Write(300<<10, []byte("cluster hello")))
+	back, err := alice.Read(300<<10, 13)
+	must(err)
+	fmt.Printf("alice: %q served by %s\n", back, domainvirt.PickNode("alice-ledger", nodes))
+
+	// 4. Batch pipelining through the router: one network write and one
+	// read carry eight ops, and the router relays the container as one
+	// frame to the owner.
+	reqs := make([]*domainvirt.ServeRequest, 8)
+	resps := make([]domainvirt.ServeResponse, 8)
+	for i := range reqs {
+		reqs[i] = &domainvirt.ServeRequest{
+			Op:   domainvirt.OpWrite,
+			Off:  uint32(310<<10 + i*256),
+			Data: []byte(fmt.Sprintf("entry-%d", i)),
+		}
+	}
+	must(alice.DoBatch(reqs, resps))
+	fmt.Println("alice: 8 writes pipelined in one round trip")
+
+	// 5. An outage is a typed answer, not a lie. Kill alice's owner:
+	// her next request fails UNAVAILABLE, and a re-OPEN of the same pool
+	// stays UNAVAILABLE until the owner returns — the router never
+	// "fails over" to a node that would present an empty pool.
+	owner := -1
+	for i, n := range nodes {
+		if n == domainvirt.PickNode("alice-ledger", nodes) {
+			owner = i
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	must(servers[owner].Shutdown(ctx))
+	backends[owner].Close()
+	if _, err := alice.Read(300<<10, 13); err != nil {
+		fmt.Println("alice after outage:", err)
+	}
+
+	// 6. The same connection keeps working for pools on live nodes.
+	must(alice.Hello("alice"))
+	for k := 0; ; k++ {
+		pool := fmt.Sprintf("spare-%d", k)
+		if domainvirt.PickNode(pool, nodes) == nodes[owner] {
+			continue
+		}
+		if _, err := alice.Open(pool, 512<<10); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("alice: re-homed on %q (owner %s)\n", pool, domainvirt.PickNode(pool, nodes))
+		break
+	}
+
+	// 7. A cluster-shaped load burst against the survivors: shared
+	// Zipf-skewed pools, churn, batching, and per-node attribution using
+	// the router's own placement function. Isolation still holds: every
+	// read must carry its own pool's byte pattern.
+	rep, err := domainvirt.RunLoad(domainvirt.LoadOptions{
+		Addr:                addr,
+		Clients:             8,
+		Duration:            500 * time.Millisecond,
+		PoolSize:            512 << 10,
+		Pools:               12,
+		ZipfS:               1.2,
+		Churn:               0.02,
+		Batch:               4,
+		Seed:                1,
+		NodeNames:           nodes,
+		NodeOf:              func(pool string) int { return pickIndex(pool, nodes) },
+		TolerateUnavailable: true,
+	})
+	must(err)
+	fmt.Printf("load: %d ops in %d batches, %d errors, %d isolation violations, %d unavailable absorbed\n",
+		rep.Ops, rep.Batches, rep.Errors, rep.IsolationViolations, rep.Unavailable)
+	for i := range rep.PerNode {
+		n := &rep.PerNode[i]
+		fmt.Printf("  node %s: %d ops, %d unavailable\n", n.Name, n.Ops, n.Unavailable)
+	}
+
+	// 8. Drain the router (recycling live upstream sessions), then the
+	// surviving nodes.
+	must(router.Shutdown(ctx))
+	for i, srv := range servers {
+		if i == owner {
+			continue
+		}
+		must(srv.Shutdown(ctx))
+	}
+	fmt.Println("cluster drained cleanly")
+}
+
+// pickIndex mirrors the router's placement for per-node attribution.
+func pickIndex(pool string, nodes []string) int {
+	owner := domainvirt.PickNode(pool, nodes)
+	for i, n := range nodes {
+		if n == owner {
+			return i
+		}
+	}
+	return -1
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

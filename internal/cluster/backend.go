@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"domainvirt/internal/serve"
+)
+
+// upstream is one router→backend connection. The router leases it to
+// exactly one client session at a time; between sessions it parks in
+// the backend's idle pool with no server-side session attached (the
+// router CLOSEs the session before returning it), so the next lease
+// only needs a fresh HELLO.
+type upstream struct {
+	c      net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	nextID uint32 // router-issued control-request IDs
+}
+
+func newUpstream(c net.Conn) *upstream {
+	return &upstream{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+}
+
+// roundTrip runs one router-originated control request (HELLO, CLOSE)
+// on the upstream under deadline.
+func (u *upstream) roundTrip(req *serve.Request, deadline time.Duration) (*serve.Response, error) {
+	u.nextID++
+	req.ID = u.nextID
+	if deadline > 0 {
+		u.c.SetDeadline(time.Now().Add(deadline))
+		defer u.c.SetDeadline(time.Time{})
+	}
+	if err := serve.WriteFrame(u.bw, serve.EncodeRequest(req)); err != nil {
+		return nil, err
+	}
+	if err := u.bw.Flush(); err != nil {
+		return nil, err
+	}
+	payload, err := serve.ReadFrame(u.br, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, werr := serve.ParseResponse(payload, req.Op == serve.OpOpen)
+	if werr != nil {
+		return nil, werr
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("cluster: upstream response id %d for control request %d", resp.ID, req.ID)
+	}
+	return resp, nil
+}
+
+// hello asserts the proxied client's identity on the upstream and
+// negotiates v2 (so client batches relay through).
+func (u *upstream) hello(client string, deadline time.Duration) error {
+	resp, err := u.roundTrip(&serve.Request{Op: serve.OpHello, Client: client, Proto: serve.MaxProto}, deadline)
+	if err != nil {
+		return err
+	}
+	if resp.Status != serve.StatusOK {
+		return fmt.Errorf("cluster: upstream HELLO status %d", resp.Status)
+	}
+	return nil
+}
+
+// backend is one pmod node: its address, health, and connection pool.
+type backend struct {
+	addr string
+
+	healthy atomic.Bool
+	fails   int // consecutive probe failures; health loop only
+
+	mu       sync.Mutex
+	idle     []*upstream
+	inflight int
+	closed   bool
+
+	// counters surfaced in the router metrics
+	opens      atomic.Uint64 // sessions routed here
+	reuses     atomic.Uint64 // leases served from the idle pool
+	dials      atomic.Uint64
+	dialErrs   atomic.Uint64
+	relayFail  atomic.Uint64 // relays that ended on an upstream error
+	transitons atomic.Uint64 // health up/down flips
+}
+
+// errBackendSaturated marks a lease denied by the per-backend
+// connection cap; the router answers RETRY.
+var errBackendSaturated = errors.New("cluster: backend connection cap reached")
+
+// lease returns a pooled or freshly dialed upstream. The caller owns it
+// until put, discard, or close.
+func (b *backend) lease(dialTimeout time.Duration, maxConns int) (*upstream, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, errors.New("cluster: backend closed")
+	}
+	if n := len(b.idle); n > 0 {
+		u := b.idle[n-1]
+		b.idle = b.idle[:n-1]
+		b.inflight++
+		b.mu.Unlock()
+		b.reuses.Add(1)
+		return u, nil
+	}
+	if maxConns > 0 && b.inflight >= maxConns {
+		b.mu.Unlock()
+		return nil, errBackendSaturated
+	}
+	b.inflight++
+	b.mu.Unlock()
+
+	b.dials.Add(1)
+	c, err := net.DialTimeout("tcp", b.addr, dialTimeout)
+	if err != nil {
+		b.dialErrs.Add(1)
+		b.mu.Lock()
+		b.inflight--
+		b.mu.Unlock()
+		return nil, err
+	}
+	return newUpstream(c), nil
+}
+
+// put returns a drained, session-free upstream to the idle pool (or
+// closes it past the idle cap).
+func (b *backend) put(u *upstream, maxIdle int) {
+	b.mu.Lock()
+	b.inflight--
+	if !b.closed && len(b.idle) < maxIdle {
+		b.idle = append(b.idle, u)
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	u.c.Close()
+}
+
+// discard closes a leased upstream that is not safe to reuse.
+func (b *backend) discard(u *upstream) {
+	b.mu.Lock()
+	b.inflight--
+	b.mu.Unlock()
+	u.c.Close()
+}
+
+// close shuts the pool; idle conns are closed, leased ones die on
+// discard.
+func (b *backend) close() {
+	b.mu.Lock()
+	b.closed = true
+	idle := b.idle
+	b.idle = nil
+	b.mu.Unlock()
+	for _, u := range idle {
+		u.c.Close()
+	}
+}
+
+func (b *backend) poolSizes() (idle, inflight int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.idle), b.inflight
+}
+
+// probe runs one health check: a fresh dial plus HELLO. A pooled conn
+// would only prove the pool works; a fresh dial is the signal a new
+// session's OPEN actually needs.
+func (b *backend) probe(name string, dialTimeout, ioTimeout time.Duration) error {
+	c, err := net.DialTimeout("tcp", b.addr, dialTimeout)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	u := newUpstream(c)
+	return u.hello(name, ioTimeout)
+}
+
+// observeProbe folds one probe result into the health state and
+// reports whether the state flipped.
+func (b *backend) observeProbe(err error, failAfter int) (flipped bool) {
+	if err == nil {
+		b.fails = 0
+		if !b.healthy.Swap(true) {
+			b.transitons.Add(1)
+			return true
+		}
+		return false
+	}
+	b.fails++
+	if b.fails >= failAfter && b.healthy.Swap(false) {
+		b.transitons.Add(1)
+		return true
+	}
+	return false
+}

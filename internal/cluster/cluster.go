@@ -1,0 +1,74 @@
+// Package cluster is the horizontal-scale tier above internal/serve:
+// a consistent-hashing router (cmd/pmorouter) that spreads sessions
+// across N pmod backends, so session counts stop being bounded by one
+// process — the same move the paper makes for protection keys
+// (virtualize a scarce resource behind a software layer), applied to
+// daemon instances.
+//
+// Placement uses rendezvous (highest-random-weight) hashing keyed on
+// the session's pool name: every router ranks every backend for a key
+// by a deterministic 64-bit score and picks the highest. Rendezvous
+// hashing gives the two properties the session tier needs with no ring
+// state at all: placement is byte-deterministic across runs and across
+// router replicas, and membership changes move the minimum — adding a
+// node steals only the keys it now wins (expected K/N), and removing
+// one relocates only the keys it owned.
+//
+// Failure semantics are deliberately conservative: each pmod owns its
+// backends' durable pools, so the router never fails a key over to a
+// different node (that would silently present an empty pool — data
+// loss by another name). A down backend makes its keys unavailable as
+// a typed UNAVAILABLE error until it returns; transient dial failures
+// are retried with backoff; router backpressure answers RETRY.
+package cluster
+
+// fnv-1a 64 with an avalanche finalizer. Plain FNV has weak low-bit
+// diffusion for short keys; the splitmix64-style finalizer spreads it
+// so rendezvous comparisons are unbiased.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hashNodeKey scores one (node, key) pair. A separator byte between
+// the two strings keeps ("ab","c") and ("a","bc") distinct.
+func hashNodeKey(node, key string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(node); i++ {
+		h = (h ^ uint64(node[i])) * fnvPrime
+	}
+	h = (h ^ 0xff) * fnvPrime
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * fnvPrime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// PickIndex returns the index of the node owning key under rendezvous
+// hashing, or -1 for an empty node list. It never allocates. Ties
+// (astronomically unlikely with 64-bit scores) break toward the lower
+// index so the choice is still deterministic.
+func PickIndex(key string, nodes []string) int {
+	best, bestScore := -1, uint64(0)
+	for i, n := range nodes {
+		s := hashNodeKey(n, key)
+		if best == -1 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// Pick returns the node owning key, or "" for an empty node list.
+func Pick(key string, nodes []string) string {
+	i := PickIndex(key, nodes)
+	if i < 0 {
+		return ""
+	}
+	return nodes[i]
+}

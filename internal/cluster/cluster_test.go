@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestHashGolden pins the score function to known values: routing is a
+// cross-process contract (every router replica and every test must
+// agree byte-for-byte), so the hash may never drift silently.
+func TestHashGolden(t *testing.T) {
+	cases := []struct {
+		node, key string
+		want      uint64
+	}{
+		{"node-a", "pool-00001", 0xb9156bc110a34811},
+		{"node-b", "pool-00001", 0xe0610929946c562a},
+		{"ab", "c", 0x7b4209eccab7f7c3},
+		{"a", "bc", 0x300bffd2a90ecf20},
+	}
+	for _, c := range cases {
+		if got := hashNodeKey(c.node, c.key); got != c.want {
+			t.Errorf("hashNodeKey(%q,%q) = %#x, want %#x", c.node, c.key, got, c.want)
+		}
+	}
+	// The separator must keep (node||key) splits distinct.
+	if hashNodeKey("ab", "c") == hashNodeKey("a", "bc") {
+		t.Error("separator failed: (ab,c) and (a,bc) collide")
+	}
+}
+
+// TestPickGolden pins placement itself for a fixed cluster.
+func TestPickGolden(t *testing.T) {
+	nodes := []string{"10.0.0.1:7070", "10.0.0.2:7070", "10.0.0.3:7070"}
+	want := map[string]int{
+		"pool-00000": 0, "pool-00001": 1, "pool-00007": 0, "alice": 2, "bob": 2,
+	}
+	for key, idx := range want {
+		if got := PickIndex(key, nodes); got != idx {
+			t.Errorf("PickIndex(%q) = %d, want %d", key, got, idx)
+		}
+		if got := Pick(key, nodes); got != nodes[idx] {
+			t.Errorf("Pick(%q) = %q, want %q", key, got, nodes[idx])
+		}
+	}
+}
+
+func TestPickEdgeCases(t *testing.T) {
+	if got := PickIndex("k", nil); got != -1 {
+		t.Errorf("empty node list: %d, want -1", got)
+	}
+	if got := Pick("k", nil); got != "" {
+		t.Errorf("empty node list: %q, want empty", got)
+	}
+	if got := PickIndex("k", []string{"only"}); got != 0 {
+		t.Errorf("single node: %d, want 0", got)
+	}
+}
+
+// TestPickDeterministicAcrossOrder verifies placement depends on the
+// node's identity, not its position: permuting the list must send every
+// key to the same node.
+func TestPickDeterministicAcrossOrder(t *testing.T) {
+	a := []string{"n0", "n1", "n2", "n3"}
+	b := []string{"n3", "n1", "n0", "n2"}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("pool-%05d", i)
+		if Pick(key, a) != Pick(key, b) {
+			t.Fatalf("key %q placed differently under permuted node lists", key)
+		}
+	}
+}
+
+// TestPickBalance checks the hash spreads keys roughly evenly: each of
+// 5 nodes should own 20% ±5 points of a 10k-key space.
+func TestPickBalance(t *testing.T) {
+	nodes := []string{"n0:7070", "n1:7070", "n2:7070", "n3:7070", "n4:7070"}
+	counts := make([]int, len(nodes))
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[PickIndex(fmt.Sprintf("pool-%05d", i), nodes)]++
+	}
+	lo, hi := keys/len(nodes)*75/100, keys/len(nodes)*125/100
+	for i, c := range counts {
+		if c < lo || c > hi {
+			t.Errorf("node %d owns %d of %d keys (want %d..%d): skewed hash", i, c, keys, lo, hi)
+		}
+	}
+}
+
+// TestPickMinimalMovement is the property rendezvous hashing is here
+// for: growing N-1 → N nodes may move only the keys the new node now
+// wins (expected K/N), and every moved key must land on the new node;
+// shrinking moves only the removed node's keys.
+func TestPickMinimalMovement(t *testing.T) {
+	small := []string{"n0", "n1", "n2", "n3"}
+	big := append(append([]string{}, small...), "n4")
+	const keys = 10000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("pool-%05d", i)
+		before, after := Pick(key, small), Pick(key, big)
+		if before != after {
+			moved++
+			if after != "n4" {
+				t.Fatalf("key %q moved %s -> %s on node ADD; only moves onto the new node are minimal", key, before, after)
+			}
+		}
+	}
+	// Expected K/N = 2000 of 10000; allow generous slack, but well under
+	// the ~8000 a mod-N scheme would reshuffle.
+	if moved < keys/10 || moved > keys*3/10 {
+		t.Errorf("adding a node moved %d of %d keys, want about %d", moved, keys, keys/len(big))
+	}
+
+	// Removal: keys not owned by the removed node must not move.
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("pool-%05d", i)
+		owner := Pick(key, big)
+		if owner == "n4" {
+			continue
+		}
+		if got := Pick(key, small); got != owner {
+			t.Fatalf("key %q moved %s -> %s when an unrelated node left", key, owner, got)
+		}
+	}
+}
+
+// TestPickIndexAllocFree keeps routing off the allocator: it runs on
+// every OPEN.
+func TestPickIndexAllocFree(t *testing.T) {
+	nodes := []string{"n0:7070", "n1:7070", "n2:7070"}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if PickIndex("pool-00042", nodes) < 0 {
+			t.Fatal("no pick")
+		}
+	}); allocs != 0 {
+		t.Fatalf("PickIndex allocates %v times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkPickIndex(b *testing.B) {
+	for _, n := range []int{3, 16, 64} {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("10.0.%d.1:7070", i)
+		}
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				PickIndex("pool-00042", nodes)
+			}
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// RouterMetrics is the router's live counter state, rendered in
+// Prometheus text format and served to clients over the wire protocol's
+// STATS op (a pre-session STATS hits the router; an in-session STATS
+// relays through to the owning backend).
+type RouterMetrics struct {
+	Conns          atomic.Uint64 // downstream connections accepted
+	ActiveConns    atomic.Int64
+	Hellos         atomic.Uint64 // HELLOs terminated at the router
+	Sessions       atomic.Uint64 // sessions routed (upstream OPEN succeeded)
+	ActiveSessions atomic.Int64
+	Relayed        atomic.Uint64 // frames relayed to a backend
+	RelayedBatches atomic.Uint64 // of which BATCH containers
+	Unavailable    atomic.Uint64 // typed UNAVAILABLE answers (owner down)
+	Retries        atomic.Uint64 // RETRY answers (backend conn cap)
+	LocalErrs      atomic.Uint64 // other typed errors answered locally
+	DrainOK        atomic.Uint64 // upstream conns recycled via CLOSE-drain
+	DrainFail      atomic.Uint64 // upstream conns discarded at teardown
+}
+
+// writePrometheus renders the router snapshot plus per-backend series.
+func (m *RouterMetrics) writePrometheus(w io.Writer, backends []*backend) error {
+	fmt.Fprintf(w, "# HELP pmorouter_conns_total Downstream connections accepted.\n# TYPE pmorouter_conns_total counter\n")
+	fmt.Fprintf(w, "pmorouter_conns_total %d\n", m.Conns.Load())
+	fmt.Fprintf(w, "# HELP pmorouter_conns_active Live downstream connections.\n# TYPE pmorouter_conns_active gauge\n")
+	fmt.Fprintf(w, "pmorouter_conns_active %d\n", m.ActiveConns.Load())
+	fmt.Fprintf(w, "# HELP pmorouter_hellos_total HELLO handshakes terminated at the router.\n# TYPE pmorouter_hellos_total counter\n")
+	fmt.Fprintf(w, "pmorouter_hellos_total %d\n", m.Hellos.Load())
+	fmt.Fprintf(w, "# HELP pmorouter_sessions_total Sessions routed to a backend.\n# TYPE pmorouter_sessions_total counter\n")
+	fmt.Fprintf(w, "pmorouter_sessions_total %d\n", m.Sessions.Load())
+	fmt.Fprintf(w, "# HELP pmorouter_sessions_active Live routed sessions.\n# TYPE pmorouter_sessions_active gauge\n")
+	fmt.Fprintf(w, "pmorouter_sessions_active %d\n", m.ActiveSessions.Load())
+	fmt.Fprintf(w, "# HELP pmorouter_relayed_total Frames relayed to backends.\n# TYPE pmorouter_relayed_total counter\n")
+	fmt.Fprintf(w, "pmorouter_relayed_total{kind=\"scalar\"} %d\n", m.Relayed.Load()-m.RelayedBatches.Load())
+	fmt.Fprintf(w, "pmorouter_relayed_total{kind=\"batch\"} %d\n", m.RelayedBatches.Load())
+	fmt.Fprintf(w, "# HELP pmorouter_local_answers_total Requests answered by the router itself, by kind.\n# TYPE pmorouter_local_answers_total counter\n")
+	fmt.Fprintf(w, "pmorouter_local_answers_total{kind=\"unavailable\"} %d\n", m.Unavailable.Load())
+	fmt.Fprintf(w, "pmorouter_local_answers_total{kind=\"retry\"} %d\n", m.Retries.Load())
+	fmt.Fprintf(w, "pmorouter_local_answers_total{kind=\"error\"} %d\n", m.LocalErrs.Load())
+	fmt.Fprintf(w, "# HELP pmorouter_upstream_recycle_total Upstream conns recycled (drained) vs discarded at session teardown.\n# TYPE pmorouter_upstream_recycle_total counter\n")
+	fmt.Fprintf(w, "pmorouter_upstream_recycle_total{outcome=\"drained\"} %d\n", m.DrainOK.Load())
+	fmt.Fprintf(w, "pmorouter_upstream_recycle_total{outcome=\"discarded\"} %d\n", m.DrainFail.Load())
+
+	fmt.Fprintf(w, "# HELP pmorouter_backend_healthy Backend health as seen by the probe loop.\n# TYPE pmorouter_backend_healthy gauge\n")
+	for _, b := range backends {
+		v := 0
+		if b.healthy.Load() {
+			v = 1
+		}
+		fmt.Fprintf(w, "pmorouter_backend_healthy{backend=%q} %d\n", b.addr, v)
+	}
+	fmt.Fprintf(w, "# HELP pmorouter_backend_events_total Per-backend lifecycle counters.\n# TYPE pmorouter_backend_events_total counter\n")
+	for _, b := range backends {
+		fmt.Fprintf(w, "pmorouter_backend_events_total{backend=%q,event=\"open\"} %d\n", b.addr, b.opens.Load())
+		fmt.Fprintf(w, "pmorouter_backend_events_total{backend=%q,event=\"reuse\"} %d\n", b.addr, b.reuses.Load())
+		fmt.Fprintf(w, "pmorouter_backend_events_total{backend=%q,event=\"dial\"} %d\n", b.addr, b.dials.Load())
+		fmt.Fprintf(w, "pmorouter_backend_events_total{backend=%q,event=\"dial_error\"} %d\n", b.addr, b.dialErrs.Load())
+		fmt.Fprintf(w, "pmorouter_backend_events_total{backend=%q,event=\"relay_error\"} %d\n", b.addr, b.relayFail.Load())
+		fmt.Fprintf(w, "pmorouter_backend_events_total{backend=%q,event=\"health_flip\"} %d\n", b.addr, b.transitons.Load())
+	}
+	fmt.Fprintf(w, "# HELP pmorouter_backend_conns Per-backend connection pool state.\n# TYPE pmorouter_backend_conns gauge\n")
+	for _, b := range backends {
+		idle, inflight := b.poolSizes()
+		fmt.Fprintf(w, "pmorouter_backend_conns{backend=%q,state=\"idle\"} %d\n", b.addr, idle)
+		fmt.Fprintf(w, "pmorouter_backend_conns{backend=%q,state=\"leased\"} %d\n", b.addr, inflight)
+	}
+	return nil
+}

@@ -1,0 +1,398 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"domainvirt/internal/serve"
+)
+
+// testCluster is N in-process pmod backends fronted by one router.
+type testCluster struct {
+	router   *Router
+	addr     string // router listen address
+	backends []string
+	servers  []*serve.Server
+	stopped  []bool
+	stop     []func() // per-backend shutdown
+}
+
+func startCluster(t *testing.T, n int, opts Options) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := serve.NewServer(serve.Options{IdleTimeout: time.Hour})
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(lis) }()
+		idx := i
+		tc.servers = append(tc.servers, srv)
+		tc.backends = append(tc.backends, lis.Addr().String())
+		tc.stopped = append(tc.stopped, false)
+		tc.stop = append(tc.stop, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Errorf("backend %d shutdown: %v", idx, err)
+			}
+			<-done
+		})
+	}
+	t.Cleanup(func() {
+		for i := range tc.stop {
+			if !tc.stopped[i] {
+				tc.stopped[i] = true
+				tc.stop[i]()
+			}
+		}
+	})
+
+	opts.Backends = tc.backends
+	r, err := NewRouter(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.Serve(lis) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := r.Shutdown(ctx); err != nil {
+			t.Errorf("router shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("router serve: %v", err)
+		}
+	})
+	tc.router, tc.addr = r, lis.Addr().String()
+	return tc
+}
+
+// killBackend shuts one backend down now (instead of at cleanup).
+func (tc *testCluster) killBackend(i int) {
+	if !tc.stopped[i] {
+		tc.stopped[i] = true
+		tc.stop[i]()
+	}
+}
+
+// poolOwnedBy finds a pool name the routing function places on node
+// idx.
+func (tc *testCluster) poolOwnedBy(t *testing.T, idx int) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		name := fmt.Sprintf("pool-%05d", i)
+		if PickIndex(name, tc.backends) == idx {
+			return name
+		}
+	}
+	t.Fatal("no pool hashes to node")
+	return ""
+}
+
+func dialRouter(t *testing.T, tc *testCluster) *serve.Client {
+	t.Helper()
+	cl, err := serve.Dial(tc.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	cl.SetTimeout(5 * time.Second)
+	return cl
+}
+
+func wantCode(t *testing.T, err error, code serve.ErrCode) {
+	t.Helper()
+	var se *serve.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want server error code %d", err, code)
+	}
+	if se.Code != code {
+		t.Fatalf("got code %d (%s), want %d", se.Code, se.Msg, code)
+	}
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRouterRoutesByPool checks end-to-end data flow through the router
+// and that sessions land on the rendezvous owner.
+func TestRouterRoutesByPool(t *testing.T) {
+	tc := startCluster(t, 3, Options{})
+	for idx := 0; idx < 3; idx++ {
+		pool := tc.poolOwnedBy(t, idx)
+		cl := dialRouter(t, tc)
+		if err := cl.Hello(pool); err != nil {
+			t.Fatal(err)
+		}
+		if cl.Proto() != serve.ProtoV2 {
+			t.Fatalf("router negotiated v%d, want v2", cl.Proto())
+		}
+		if _, err := cl.Open(pool, 512<<10); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Attach(true); err != nil {
+			t.Fatal(err)
+		}
+		msg := []byte("routed-" + pool)
+		if err := cl.Write(300<<10, msg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := cl.Read(300<<10, uint32(len(msg)))
+		if err != nil || !bytes.Equal(got, msg) {
+			t.Fatalf("read back %q, %v", got, err)
+		}
+		// The session must live on the hash-owner, nowhere else.
+		for s := range tc.servers {
+			want := 0
+			if s == idx {
+				want = 1
+			}
+			if n := tc.servers[s].SessionCount(); n != want {
+				t.Errorf("pool %q: backend %d holds %d sessions, want %d", pool, s, n, want)
+			}
+		}
+		if err := cl.CloseSession(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRouterBatchRelay pushes a v2 BATCH through the router and checks
+// per-entry results come back correlated.
+func TestRouterBatchRelay(t *testing.T) {
+	tc := startCluster(t, 3, Options{})
+	pool := tc.poolOwnedBy(t, 1)
+	cl := dialRouter(t, tc)
+	for _, step := range []func() error{
+		func() error { return cl.Hello(pool) },
+		func() error { _, err := cl.Open(pool, 512<<10); return err },
+		func() error { return cl.Attach(true) },
+	} {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reqs := []*serve.Request{
+		{Op: serve.OpWrite, Off: 300 << 10, Data: []byte("abc")},
+		{Op: serve.OpRead, Off: 300 << 10, Len: 3},
+		{Op: serve.OpTxCommit, Tx: []serve.TxWrite{{Off: 310 << 10, Data: []byte("xyz")}}},
+		{Op: serve.OpRead, Off: 310 << 10, Len: 3},
+	}
+	resps := make([]serve.Response, len(reqs))
+	if err := cl.DoBatch(reqs, resps); err != nil {
+		t.Fatal(err)
+	}
+	for i, resp := range resps {
+		if resp.Status != serve.StatusOK {
+			t.Fatalf("entry %d: %+v", i, resp)
+		}
+	}
+	if string(resps[1].Data) != "abc" || string(resps[3].Data) != "xyz" {
+		t.Fatalf("batched reads: %q, %q", resps[1].Data, resps[3].Data)
+	}
+	if got := tc.router.Metrics().RelayedBatches.Load(); got == 0 {
+		t.Error("router relayed no batches")
+	}
+
+	// Session ops hidden inside a batch would desynchronize routing
+	// state; the router must refuse them with a typed error.
+	err := cl.DoBatch([]*serve.Request{{Op: serve.OpClose}}, make([]serve.Response, 1))
+	wantCode(t, err, serve.ErrBadFrame)
+}
+
+// TestRouterLocalAnswers checks the protocol edges the router answers
+// itself: handshake ordering, double OPEN, and the pre-session STATS
+// that exposes router metrics.
+func TestRouterLocalAnswers(t *testing.T) {
+	tc := startCluster(t, 2, Options{})
+	cl := dialRouter(t, tc)
+
+	_, err := cl.Open("early", 512<<10)
+	wantCode(t, err, serve.ErrNoHello)
+	_, err = cl.Read(0, 8)
+	wantCode(t, err, serve.ErrNoHello)
+
+	pool := tc.poolOwnedBy(t, 0)
+	if err := cl.Hello(pool); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Read(0, 8)
+	wantCode(t, err, serve.ErrNoSession)
+
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(stats), "pmorouter_sessions_total") {
+		t.Errorf("pre-session STATS is not the router snapshot:\n%.300s", stats)
+	}
+
+	if _, err := cl.Open(pool, 512<<10); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Open(pool, 512<<10)
+	wantCode(t, err, serve.ErrExists)
+	err = cl.Hello("other")
+	wantCode(t, err, serve.ErrExists)
+
+	// In-session STATS relays to the owning backend.
+	stats, err = cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(stats), "pmod_requests_total") {
+		t.Errorf("in-session STATS is not the backend snapshot:\n%.300s", stats)
+	}
+}
+
+// TestRouterConnReuse checks the multiplexing story: sequential
+// sessions over fresh client conns reuse pooled upstream conns instead
+// of redialing, via the CLOSE-drain recycle path.
+func TestRouterConnReuse(t *testing.T) {
+	tc := startCluster(t, 1, Options{})
+	pool := tc.poolOwnedBy(t, 0)
+	for i := 0; i < 5; i++ {
+		cl, err := serve.Dial(tc.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Hello(pool); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Open(pool, 512<<10); err != nil {
+			t.Fatal(err)
+		}
+		// Half the sessions CLOSE politely, half just disconnect; both
+		// paths must return the upstream conn to the pool.
+		if i%2 == 0 {
+			if err := cl.CloseSession(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cl.Close()
+		// The recycle happens after the client socket drops; wait for the
+		// router to finish it before the next dial so reuse is observable.
+		waitFor(t, time.Second, func() bool {
+			return tc.router.Metrics().ActiveConns.Load() == 0
+		})
+	}
+	m := tc.router.Metrics()
+	if got := m.DrainOK.Load(); got == 0 {
+		t.Error("no upstream conns were CLOSE-drained for reuse")
+	}
+	mets := tc.servers[0].Metrics()
+	if dials := mets.Requests[serve.OpHello].Load(); dials == 0 {
+		t.Error("no upstream HELLOs recorded")
+	}
+	if closes := mets.Closes.Load(); closes < 5 {
+		t.Errorf("backend saw %d CLOSEs, want >= 5 (drain per session)", closes)
+	}
+	// All 5 sessions over at most a couple of physical conns (health
+	// probes dial their own).
+	if b := tc.router.backends[0]; b.reuses.Load() < 3 {
+		t.Errorf("upstream conns reused %d times, want >= 3", b.reuses.Load())
+	}
+}
+
+// TestRouterUnavailableNoFailover kills a backend and checks its pools
+// go typed-UNAVAILABLE (no silent failover to a node without the data)
+// while other pools keep working — and that a session's mid-flight loss
+// surfaces the same way, leaving the connection usable.
+func TestRouterUnavailableNoFailover(t *testing.T) {
+	tc := startCluster(t, 3, Options{
+		HealthEvery: 20 * time.Millisecond,
+		FailAfter:   1,
+		DialRetries: 1,
+		DialBackoff: 5 * time.Millisecond,
+		IOTimeout:   2 * time.Second,
+	})
+	deadPool := tc.poolOwnedBy(t, 2)
+	livePool := tc.poolOwnedBy(t, 0)
+
+	// A session is live on the doomed backend when it dies.
+	cl := dialRouter(t, tc)
+	if err := cl.Hello(deadPool); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Open(deadPool, 512<<10); err != nil {
+		t.Fatal(err)
+	}
+
+	tc.killBackend(2)
+	waitFor(t, 5*time.Second, func() bool { return tc.router.Healthy() == 2 })
+	if got := tc.router.Healthy(); got != 2 {
+		t.Fatalf("router sees %d healthy backends, want 2", got)
+	}
+
+	// The in-flight session's next op fails typed, not silently.
+	_, err := cl.Read(300<<10, 8)
+	wantCode(t, err, serve.ErrUnavailable)
+
+	// New OPENs for the dead node's pools: typed UNAVAILABLE.
+	_, err = cl.Open(deadPool, 512<<10)
+	wantCode(t, err, serve.ErrUnavailable)
+
+	// The same connection still reaches live owners.
+	if err := cl.Hello(livePool); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Open(livePool, 512<<10); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Attach(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Write(300<<10, []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.router.Metrics().Unavailable.Load(); got < 2 {
+		t.Errorf("unavailable answers %d, want >= 2", got)
+	}
+}
+
+// TestRouterDrainClosesSessions checks Shutdown CLOSEs live upstream
+// sessions so backends see clean departures, not abandoned sessions.
+func TestRouterDrainClosesSessions(t *testing.T) {
+	tc := startCluster(t, 2, Options{})
+	pool := tc.poolOwnedBy(t, 0)
+	cl := dialRouter(t, tc)
+	if err := cl.Hello(pool); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Open(pool, 512<<10); err != nil {
+		t.Fatal(err)
+	}
+	if n := tc.servers[0].SessionCount(); n != 1 {
+		t.Fatalf("backend sessions = %d, want 1", n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := tc.router.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if n := tc.servers[0].SessionCount(); n != 0 {
+		t.Errorf("backend still holds %d sessions after router drain", n)
+	}
+}

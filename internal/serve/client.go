@@ -2,6 +2,8 @@ package serve
 
 import (
 	"bufio"
+	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -12,6 +14,12 @@ import (
 // queue is full); the caller should back off and resend.
 var ErrServerBusy = errors.New("serve: server busy, retry")
 
+// ErrTimeout is the typed I/O-deadline error: any round trip that blows
+// its Client timeout (or its context deadline at dial time) wraps this,
+// so routers and load generators can tell a slow peer from a broken
+// one. errors.Is(err, ErrTimeout) matches.
+var ErrTimeout = errors.New("serve: i/o timeout")
+
 // ServerError is a typed error the daemon returned.
 type ServerError struct {
 	Code ErrCode
@@ -20,45 +28,102 @@ type ServerError struct {
 
 func (e *ServerError) Error() string { return fmt.Sprintf("serve: server error %d: %s", e.Code, e.Msg) }
 
-// Client is a closed-loop client for the pmod wire protocol: one
-// outstanding request at a time per Client. It is not safe for
-// concurrent use; open one Client per goroutine (the load generator
-// does exactly that).
+// Client is a client for the pmod wire protocol: one outstanding
+// request (or one outstanding batch) at a time per Client. It is not
+// safe for concurrent use; open one Client per goroutine (the load
+// generator does exactly that).
 type Client struct {
 	c      net.Conn
 	br     *bufio.Reader
 	bw     *bufio.Writer
 	nextID uint32
+	proto  uint8 // negotiated version; ProtoV1 until a v2 HELLO succeeds
+
+	// timeout bounds every round trip's I/O (0 = block forever).
+	timeout time.Duration
+
+	// benc is the reusable batch encode buffer so steady-state batching
+	// does not allocate.
+	benc []byte
 }
 
-// Dial connects to a pmod daemon.
+// Dial connects to a pmod daemon with a 5-second dial timeout.
 func Dial(addr string) (*Client, error) {
-	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return DialContext(ctx, addr)
+}
+
+// DialContext connects to a pmod daemon under ctx's deadline and
+// cancellation; a deadline overrun reports ErrTimeout.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, wrapTimeout(err)
 	}
 	return NewClient(c), nil
 }
 
 // NewClient wraps an established connection.
 func NewClient(c net.Conn) *Client {
-	return &Client{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c)}
+	return &Client{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c), proto: ProtoV1}
 }
+
+// SetTimeout bounds each subsequent round trip's socket I/O; a request
+// that cannot complete within d fails with an error wrapping ErrTimeout
+// (0 restores blocking behavior). The connection is unusable for
+// further requests after a timeout: the abandoned response would
+// desynchronize the stream.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Proto returns the negotiated wire-protocol version.
+func (c *Client) Proto() uint8 { return c.proto }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.c.Close() }
+
+// wrapTimeout converts net timeout errors into ErrTimeout wrappers.
+func wrapTimeout(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	return err
+}
+
+// armDeadline applies the per-round-trip I/O deadline.
+func (c *Client) armDeadline() error {
+	if c.timeout <= 0 {
+		return nil
+	}
+	return c.c.SetDeadline(time.Now().Add(c.timeout))
+}
+
+// writeAndRead sends one frame payload and reads one response frame
+// under the client's I/O deadline.
+func (c *Client) writeAndRead(payload []byte) ([]byte, error) {
+	if err := c.armDeadline(); err != nil {
+		return nil, err
+	}
+	if err := writeFrame(c.bw, payload); err != nil {
+		return nil, wrapTimeout(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, wrapTimeout(err)
+	}
+	resp, err := readFrame(c.br, nil)
+	return resp, wrapTimeout(err)
+}
 
 // roundTrip sends req and waits for its response.
 func (c *Client) roundTrip(req *Request) (*Response, error) {
 	c.nextID++
 	req.ID = c.nextID
-	if err := writeFrame(c.bw, EncodeRequest(req)); err != nil {
-		return nil, err
-	}
-	if err := c.bw.Flush(); err != nil {
-		return nil, err
-	}
-	payload, err := readFrame(c.br, nil)
+	payload, err := c.writeAndRead(EncodeRequest(req))
 	if err != nil {
 		return nil, err
 	}
@@ -78,8 +143,36 @@ func (c *Client) roundTrip(req *Request) (*Response, error) {
 	return resp, nil
 }
 
-// Hello declares the client identity; it must precede session ops.
+// Hello declares the client identity and negotiates the wire version:
+// it offers MaxProto and records whatever the server accepts. Against a
+// pre-negotiation daemon (which rejects the trailing version byte as a
+// bad frame) it falls back to a plain v1 HELLO. It must precede session
+// ops.
 func (c *Client) Hello(name string) error {
+	resp, err := c.roundTrip(&Request{Op: OpHello, Client: name, Proto: MaxProto})
+	if err != nil {
+		var se *ServerError
+		if errors.As(err, &se) && se.Code == ErrBadFrame {
+			// v1-only server: redo the handshake without the version.
+			c.proto = ProtoV1
+			_, err = c.roundTrip(&Request{Op: OpHello, Client: name})
+		}
+		return err
+	}
+	c.proto = ProtoV1
+	if len(resp.Data) == 1 && resp.Data[0] >= ProtoV1 {
+		c.proto = resp.Data[0]
+		if c.proto > MaxProto {
+			c.proto = MaxProto
+		}
+	}
+	return nil
+}
+
+// HelloV1 declares the client identity with a version-less v1 HELLO,
+// pinning the session to protocol v1 (no batching).
+func (c *Client) HelloV1(name string) error {
+	c.proto = ProtoV1
 	_, err := c.roundTrip(&Request{Op: OpHello, Client: name})
 	return err
 }
@@ -127,6 +220,15 @@ func (c *Client) Detach() error {
 	return err
 }
 
+// CloseSession ends the session (detaching if needed) but keeps the
+// connection: HELLO may then declare a new identity and OPEN a new
+// pool. This is what lets the cluster router reuse upstream
+// connections across client sessions.
+func (c *Client) CloseSession() error {
+	_, err := c.roundTrip(&Request{Op: OpClose})
+	return err
+}
+
 // Stats fetches the daemon's Prometheus text snapshot.
 func (c *Client) Stats() ([]byte, error) {
 	resp, err := c.roundTrip(&Request{Op: OpStats})
@@ -145,4 +247,99 @@ func (c *Client) Trace() ([]byte, error) {
 		return nil, err
 	}
 	return resp.Data, nil
+}
+
+// DoBatch executes reqs as one v2 BATCH frame — one network write and
+// one read for the whole slice — and decodes each sub-response into
+// resps[i] for reqs[i], matching correlation IDs so out-of-order
+// completion is handled. resps must be the same length as reqs; its
+// entries are overwritten (Data aliases the read buffer and is only
+// valid until the next round trip). Per-op failures land in the
+// corresponding Response (StatusErr + code), not in the returned error,
+// which covers transport and batch-framing problems only. A full-queue
+// RETRY on the batch returns ErrServerBusy with no sub-responses.
+func (c *Client) DoBatch(reqs []*Request, resps []Response) error {
+	if len(reqs) == 0 || len(reqs) > MaxBatch {
+		return fmt.Errorf("serve: batch of %d requests (want 1..%d)", len(reqs), MaxBatch)
+	}
+	if len(resps) != len(reqs) {
+		return fmt.Errorf("serve: %d responses for %d requests", len(resps), len(reqs))
+	}
+	if c.proto < ProtoV2 {
+		return &ServerError{Code: ErrVersion, Msg: "serve: batching requires negotiated protocol v2"}
+	}
+	c.nextID++
+	bid := c.nextID
+	for _, req := range reqs {
+		c.nextID++
+		req.ID = c.nextID
+	}
+	c.benc = AppendBatch(c.benc[:0], bid, reqs)
+	payload, err := c.writeAndRead(c.benc)
+	if err != nil {
+		return err
+	}
+	// A scalar response on the batch ID is a whole-batch verdict:
+	// RETRY under backpressure or a typed error for bad framing.
+	if len(payload) >= 1 {
+		switch Status(payload[0]) {
+		case StatusRetry:
+			return ErrServerBusy
+		case StatusErr:
+			resp, werr := ParseResponse(payload, false)
+			if werr != nil {
+				return werr
+			}
+			return &ServerError{Code: resp.Code, Msg: resp.Msg}
+		}
+	}
+	var it batchRespIter
+	if werr := it.init(payload); werr != nil {
+		return werr
+	}
+	if it.id != bid {
+		return fmt.Errorf("serve: batch response id %d for batch %d", it.id, bid)
+	}
+	if it.left != len(reqs) {
+		return fmt.Errorf("serve: %d sub-responses for %d requests", it.left, len(reqs))
+	}
+	for i := range resps {
+		resps[i] = Response{}
+	}
+	matched := 0
+	for {
+		sub, werr := it.next()
+		if werr != nil {
+			return werr
+		}
+		if sub == nil {
+			break
+		}
+		sid := binary.BigEndian.Uint32(sub[1:])
+		req, idx := c.findBatchReq(reqs, resps, sid)
+		if req == nil {
+			return fmt.Errorf("serve: batch sub-response for unknown id %d", sid)
+		}
+		if werr := parseResponseInto(&resps[idx], sub, req.Op == OpOpen); werr != nil {
+			return werr
+		}
+		matched++
+	}
+	if matched != len(reqs) {
+		return fmt.Errorf("serve: %d of %d sub-responses matched", matched, len(reqs))
+	}
+	return nil
+}
+
+// findBatchReq locates the request a sub-response ID belongs to,
+// skipping slots already filled (their ID matches), so duplicate IDs in
+// a malformed response cannot silently overwrite an already-matched
+// sub-response.
+func (c *Client) findBatchReq(reqs []*Request, resps []Response, id uint32) (*Request, int) {
+	for i, req := range reqs {
+		if req.ID == id && resps[i].ID != id {
+			return req, i
+		}
+	}
+	return nil, -1
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -54,6 +55,22 @@ func readFrameTimed(r io.Reader, buf []byte, stamp bool) ([]byte, time.Time, err
 		return nil, t0, err
 	}
 	return buf, t0, nil
+}
+
+// ReadFrame reads one length-prefixed payload, reusing buf when it is
+// large enough. Exported for the cluster router, which relays frames
+// between clients and backends without interpreting most of them.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) { return readFrame(r, buf) }
+
+// WriteFrame writes one length-prefixed payload (see ReadFrame).
+func WriteFrame(w io.Writer, payload []byte) error { return writeFrame(w, payload) }
+
+// FrameTooLarge reports whether err is the unrecoverable
+// declared-length-over-limit framing error, after which the stream
+// cannot be resynchronized and the connection must close.
+func FrameTooLarge(err error) bool {
+	var e errFrameTooLarge
+	return errors.As(err, &e)
 }
 
 // writeFrame writes one length-prefixed payload.

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// planClient builds just enough of a loadClient to replay its op plan
+// without a connection.
+func planClient(seed int64, i int) *loadClient {
+	o := LoadOptions{
+		Pools:        50,
+		ZipfS:        1.3,
+		ReadFraction: 0.7,
+		TxFraction:   0.1,
+		PoolSize:     1 << 20,
+		ValueSize:    128,
+	}
+	c := &loadClient{
+		i:    i,
+		o:    &o,
+		plan: rand.New(rand.NewSource(seed + int64(i)*7919)),
+	}
+	c.zipf = rand.NewZipf(c.plan, o.ZipfS, 1, uint64(o.Pools-1))
+	c.span = o.PoolSize - (256 << 10) - uint64(o.ValueSize)
+	return c
+}
+
+// TestLoadPlanDeterminism pins the reproducibility contract: equal
+// seeds replay the identical pool-pick and op-draw sequence (backoff
+// jitter lives on a separate RNG precisely so retries cannot perturb
+// it), and different seeds produce different plans.
+func TestLoadPlanDeterminism(t *testing.T) {
+	type draw struct {
+		pool, kind int
+		off        uint64
+	}
+	replay := func(seed int64, i int) []draw {
+		c := planClient(seed, i)
+		out := make([]draw, 0, 500)
+		for n := 0; n < 500; n++ {
+			d := draw{pool: c.pickPool()}
+			d.kind, d.off = c.drawOp()
+			out = append(out, d)
+		}
+		return out
+	}
+
+	a, b := replay(42, 3), replay(42, 3)
+	for n := range a {
+		if a[n] != b[n] {
+			t.Fatalf("draw %d differs under equal seeds: %+v vs %+v", n, a[n], b[n])
+		}
+	}
+	other := replay(43, 3)
+	same := 0
+	for n := range a {
+		if a[n] == other[n] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds replayed the identical plan")
+	}
+	sibling := replay(42, 4)
+	same = 0
+	for n := range a {
+		if a[n] == sibling[n] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different client indexes replayed the identical plan")
+	}
+}
+
+// TestRunLoadCluster drives the cluster-shaped load path (shared
+// Zipf-skewed pools, batching, churn, per-node attribution) against a
+// single live server: co-writers must agree on each pool's pattern, so
+// a clean run ends with zero errors and zero isolation violations.
+func TestRunLoadCluster(t *testing.T) {
+	_, addr := startTestServer(t, Options{IdleTimeout: time.Hour})
+	rep, err := RunLoad(LoadOptions{
+		Addr:         addr,
+		Clients:      4,
+		Duration:     400 * time.Millisecond,
+		ReadFraction: 0.6,
+		TxFraction:   0.1,
+		ValueSize:    64,
+		PoolSize:     512 << 10,
+		Seed:         7,
+		Pools:        6,
+		ZipfS:        1.2,
+		Churn:        0.05,
+		Batch:        4,
+		NodeNames:    []string{addr},
+		NodeOf:       func(string) int { return 0 },
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v (first error %q)", err, rep.FirstErr)
+	}
+	if rep.Errors != 0 || rep.IsolationViolations != 0 {
+		t.Fatalf("errors %d, violations %d (first error %q)", rep.Errors, rep.IsolationViolations, rep.FirstErr)
+	}
+	if rep.Ops == 0 || rep.Batches == 0 {
+		t.Fatalf("no batched traffic: %d ops in %d batches", rep.Ops, rep.Batches)
+	}
+	if got := rep.Ops; got != rep.Reads+rep.Writes+rep.Txs {
+		t.Errorf("op counts inconsistent: %d != %d+%d+%d", got, rep.Reads, rep.Writes, rep.Txs)
+	}
+	if len(rep.PerNode) != 1 || rep.PerNode[0].Ops != rep.Ops {
+		t.Errorf("per-node attribution lost ops: %+v vs total %d", rep.PerNode, rep.Ops)
+	}
+	if rep.Latency.Count == 0 {
+		t.Error("no latency samples recorded")
+	}
+}

@@ -27,6 +27,7 @@ type Metrics struct {
 	Attaches  atomic.Uint64
 	Detaches  atomic.Uint64
 	Evictions atomic.Uint64
+	Closes    atomic.Uint64 // CLOSE ops (session ended, connection kept)
 	TxCommits atomic.Uint64
 
 	mu  sync.Mutex
@@ -63,7 +64,7 @@ var errNames = map[ErrCode]string{
 	ErrNoHello: "no_hello", ErrNoSession: "no_session", ErrExists: "exists",
 	ErrNotAttached: "not_attached", ErrDenied: "denied", ErrRange: "range",
 	ErrEvicted: "evicted", ErrDraining: "draining", ErrTx: "tx", ErrInternal: "internal",
-	ErrDisabled: "disabled",
+	ErrDisabled: "disabled", ErrUnavailable: "unavailable", ErrVersion: "version",
 }
 
 // EngineTotals aggregates the protection-engine counters the daemon
@@ -111,6 +112,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, sessions, conns int, eng *EngineT
 	fmt.Fprintf(w, "pmod_sessions_lifecycle_total{event=\"attach\"} %d\n", m.Attaches.Load())
 	fmt.Fprintf(w, "pmod_sessions_lifecycle_total{event=\"detach\"} %d\n", m.Detaches.Load())
 	fmt.Fprintf(w, "pmod_sessions_lifecycle_total{event=\"evict\"} %d\n", m.Evictions.Load())
+	fmt.Fprintf(w, "pmod_sessions_lifecycle_total{event=\"close\"} %d\n", m.Closes.Load())
 	fmt.Fprintf(w, "# HELP pmod_tx_commits_total Durable transactions committed.\n# TYPE pmod_tx_commits_total counter\n")
 	fmt.Fprintf(w, "pmod_tx_commits_total %d\n", m.TxCommits.Load())
 

@@ -16,7 +16,7 @@ import (
 
 // startTestServer runs an in-process daemon on a loopback port and
 // tears it down with the test.
-func startTestServer(t *testing.T, opts Options) (*Server, string) {
+func startTestServer(t testing.TB, opts Options) (*Server, string) {
 	t.Helper()
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

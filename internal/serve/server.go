@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -146,6 +147,7 @@ type conn struct {
 	stateMu sync.Mutex
 	client  string
 	sid     uint64
+	proto   uint8 // negotiated wire version; 0 until HELLO (treated as v1)
 }
 
 func (cn *conn) send(s *Server, payload []byte) {
@@ -157,10 +159,12 @@ func (cn *conn) send(s *Server, payload []byte) {
 	s.met.BytesOut.Add(uint64(len(payload)))
 }
 
-// job is one parsed request bound for the worker pool.
+// job is one parsed request — or one v2 batch of requests — bound for
+// the worker pool. Exactly one of req and batch is set.
 type job struct {
-	cn  *conn
-	req *Request
+	cn    *conn
+	req   *Request
+	batch *Batch
 }
 
 // reqPool recycles decoded requests — with their Tx and scratch
@@ -168,6 +172,24 @@ type job struct {
 // grown to the working-set size, a steady stream of data requests is
 // parsed, queued, dispatched, and answered without allocating.
 var reqPool = sync.Pool{New: func() any { return new(Request) }}
+
+// batchPool recycles batch containers (and their Reqs backing arrays)
+// the same way, so the v2 batched path is also allocation-free in
+// steady state.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+func getPooledRequest() *Request { return reqPool.Get().(*Request) }
+
+// releaseBatch returns a batch and its sub-requests to their pools.
+func releaseBatch(b *Batch) {
+	for i, req := range b.Reqs {
+		req.tr = nil
+		reqPool.Put(req)
+		b.Reqs[i] = nil
+	}
+	b.Reqs = b.Reqs[:0]
+	batchPool.Put(b)
+}
 
 // workCtx is one worker's reusable request-scoped storage: the response
 // under construction, its encoded frame, and the READ data buffer. The
@@ -177,6 +199,7 @@ type workCtx struct {
 	resp Response
 	enc  []byte
 	data []byte
+	neg  [1]byte // stable storage for the HELLO negotiation response body
 }
 
 // ok fills the worker's response with a bare success for id.
@@ -457,6 +480,10 @@ func (s *Server) readLoop(cn *conn) {
 		}
 		buf = payload[:0]
 		s.met.BytesIn.Add(uint64(len(payload)))
+		if len(payload) > 0 && Op(payload[0]) == OpBatch {
+			s.readBatch(cn, payload, t0)
+			continue
+		}
 		req := reqPool.Get().(*Request)
 		werr := parseRequestInto(req, payload)
 		if int(req.Op) < numOps {
@@ -484,6 +511,53 @@ func (s *Server) readLoop(cn *conn) {
 			cn.send(s, EncodeResponse(&Response{Status: StatusRetry, ID: req.ID}))
 			reqPool.Put(req)
 		}
+	}
+}
+
+// readBatch parses one v2 BATCH frame and enqueues it as a single job:
+// the whole batch is dispatched by one worker and answered with one
+// StatusBatch frame, so a pipelining client pays one network write and
+// one read per batch of ops. Any malformed sub-request fails the whole
+// batch with one typed error on the batch ID.
+func (s *Server) readBatch(cn *conn, payload []byte, t0 time.Time) {
+	s.met.Requests[OpBatch].Add(1)
+	// The batch ID sits at the fixed header offset; recover it even for
+	// payloads the full parse will reject, so the error names the batch.
+	var bid uint32
+	if len(payload) >= minPayload {
+		bid = binary.BigEndian.Uint32(payload[1:])
+	}
+	cn.stateMu.Lock()
+	proto := cn.proto
+	cn.stateMu.Unlock()
+	if proto < ProtoV2 {
+		s.respondErr(cn, bid, wireErr(ErrVersion, "serve: BATCH requires protocol v2 (negotiate in HELLO)"))
+		return
+	}
+	b := batchPool.Get().(*Batch)
+	if werr := parseBatchInto(b, payload, getPooledRequest); werr != nil {
+		s.respondErr(cn, bid, werr)
+		releaseBatch(b)
+		return
+	}
+	for _, req := range b.Reqs {
+		s.met.Requests[req.Op].Add(1)
+		req.tr = s.tracer.Begin(uint8(req.Op), t0)
+		req.detach()
+		req.tr.Mark(reqtrace.StageRead)
+	}
+	select {
+	case s.jobs <- job{cn: cn, batch: b}:
+	default:
+		// Backpressure answers RETRY on the batch ID; the client
+		// resubmits the whole batch.
+		for _, req := range b.Reqs {
+			s.tracer.End(req.tr, uint8(StatusRetry), 0)
+			req.tr = nil
+		}
+		s.met.Retries.Add(1)
+		cn.send(s, EncodeResponse(&Response{Status: StatusRetry, ID: b.ID}))
+		releaseBatch(b)
 	}
 }
 
@@ -529,6 +603,10 @@ func (s *Server) worker() {
 	defer s.workersWG.Done()
 	w := &workCtx{}
 	for jb := range s.jobs {
+		if jb.batch != nil {
+			s.serveBatch(jb.cn, jb.batch, w)
+			continue
+		}
 		jb.req.tr.Mark(reqtrace.StageQueue)
 		start := time.Now()
 		resp := s.dispatch(jb.cn, jb.req, w)
@@ -551,6 +629,33 @@ func (s *Server) worker() {
 	}
 }
 
+// serveBatch dispatches a batch's sub-requests in order (sub-responses
+// still carry correlation IDs, and the protocol permits any order) and
+// sends the one StatusBatch frame answering all of them.
+func (s *Server) serveBatch(cn *conn, b *Batch, w *workCtx) {
+	w.enc = appendBatchRespHeader(w.enc[:0], b.ID, len(b.Reqs))
+	for _, req := range b.Reqs {
+		req.tr.Mark(reqtrace.StageQueue)
+		start := time.Now()
+		resp := s.dispatch(cn, req, w)
+		s.met.ObserveLatency(req.Op, uint64(time.Since(start).Nanoseconds()))
+		switch resp.Status {
+		case StatusOK:
+			s.met.OKs.Add(1)
+		case StatusErr:
+			s.met.CountError(resp.Code)
+		}
+		// The entry copies resp's bytes (which may alias w.data) into the
+		// frame under construction before the next dispatch reuses them.
+		w.enc = appendBatchRespEntry(w.enc, resp)
+		req.tr.Mark(reqtrace.StageWrite)
+		s.tracer.End(req.tr, uint8(resp.Status), uint16(resp.Code))
+		req.tr = nil
+	}
+	cn.send(s, w.enc)
+	releaseBatch(b)
+}
+
 func (s *Server) respondErr(cn *conn, id uint32, werr *WireError) {
 	s.met.CountError(werr.Code)
 	cn.send(s, EncodeResponse(&Response{Status: StatusErr, ID: id, Code: werr.Code, Msg: werr.Msg}))
@@ -568,9 +673,29 @@ func (s *Server) dispatch(cn *conn, req *Request, w *workCtx) *Response {
 	switch req.Op {
 	case OpHello:
 		cn.stateMu.Lock()
+		if cn.sid != 0 {
+			held := cn.sid
+			cn.stateMu.Unlock()
+			return errResp(req.ID, ErrExists, "serve: HELLO while holding session %d (CLOSE first)", held)
+		}
 		cn.client = req.Client
+		neg := uint8(ProtoV1)
+		if req.Proto != 0 {
+			neg = req.Proto
+			if neg > MaxProto {
+				neg = MaxProto
+			}
+		}
+		cn.proto = neg
 		cn.stateMu.Unlock()
-		return w.ok(req.ID)
+		if req.Proto == 0 {
+			// A v1 HELLO gets the v1 bare OK, so old clients see exactly
+			// the old protocol.
+			return w.ok(req.ID)
+		}
+		w.neg[0] = neg
+		w.resp = Response{Status: StatusOK, ID: req.ID, Data: w.neg[:]}
+		return &w.resp
 	case OpStats:
 		var b writerBuf
 		if err := s.WriteMetrics(&b); err != nil {
@@ -636,6 +761,23 @@ func (s *Server) dispatch(cn *conn, req *Request, w *workCtx) *Response {
 		}
 		sess.att = nil
 		s.met.Detaches.Add(1)
+		return w.ok(req.ID)
+	case OpClose:
+		// End the session but keep the connection: the caller (typically
+		// the cluster router returning an upstream conn to its pool) can
+		// HELLO again as a different client and OPEN a new session.
+		if sess.att != nil {
+			sh.space.Detach(sess.pool)
+			sess.att = nil
+			s.met.Detaches.Add(1)
+		}
+		delete(sh.sessions, sid)
+		cn.stateMu.Lock()
+		if cn.sid == sid {
+			cn.sid = 0
+		}
+		cn.stateMu.Unlock()
+		s.met.Closes.Add(1)
 		return w.ok(req.ID)
 	}
 	return errResp(req.ID, ErrBadOp, "serve: unhandled op %d", req.Op)

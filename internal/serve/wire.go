@@ -19,6 +19,13 @@ import (
 // Frame format: a 4-byte big-endian payload length, then the payload.
 // Every payload starts with a 1-byte opcode and a 4-byte request ID the
 // response echoes, so a client may pipeline requests.
+//
+// Protocol v2 (negotiated in HELLO, see ProtoV2) adds request batching:
+// a BATCH frame carries many sub-requests, each with its own
+// correlation ID, and is answered by one StatusBatch frame whose
+// sub-responses may complete out of order — the client matches them by
+// ID. One frame each way means one network write and one read per
+// batch instead of per op.
 const (
 	// MaxFrame is the hard cap on payload length; a declared length
 	// beyond it is unrecoverable (the stream cannot be resynchronized)
@@ -26,8 +33,21 @@ const (
 	MaxFrame = 1 << 20
 	// MaxIO is the largest byte span one READ or WRITE may move.
 	MaxIO = 256 << 10
+	// MaxBatch is the most sub-requests one BATCH frame may carry.
+	MaxBatch = 256
 	// minPayload is opcode + request ID.
 	minPayload = 5
+)
+
+// Wire-protocol versions. A v1 HELLO is just the client name; a v2
+// HELLO appends the highest version the client speaks, and the server's
+// OK response carries the negotiated version (min of both sides) as a
+// 1-byte body. Everything except BATCH works identically under both.
+const (
+	ProtoV1 = 1
+	ProtoV2 = 2
+	// MaxProto is the highest version this build speaks.
+	MaxProto = ProtoV2
 )
 
 // Op is a request opcode.
@@ -41,13 +61,15 @@ const (
 	OpRead     Op = 4 // u32 off, u32 len -> data
 	OpWrite    Op = 5 // u32 off, u32 len, bytes
 	OpTxCommit Op = 6 // u16 count, count * (u32 off, u32 len, bytes), durably
-	OpDetach   Op = 7 // unmap the session pool
-	OpStats    Op = 8 // -> Prometheus text snapshot
-	OpTrace    Op = 9 // -> JSONL dump of the retained request spans
-	numOps        = 10
+	OpDetach   Op = 7  // unmap the session pool
+	OpStats    Op = 8  // -> Prometheus text snapshot
+	OpTrace    Op = 9  // -> JSONL dump of the retained request spans
+	OpClose    Op = 10 // close the session but keep the connection (conn reuse)
+	OpBatch    Op = 11 // v2: u16 count, count * (u32 len, sub-request payload)
+	numOps        = 12
 )
 
-var opNames = [numOps]string{"?", "hello", "open", "attach", "read", "write", "tx_commit", "detach", "stats", "trace"}
+var opNames = [numOps]string{"?", "hello", "open", "attach", "read", "write", "tx_commit", "detach", "stats", "trace", "close", "batch"}
 
 func (o Op) String() string {
 	if int(o) < len(opNames) && o > 0 {
@@ -64,6 +86,7 @@ const (
 	StatusOK    Status = 0
 	StatusErr   Status = 1
 	StatusRetry Status = 2 // backpressure: queue full, try again
+	StatusBatch Status = 3 // v2: u16 count, count * (u32 len, sub-response payload)
 )
 
 // ErrCode is a typed protocol error; malformed or disallowed requests
@@ -87,7 +110,9 @@ const (
 	ErrTx          ErrCode = 12 // transaction begin/commit failed
 	ErrInternal    ErrCode = 13
 	ErrDisabled    ErrCode = 14 // requested facility (e.g. tracing) not enabled
-	maxErrCode             = ErrDisabled
+	ErrUnavailable ErrCode = 15 // cluster: the backend owning this key is down; retry later
+	ErrVersion     ErrCode = 16 // op requires a protocol version the session didn't negotiate
+	maxErrCode             = ErrVersion
 )
 
 // WireError is a typed protocol error with its human-readable cause.
@@ -112,6 +137,7 @@ type Request struct {
 	ID uint32
 
 	Client string // HELLO
+	Proto  uint8  // HELLO: highest protocol version offered (0 = v1 frame)
 	Name   string // OPEN
 	Size   uint64 // OPEN
 
@@ -274,6 +300,14 @@ func parseRequestInto(req *Request, payload []byte) *WireError {
 	switch req.Op {
 	case OpHello:
 		req.Client = r.str()
+		// v2 negotiation: one trailing byte is the highest version the
+		// client speaks. A v1 HELLO ends at the name.
+		if r.off == len(r.b)-1 {
+			req.Proto = r.u8()
+			if req.Proto < ProtoV1 {
+				return wireErr(ErrBadFrame, "serve: protocol version 0 offered")
+			}
+		}
 		if r.done() && req.Client == "" {
 			return wireErr(ErrBadFrame, "serve: empty client name")
 		}
@@ -308,8 +342,12 @@ func parseRequestInto(req *Request, payload []byte) *WireError {
 			}
 			req.Tx = append(req.Tx, TxWrite{Off: off, Data: r.bytes(int(n))})
 		}
-	case OpDetach, OpStats, OpTrace:
+	case OpDetach, OpStats, OpTrace, OpClose:
 		// no body
+	case OpBatch:
+		// Batches are containers parsed by parseBatchInto; one reaching
+		// the scalar parser is nested inside another batch.
+		return wireErr(ErrBadFrame, "serve: nested batch")
 	default:
 		return wireErr(ErrBadOp, "serve: unknown opcode")
 	}
@@ -335,6 +373,9 @@ func appendRequest(dst []byte, req *Request) []byte {
 	switch req.Op {
 	case OpHello:
 		w.str(req.Client)
+		if req.Proto != 0 {
+			w.u8(req.Proto)
+		}
 	case OpOpen:
 		w.str(req.Name)
 		w.u64(req.Size)
@@ -362,6 +403,146 @@ func appendRequest(dst []byte, req *Request) []byte {
 	return w.b
 }
 
+// Batch is one decoded v2 BATCH container: a batch correlation ID and
+// the sub-requests it carries. Each sub-request keeps its own ID so its
+// sub-response can be matched even when completions are reordered.
+type Batch struct {
+	ID   uint32
+	Reqs []*Request
+}
+
+// parseBatchInto decodes a BATCH payload into b, drawing sub-request
+// storage from getReq (the server passes its request pool's getter, so
+// a steady batch stream parses without allocating). Sub-request Data
+// and Tx spans alias payload until detach. Any malformed sub-request
+// fails the whole batch: requests already drawn stay in b.Reqs so the
+// caller can return them to the pool.
+func parseBatchInto(b *Batch, payload []byte, getReq func() *Request) *WireError {
+	b.ID, b.Reqs = 0, b.Reqs[:0]
+	if len(payload) < minPayload+2 {
+		return wireErr(ErrBadFrame, "serve: short batch payload")
+	}
+	r := wreader{b: payload}
+	if Op(r.u8()) != OpBatch {
+		return wireErr(ErrBadFrame, "serve: not a batch payload")
+	}
+	b.ID = r.u32()
+	count := int(r.u16())
+	if count == 0 {
+		return wireErr(ErrBadFrame, "serve: empty batch")
+	}
+	if count > MaxBatch {
+		return wireErr(ErrTooLarge, "serve: batch count over limit")
+	}
+	for i := 0; i < count; i++ {
+		n := int(r.u32())
+		sub := r.bytes(n)
+		if r.bad {
+			return wireErr(ErrBadFrame, "serve: truncated batch entry")
+		}
+		req := getReq()
+		b.Reqs = append(b.Reqs, req)
+		if werr := parseRequestInto(req, sub); werr != nil {
+			return werr
+		}
+		if req.Op == OpHello {
+			// Version renegotiation mid-batch would change the framing
+			// rules the batch itself depends on.
+			return wireErr(ErrBadFrame, "serve: HELLO inside batch")
+		}
+	}
+	if !r.done() {
+		return wireErr(ErrBadFrame, "serve: trailing bytes after batch entries")
+	}
+	return nil
+}
+
+// AppendBatch appends one BATCH payload carrying reqs (append-style, as
+// appendRequest). The caller assigns sub-request IDs.
+func AppendBatch(dst []byte, id uint32, reqs []*Request) []byte {
+	w := wwriter{b: dst}
+	w.u8(uint8(OpBatch))
+	w.u32(id)
+	w.u16(uint16(len(reqs)))
+	for _, req := range reqs {
+		mark := len(w.b)
+		w.u32(0) // length, backfilled below
+		w.b = appendRequest(w.b, req)
+		binary.BigEndian.PutUint32(w.b[mark:], uint32(len(w.b)-mark-4))
+	}
+	return w.b
+}
+
+// appendBatchRespHeader starts a StatusBatch response payload; the
+// server then appends one appendBatchRespEntry per sub-request.
+func appendBatchRespHeader(dst []byte, id uint32, count int) []byte {
+	w := wwriter{b: dst}
+	w.u8(uint8(StatusBatch))
+	w.u32(id)
+	w.u16(uint16(count))
+	return w.b
+}
+
+// appendBatchRespEntry appends one length-prefixed sub-response.
+func appendBatchRespEntry(dst []byte, resp *Response) []byte {
+	mark := len(dst)
+	dst = binary.BigEndian.AppendUint32(dst, 0)
+	dst = appendResponse(dst, resp)
+	binary.BigEndian.PutUint32(dst[mark:], uint32(len(dst)-mark-4))
+	return dst
+}
+
+// batchRespIter walks the sub-responses of a StatusBatch payload
+// without allocating; entries may arrive in any order relative to the
+// requests, so callers match by the sub-response ID.
+type batchRespIter struct {
+	r    wreader
+	id   uint32
+	left int
+}
+
+// initBatchResp validates the StatusBatch header of payload and
+// prepares iteration.
+func (it *batchRespIter) init(payload []byte) *WireError {
+	it.r = wreader{b: payload}
+	if len(payload) < minPayload+2 {
+		return wireErr(ErrBadFrame, "serve: short batch response")
+	}
+	if Status(it.r.u8()) != StatusBatch {
+		return wireErr(ErrBadFrame, "serve: not a batch response")
+	}
+	it.id = it.r.u32()
+	it.left = int(it.r.u16())
+	if it.left == 0 {
+		return wireErr(ErrBadFrame, "serve: empty batch response")
+	}
+	if it.left > MaxBatch {
+		return wireErr(ErrTooLarge, "serve: batch response count over limit")
+	}
+	return nil
+}
+
+// next returns the next sub-response payload, or nil when exhausted;
+// a framing error yields (nil, werr).
+func (it *batchRespIter) next() ([]byte, *WireError) {
+	if it.left == 0 {
+		if !it.r.done() {
+			return nil, wireErr(ErrBadFrame, "serve: trailing bytes after batch response")
+		}
+		return nil, nil
+	}
+	it.left--
+	n := int(it.r.u32())
+	sub := it.r.bytes(n)
+	if it.r.bad {
+		return nil, wireErr(ErrBadFrame, "serve: truncated batch response entry")
+	}
+	if len(sub) < minPayload {
+		return nil, wireErr(ErrBadFrame, "serve: short batch response entry")
+	}
+	return sub, nil
+}
+
 // Response is one decoded server response.
 type Response struct {
 	Status Status
@@ -376,6 +557,11 @@ type Response struct {
 func EncodeResponse(resp *Response) []byte {
 	return appendResponse(make([]byte, 0, 16+len(resp.Data)), resp)
 }
+
+// AppendResponse appends resp's frame payload to dst. Exported for the
+// cluster router, which answers some requests (HELLO, routing errors)
+// itself with a reusable encode buffer.
+func AppendResponse(dst []byte, resp *Response) []byte { return appendResponse(dst, resp) }
 
 // appendResponse appends resp's frame payload to dst (append-style, as
 // appendRequest) so the server's workers can reuse one encode buffer

@@ -112,6 +112,9 @@ func TestParseRequestMalformed(t *testing.T) {
 			return b
 		}(), ErrBadFrame},
 		{"detach trailing garbage", pad(&Request{Op: OpDetach, ID: 1}, 1), ErrBadFrame},
+		{"close trailing garbage", pad(&Request{Op: OpClose, ID: 1}, 1), ErrBadFrame},
+		{"hello version zero", append(EncodeRequest(&Request{Op: OpHello, ID: 1, Client: "v"}), 0), ErrBadFrame},
+		{"batch in scalar parser", AppendBatch(nil, 1, []*Request{{Op: OpRead, ID: 2, Off: 0, Len: 8}}), ErrBadFrame},
 		{"random garbage", []byte{0x04, 0xFF, 0xFF, 0xFF, 0xFF, 0xDE, 0xAD}, ErrBadFrame},
 	}
 	for _, c := range cases {
@@ -134,12 +137,17 @@ func FuzzFrame(f *testing.F) {
 	f.Add([]byte{byte(OpRead), 0, 0, 0, 1, 0, 0, 16, 0, 0, 0, 0, 64})
 	for _, req := range []*Request{
 		{Op: OpHello, ID: 1, Client: "fuzz"},
+		{Op: OpHello, ID: 1, Client: "fuzz", Proto: ProtoV2},
 		{Op: OpOpen, ID: 2, Name: "pool", Size: 4096},
 		{Op: OpWrite, ID: 3, Off: 64, Data: []byte{1, 2, 3}},
 		{Op: OpTxCommit, ID: 4, Tx: []TxWrite{{Off: 8, Data: []byte("ab")}}},
+		{Op: OpClose, ID: 5},
 	} {
 		f.Add(EncodeRequest(req))
 	}
+	// A BATCH container must bounce off the scalar parser (nested-batch
+	// guard), never recurse into it.
+	f.Add(AppendBatch(nil, 6, []*Request{{Op: OpRead, ID: 7, Off: 64, Len: 8}}))
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		req, werr := ParseRequest(payload)
 		if werr != nil {

@@ -6,7 +6,9 @@
 # JSONL export must parse, the request-tracing contract (disabled path
 # allocation-free, tracer and capture tee perturbation-free), a traced
 # pmod+pmoload smoke whose span dump, Prometheus snapshot, and traffic
-# capture must validate and replay, and the RESULTS.md drift check.
+# capture must validate and replay, a cluster smoke (three pmod nodes
+# behind pmorouter surviving a mid-load node kill with zero errors and
+# zero isolation violations), and the RESULTS.md drift check.
 # Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,9 +23,10 @@ go test -race ./...
 go test -race -run 'TestObsDeterminism|TestObsRecorderDoesNotPerturb|TestObsSamplerDisabled' .
 go test -race -run 'TestHistogramMergeProperty|TestExportersDeterministic' ./internal/obs/
 
-# Service layer: the concurrency-hardened PMO library and the daemon,
-# run explicitly so a race regression names the layer that broke.
-go test -race ./internal/serve/... ./internal/pmo/...
+# Service layer: the concurrency-hardened PMO library, the daemon, and
+# the cluster router, run explicitly so a race regression names the
+# layer that broke.
+go test -race ./internal/serve/... ./internal/pmo/... ./internal/cluster/...
 
 # Crash-consistency gate: the persistence fault model, the transaction
 # layer (including the checked-in FuzzRecover seed corpus, which runs as
@@ -39,7 +42,7 @@ go test -fuzz FuzzRecover -fuzztime 5s -run '^$' ./internal/txn/
 # timing gate is disabled here because a short CI run is too noisy —
 # scripts/bench.sh check is the full timing gate).
 go test -run '^$' -bench . -benchmem -benchtime 200x \
-    ./internal/sim/ ./internal/tlb/ ./internal/serve/ \
+    ./internal/sim/ ./internal/tlb/ ./internal/serve/ ./internal/cluster/ \
     | go run ./cmd/benchjson -check BENCH_sim.json -ns-tolerance -1
 
 # Smoke: an observed run must write a parseable, nonempty epoch series.
@@ -83,6 +86,46 @@ go run ./scripts/checkjsonl -min-lines 10 "$obsdir/spans.jsonl"
 "$obsdir/pmotrace" replay -i "$obsdir/capture" -scheme domainvirt -obs-out "$obsdir/capture-obs"
 "$obsdir/pmotrace" replay -i "$obsdir/capture" -scheme mpkvirt
 go run ./scripts/checkprom "$obsdir/capture-obs"/capture-domainvirt-metrics.prom
+
+# Cluster smoke: three pmod nodes behind a pmorouter, cluster-shaped
+# load (shared Zipf-skewed pools, session churn, batch pipelining,
+# per-node attribution), SIGTERM one node mid-run. pmoload exits
+# nonzero on any protocol error or isolation violation, so the gate
+# asserts the outage surfaced only as typed, tolerated UNAVAILABLE
+# answers; every daemon and the router must then drain cleanly.
+go build -o "$obsdir/pmorouter" ./cmd/pmorouter
+node_pids=()
+for i in 1 2 3; do
+    "$obsdir/pmod" -listen 127.0.0.1:0 -addr-file "$obsdir/node$i.addr" \
+        -engine domainvirt -store "$obsdir/nodestore$i" &
+    node_pids+=($!)
+done
+for _ in $(seq 50); do
+    [ -s "$obsdir/node1.addr" ] && [ -s "$obsdir/node2.addr" ] && [ -s "$obsdir/node3.addr" ] && break
+    sleep 0.1
+done
+nodes="$(cat "$obsdir/node1.addr"),$(cat "$obsdir/node2.addr"),$(cat "$obsdir/node3.addr")"
+"$obsdir/pmorouter" -listen 127.0.0.1:0 -addr-file "$obsdir/router.addr" \
+    -backends "$nodes" -health-every 100ms -fail-after 2 &
+router_pid=$!
+for _ in $(seq 50); do
+    [ -s "$obsdir/router.addr" ] && break
+    sleep 0.1
+done
+[ -s "$obsdir/router.addr" ] || { echo "pmorouter never bound" >&2; exit 1; }
+"$obsdir/pmoload" -addr-file "$obsdir/router.addr" -clients 24 -duration 3s \
+    -pools 60 -zipf 1.2 -churn 0.02 -batch 8 -poolsize $((512 * 1024)) \
+    -nodes "$nodes" -tolerate-unavailable &
+load_pid=$!
+sleep 1
+kill -TERM "${node_pids[1]}"   # one owner goes away mid-load
+wait "$load_pid"               # nonzero on errors/violations fails the gate
+kill -TERM "$router_pid"
+wait "$router_pid"
+kill -TERM "${node_pids[0]}" "${node_pids[2]}"
+for pid in "${node_pids[@]}"; do
+    wait "$pid"
+done
 
 # The STATS snapshot of a traced daemon must be valid exposition format
 # (validated above under load by TestMetricsExpositionValidUnderLoad;
