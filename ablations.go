@@ -19,12 +19,17 @@ type AblationRow struct {
 	DomVirtPct float64
 }
 
-// ablationRun evaluates one labeled configuration. Ablation rows vary
-// the machine configuration per row, so they run sequentially rather
-// than through the shared grid pool; the progress writer still gets one
-// completion line per row.
+// ablationRun evaluates one labeled configuration. Each row's four
+// scheme cells run on the grid worker pool; rows that vary only cost
+// parameters (AblationCosts) share warmup checkpoints through
+// opt.Snapshots, since the snapshot key covers structural configuration
+// only. Observability export is disabled for ablation rows — rows with
+// different configs would collide on the same cell labels.
 func ablationRun(opt ExpOptions, name string, p Params, cfg Config, label string) (AblationRow, error) {
-	res, err := RunSchemes(name, p, cfg,
+	ro := opt
+	ro.Cfg = cfg
+	ro.Obs = ExpObs{}
+	res, err := RunSchemesOpt(name, p, ro,
 		SchemeLowerbound, SchemeLibmpk, SchemeMPKVirt, SchemeDomainVirt)
 	if err != nil {
 		return AblationRow{}, err

@@ -42,9 +42,10 @@ func run() int {
 		paper   = flag.Bool("paper", false, "run at the paper's full scale (100k/1M ops, stride-16 sweep)")
 		ops     = flag.Int("ops", 0, "override measured operations per run")
 		seed    = flag.Int64("seed", 42, "workload RNG seed")
-		workers = flag.Int("workers", 0, "concurrent experiment cells (0 = GOMAXPROCS)")
-		quiet   = flag.Bool("quiet", false, "suppress the banner and per-cell progress lines on stderr")
-		csvDir  = flag.String("csv", "", "also write CSV files into this directory")
+		workers  = flag.Int("workers", 0, "concurrent experiment cells (0 = GOMAXPROCS)")
+		snapshot = flag.Bool("snapshot", true, "share warmup machine checkpoints across cells and experiments")
+		quiet    = flag.Bool("quiet", false, "suppress the banner and per-cell progress lines on stderr")
+		csvDir   = flag.String("csv", "", "also write CSV files into this directory")
 
 		obsOut   = flag.String("obs-out", "", "directory for per-experiment observability exports")
 		obsEpoch = flag.Uint64("obs-epoch", 0, "sampling epoch in retired instructions (0 disables per-cell time series)")
@@ -81,6 +82,14 @@ func run() int {
 	}
 	opt.Seed = *seed
 	opt.Workers = *workers
+	if *snapshot {
+		// One cache across every experiment in this invocation: Table VI,
+		// Table VII, and the 1024-PMO Fig. 6 column share warmups, and a
+		// cost ablation re-simulates no warmup at all. Results are
+		// bit-identical with or without it. Progress lines tag each cell
+		// "(snapshot)" or "(warmup)" to show which path served it.
+		opt.Snapshots = domainvirt.NewSnapshotCache()
+	}
 	if !*quiet {
 		opt.Progress = os.Stderr
 	}
@@ -96,8 +105,8 @@ func run() int {
 		workersResolved = runtime.GOMAXPROCS(0)
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "pmobench: experiment=%s whisper_ops=%d micro_ops=%d seed=%d workers=%d pmo_counts=%v\n",
-			*exp, opt.WhisperOps, opt.MicroOps, opt.Seed, workersResolved, opt.PMOCounts)
+		fmt.Fprintf(os.Stderr, "pmobench: experiment=%s whisper_ops=%d micro_ops=%d seed=%d workers=%d snapshot=%v pmo_counts=%v\n",
+			*exp, opt.WhisperOps, opt.MicroOps, opt.Seed, workersResolved, *snapshot, opt.PMOCounts)
 	}
 
 	failed := false

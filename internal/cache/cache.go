@@ -189,3 +189,48 @@ func (c *Cache) Fill(block uint64, s State) (victim uint64, dirty, evicted bool)
 
 // Stats returns (hits, misses).
 func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// CacheState is a deep copy of one Cache's mutable state. It is immutable
+// once taken: Restore copies out of it, so one state can seed many caches.
+type CacheState struct {
+	lines  []line
+	lru    []uint32
+	clock  uint32
+	hits   uint64
+	misses uint64
+}
+
+// Snapshot captures the cache's lines, recency state, and statistics.
+func (c *Cache) Snapshot() *CacheState {
+	s := &CacheState{}
+	c.SnapshotInto(s)
+	return s
+}
+
+// SnapshotInto overwrites s with a fresh snapshot, reusing s's storage
+// when the geometry matches — the pooled-buffer path for snapshot-heavy
+// sweeps. The caller must no longer be restoring from the old contents.
+func (c *Cache) SnapshotInto(s *CacheState) {
+	if len(s.lines) != len(c.lines) {
+		s.lines = make([]line, len(c.lines))
+		s.lru = make([]uint32, len(c.lru))
+	}
+	copy(s.lines, c.lines)
+	copy(s.lru, c.lru)
+	s.clock = c.clock
+	s.hits = c.hits
+	s.misses = c.misses
+}
+
+// Restore reinstates a snapshot taken from a cache of identical geometry,
+// reusing the receiver's storage. It panics on a geometry mismatch.
+func (c *Cache) Restore(s *CacheState) {
+	if len(s.lines) != len(c.lines) {
+		panic("cache: Restore geometry mismatch")
+	}
+	copy(c.lines, s.lines)
+	copy(c.lru, s.lru)
+	c.clock = s.clock
+	c.hits = s.hits
+	c.misses = s.misses
+}

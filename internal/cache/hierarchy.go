@@ -213,6 +213,73 @@ func (h *Hierarchy) dropSharer(core int, block uint64) {
 	}
 }
 
+// HierarchyState is a deep copy of the hierarchy's mutable state: every
+// cache level, the coherence directory, the per-core position memos, and
+// the coherence statistics. It is immutable once taken.
+type HierarchyState struct {
+	l1           []*CacheState
+	l2           *CacheState
+	dir          map[uint64]dirEntry
+	lastPos      []int
+	remoteInvals uint64
+	dirtyFwds    uint64
+}
+
+// Snapshot captures the full hierarchy state.
+func (h *Hierarchy) Snapshot() *HierarchyState {
+	s := &HierarchyState{}
+	h.SnapshotInto(s)
+	return s
+}
+
+// SnapshotInto overwrites s with a fresh snapshot, reusing s's storage
+// when the geometry matches (the pooled-buffer path).
+func (h *Hierarchy) SnapshotInto(s *HierarchyState) {
+	if len(s.l1) != len(h.l1) {
+		s.l1 = make([]*CacheState, len(h.l1))
+		for i := range s.l1 {
+			s.l1[i] = &CacheState{}
+		}
+		s.l2 = &CacheState{}
+		s.lastPos = make([]int, len(h.lastPos))
+	}
+	for i, c := range h.l1 {
+		c.SnapshotInto(s.l1[i])
+	}
+	h.l2.SnapshotInto(s.l2)
+	if s.dir == nil {
+		s.dir = make(map[uint64]dirEntry, len(h.dir))
+	} else {
+		clear(s.dir)
+	}
+	for block, de := range h.dir {
+		s.dir[block] = *de
+	}
+	copy(s.lastPos, h.lastPos)
+	s.remoteInvals = h.remoteInvals
+	s.dirtyFwds = h.dirtyFwds
+}
+
+// Restore reinstates a snapshot taken from a hierarchy of identical
+// geometry (same core count and cache configurations).
+func (h *Hierarchy) Restore(s *HierarchyState) {
+	if len(s.l1) != len(h.l1) {
+		panic("cache: Restore core-count mismatch")
+	}
+	for i, c := range h.l1 {
+		c.Restore(s.l1[i])
+	}
+	h.l2.Restore(s.l2)
+	clear(h.dir)
+	for block, de := range s.dir {
+		e := de
+		h.dir[block] = &e
+	}
+	copy(h.lastPos, s.lastPos)
+	h.remoteInvals = s.remoteInvals
+	h.dirtyFwds = s.dirtyFwds
+}
+
 // Stats returns per-level hit statistics: L1 hits/misses summed across
 // cores, L2 hits/misses, remote invalidations, dirty forwards.
 func (h *Hierarchy) Stats() (l1h, l1m, l2h, l2m, invals, fwds uint64) {

@@ -54,6 +54,28 @@ func NewPLRU(slots int) *PLRU {
 	return p
 }
 
+// PLRUState is the mutable recency state of a PLRU, captured by Save and
+// reinstated by Load. The precomputed touch masks are per-geometry
+// constants and not part of it.
+type PLRUState struct {
+	Bits uint64
+	Big  []bool
+}
+
+// Save captures the recency state.
+func (p *PLRU) Save() PLRUState {
+	return PLRUState{Bits: p.bits, Big: append([]bool(nil), p.big...)}
+}
+
+// Load reinstates a state saved from a PLRU of the same slot count.
+func (p *PLRU) Load(s PLRUState) {
+	if len(s.Big) != len(p.big) {
+		panic("core: PLRU Load slot-count mismatch")
+	}
+	p.bits = s.Bits
+	copy(p.big, s.Big)
+}
+
 // Touch marks slot as most recently used: every node on the root→leaf
 // path is pointed away from it. At depth d the subtree under the current
 // node spans 2*half slots (half starts at slots/2 and halves per level),

@@ -121,6 +121,41 @@ func (m *Memory) Stats() (dr, dw, nr, nw uint64) {
 	return m.dramReads, m.dramWr, m.nvmReads, m.nvmWr
 }
 
+// State is the memory model's mutable state: allocation cursors and
+// access counts. Config is not part of it — a snapshot taken under one
+// latency configuration can seed a Memory running another, since
+// allocation layout depends only on NVMBase (a structural parameter).
+type State struct {
+	NextDRAM  memlayout.PA
+	NextNVM   memlayout.PA
+	DRAMReads uint64
+	NVMReads  uint64
+	DRAMWr    uint64
+	NVMWr     uint64
+}
+
+// Snapshot captures the allocator cursors and access counts.
+func (m *Memory) Snapshot() State {
+	return State{
+		NextDRAM:  m.nextDRAM,
+		NextNVM:   m.nextNVM,
+		DRAMReads: m.dramReads,
+		NVMReads:  m.nvmReads,
+		DRAMWr:    m.dramWr,
+		NVMWr:     m.nvmWr,
+	}
+}
+
+// Restore reinstates a snapshot.
+func (m *Memory) Restore(s State) {
+	m.nextDRAM = s.NextDRAM
+	m.nextNVM = s.NextNVM
+	m.dramReads = s.DRAMReads
+	m.nvmReads = s.NVMReads
+	m.dramWr = s.DRAMWr
+	m.nvmWr = s.NVMWr
+}
+
 // String implements fmt.Stringer.
 func (m *Memory) String() string {
 	return fmt.Sprintf("mem{dram r/w=%d/%d nvm r/w=%d/%d}", m.dramReads, m.dramWr, m.nvmReads, m.nvmWr)

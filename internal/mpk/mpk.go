@@ -146,6 +146,13 @@ func (a *KeyAllocator) InUse(key uint8) bool {
 	return key < NumKeys && a.used&(1<<key) != 0
 }
 
+// State returns the allocation bitmap (bit k set = key k allocated),
+// for snapshotting.
+func (a *KeyAllocator) State() uint16 { return a.used }
+
+// SetState replaces the allocation bitmap, restoring a snapshot.
+func (a *KeyAllocator) SetState(used uint16) { a.used = used }
+
 // FreeCount returns the number of allocatable keys remaining.
 func (a *KeyAllocator) FreeCount() int {
 	n := 0

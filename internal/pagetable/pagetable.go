@@ -38,6 +38,22 @@ func New() *Table {
 // Populated returns the total number of present PTEs in the table.
 func (t *Table) Populated() uint64 { return t.populated }
 
+// Clone returns a deep copy of the table: the two share no nodes, so
+// mutations of one are invisible to the other.
+func (t *Table) Clone() *Table {
+	return &Table{root: cloneNode(t.root), populated: t.populated}
+}
+
+func cloneNode(n *node) *node {
+	c := &node{ptes: n.ptes, leaf: n.leaf}
+	for i, child := range n.children {
+		if child != nil {
+			c.children[i] = cloneNode(child)
+		}
+	}
+	return c
+}
+
 // leafFor returns the leaf node covering va, creating intermediate nodes
 // when create is true; otherwise it returns nil if the path is absent.
 func (t *Table) leafFor(va memlayout.VA, create bool) *node {

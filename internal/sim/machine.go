@@ -810,8 +810,15 @@ func (m *Machine) recordFault(f FaultRecord) {
 	}
 }
 
-// Faults returns the recorded fault diagnostics.
-func (m *Machine) Faults() []FaultRecord { return m.faults }
+// Faults returns a copy of the recorded fault diagnostics. Returning a
+// copy keeps callers from corrupting later fault attribution by mutating
+// (or appending into) the machine's live record window.
+func (m *Machine) Faults() []FaultRecord {
+	if len(m.faults) == 0 {
+		return nil
+	}
+	return append([]FaultRecord(nil), m.faults...)
+}
 
 // FaultsDropped returns how many fault records were dropped after the
 // retained window reached Config.MaxFaultRecords.

@@ -1,0 +1,194 @@
+package sim_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/obs"
+	"domainvirt/internal/sim"
+	"domainvirt/internal/trace"
+)
+
+// buildReplayTrace records a synthetic multi-thread workload trace with
+// attaches, permission churn, fences, and a denied access (so fault
+// records cross partition boundaries too).
+func buildReplayTrace(tb testing.TB, rounds int) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	const nd = 10
+	for d := core.DomainID(1); d <= nd; d++ {
+		if err := w.Attach(d, benchRegion(d), core.PermRW); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for th := core.ThreadID(1); th <= 3; th++ {
+		for d := core.DomainID(1); d <= nd; d++ {
+			w.SetPerm(th, d, core.PermRW, 0)
+		}
+	}
+	for i := 0; i < rounds; i++ {
+		th := core.ThreadID(1 + i%3)
+		d := core.DomainID(1 + i%nd)
+		r := benchRegion(d)
+		w.Instr(th, uint64(4+i%7))
+		va := r.Base + memlayout.VA((i%16)*memlayout.PageSize) + memlayout.VA((i%31)*64)
+		w.Access(th, va, 8, i%3 == 0)
+		w.Access(th, va+8, 8, false)
+		if i%19 == 0 {
+			p := core.PermR
+			if i%38 == 0 {
+				p = core.PermRW
+			}
+			w.SetPerm(th, d, p, core.SiteID(i%4))
+		}
+		if i%29 == 0 {
+			w.Fence(th)
+		}
+		if i%97 == 0 {
+			w.Fetch(th, r.Base+memlayout.VA(i*4))
+		}
+		if i == rounds/2 {
+			// One denied access mid-trace: revoke, touch, re-grant.
+			w.SetPerm(1, 2, core.PermNone, 0)
+			w.Access(1, benchRegion(2).Base, 8, true)
+			w.SetPerm(1, 2, core.PermRW, 0)
+		}
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelReplayConformance is the tentpole A/B gate at the sim
+// level: for every scheme, the partitioned parallel replay must
+// reproduce the sequential planning pass bit-for-bit — Result, fault
+// records, and (observed) the merged recorder's samples and histograms.
+func TestParallelReplayConformance(t *testing.T) {
+	data := buildReplayTrace(t, 1500)
+	for _, s := range sim.AllSchemes {
+		t.Run(string(s), func(t *testing.T) {
+			cfg := sim.DefaultConfig()
+			cfg.Cores = 2
+			const epoch = 2500
+			plan, err := sim.NewReplayPlan(data, cfg, s, sim.ReplayPlanOptions{MaxPartitions: 8, Epoch: epoch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Partitions() < 2 {
+				t.Fatalf("expected a multi-way plan, got %d partitions", plan.Partitions())
+			}
+			want := plan.Result()
+
+			// Unobserved parallel replay (Replay self-checks every
+			// partition against its sequential checkpoint).
+			got, faults, err := plan.Replay(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("parallel result differs:\n got: %+v\nwant: %+v", got, want)
+			}
+			if !reflect.DeepEqual(faults, plan.Faults()) {
+				t.Errorf("parallel faults differ: got %v want %v", faults, plan.Faults())
+			}
+
+			// Observed parallel replay: merged recorder must match the
+			// sequential recorder sample-for-sample and byte-for-byte.
+			gotObs, rec, err := plan.ReplayObserved(4, obs.Options{Epoch: epoch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotObs != want {
+				t.Errorf("observed parallel result differs:\n got: %+v\nwant: %+v", gotObs, want)
+			}
+			seq := plan.Recorder()
+			if !reflect.DeepEqual(rec.Samples(), seq.Samples()) {
+				t.Errorf("merged samples differ: %d vs %d", len(rec.Samples()), len(seq.Samples()))
+			}
+			if !reflect.DeepEqual(rec.AccessHist(), seq.AccessHist()) {
+				t.Error("merged access histogram differs from sequential")
+			}
+			if !reflect.DeepEqual(rec.SetPermHist(), seq.SetPermHist()) {
+				t.Error("merged SETPERM histogram differs from sequential")
+			}
+			var a, b bytes.Buffer
+			if err := rec.WriteJSONL(&a); err != nil {
+				t.Fatal(err)
+			}
+			if err := seq.WriteJSONL(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Error("merged JSONL export is not byte-identical to sequential")
+			}
+		})
+	}
+}
+
+// TestParallelReplayWorkerCounts: the worker count must never change
+// the outcome, only the wall clock.
+func TestParallelReplayWorkerCounts(t *testing.T) {
+	data := buildReplayTrace(t, 800)
+	cfg := sim.DefaultConfig()
+	plan, err := sim.NewReplayPlan(data, cfg, sim.SchemeDomainVirt, sim.ReplayPlanOptions{MaxPartitions: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.Result()
+	for _, workers := range []int{1, 2, 3, 8} {
+		got, _, err := plan.Replay(workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got != want {
+			t.Errorf("workers=%d result differs", workers)
+		}
+	}
+}
+
+// TestReplayObservedEpochMismatch: the sample boundaries are baked into
+// the plan's snapshots, so a different epoch must be rejected.
+func TestReplayObservedEpochMismatch(t *testing.T) {
+	data := buildReplayTrace(t, 200)
+	plan, err := sim.NewReplayPlan(data, sim.DefaultConfig(), sim.SchemeBaseline,
+		sim.ReplayPlanOptions{MaxPartitions: 4, Epoch: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := plan.ReplayObserved(2, obs.Options{Epoch: 500}); err == nil {
+		t.Error("epoch mismatch accepted")
+	}
+}
+
+// BenchmarkParallelReplay measures the partition-parallel phase against
+// the plan's stored sequential reference: each iteration replays the
+// whole trace across partitions on the worker pool, including the
+// bit-identity checks against the sequential checkpoints.
+func BenchmarkParallelReplay(b *testing.B) {
+	data := buildReplayTrace(b, 4000)
+	cfg := sim.DefaultConfig()
+	plan, err := sim.NewReplayPlan(data, cfg, sim.SchemeDomainVirt, sim.ReplayPlanOptions{MaxPartitions: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := plan.Result()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, _, err := plan.Replay(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got != want {
+			b.Fatal("parallel replay diverged")
+		}
+	}
+}

@@ -210,6 +210,55 @@ func (t *TLB) Stats() (hits, misses, evictions uint64) {
 	return t.hits, t.misses, t.evictions
 }
 
+// State is a deep copy of a TLB's mutable state, taken by Snapshot and
+// reinstated by Restore. It is immutable once taken: Restore copies out
+// of it, so one State can seed many TLBs (and be restored concurrently).
+type State struct {
+	entries   []Entry
+	lru       []uint32
+	clock     uint32
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// Snapshot captures the TLB's entries, recency state, and statistics.
+func (t *TLB) Snapshot() State {
+	var s State
+	t.SnapshotInto(&s)
+	return s
+}
+
+// SnapshotInto overwrites s with a fresh snapshot, reusing s's storage
+// when the geometry matches — the pooled-buffer path for snapshot-heavy
+// sweeps. The caller must no longer be restoring from the old contents.
+func (t *TLB) SnapshotInto(s *State) {
+	if len(s.entries) != len(t.entries) {
+		s.entries = make([]Entry, len(t.entries))
+		s.lru = make([]uint32, len(t.lru))
+	}
+	copy(s.entries, t.entries)
+	copy(s.lru, t.lru)
+	s.clock = t.clock
+	s.hits = t.hits
+	s.misses = t.misses
+	s.evictions = t.evictions
+}
+
+// Restore reinstates a snapshot taken from a TLB of identical geometry,
+// reusing the receiver's storage. It panics on a geometry mismatch.
+func (t *TLB) Restore(s State) {
+	if len(s.entries) != len(t.entries) {
+		panic("tlb: Restore geometry mismatch")
+	}
+	copy(t.entries, s.entries)
+	copy(t.lru, s.lru)
+	t.clock = s.clock
+	t.hits = s.hits
+	t.misses = s.misses
+	t.evictions = s.evictions
+}
+
 // Debt tracks pages flushed by TLB invalidations so that the later refill
 // miss can be attributed to the invalidation ("subsequent TLB misses
 // resulting from TLB invalidations is also taken into account").
@@ -243,3 +292,21 @@ func (d *Debt) Len() int { return len(d.pages) }
 // Reset empties the debt set in place, reusing the map's storage so a
 // reset-heavy caller (one per machine stats reset) never reallocates.
 func (d *Debt) Reset() { clear(d.pages) }
+
+// Snapshot returns a copy of the owed-page set.
+func (d *Debt) Snapshot() map[uint64]struct{} {
+	pages := make(map[uint64]struct{}, len(d.pages))
+	for vpn := range d.pages {
+		pages[vpn] = struct{}{}
+	}
+	return pages
+}
+
+// Restore replaces the owed-page set with a copy of pages, reusing the
+// receiver's map storage.
+func (d *Debt) Restore(pages map[uint64]struct{}) {
+	clear(d.pages)
+	for vpn := range pages {
+		d.pages[vpn] = struct{}{}
+	}
+}

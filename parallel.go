@@ -64,16 +64,26 @@ func runGrid(opt ExpOptions, cells []expCell) (gridResults, error) {
 	errs := make([]error, len(uniq))
 	runCell := func(i int) {
 		c := uniq[i]
+		var hit bool
 		if observed {
-			results[i], recs[i], errs[i] = RunObserved(c.name, c.p, c.scheme, opt.Cfg, ObsOptions{Epoch: opt.Obs.Epoch})
+			results[i], recs[i], hit, errs[i] = RunObservedCached(c.name, c.p, c.scheme, opt.Cfg,
+				ObsOptions{Epoch: opt.Obs.Epoch}, opt.Snapshots)
 		} else {
-			results[i], errs[i] = Run(c.name, c.p, c.scheme, opt.Cfg)
+			results[i], hit, errs[i] = RunCached(c.name, c.p, c.scheme, opt.Cfg, opt.Snapshots)
 		}
 		if errs[i] != nil {
 			prog.Logf("FAIL %s: %v", c.label(), errs[i])
 			return
 		}
-		prog.Done(c.label())
+		label := c.label()
+		if opt.Snapshots != nil {
+			if hit {
+				label += " (snapshot)"
+			} else {
+				label += " (warmup)"
+			}
+		}
+		prog.Done(label)
 	}
 	if workers <= 1 {
 		for i := range uniq {

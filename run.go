@@ -90,5 +90,22 @@ func RunSchemes(name string, p Params, cfg Config, schemes ...Scheme) (map[Schem
 	return out, nil
 }
 
+// RunSchemesOpt is RunSchemes on the experiment machinery: the per-scheme
+// cells run on opt's bounded worker pool (opt.Workers) with warmup
+// snapshot reuse through opt.Snapshots, using opt.Cfg as the machine
+// configuration. Results are identical to RunSchemes — only wall-clock
+// time changes.
+func RunSchemesOpt(name string, p Params, opt ExpOptions, schemes ...Scheme) (map[Scheme]Result, error) {
+	cells := make([]expCell, 0, len(schemes))
+	for _, s := range schemes {
+		cells = append(cells, expCell{name, p, s})
+	}
+	grid, err := runGrid(opt, cells)
+	if err != nil {
+		return nil, err
+	}
+	return grid.at(name, p), nil
+}
+
 // OverheadPct returns the percent execution-time overhead of r over base.
 func OverheadPct(r, base Result) float64 { return r.OverheadPct(base) }

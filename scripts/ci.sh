@@ -16,7 +16,9 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go vet ./internal/obs/
 go build ./...
-go test -race ./...
+# -timeout raised above the Go default: the full race-enabled suite is
+# ~10 minutes of real simulation on a single-CPU container.
+go test -race -timeout 30m ./...
 
 # Observability determinism contract, run explicitly so a regression
 # names the broken contract rather than hiding in the package list.
@@ -126,6 +128,23 @@ kill -TERM "${node_pids[0]}" "${node_pids[2]}"
 for pid in "${node_pids[@]}"; do
     wait "$pid"
 done
+
+# Deterministic parallel replay gate: the same Table 5 grid run twice —
+# once sequentially with snapshot reuse off, once on 8 workers with
+# warmup snapshot sharing — must export byte-identical CSV tables,
+# per-cell manifests, epoch series, and per-scheme histograms. Any
+# scheduling, merge-order, or snapshot-fidelity bug shows up as a diff.
+go build -o "$obsdir/pmobench" ./cmd/pmobench
+"$obsdir/pmobench" -experiment table5 -ops 2000 -quiet \
+    -workers 1 -snapshot=false \
+    -csv "$obsdir/gridseq" -obs-out "$obsdir/gridseq-obs" -obs-epoch 20000 >/dev/null
+"$obsdir/pmobench" -experiment table5 -ops 2000 -quiet \
+    -workers 8 -snapshot \
+    -csv "$obsdir/gridpar" -obs-out "$obsdir/gridpar-obs" -obs-epoch 20000 >/dev/null
+diff -r "$obsdir/gridseq" "$obsdir/gridpar" \
+    || { echo "parallel+snapshot grid CSV diverged from sequential" >&2; exit 1; }
+diff -r "$obsdir/gridseq-obs" "$obsdir/gridpar-obs" \
+    || { echo "parallel+snapshot grid obs exports diverged from sequential" >&2; exit 1; }
 
 # The STATS snapshot of a traced daemon must be valid exposition format
 # (validated above under load by TestMetricsExpositionValidUnderLoad;

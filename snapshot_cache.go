@@ -1,0 +1,229 @@
+package domainvirt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"domainvirt/internal/core"
+	"domainvirt/internal/memlayout"
+	"domainvirt/internal/obs"
+	"domainvirt/internal/sim"
+	"domainvirt/internal/tlb"
+	"domainvirt/internal/trace"
+	"domainvirt/internal/workload"
+)
+
+// structuralConfig is the subset of Config that shapes the machine's
+// state trajectory — geometry, not latency. Two configurations with the
+// same structuralConfig drive every TLB, cache, page-table, and engine
+// structure through identical states for the same event stream; the
+// remaining fields (latencies, Costs, CPI, ClockHz) are pure accounting
+// and are zeroed by the post-setup ResetStats. That makes one warmup
+// snapshot valid across a whole cost-parameter sweep.
+type structuralConfig struct {
+	cores        int
+	l1tlb, l2tlb tlb.Config
+	l1dSize      int
+	l1dWays      int
+	l2Size       int
+	l2Ways       int
+	nvmBase      memlayout.PA
+	dttlbEntries int
+	ptlbEntries  int
+}
+
+func structuralOf(cfg Config) structuralConfig {
+	return structuralConfig{
+		cores:        cfg.Cores,
+		l1tlb:        cfg.L1TLB,
+		l2tlb:        cfg.L2TLB,
+		l1dSize:      cfg.L1D.SizeBytes,
+		l1dWays:      cfg.L1D.Ways,
+		l2Size:       cfg.L2.SizeBytes,
+		l2Ways:       cfg.L2.Ways,
+		nvmBase:      cfg.Mem.NVMBase,
+		dttlbEntries: cfg.DTTLBEntries,
+		ptlbEntries:  cfg.PTLBEntries,
+	}
+}
+
+// snapKey identifies one cacheable warmup: the workload and its resolved
+// parameters fix the setup event stream, the scheme fixes the engine,
+// and the structural configuration fixes how that stream shapes machine
+// state.
+type snapKey struct {
+	name   string
+	p      Params
+	scheme Scheme
+	sc     structuralConfig
+}
+
+type snapEntry struct {
+	once sync.Once
+	snap *sim.Snapshot
+	ok   bool
+}
+
+// SnapshotCache shares warmup state across experiment cells: the first
+// cell with a given (workload, params, scheme, structural-config) key
+// simulates the setup phase once and checkpoints the machine after
+// ResetStats; every later cell forks from that checkpoint instead of
+// re-simulating the warmup. Results are bit-identical to the uncached
+// path. The cache is safe for concurrent use by a grid's worker pool and
+// is meant to live across grids (Table VI and Table VII share warmups,
+// as do the rows of a cost-parameter ablation).
+type SnapshotCache struct {
+	mu      sync.Mutex
+	entries map[snapKey]*snapEntry
+}
+
+// NewSnapshotCache returns an empty warmup snapshot cache.
+func NewSnapshotCache() *SnapshotCache {
+	return &SnapshotCache{entries: make(map[snapKey]*snapEntry)}
+}
+
+func (c *SnapshotCache) entry(k snapKey) *snapEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		e = &snapEntry{}
+		c.entries[k] = e
+	}
+	return e
+}
+
+// Len returns the number of cached warmup checkpoints.
+func (c *SnapshotCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// sinkSwitch delegates the trace.Sink interface to a swappable inner
+// sink. A forked cell rebuilds its Go-side workload state (pools, data
+// structures, attachments) by running Setup against Discard — no
+// simulation — then swaps the restored machine in for the measured Run.
+type sinkSwitch struct{ inner trace.Sink }
+
+func (s *sinkSwitch) Instr(th ThreadID, n uint64) { s.inner.Instr(th, n) }
+func (s *sinkSwitch) Access(th ThreadID, va VA, size uint32, write bool) bool {
+	return s.inner.Access(th, va, size, write)
+}
+func (s *sinkSwitch) Fetch(th ThreadID, va VA) bool { return s.inner.Fetch(th, va) }
+func (s *sinkSwitch) SetPerm(th ThreadID, d DomainID, p Perm, site core.SiteID) {
+	s.inner.SetPerm(th, d, p, site)
+}
+func (s *sinkSwitch) Attach(d DomainID, r memlayout.Region, perm Perm) error {
+	return s.inner.Attach(d, r, perm)
+}
+func (s *sinkSwitch) Detach(d DomainID) { s.inner.Detach(d) }
+func (s *sinkSwitch) Fence(th ThreadID) { s.inner.Fence(th) }
+
+// runCachedMachine is runMachine with warmup snapshot reuse. The second
+// return value reports whether the cell was served from a cached
+// checkpoint (false for the cell that built it, and for fallbacks).
+//
+// Safety: the fork path replays Setup against a Discard sink, which
+// permits everything. That is behaviorally identical to the real setup
+// only if the real setup never had an access denied (a denied pool read
+// returns zeros and could steer subsequent setup work), so the builder
+// demands zero domain and page faults during the simulated setup before
+// caching; a faulting setup falls back to the uncached path per cell.
+func runCachedMachine(name string, p Params, scheme Scheme, cfg Config, rec *obs.Recorder, cache *SnapshotCache) (Result, bool, error) {
+	if cache == nil {
+		res, err := runMachine(name, p, scheme, cfg, rec)
+		return res, false, err
+	}
+	w, err := workload.New(name)
+	if err != nil {
+		return Result{}, false, err
+	}
+	key := snapKey{name: name, p: p.Defaults(), scheme: scheme, sc: structuralOf(cfg)}
+	e := cache.entry(key)
+	built := false
+	e.once.Do(func() {
+		built = true
+		bw, err := workload.New(name)
+		if err != nil {
+			return
+		}
+		m := sim.NewMachine(cfg, scheme)
+		env := workload.NewEnv(m, p)
+		if err := bw.Setup(env); err != nil {
+			return
+		}
+		if r := m.Result(); r.Counters.DomainFaults > 0 || r.Counters.PageFaults > 0 {
+			return // setup depends on verdicts; not safely forkable
+		}
+		m.ResetStats()
+		e.snap = m.Snapshot()
+		e.ok = true
+	})
+	if !e.ok {
+		res, err := runMachine(name, p, scheme, cfg, rec)
+		return res, false, err
+	}
+
+	// Fork: rebuild Go-side workload state without simulation, then run
+	// the measured phase on a machine restored from the checkpoint.
+	sw := &sinkSwitch{inner: trace.Discard{}}
+	env := workload.NewEnv(sw, p)
+	if err := w.Setup(env); err != nil {
+		return Result{}, false, fmt.Errorf("domainvirt: %s setup under %s: %w", name, scheme, err)
+	}
+	m := sim.NewMachine(cfg, scheme)
+	m.Restore(e.snap)
+	sw.inner = m
+
+	var start time.Time
+	if rec != nil {
+		rp := env.P
+		rec.SetManifest(obs.Manifest{
+			Scheme:      string(scheme),
+			Workload:    name,
+			Seed:        rp.Seed,
+			Ops:         rp.Ops,
+			Threads:     rp.Threads,
+			Cores:       m.NumCores(),
+			PMOs:        rp.NumPMOs,
+			Epoch:       rec.EpochLen(),
+			ConfigHash:  obs.ConfigHash(cfg),
+			ToolVersion: obs.ToolVersion,
+		})
+		m.SetRecorder(rec)
+		start = time.Now()
+	}
+	runErr := w.Run(env)
+	if rec != nil {
+		rec.StampWall(time.Since(start))
+		m.FlushObs()
+	}
+	if runErr != nil {
+		return Result{}, false, fmt.Errorf("domainvirt: %s run under %s: %w", name, scheme, runErr)
+	}
+	res := m.Result()
+	if res.Counters.DomainFaults > 0 || res.Counters.PageFaults > 0 {
+		return res, false, fmt.Errorf("domainvirt: %s under %s raised %d domain / %d page faults (first: %v)",
+			name, scheme, res.Counters.DomainFaults, res.Counters.PageFaults, m.Faults())
+	}
+	return res, !built, nil
+}
+
+// RunCached is Run with warmup snapshot reuse through cache (nil cache
+// falls back to Run). The bool reports a snapshot hit: the warmup phase
+// was served from a checkpoint built by an earlier cell with the same
+// workload, parameters, scheme, and structural configuration.
+func RunCached(name string, p Params, scheme Scheme, cfg Config, cache *SnapshotCache) (Result, bool, error) {
+	return runCachedMachine(name, p, scheme, cfg, nil, cache)
+}
+
+// RunObservedCached is RunObserved with warmup snapshot reuse. The
+// recorder observes the measured phase only, exactly as in RunObserved;
+// exports are byte-identical to the uncached path.
+func RunObservedCached(name string, p Params, scheme Scheme, cfg Config, o ObsOptions, cache *SnapshotCache) (Result, *Recorder, bool, error) {
+	rec := obs.NewRecorder(o)
+	res, hit, err := runCachedMachine(name, p, scheme, cfg, rec, cache)
+	return res, rec, hit, err
+}
