@@ -8,12 +8,21 @@
 //	pmobench -experiment fig6 -csv out/
 //	pmobench -experiment table7 -paper        # full paper scale (slow)
 //	pmobench -experiment table5 -obs-out obs/ -obs-epoch 50000
+//	pmobench -experiment table6 -snapshot-dir /var/cache/pmo
+//	pmobench -experiment fig6 -sweep-addrs 10.0.0.2:7070,10.0.0.3:7070
 //
 // Progress lines ("[done/total] cell") go to stderr while results go to
 // stdout, so redirecting stdout still shows the grid advancing. -obs-out
 // exports per-cell run manifests, per-cell epoch series (with
 // -obs-epoch), and per-scheme merged latency histograms into one
 // subdirectory per experiment.
+//
+// -snapshot-dir keeps warmup machine checkpoints in a persistent
+// content-addressed store, so a second invocation against the same
+// directory re-simulates zero warmups; a final stderr line reports the
+// cache's warmup/hit counters. -sweep-addrs fans grid cells out to
+// pmoworker daemons; outputs are byte-identical to a local run, and
+// cells lost to a dead worker re-run locally.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"domainvirt"
@@ -38,14 +48,18 @@ func main() {
 // stop) happens before the process exits; os.Exit in main would skip it.
 func run() int {
 	var (
-		exp     = flag.String("experiment", "all", "table5|table6|table7|table8|fig6|fig7|ablations|all")
-		paper   = flag.Bool("paper", false, "run at the paper's full scale (100k/1M ops, stride-16 sweep)")
-		ops     = flag.Int("ops", 0, "override measured operations per run")
-		seed    = flag.Int64("seed", 42, "workload RNG seed")
+		exp      = flag.String("experiment", "all", "table5|table6|table7|table8|fig6|fig7|ablations|horizons|all")
+		paper    = flag.Bool("paper", false, "run at the paper's full scale (100k/1M ops, stride-16 sweep)")
+		ops      = flag.Int("ops", 0, "override measured operations per run")
+		seed     = flag.Int64("seed", 42, "workload RNG seed")
 		workers  = flag.Int("workers", 0, "concurrent experiment cells (0 = GOMAXPROCS)")
 		snapshot = flag.Bool("snapshot", true, "share warmup machine checkpoints across cells and experiments")
+		snapDir  = flag.String("snapshot-dir", "", "persist warmup/mid-run checkpoints in this directory (implies -snapshot)")
 		quiet    = flag.Bool("quiet", false, "suppress the banner and per-cell progress lines on stderr")
 		csvDir   = flag.String("csv", "", "also write CSV files into this directory")
+
+		sweepAddrs = flag.String("sweep-addrs", "", "comma-separated pmoworker addresses for distributed grids")
+		sweepConns = flag.Int("sweep-conns", 0, "protocol connections (concurrent cells) per worker address (0 = 1)")
 
 		obsOut   = flag.String("obs-out", "", "directory for per-experiment observability exports")
 		obsEpoch = flag.Uint64("obs-epoch", 0, "sampling epoch in retired instructions (0 disables per-cell time series)")
@@ -82,13 +96,29 @@ func run() int {
 	}
 	opt.Seed = *seed
 	opt.Workers = *workers
-	if *snapshot {
+	if *snapDir != "" {
+		// Persistent store: warmups (and horizon checkpoints) survive this
+		// process, so a later pmobench against the same directory starts
+		// from zero warmup re-simulations.
+		opt.Snapshots, err = domainvirt.NewSnapshotCacheDir(*snapDir)
+		if err != nil {
+			return fail(err)
+		}
+	} else if *snapshot {
 		// One cache across every experiment in this invocation: Table VI,
 		// Table VII, and the 1024-PMO Fig. 6 column share warmups, and a
 		// cost ablation re-simulates no warmup at all. Results are
 		// bit-identical with or without it. Progress lines tag each cell
 		// "(snapshot)" or "(warmup)" to show which path served it.
 		opt.Snapshots = domainvirt.NewSnapshotCache()
+	}
+	if *sweepAddrs != "" {
+		for _, a := range strings.Split(*sweepAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				opt.SweepAddrs = append(opt.SweepAddrs, a)
+			}
+		}
+		opt.SweepConns = *sweepConns
 	}
 	if !*quiet {
 		opt.Progress = os.Stderr
@@ -210,6 +240,18 @@ func run() int {
 		return emit(domainvirt.Table8Report(opt.Cfg), *csvDir, "table8")
 	})
 
+	run("horizons", func() error {
+		// Overheads at every ops horizon, forked from one mid-run pass per
+		// scheme: the ladder shows how quickly the overhead estimate
+		// converges as the measured window grows.
+		p := domainvirt.Params{NumPMOs: 1024, Ops: opt.MicroOps, InitialElems: opt.MicroInit, Seed: opt.Seed}
+		rows, err := domainvirt.HorizonSweep(opt, "avl", p, domainvirt.HorizonHorizonsFor(opt.MicroOps))
+		if err != nil {
+			return err
+		}
+		return emit(domainvirt.HorizonReport("avl", rows), *csvDir, "horizons-avl")
+	})
+
 	run("ablations", func() error {
 		placement, err := domainvirt.AblationPlacement(opt)
 		if err != nil {
@@ -247,6 +289,13 @@ func run() int {
 			*csvDir, "ablation-costs")
 	})
 
+	if opt.Snapshots != nil {
+		// Machine-readable summary for scripted runs: a primed persistent
+		// store shows warmups=0 on a second invocation.
+		st := opt.Snapshots.Stats()
+		fmt.Fprintf(os.Stderr, "pmobench: snapshot cache: warmups=%d mem_hits=%d disk_hits=%d disk_rejects=%d\n",
+			st.Warmups, st.MemHits, st.DiskHits, st.DiskRejects)
+	}
 	if failed {
 		return 1
 	}

@@ -51,6 +51,17 @@ type ExpOptions struct {
 	// wall-clock time changes. See NewSnapshotCache.
 	Snapshots *SnapshotCache
 
+	// SweepAddrs lists pmoworker daemon addresses. When non-empty,
+	// grid cells are fanned out to these workers instead of local
+	// goroutines; cells lost to a dead worker re-run locally, so every
+	// table, CSV, and observability export stays byte-identical to a
+	// sequential run no matter how many workers survive. See
+	// cmd/pmoworker and internal/sweep.
+	SweepAddrs []string
+	// SweepConns is the number of protocol connections (concurrent
+	// cells) per worker address; <= 0 means 1.
+	SweepConns int
+
 	// Obs configures grid observability. Results are unaffected.
 	Obs ExpObs
 }

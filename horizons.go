@@ -1,0 +1,267 @@
+package domainvirt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"domainvirt/internal/obs"
+	"domainvirt/internal/report"
+	"domainvirt/internal/sim"
+	"domainvirt/internal/trace"
+	"domainvirt/internal/workload"
+)
+
+// Mid-run checkpoint forking: sweep rows that differ only in the ops
+// horizon share one warmup AND one measured pass. Every workload's Run
+// loop reports each finished operation through Env.OpDone, so the
+// machine can be checkpointed at interior operation boundaries; the
+// Result captured at the end of op h is bit-identical to a full
+// independent run with Ops=h, because op streams are prefix-stable (op
+// i consumes the same RNG draws and emits the same events regardless of
+// how many ops follow it).
+
+// HorizonKeyFor is the content address of a mid-run checkpoint: the
+// machine state at the end of operation `ops` of the measured phase.
+// Unlike the warmup key, it hashes the FULL configuration — measured
+// cycles embed every cost parameter, so a mid-run checkpoint is only
+// valid for the exact config that produced it — plus the codec version.
+func HorizonKeyFor(name string, p Params, scheme Scheme, cfg Config, ops int) string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("horizon|%s|%+v|%s|cfg%s|ops%d|codec%d",
+		name, warmupParams(p), scheme, obs.ConfigHash(cfg), ops, sim.SnapshotCodecVersion)))
+	return hex.EncodeToString(h[:16])
+}
+
+// RunHorizons runs one workload under one scheme at every ops horizon in
+// horizons (strictly ascending), returning one Result per horizon.
+// Instead of len(horizons) full simulations it performs at most one: a
+// single measured pass to the largest horizon, reading the machine's
+// counters at each interior boundary. Results are bit-identical to
+// independent Run calls with p.Ops set per horizon.
+//
+// With a persistent cache, every horizon's machine state is also stored
+// as a mid-run checkpoint: a later process re-running the sweep serves
+// completed horizons straight from disk and resumes simulation from the
+// deepest stored checkpoint at or below its first missing horizon —
+// never re-simulating the prefix. A nil cache still gets the
+// one-pass-many-horizons win, just without persistence.
+func RunHorizons(name string, p Params, scheme Scheme, cfg Config, horizons []int, cache *SnapshotCache) ([]Result, error) {
+	p = p.Defaults()
+	if len(horizons) == 0 {
+		return nil, fmt.Errorf("domainvirt: RunHorizons: empty horizon list")
+	}
+	for i, h := range horizons {
+		if h <= 0 {
+			return nil, fmt.Errorf("domainvirt: RunHorizons: horizon %d is not positive", h)
+		}
+		if i > 0 && h <= horizons[i-1] {
+			return nil, fmt.Errorf("domainvirt: RunHorizons: horizons must be strictly ascending (%d after %d)",
+				h, horizons[i-1])
+		}
+	}
+	results := make([]Result, len(horizons))
+	have := make([]bool, len(horizons))
+	byOp := make(map[int]int, len(horizons))
+	for i, h := range horizons {
+		byOp[h] = i
+	}
+
+	// Phase 1: serve stored mid-run checkpoints. The resume point is the
+	// deepest stored horizon with no gap before it — resuming past a
+	// missing horizon would skip its capture.
+	persistent := cache != nil && cache.Persistent()
+	resumeOp := 0
+	var resumeSnap *sim.Snapshot
+	if persistent {
+		contiguous := true
+		for idx, h := range horizons {
+			snap, res, ok := cache.loadCheckpoint(HorizonKeyFor(name, p, scheme, cfg, h), cfg, scheme)
+			if !ok {
+				contiguous = false
+				continue
+			}
+			results[idx] = res
+			have[idx] = true
+			if contiguous {
+				resumeOp, resumeSnap = h, snap
+			}
+		}
+	}
+	target := 0
+	for i, h := range horizons {
+		if !have[i] {
+			target = h
+		}
+	}
+	if target == 0 {
+		return results, nil // every horizon served from stored checkpoints
+	}
+
+	// Phase 2: one pass to the largest missing horizon.
+	w, err := workload.New(name)
+	if err != nil {
+		return nil, err
+	}
+	runP := p
+	runP.Ops = target
+	persistOK := persistent
+	var (
+		m   *sim.Machine
+		sw  *sinkSwitch
+		env *workload.Env
+	)
+	switch {
+	case resumeSnap != nil:
+		// Resume: machine state comes from the stored checkpoint; the
+		// Go-side workload state is rebuilt by replaying setup and the
+		// first resumeOp measured ops against Discard (no simulation).
+		m = sim.NewMachine(cfg, scheme)
+		if err := m.RestoreSafe(resumeSnap); err != nil {
+			return nil, fmt.Errorf("domainvirt: %s resume under %s: %w", name, scheme, err)
+		}
+		sw = &sinkSwitch{inner: trace.Discard{}}
+		env = workload.NewEnv(sw, runP)
+		if err := w.Setup(env); err != nil {
+			return nil, fmt.Errorf("domainvirt: %s setup under %s: %w", name, scheme, err)
+		}
+	default:
+		var snap *sim.Snapshot
+		if cache != nil {
+			snap, _ = cache.warmup(name, p, scheme, cfg)
+		}
+		if snap != nil {
+			// Fork from the (possibly shared) warmup checkpoint.
+			m = sim.NewMachine(cfg, scheme)
+			m.Restore(snap)
+			sw = &sinkSwitch{inner: trace.Discard{}}
+			env = workload.NewEnv(sw, runP)
+			if err := w.Setup(env); err != nil {
+				return nil, fmt.Errorf("domainvirt: %s setup under %s: %w", name, scheme, err)
+			}
+			sw.inner = m
+		} else {
+			// Live path: no cache, or a setup that is not forkable.
+			// The single measured pass still serves every horizon, but a
+			// faulting setup must not persist checkpoints — a later
+			// process would rebuild its Go state against Discard, which
+			// diverges from a faulting setup.
+			m = sim.NewMachine(cfg, scheme)
+			env = workload.NewEnv(m, runP)
+			if err := w.Setup(env); err != nil {
+				return nil, fmt.Errorf("domainvirt: %s setup under %s: %w", name, scheme, err)
+			}
+			if r := m.Result(); r.Counters.DomainFaults > 0 || r.Counters.PageFaults > 0 {
+				persistOK = false
+			}
+			m.ResetStats()
+		}
+	}
+
+	env.AtOpEnd = func(i int) {
+		op := i + 1
+		if sw != nil && op == resumeOp {
+			// Crossing the resume boundary: the Discard-replayed prefix
+			// ends here and the restored machine takes over.
+			sw.inner = m
+			return
+		}
+		if op <= resumeOp {
+			return
+		}
+		idx, isHorizon := byOp[op]
+		if !isHorizon || have[idx] {
+			return
+		}
+		r := m.Result()
+		results[idx] = r
+		have[idx] = true
+		if persistOK && r.Counters.DomainFaults == 0 && r.Counters.PageFaults == 0 {
+			if data, err := sim.EncodeSnapshot(m.Snapshot()); err == nil {
+				// Best-effort, like the warmup write-through.
+				_ = cache.PutEncoded(HorizonKeyFor(name, p, scheme, cfg, op), data)
+			}
+		}
+	}
+	if err := w.Run(env); err != nil {
+		return nil, fmt.Errorf("domainvirt: %s run under %s: %w", name, scheme, err)
+	}
+	if r := m.Result(); r.Counters.DomainFaults > 0 || r.Counters.PageFaults > 0 {
+		return nil, fmt.Errorf("domainvirt: %s under %s raised %d domain / %d page faults (first: %v)",
+			name, scheme, r.Counters.DomainFaults, r.Counters.PageFaults, m.Faults())
+	}
+	return results, nil
+}
+
+// --- The "horizons" experiment: overhead convergence vs. run length.
+
+// HorizonRow is one ops horizon's overhead over the lowerbound, per
+// scheme — the same cells as a Fig. 6 point, swept along run length
+// instead of PMO count. Short horizons are warmup-adjacent (caches and
+// buffers still settling); the row sequence shows where the steady-state
+// overheads the paper reports stop moving.
+type HorizonRow struct {
+	Ops        int
+	LibmpkPct  float64
+	MPKVirtPct float64
+	DomVirtPct float64
+}
+
+// horizonSchemes are the schemes the horizons experiment sweeps.
+var horizonSchemes = []Scheme{SchemeLowerbound, SchemeLibmpk, SchemeMPKVirt, SchemeDomainVirt}
+
+// HorizonSweep evaluates benchmark name at every ops horizon via mid-run
+// checkpoint forking: one warmup and one measured pass per scheme,
+// regardless of how many horizons are requested. Rows are assembled in
+// horizon order from per-scheme result slices, so the output is
+// independent of scheduling and bit-identical to per-horizon full runs.
+func HorizonSweep(opt ExpOptions, name string, p Params, horizons []int) ([]HorizonRow, error) {
+	perScheme := make(map[Scheme][]Result, len(horizonSchemes))
+	for _, s := range horizonSchemes {
+		rs, err := RunHorizons(name, p, s, opt.Cfg, horizons, opt.Snapshots)
+		if err != nil {
+			return nil, err
+		}
+		perScheme[s] = rs
+		if opt.Progress != nil {
+			fmt.Fprintf(opt.Progress, "[horizons] %s x %s: %d horizons in one pass\n", name, s, len(horizons))
+		}
+	}
+	rows := make([]HorizonRow, 0, len(horizons))
+	for i, h := range horizons {
+		lb := perScheme[SchemeLowerbound][i]
+		rows = append(rows, HorizonRow{
+			Ops:        h,
+			LibmpkPct:  perScheme[SchemeLibmpk][i].OverheadPct(lb),
+			MPKVirtPct: perScheme[SchemeMPKVirt][i].OverheadPct(lb),
+			DomVirtPct: perScheme[SchemeDomainVirt][i].OverheadPct(lb),
+		})
+	}
+	return rows, nil
+}
+
+// HorizonHorizonsFor returns the default horizon ladder for a measured
+// budget of ops: powers of two from ops/16 up to ops.
+func HorizonHorizonsFor(ops int) []int {
+	var hs []int
+	for h := ops / 16; h < ops; h *= 2 {
+		if h > 0 {
+			hs = append(hs, h)
+		}
+	}
+	return append(hs, ops)
+}
+
+// HorizonReport renders a horizon sweep.
+func HorizonReport(name string, rows []HorizonRow) *report.Table {
+	t := &report.Table{
+		Title:   fmt.Sprintf("Horizon sweep (%s): overhead over lowerbound vs. measured ops (one pass per scheme)", name),
+		Headers: []string{"Ops", "libmpk %", "MPK Virt %", "Domain Virt %"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.Ops),
+			fmt.Sprintf("%.2f", r.LibmpkPct),
+			fmt.Sprintf("%.2f", r.MPKVirtPct),
+			fmt.Sprintf("%.2f", r.DomVirtPct))
+	}
+	return t
+}

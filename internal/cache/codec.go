@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"domainvirt/internal/bincodec"
+)
+
+// AppendTo appends the deterministic binary form of one cache's state.
+func (s *CacheState) AppendTo(b []byte) []byte {
+	b = bincodec.U32(b, uint32(len(s.lines)))
+	for _, l := range s.lines {
+		b = bincodec.U64(b, l.tag)
+		b = bincodec.U8(b, uint8(l.state))
+	}
+	for _, v := range s.lru {
+		b = bincodec.U32(b, v)
+	}
+	b = bincodec.U32(b, s.clock)
+	b = bincodec.U64(b, s.hits)
+	b = bincodec.U64(b, s.misses)
+	return b
+}
+
+// DecodeCacheState reads a CacheState written by AppendTo.
+func DecodeCacheState(r *bincodec.Reader) (*CacheState, error) {
+	s := &CacheState{}
+	n := r.Count(9 + 4) // line (9 bytes) + lru stamp per line
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	s.lines = make([]line, n)
+	for i := range s.lines {
+		s.lines[i].tag = r.U64()
+		s.lines[i].state = State(r.U8())
+	}
+	s.lru = make([]uint32, n)
+	for i := range s.lru {
+		s.lru[i] = r.U32()
+	}
+	s.clock = r.U32()
+	s.hits = r.U64()
+	s.misses = r.U64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return s, nil
+}
+
+// AppendTo appends the deterministic binary form of the hierarchy state:
+// per-core L1 states, the shared L2, the coherence directory in ascending
+// block order, the per-core position memos, and the coherence statistics.
+func (s *HierarchyState) AppendTo(b []byte) []byte {
+	b = bincodec.U32(b, uint32(len(s.l1)))
+	for _, c := range s.l1 {
+		b = c.AppendTo(b)
+	}
+	b = s.l2.AppendTo(b)
+	blocks := make([]uint64, 0, len(s.dir))
+	for block := range s.dir {
+		blocks = append(blocks, block)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	b = bincodec.U32(b, uint32(len(blocks)))
+	for _, block := range blocks {
+		de := s.dir[block]
+		b = bincodec.U64(b, block)
+		b = bincodec.U64(b, de.sharers)
+		b = bincodec.U64(b, uint64(int64(de.owner)))
+	}
+	b = bincodec.U32(b, uint32(len(s.lastPos)))
+	for _, p := range s.lastPos {
+		b = bincodec.U64(b, uint64(int64(p)))
+	}
+	b = bincodec.U64(b, s.remoteInvals)
+	b = bincodec.U64(b, s.dirtyFwds)
+	return b
+}
+
+// DecodeHierarchyState reads a HierarchyState written by AppendTo.
+func DecodeHierarchyState(r *bincodec.Reader) (*HierarchyState, error) {
+	s := &HierarchyState{}
+	ncores := r.Count(8)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	s.l1 = make([]*CacheState, ncores)
+	for i := range s.l1 {
+		c, err := DecodeCacheState(r)
+		if err != nil {
+			return nil, err
+		}
+		s.l1[i] = c
+	}
+	l2, err := DecodeCacheState(r)
+	if err != nil {
+		return nil, err
+	}
+	s.l2 = l2
+	ndir := r.Count(24)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	s.dir = make(map[uint64]dirEntry, ndir)
+	for i := 0; i < ndir; i++ {
+		block := r.U64()
+		s.dir[block] = dirEntry{
+			sharers: r.U64(),
+			owner:   int(int64(r.U64())),
+		}
+	}
+	npos := r.Count(8)
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	s.lastPos = make([]int, npos)
+	for i := range s.lastPos {
+		s.lastPos[i] = int(int64(r.U64()))
+	}
+	s.remoteInvals = r.U64()
+	s.dirtyFwds = r.U64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
+	}
+	return s, nil
+}

@@ -137,3 +137,56 @@ func BenchmarkFetch(b *testing.B) {
 		m.Fetch(1, va+memlayout.VA((i&7)*memlayout.PageSize))
 	}
 }
+
+// benchSnapshot builds a machine with warmed multi-domain state and
+// returns its snapshot — the codec benchmarks measure the persistent
+// snapshot store's serialization hot path on a realistic capture.
+func benchSnapshot(tb testing.TB) *sim.Snapshot {
+	m := benchMachine(tb, sim.SchemeDomainVirt, 8, 32)
+	for d := core.DomainID(1); d <= 8; d++ {
+		r := benchRegion(d)
+		for p := 0; p < 32; p++ {
+			va := r.Base + memlayout.VA(p*memlayout.PageSize)
+			m.Access(1, va, 8, true)
+			m.Instr(1, 50)
+		}
+		m.SetPerm(1, d, core.PermR, 0)
+		m.SetPerm(1, d, core.PermRW, 0)
+	}
+	return m.Snapshot()
+}
+
+// BenchmarkSnapshotEncode measures the wire encoding of a full machine
+// snapshot — the write half of every snapshot-store Put.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	snap := benchSnapshot(b)
+	data, err := sim.EncodeSnapshot(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.EncodeSnapshot(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotDecode measures decode+checksum of stored snapshot
+// bytes — the read half of every warm-store hit.
+func BenchmarkSnapshotDecode(b *testing.B) {
+	data, err := sim.EncodeSnapshot(benchSnapshot(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.DecodeSnapshot(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"domainvirt/internal/bincodec"
+	"domainvirt/internal/stats"
+)
+
+// TestCounterFieldsComplete pins counterFields against the struct by
+// reflection: adding a field to stats.Counters without teaching the
+// codec (and bumping SnapshotCodecVersion) fails here instead of
+// silently dropping the counter from persisted snapshots.
+func TestCounterFieldsComplete(t *testing.T) {
+	var c stats.Counters
+	rv := reflect.ValueOf(&c).Elem()
+	if rv.NumField() != len(counterFields(&c)) {
+		t.Fatalf("stats.Counters has %d fields but counterFields lists %d; "+
+			"add the field to the codec and bump SnapshotCodecVersion",
+			rv.NumField(), len(counterFields(&c)))
+	}
+	// Every listed pointer must address a distinct struct field, and every
+	// struct field must be listed: set each field to a unique value by
+	// reflection and check the codec round-trips all of them.
+	for i := 0; i < rv.NumField(); i++ {
+		rv.Field(i).SetUint(uint64(1000 + i))
+	}
+	b := appendCounters(nil, &c)
+	var got stats.Counters
+	decodeCounters(bincodec.NewReader(b), &got)
+	if got != c {
+		t.Errorf("counters round trip dropped a field:\n got: %+v\nwant: %+v", got, c)
+	}
+}

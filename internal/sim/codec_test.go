@@ -1,0 +1,199 @@
+package sim_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"domainvirt/internal/obs"
+	"domainvirt/internal/sim"
+)
+
+// codecSnapshot builds a nontrivially-warmed snapshot for scheme s.
+func codecSnapshot(tb testing.TB, s sim.Scheme) (*sim.Snapshot, sim.Config, int) {
+	tb.Helper()
+	nd := snapDomains(s)
+	cfg := snapConfig()
+	m := sim.NewMachine(cfg, s)
+	snapDrivePrefix(tb, m, nd)
+	m.ResetStats()
+	return m.Snapshot(), cfg, nd
+}
+
+// TestSnapshotCodecRoundTrip is the referee for the persistent store:
+// for every scheme, a machine restored from the decoded bytes must
+// continue bit-identically to a machine restored from the live snapshot.
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	for _, s := range sim.AllSchemes {
+		t.Run(string(s), func(t *testing.T) {
+			snap, cfg, nd := codecSnapshot(t, s)
+
+			ref := sim.NewMachine(cfg, s)
+			ref.Restore(snap)
+			snapDriveSuffix(ref, nd)
+			want := ref.Result()
+
+			data, err := sim.EncodeSnapshot(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := sim.DecodeSnapshot(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if decoded.Scheme() != string(s) {
+				t.Fatalf("decoded scheme %q, want %q", decoded.Scheme(), s)
+			}
+			fork := sim.NewMachine(cfg, s)
+			if err := fork.RestoreSafe(decoded); err != nil {
+				t.Fatal(err)
+			}
+			snapDriveSuffix(fork, nd)
+			if got := fork.Result(); got != want {
+				t.Errorf("decoded fork diverged:\n got: %+v\nwant: %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestSnapshotCodecDeterministic pins the content-addressing premise:
+// identically-warmed machines encode to identical bytes, and re-encoding
+// one snapshot is stable.
+func TestSnapshotCodecDeterministic(t *testing.T) {
+	for _, s := range []sim.Scheme{sim.SchemeLibmpk, sim.SchemeMPKVirt, sim.SchemeDomainVirt} {
+		t.Run(string(s), func(t *testing.T) {
+			a, _, _ := codecSnapshot(t, s)
+			b, _, _ := codecSnapshot(t, s)
+			da, err := sim.EncodeSnapshot(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := sim.EncodeSnapshot(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(da, db) {
+				t.Error("identical warmups encoded to different bytes")
+			}
+			da2, err := sim.EncodeSnapshot(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(da, da2) {
+				t.Error("re-encoding the same snapshot is not stable")
+			}
+		})
+	}
+}
+
+// TestSnapshotCodecRoundTripObserved covers the recorder-position field:
+// a snapshot taken mid-observed-run must carry the sampler state through
+// the binary format.
+func TestSnapshotCodecRoundTripObserved(t *testing.T) {
+	s := sim.SchemeDomainVirt
+	nd := snapDomains(s)
+	cfg := snapConfig()
+	m := sim.NewMachine(cfg, s)
+	m.SetRecorder(obs.NewRecorder(obs.Options{Epoch: 500}))
+	snapDrivePrefix(t, m, nd)
+	snap := m.Snapshot()
+
+	wantRec, wantHas := snap.RecorderState()
+	if !wantHas {
+		t.Fatal("expected recorder state in snapshot")
+	}
+	data, err := sim.EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := sim.DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRec, gotHas := decoded.RecorderState()
+	if !gotHas {
+		t.Fatal("recorder state lost in round trip")
+	}
+	if gotRec.Samples != wantRec.Samples || gotRec.Last.Retired != wantRec.Last.Retired {
+		t.Errorf("recorder state diverged: got %+v want %+v", gotRec, wantRec)
+	}
+	if len(gotRec.Last.Cores) != len(wantRec.Last.Cores) {
+		t.Errorf("recorder core state count diverged: got %d want %d",
+			len(gotRec.Last.Cores), len(wantRec.Last.Cores))
+	}
+}
+
+// TestSnapshotCodecRejectsTruncation cuts the encoding at many points;
+// every prefix must fail with ErrSnapshotCorrupt, never panic or decode.
+func TestSnapshotCodecRejectsTruncation(t *testing.T) {
+	snap, _, _ := codecSnapshot(t, sim.SchemeMPKVirt)
+	data, err := sim.EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := []int{0, 1, 7, 8, 11, 12, 13, len(data) / 4, len(data) / 2, len(data) - 9, len(data) - 1}
+	for _, n := range cuts {
+		if _, err := sim.DecodeSnapshot(data[:n]); !errors.Is(err, sim.ErrSnapshotCorrupt) {
+			t.Errorf("truncation at %d: got %v, want ErrSnapshotCorrupt", n, err)
+		}
+	}
+}
+
+// TestSnapshotCodecRejectsCorruption flips one byte at a time across the
+// buffer; the checksum must catch every flip.
+func TestSnapshotCodecRejectsCorruption(t *testing.T) {
+	snap, _, _ := codecSnapshot(t, sim.SchemeDomainVirt)
+	data, err := sim.EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := len(data)/64 + 1
+	for i := 0; i < len(data); i += step {
+		mut := bytes.Clone(data)
+		mut[i] ^= 0x40
+		if _, err := sim.DecodeSnapshot(mut); err == nil {
+			t.Errorf("flipped byte %d: decode accepted corrupt data", i)
+		}
+	}
+}
+
+// TestSnapshotCodecRejectsFutureVersion patches the version field (and
+// re-seals the checksum, as a newer writer would): the decoder must
+// answer ErrSnapshotVersion, not misparse.
+func TestSnapshotCodecRejectsFutureVersion(t *testing.T) {
+	snap, _, _ := codecSnapshot(t, sim.SchemeLibmpk)
+	data, err := sim.EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := sim.ResealSnapshotVersion(data, sim.SnapshotCodecVersion+7)
+	if _, err := sim.DecodeSnapshot(mut); !errors.Is(err, sim.ErrSnapshotVersion) {
+		t.Errorf("future version: got %v, want ErrSnapshotVersion", err)
+	}
+}
+
+// TestRestoreSafeRejectsMismatch pins the untrusted-provenance guard: a
+// decoded snapshot of the wrong scheme or geometry must come back as an
+// error, not a panic.
+func TestRestoreSafeRejectsMismatch(t *testing.T) {
+	snap, cfg, _ := codecSnapshot(t, sim.SchemeDomainVirt)
+	data, err := sim.EncodeSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := sim.DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.NewMachine(cfg, sim.SchemeMPK).RestoreSafe(decoded); err == nil {
+		t.Error("scheme mismatch: RestoreSafe accepted")
+	} else if !strings.Contains(err.Error(), "restore rejected") {
+		t.Errorf("scheme mismatch: unexpected error %v", err)
+	}
+	bad := cfg
+	bad.Cores = cfg.Cores + 2
+	if err := sim.NewMachine(bad, sim.SchemeDomainVirt).RestoreSafe(decoded); err == nil {
+		t.Error("core-count mismatch: RestoreSafe accepted")
+	}
+}

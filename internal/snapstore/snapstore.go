@@ -1,0 +1,117 @@
+// Package snapstore is a content-addressed on-disk cache of encoded
+// machine snapshots. Keys name warmup (or checkpoint) identities — the
+// caller derives them by hashing the workload/params/scheme/structural
+// configuration — and values are the versioned, checksummed buffers of
+// sim.EncodeSnapshot.
+//
+// The store is safe for concurrent use by processes sharing one
+// directory: writes go through a same-directory temp file and an atomic
+// rename, so a reader sees either no file or a complete one, never a
+// torn write. Two writers racing on one key both write complete files
+// and the last rename wins — harmless, because a key is derived from
+// the full warmup identity and the codec is deterministic, so rival
+// writers carry identical bytes. Corruption (a partial copy, bit rot, a
+// file from a different codec version) is the decoder's job to reject;
+// the store only moves bytes.
+package snapstore
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ErrMiss reports a key with no stored snapshot.
+var ErrMiss = errors.New("snapstore: miss")
+
+// ext is the snapshot file suffix.
+const ext = ".pmosnap"
+
+// Store is one snapshot directory.
+type Store struct {
+	dir string
+}
+
+// Open returns a Store over dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snapstore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file path a key maps to.
+func (s *Store) Path(key string) string {
+	return filepath.Join(s.dir, key+ext)
+}
+
+// Has reports whether a snapshot file exists for key.
+func (s *Store) Has(key string) bool {
+	_, err := os.Stat(s.Path(key))
+	return err == nil
+}
+
+// Get returns the stored bytes for key, or ErrMiss.
+func (s *Store) Get(key string) ([]byte, error) {
+	data, err := os.ReadFile(s.Path(key))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %s", ErrMiss, key)
+		}
+		return nil, fmt.Errorf("snapstore: %w", err)
+	}
+	return data, nil
+}
+
+// Put stores data under key atomically: a reader of Path(key) — in this
+// process or another sharing the directory — sees the previous contents
+// or the new contents, never a prefix.
+func (s *Store) Put(key string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("snapstore: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.Path(key)); err != nil {
+		return fmt.Errorf("snapstore: %w", err)
+	}
+	return nil
+}
+
+// Delete removes the snapshot for key (a decode-rejected file is dead
+// weight until its writer is fixed; callers drop it before rebuilding).
+// Missing files are not an error.
+func (s *Store) Delete(key string) error {
+	if err := os.Remove(s.Path(key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("snapstore: %w", err)
+	}
+	return nil
+}
+
+// Keys lists the stored snapshot keys in directory order.
+func (s *Store) Keys() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("snapstore: %w", err)
+	}
+	var keys []string
+	for _, e := range ents {
+		if name, ok := strings.CutSuffix(e.Name(), ext); ok && !e.IsDir() {
+			keys = append(keys, name)
+		}
+	}
+	return keys, nil
+}

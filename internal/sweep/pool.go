@@ -1,0 +1,217 @@
+package sweep
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+)
+
+// Job is one grid cell to distribute: an opaque spec plus the
+// content-addressed snapshot keys the worker may want to pull before
+// simulating (advisory — the spec itself is authoritative).
+type Job struct {
+	SnapKeys []string
+	Spec     []byte
+}
+
+// client is one coordinator->worker connection.
+type client struct {
+	addr string
+	conn net.Conn
+	buf  []byte
+}
+
+// runCell ships one job and blocks until RESULT/ERROR, answering
+// NEEDSNAP sub-requests from lookup in between. A transport error means
+// the worker (or link) is gone; a *CellError means the cell itself
+// failed deterministically.
+func (c *client) runCell(id int, job Job, lookup Fetch) ([]byte, error) {
+	if err := writeFrame(c.conn, runFrame(uint32(id), job.SnapKeys, job.Spec)); err != nil {
+		return nil, err
+	}
+	for {
+		p, err := readFrame(c.conn, c.buf)
+		if err != nil {
+			return nil, err
+		}
+		t, r, err := frameType(p)
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case tNeedSnap:
+			key := r.Str()
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			var data []byte
+			found := false
+			if lookup != nil {
+				data, found = lookup(key)
+			}
+			if err := writeFrame(c.conn, snapFrame(key, found, data)); err != nil {
+				return nil, err
+			}
+		case tResult:
+			gotID := r.U32()
+			payload := append([]byte(nil), r.Bytes()...)
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			if int(gotID) != id {
+				return nil, fmt.Errorf("sweep: result for cell %d while waiting on %d", gotID, id)
+			}
+			return payload, nil
+		case tError:
+			r.U32()
+			msg := r.Str()
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			return nil, &CellError{Msg: msg}
+		default:
+			return nil, fmt.Errorf("sweep: unexpected frame %q", t)
+		}
+	}
+}
+
+// Pool distributes jobs over a set of workers, degrading to local
+// execution for anything a worker cannot deliver.
+type Pool struct {
+	clients []*client
+	// Log, when non-nil, receives coordinator-side progress lines
+	// (worker losses, fallback decisions).
+	Log func(format string, args ...any)
+}
+
+// NewPool dials every worker address, opening Conns connections to each
+// (minimum 1) so one worker can execute several cells concurrently.
+// Addresses that fail to dial or handshake are skipped with a log line;
+// an empty pool is valid and makes Run execute everything locally.
+func NewPool(addrs []string, conns int, logf func(format string, args ...any)) *Pool {
+	if conns < 1 {
+		conns = 1
+	}
+	p := &Pool{Log: logf}
+	for _, addr := range addrs {
+		for i := 0; i < conns; i++ {
+			c, err := dialWorker(addr)
+			if err != nil {
+				p.logf("sweep: worker %s unavailable: %v", addr, err)
+				break
+			}
+			p.clients = append(p.clients, &client{addr: addr, conn: c})
+		}
+	}
+	return p
+}
+
+func (p *Pool) logf(format string, args ...any) {
+	if p.Log != nil {
+		p.Log(format, args...)
+	}
+}
+
+// Workers returns the number of live worker connections.
+func (p *Pool) Workers() int { return len(p.clients) }
+
+// Close tears down every connection.
+func (p *Pool) Close() {
+	for _, c := range p.clients {
+		c.conn.Close()
+	}
+	p.clients = nil
+}
+
+// Run executes every job and returns one payload per job, in job order.
+// Jobs are pulled by worker connections from a shared cursor; any job a
+// worker cannot deliver (connection lost mid-cell, worker died, no
+// workers at all) is re-executed locally via local. Deterministic cell
+// failures — remote *CellError or a local error — abort the sweep with
+// the lowest-indexed failing cell's error, exactly like the sequential
+// path.
+func (p *Pool) Run(jobs []Job, local func(i int) ([]byte, error), lookup Fetch) ([][]byte, error) {
+	results := make([][]byte, len(jobs))
+	done := make([]bool, len(jobs))
+	errs := make([]error, len(jobs))
+
+	if len(p.clients) > 0 {
+		var mu sync.Mutex
+		next := 0
+		take := func() int {
+			mu.Lock()
+			defer mu.Unlock()
+			if next >= len(jobs) {
+				return -1
+			}
+			i := next
+			next++
+			return i
+		}
+		var wg sync.WaitGroup
+		for _, c := range p.clients {
+			wg.Add(1)
+			go func(c *client) {
+				defer wg.Done()
+				for {
+					i := take()
+					if i < 0 {
+						return
+					}
+					payload, err := c.runCell(i, jobs[i], lookup)
+					mu.Lock()
+					switch {
+					case err == nil:
+						results[i] = payload
+						done[i] = true
+					case isCellError(err):
+						errs[i] = err
+						done[i] = true
+					default:
+						// Transport loss: leave the cell for the local
+						// pass and retire this connection.
+						mu.Unlock()
+						p.logf("sweep: worker %s lost (cell %d re-queued locally): %v", c.addr, i, err)
+						c.conn.Close()
+						return
+					}
+					mu.Unlock()
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+
+	// Local pass: everything undelivered (lost workers, empty pool).
+	var fallback []int
+	for i := range jobs {
+		if !done[i] {
+			fallback = append(fallback, i)
+		}
+	}
+	sort.Ints(fallback)
+	if len(fallback) > 0 && len(p.clients) > 0 {
+		p.logf("sweep: running %d cell(s) locally after worker loss", len(fallback))
+	}
+	for _, i := range fallback {
+		payload, err := local(i)
+		if err != nil {
+			errs[i] = err
+		} else {
+			results[i] = payload
+		}
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func isCellError(err error) bool {
+	_, ok := err.(*CellError)
+	return ok
+}

@@ -1,0 +1,153 @@
+// Package sweep fans an experiment grid out to pmoworker daemons. The
+// coordinator partitions the grid into cells, ships each cell's opaque
+// spec (plus the content-addressed keys of the warmup snapshots it can
+// reuse) to a worker over a length-prefixed frame protocol in the style
+// of internal/serve, and collects opaque result payloads. Workers that
+// miss a snapshot pull it from the coordinator mid-cell; workers that
+// die mid-sweep degrade to local re-execution of their lost cells —
+// a shrinking worker set changes wall-clock time, never results.
+//
+// The package is deliberately ignorant of what a cell is: specs and
+// results are byte slices produced and consumed by the root package
+// (see domainvirt.RunSweepCell), which keeps the dependency arrow
+// pointing root → sweep.
+package sweep
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"domainvirt/internal/bincodec"
+)
+
+// ProtoVersion is the handshake version; both ends must match exactly.
+const ProtoVersion = 1
+
+// maxFrame bounds a declared frame length. Snapshots of large machines
+// dominate frame sizes; 1 GiB is far above any real checkpoint while
+// still rejecting garbage lengths from a corrupt stream.
+const maxFrame = 1 << 30
+
+// Frame type tags (first payload byte).
+const (
+	tHello    = 'H' // both directions: u32 version
+	tRun      = 'R' // coordinator->worker: u32 id, keys, spec
+	tNeedSnap = 'N' // worker->coordinator: str key
+	tSnap     = 'S' // coordinator->worker: str key, bool found, bytes
+	tResult   = 'D' // worker->coordinator: u32 id, bytes payload
+	tError    = 'E' // worker->coordinator: u32 id, str message
+)
+
+// Fetch pulls one content-addressed snapshot; ok=false means the far
+// side does not hold it either (the caller rebuilds).
+type Fetch func(key string) ([]byte, bool)
+
+// Runner executes one opaque cell spec, pulling missing snapshots
+// through fetch, and returns the opaque result payload.
+type Runner func(spec []byte, fetch Fetch) ([]byte, error)
+
+// CellError is a deterministic remote cell failure: the workload itself
+// errored on the worker. It is distinct from a transport error — the
+// same cell would fail locally too, so the pool reports it instead of
+// re-running.
+type CellError struct{ Msg string }
+
+func (e *CellError) Error() string { return "sweep: remote cell failed: " + e.Msg }
+
+// readFrame reads one length-prefixed frame payload.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("sweep: declared frame length %d exceeds limit", n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writeFrame writes one length-prefixed frame payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Frame builders.
+
+func helloFrame() []byte {
+	b := []byte{tHello}
+	return bincodec.U32(b, ProtoVersion)
+}
+
+func runFrame(id uint32, snapKeys []string, spec []byte) []byte {
+	b := []byte{tRun}
+	b = bincodec.U32(b, id)
+	b = bincodec.U32(b, uint32(len(snapKeys)))
+	for _, k := range snapKeys {
+		b = bincodec.Str(b, k)
+	}
+	return bincodec.Bytes(b, spec)
+}
+
+func needSnapFrame(key string) []byte {
+	return bincodec.Str([]byte{tNeedSnap}, key)
+}
+
+func snapFrame(key string, found bool, data []byte) []byte {
+	b := bincodec.Str([]byte{tSnap}, key)
+	b = bincodec.Bool(b, found)
+	return bincodec.Bytes(b, data)
+}
+
+func resultFrame(id uint32, payload []byte) []byte {
+	return bincodec.Bytes(bincodec.U32([]byte{tResult}, id), payload)
+}
+
+func errorFrame(id uint32, msg string) []byte {
+	return bincodec.Str(bincodec.U32([]byte{tError}, id), msg)
+}
+
+// frameReader wraps a frame payload for typed decoding.
+func frameType(p []byte) (byte, *bincodec.Reader, error) {
+	if len(p) == 0 {
+		return 0, nil, errors.New("sweep: empty frame")
+	}
+	return p[0], bincodec.NewReader(p[1:]), nil
+}
+
+// checkHello validates a handshake frame.
+func checkHello(p []byte) error {
+	t, r, err := frameType(p)
+	if err != nil {
+		return err
+	}
+	if t != tHello {
+		return fmt.Errorf("sweep: expected HELLO, got frame %q", t)
+	}
+	v := r.U32()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("sweep: bad HELLO: %w", err)
+	}
+	if v != ProtoVersion {
+		return fmt.Errorf("sweep: protocol version mismatch: peer %d, local %d", v, ProtoVersion)
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startWorker runs a Server with the given runner on an ephemeral port.
+func startWorker(t *testing.T, run Runner) (*Server, string) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Run: run}
+	go srv.Serve(lis)
+	t.Cleanup(func() { srv.Close(); lis.Close() })
+	return srv, lis.Addr().String()
+}
+
+// echoRunner returns the spec back with a marker prefix.
+func echoRunner(marker string) Runner {
+	return func(spec []byte, fetch Fetch) ([]byte, error) {
+		return append([]byte(marker), spec...), nil
+	}
+}
+
+func TestPoolRunsAllJobsInOrder(t *testing.T) {
+	_, addr := startWorker(t, echoRunner("w:"))
+	pool := NewPool([]string{addr}, 2, nil)
+	defer pool.Close()
+	if pool.Workers() != 2 {
+		t.Fatalf("workers = %d, want 2 connections", pool.Workers())
+	}
+	jobs := make([]Job, 10)
+	for i := range jobs {
+		jobs[i] = Job{Spec: []byte(fmt.Sprintf("job-%d", i))}
+	}
+	local := func(i int) ([]byte, error) { return []byte("local"), nil }
+	got, err := pool.Run(jobs, local, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range got {
+		want := fmt.Sprintf("w:job-%d", i)
+		if string(p) != want {
+			t.Errorf("job %d payload %q, want %q", i, p, want)
+		}
+	}
+}
+
+func TestPoolEmptyRunsLocally(t *testing.T) {
+	// No live workers at all: a bad address degrades to local execution.
+	var dials []string
+	pool := NewPool([]string{"127.0.0.1:1"}, 1, func(f string, a ...any) {
+		dials = append(dials, fmt.Sprintf(f, a...))
+	})
+	defer pool.Close()
+	if pool.Workers() != 0 {
+		t.Fatalf("workers = %d, want 0", pool.Workers())
+	}
+	if len(dials) == 0 {
+		t.Error("dial failure not logged")
+	}
+	jobs := []Job{{Spec: []byte("a")}, {Spec: []byte("b")}}
+	got, err := pool.Run(jobs, func(i int) ([]byte, error) {
+		return append([]byte("local:"), jobs[i].Spec...), nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[0]) != "local:a" || string(got[1]) != "local:b" {
+		t.Errorf("local fallback payloads wrong: %q %q", got[0], got[1])
+	}
+}
+
+func TestPoolSnapshotPull(t *testing.T) {
+	// The runner demands a snapshot for every cell; the coordinator's
+	// lookup serves it, and misses come back ok=false.
+	_, addr := startWorker(t, func(spec []byte, fetch Fetch) ([]byte, error) {
+		data, ok := fetch(string(spec))
+		if !ok {
+			return []byte("miss"), nil
+		}
+		return data, nil
+	})
+	pool := NewPool([]string{addr}, 1, nil)
+	defer pool.Close()
+	lookup := func(key string) ([]byte, bool) {
+		if key == "have" {
+			return []byte("snapshot-bytes"), true
+		}
+		return nil, false
+	}
+	got, err := pool.Run([]Job{{Spec: []byte("have")}, {Spec: []byte("gone")}},
+		func(i int) ([]byte, error) { return nil, errors.New("unexpected local") }, lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[0]) != "snapshot-bytes" {
+		t.Errorf("pulled snapshot = %q", got[0])
+	}
+	if string(got[1]) != "miss" {
+		t.Errorf("missing snapshot = %q, want miss marker", got[1])
+	}
+}
+
+func TestPoolWorkerLossFallsBackLocally(t *testing.T) {
+	// Worker A dies on its first cell; worker B and the local fallback
+	// must deliver every job exactly once.
+	var killed atomic.Bool
+	srvA, addrA := startWorker(t, func(spec []byte, fetch Fetch) ([]byte, error) {
+		killed.Store(true)
+		panic("worker A dies mid-cell") // tears down the connection
+	})
+	_ = srvA
+	_, addrB := startWorker(t, echoRunner("B:"))
+
+	var mu sync.Mutex
+	var localRan []int
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Spec: []byte(fmt.Sprintf("j%d", i))}
+	}
+	var logs []string
+	pool := NewPool([]string{addrA, addrB}, 1, func(f string, a ...any) {
+		mu.Lock()
+		logs = append(logs, fmt.Sprintf(f, a...))
+		mu.Unlock()
+	})
+	defer pool.Close()
+	got, err := pool.Run(jobs, func(i int) ([]byte, error) {
+		mu.Lock()
+		localRan = append(localRan, i)
+		mu.Unlock()
+		return append([]byte("L:"), jobs[i].Spec...), nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !killed.Load() {
+		t.Fatal("worker A never saw a cell")
+	}
+	for i, p := range got {
+		want1 := fmt.Sprintf("B:j%d", i)
+		want2 := fmt.Sprintf("L:j%d", i)
+		if string(p) != want1 && string(p) != want2 {
+			t.Errorf("job %d payload %q, want worker-B or local", i, p)
+		}
+	}
+	if len(localRan) == 0 {
+		t.Error("lost cell was not re-run locally")
+	}
+	found := false
+	for _, l := range logs {
+		if strings.Contains(l, "lost") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("worker loss not logged: %v", logs)
+	}
+}
+
+func TestPoolRemoteCellErrorAborts(t *testing.T) {
+	// A deterministic cell failure must abort the sweep (like the
+	// sequential path), not silently re-run locally.
+	_, addr := startWorker(t, func(spec []byte, fetch Fetch) ([]byte, error) {
+		if string(spec) == "bad" {
+			return nil, errors.New("workload exploded")
+		}
+		return spec, nil
+	})
+	pool := NewPool([]string{addr}, 1, nil)
+	defer pool.Close()
+	localCalls := 0
+	_, err := pool.Run([]Job{{Spec: []byte("ok")}, {Spec: []byte("bad")}},
+		func(i int) ([]byte, error) { localCalls++; return nil, nil }, nil)
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want CellError", err)
+	}
+	if !strings.Contains(ce.Msg, "workload exploded") {
+		t.Errorf("error lost the remote message: %v", ce)
+	}
+	if localCalls != 0 {
+		t.Errorf("deterministic failure was retried locally %d times", localCalls)
+	}
+}
+
+func TestHandshakeVersionMismatch(t *testing.T) {
+	_, addr := startWorker(t, echoRunner(""))
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Claim a future protocol version; the worker must hang up rather
+	// than serve frames it may misparse.
+	bad := []byte{tHello, 0, 0, 0, 99}
+	if err := writeFrame(c, bad); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := readFrame(c, nil); err == nil {
+		t.Fatal("worker answered a version-mismatched HELLO")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	payload := runFrame(7, []string{"k1", "k2"}, []byte("spec-bytes"))
+	go func() { writeFrame(a, payload) }()
+	got, err := readFrame(b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, r, err := frameType(got)
+	if err != nil || tp != tRun {
+		t.Fatalf("frame type %q err %v", tp, err)
+	}
+	if id := r.U32(); id != 7 {
+		t.Errorf("id = %d", id)
+	}
+	if n := r.U32(); n != 2 {
+		t.Errorf("nkeys = %d", n)
+	}
+	if k := r.Str(); k != "k1" {
+		t.Errorf("key1 = %q", k)
+	}
+	if k := r.Str(); k != "k2" {
+		t.Errorf("key2 = %q", k)
+	}
+	if s := string(r.Bytes()); s != "spec-bytes" {
+		t.Errorf("spec = %q", s)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -377,6 +377,7 @@ func (w *avlWorkload) Run(env *workload.Env) error {
 		}
 		ctx.End()
 		ctx.Pin = nil
+		env.OpDone(i)
 	}
 	return nil
 }

@@ -417,6 +417,7 @@ func (w *btWorkload) Run(env *workload.Env) error {
 		}
 		ctx.End()
 		ctx.Pin = nil
+		env.OpDone(i)
 	}
 	return nil
 }

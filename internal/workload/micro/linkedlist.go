@@ -206,6 +206,7 @@ func (w *llWorkload) Run(env *workload.Env) error {
 		}
 		ctx.End()
 		ctx.Pin = nil
+		env.OpDone(i)
 	}
 	return nil
 }

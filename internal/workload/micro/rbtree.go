@@ -490,6 +490,7 @@ func (w *rbtWorkload) Run(env *workload.Env) error {
 		}
 		ctx.End()
 		ctx.Pin = nil
+		env.OpDone(i)
 	}
 	return nil
 }

@@ -140,6 +140,7 @@ func (w *ssWorkload) Run(env *workload.Env) error {
 		}
 		w.ss.Swap(ctx, a, b)
 		ctx.End()
+		env.OpDone(i)
 	}
 	return nil
 }

@@ -128,6 +128,7 @@ func (w *serverWorkload) Run(env *workload.Env) error {
 		if err := env.Space.SetPerm(p, core.PermNone, workload.SiteOpDisable); err != nil {
 			return err
 		}
+		env.OpDone(i)
 	}
 	return nil
 }

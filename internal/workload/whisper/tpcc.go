@@ -179,6 +179,7 @@ func (w *tpccWorkload) Run(env *workload.Env) error {
 		default:
 			w.orderStatus(env)
 		}
+		env.OpDone(i)
 	}
 	return nil
 }

@@ -67,6 +67,7 @@ func (w *echoWorkload) Run(env *workload.Env) error {
 		if err := w.kv.Put(key); err != nil {
 			return err
 		}
+		env.OpDone(i)
 	}
 	return nil
 }
@@ -108,6 +109,7 @@ func (w *ycsbWorkload) Run(env *workload.Env) error {
 		} else {
 			w.kv.Get(key)
 		}
+		env.OpDone(i)
 	}
 	return nil
 }
@@ -204,6 +206,7 @@ func (w *ctreeWorkload) Run(env *workload.Env) error {
 		if err := w.insert(env, keyFor(env)); err != nil {
 			return err
 		}
+		env.OpDone(i)
 	}
 	return nil
 }
@@ -239,6 +242,7 @@ func (w *hashmapWorkload) Run(env *workload.Env) error {
 		if err := w.kv.Put(keyFor(env)); err != nil {
 			return err
 		}
+		env.OpDone(i)
 	}
 	return nil
 }
@@ -324,6 +328,7 @@ func (w *redisWorkload) Run(env *workload.Env) error {
 				return err
 			}
 		}
+		env.OpDone(i)
 	}
 	return nil
 }

@@ -101,6 +101,23 @@ type Env struct {
 	Space *pmo.Space
 	Rng   *rand.Rand
 	P     Params
+
+	// AtOpEnd, when non-nil, runs after each measured operation with its
+	// zero-based index. Every workload's Run loop reports through OpDone,
+	// which gives the experiment layer interior operation boundaries —
+	// the anchor points for mid-run checkpoint forking (one measured
+	// pass serving many ops horizons). The hook must not touch Rng,
+	// Store, or Space: op streams are prefix-stable, and a hook that
+	// perturbed them would break horizon-fork bit-identity.
+	AtOpEnd func(i int)
+}
+
+// OpDone reports that measured operation i finished. Workload Run loops
+// call it as their final per-iteration statement.
+func (e *Env) OpDone(i int) {
+	if e.AtOpEnd != nil {
+		e.AtOpEnd(i)
+	}
 }
 
 // NewEnv builds an environment emitting into sink.

@@ -1,6 +1,7 @@
 package domainvirt
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -56,9 +57,29 @@ func runGrid(opt ExpOptions, cells []expCell) (gridResults, error) {
 	if workers > len(uniq) {
 		workers = len(uniq)
 	}
+	observed := opt.Obs.Dir != ""
+
+	if len(opt.SweepAddrs) > 0 {
+		// Distributed path: fan the cells out to pmoworker daemons.
+		// Results and artifacts come back per cell and merge in the
+		// same fixed order as the local path below.
+		results, artifacts, err := runGridRemote(opt, uniq)
+		if err != nil {
+			return nil, err
+		}
+		if observed {
+			if err := exportGridObs(opt, uniq, artifacts); err != nil {
+				return nil, err
+			}
+		}
+		out := make(gridResults, len(uniq))
+		for i, c := range uniq {
+			out[c] = results[i]
+		}
+		return out, nil
+	}
 
 	prog := obs.NewProgress(opt.Progress, len(uniq))
-	observed := opt.Obs.Dir != ""
 	results := make([]Result, len(uniq))
 	recs := make([]*obs.Recorder, len(uniq))
 	errs := make([]error, len(uniq))
@@ -114,7 +135,11 @@ func runGrid(opt ExpOptions, cells []expCell) (gridResults, error) {
 		}
 	}
 	if observed {
-		if err := exportGridObs(opt, uniq, recs); err != nil {
+		artifacts := make([]cellObs, len(uniq))
+		for i, rec := range recs {
+			artifacts[i] = recorderObs(rec, opt.Obs.Epoch)
+		}
+		if err := exportGridObs(opt, uniq, artifacts); err != nil {
 			return nil, err
 		}
 	}
@@ -125,14 +150,51 @@ func runGrid(opt ExpOptions, cells []expCell) (gridResults, error) {
 	return out, nil
 }
 
+// cellObs is one cell's observability artifact set in rendered form:
+// the manifest and epoch-series bytes exactly as the recorder writes
+// them, plus the two latency histograms (mergeable values). Local cells
+// render theirs via recorderObs; distributed cells ship theirs back
+// pre-rendered, so both paths export identical files.
+type cellObs struct {
+	ok       bool
+	manifest []byte
+	series   []byte
+	access   obs.Histogram
+	setperm  obs.Histogram
+}
+
+// recorderObs renders a local recorder's artifacts.
+func recorderObs(rec *obs.Recorder, epoch uint64) cellObs {
+	if rec == nil {
+		return cellObs{}
+	}
+	var man bytes.Buffer
+	if err := rec.Manifest().WriteJSON(&man); err != nil {
+		return cellObs{}
+	}
+	co := cellObs{ok: true, manifest: man.Bytes()}
+	if epoch > 0 {
+		var series bytes.Buffer
+		if err := rec.WriteJSONL(&series); err != nil {
+			return cellObs{}
+		}
+		co.series = series.Bytes()
+	}
+	co.access = *rec.AccessHist()
+	co.setperm = *rec.SetPermHist()
+	return co
+}
+
 // exportGridObs writes the grid's observability artifacts into
 // opt.Obs.Dir: one manifest-<label>.json per cell, one
 // series-<label>.jsonl per cell when epoch sampling was on, and one
 // hist-<scheme>.prom per scheme holding the access and SETPERM latency
 // histograms merged across that scheme's cells. It runs after the worker
-// pool has drained, iterating cells in their fixed grid order, so the
-// output is byte-deterministic for a given seed.
-func exportGridObs(opt ExpOptions, cells []expCell, recs []*obs.Recorder) error {
+// pool (local or distributed) has drained, iterating cells in their
+// fixed grid order; histogram merging is commutative. The output is
+// byte-deterministic for a given seed regardless of scheduling or of
+// which worker ran which cell.
+func exportGridObs(opt ExpOptions, cells []expCell, artifacts []cellObs) error {
 	dir := opt.Obs.Dir
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -152,20 +214,21 @@ func exportGridObs(opt ExpOptions, cells []expCell, recs []*obs.Recorder) error 
 	merged := make(map[Scheme]*histPair)
 	var order []Scheme
 	for i, c := range cells {
-		rec := recs[i]
-		if rec == nil {
+		co := artifacts[i]
+		if !co.ok {
 			continue
 		}
-		man := rec.Manifest()
 		err := writeFile(filepath.Join(dir, "manifest-"+c.label()+".json"), func(f *os.File) error {
-			return man.WriteJSON(f)
+			_, err := f.Write(co.manifest)
+			return err
 		})
 		if err != nil {
 			return err
 		}
 		if opt.Obs.Epoch > 0 {
 			err := writeFile(filepath.Join(dir, "series-"+c.label()+".jsonl"), func(f *os.File) error {
-				return rec.WriteJSONL(f)
+				_, err := f.Write(co.series)
+				return err
 			})
 			if err != nil {
 				return err
@@ -177,8 +240,8 @@ func exportGridObs(opt ExpOptions, cells []expCell, recs []*obs.Recorder) error 
 			merged[c.scheme] = hp
 			order = append(order, c.scheme)
 		}
-		hp.access.Merge(rec.AccessHist())
-		hp.setperm.Merge(rec.SetPermHist())
+		hp.access.Merge(&co.access)
+		hp.setperm.Merge(&co.setperm)
 	}
 	for _, s := range order {
 		hp := merged[s]

@@ -8,7 +8,11 @@
 # pmod+pmoload smoke whose span dump, Prometheus snapshot, and traffic
 # capture must validate and replay, a cluster smoke (three pmod nodes
 # behind pmorouter surviving a mid-load node kill with zero errors and
-# zero isolation violations), and the RESULTS.md drift check.
+# zero isolation violations), the deterministic-replay grid gates (the
+# same grid sequential vs. parallel, vs. two fresh processes sharing a
+# persistent -snapshot-dir with zero warm-run warmups, vs. a
+# distributed sweep over two pmoworkers with one SIGKILLed mid-run —
+# all byte-identical), and the RESULTS.md drift check.
 # Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -145,6 +149,61 @@ diff -r "$obsdir/gridseq" "$obsdir/gridpar" \
     || { echo "parallel+snapshot grid CSV diverged from sequential" >&2; exit 1; }
 diff -r "$obsdir/gridseq-obs" "$obsdir/gridpar-obs" \
     || { echo "parallel+snapshot grid obs exports diverged from sequential" >&2; exit 1; }
+
+# Persistent snapshot store gate: the same grid run by two FRESH
+# processes sharing one -snapshot-dir. The first populates the store;
+# the second must report zero warmup re-simulations on its cache-stats
+# stderr line and still match the sequential run byte-for-byte.
+"$obsdir/pmobench" -experiment table5 -ops 2000 -quiet \
+    -snapshot-dir "$obsdir/snapstore" \
+    -csv "$obsdir/gridcold" -obs-out "$obsdir/gridcold-obs" -obs-epoch 20000 >/dev/null
+"$obsdir/pmobench" -experiment table5 -ops 2000 -quiet \
+    -snapshot-dir "$obsdir/snapstore" \
+    -csv "$obsdir/gridwarm" -obs-out "$obsdir/gridwarm-obs" -obs-epoch 20000 \
+    >/dev/null 2>"$obsdir/gridwarm.err"
+grep -q 'snapshot cache: warmups=0 ' "$obsdir/gridwarm.err" \
+    || { echo "primed snapshot store still re-simulated warmups:" >&2; \
+         cat "$obsdir/gridwarm.err" >&2; exit 1; }
+diff -r "$obsdir/gridseq" "$obsdir/gridcold" && diff -r "$obsdir/gridseq" "$obsdir/gridwarm" \
+    || { echo "persistent-store grid CSV diverged from sequential" >&2; exit 1; }
+diff -r "$obsdir/gridseq-obs" "$obsdir/gridcold-obs" && diff -r "$obsdir/gridseq-obs" "$obsdir/gridwarm-obs" \
+    || { echo "persistent-store grid obs exports diverged from sequential" >&2; exit 1; }
+
+# Distributed sweep smoke: the grid fanned out to two pmoworker
+# daemons, one of which is SIGKILLed mid-sweep. The coordinator must
+# degrade the lost worker's cells to local re-execution and still
+# export byte-identical tables and obs artifacts.
+go build -o "$obsdir/pmoworker" ./cmd/pmoworker
+"$obsdir/pmoworker" -listen 127.0.0.1:0 -addr-file "$obsdir/w1.addr" 2>"$obsdir/w1.log" &
+w1_pid=$!
+"$obsdir/pmoworker" -listen 127.0.0.1:0 -addr-file "$obsdir/w2.addr" -quiet 2>/dev/null &
+w2_pid=$!
+for _ in $(seq 50); do
+    [ -s "$obsdir/w1.addr" ] && [ -s "$obsdir/w2.addr" ] && break
+    sleep 0.1
+done
+[ -s "$obsdir/w1.addr" ] && [ -s "$obsdir/w2.addr" ] \
+    || { echo "pmoworker never bound" >&2; exit 1; }
+# Worker 1 is SIGKILLed right after it finishes its first cell, so the
+# death lands while the sweep is in flight.
+( for _ in $(seq 200); do
+      grep -q 'cell .* done' "$obsdir/w1.log" 2>/dev/null && break
+      sleep 0.05
+  done
+  kill -9 "$w1_pid" 2>/dev/null ) &
+killer_pid=$!
+"$obsdir/pmobench" -experiment table5 -ops 2000 -quiet \
+    -sweep-addrs "$(cat "$obsdir/w1.addr"),$(cat "$obsdir/w2.addr")" -sweep-conns 2 \
+    -csv "$obsdir/griddist" -obs-out "$obsdir/griddist-obs" -obs-epoch 20000 >/dev/null
+wait "$killer_pid" || true
+kill -9 "$w1_pid" 2>/dev/null || true
+kill -9 "$w2_pid" 2>/dev/null || true
+wait "$w1_pid" 2>/dev/null || true
+wait "$w2_pid" 2>/dev/null || true
+diff -r "$obsdir/gridseq" "$obsdir/griddist" \
+    || { echo "distributed grid CSV diverged from sequential" >&2; exit 1; }
+diff -r "$obsdir/gridseq-obs" "$obsdir/griddist-obs" \
+    || { echo "distributed grid obs exports diverged from sequential" >&2; exit 1; }
 
 # The STATS snapshot of a traced daemon must be valid exposition format
 # (validated above under load by TestMetricsExpositionValidUnderLoad;

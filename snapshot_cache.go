@@ -1,6 +1,8 @@
 package domainvirt
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"domainvirt/internal/memlayout"
 	"domainvirt/internal/obs"
 	"domainvirt/internal/sim"
+	"domainvirt/internal/snapstore"
 	"domainvirt/internal/tlb"
 	"domainvirt/internal/trace"
 	"domainvirt/internal/workload"
@@ -65,6 +68,53 @@ type snapEntry struct {
 	ok   bool
 }
 
+// warmupParams normalizes p to its warmup identity: the resolved
+// defaults with the ops horizon zeroed. Setup never reads P.Ops (only
+// Run does), so cells differing only in run length share one warmup
+// checkpoint — the premise of mid-run horizon forking.
+func warmupParams(p Params) Params {
+	p = p.Defaults()
+	p.Ops = 0
+	return p
+}
+
+// diskKey is the content address of the warmup checkpoint in a
+// persistent store: a hash over the full warmup identity plus the codec
+// version, so files written by an incompatible codec can never collide
+// with current keys (the decoder's version check still guards files
+// tampered in place).
+func (k snapKey) diskKey() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("warmup|%s|%+v|%s|%+v|codec%d",
+		k.name, k.p, k.scheme, k.sc, sim.SnapshotCodecVersion)))
+	return hex.EncodeToString(h[:16])
+}
+
+// SnapshotKeyFor returns the content-addressed store key of the warmup
+// checkpoint for one experiment cell. Coordinator and workers derive the
+// same key independently, which is what lets a sweep job name a snapshot
+// without shipping it.
+func SnapshotKeyFor(name string, p Params, scheme Scheme, cfg Config) string {
+	k := snapKey{name: name, p: warmupParams(p), scheme: scheme, sc: structuralOf(cfg)}
+	return k.diskKey()
+}
+
+// SnapshotCacheStats counts how warmups were served. The ci.sh
+// grid-twice gate asserts Warmups == 0 for a second process running
+// against a primed -snapshot-dir.
+type SnapshotCacheStats struct {
+	// Warmups is the number of setup phases actually simulated (cold
+	// cells: neither memory nor store had the checkpoint).
+	Warmups int
+	// MemHits is the number of cells served from an in-memory checkpoint.
+	MemHits int
+	// DiskHits is the number of checkpoints loaded from the store.
+	DiskHits int
+	// DiskRejects is the number of store files rejected — truncated,
+	// checksum-failing, stale codec version, or geometry-mismatched —
+	// and rebuilt.
+	DiskRejects int
+}
+
 // SnapshotCache shares warmup state across experiment cells: the first
 // cell with a given (workload, params, scheme, structural-config) key
 // simulates the setup phase once and checkpoints the machine after
@@ -73,14 +123,31 @@ type snapEntry struct {
 // path. The cache is safe for concurrent use by a grid's worker pool and
 // is meant to live across grids (Table VI and Table VII share warmups,
 // as do the rows of a cost-parameter ablation).
+// When built with NewSnapshotCacheDir, the cache is additionally backed
+// by an internal/snapstore directory: checkpoints built in this process
+// are encoded and written through, and a cold in-memory entry first
+// tries the store — so warmups survive across processes and across the
+// workers of a distributed sweep sharing one directory.
 type SnapshotCache struct {
 	mu      sync.Mutex
 	entries map[snapKey]*snapEntry
+	store   *snapstore.Store
+	stats   SnapshotCacheStats
 }
 
-// NewSnapshotCache returns an empty warmup snapshot cache.
+// NewSnapshotCache returns an empty, memory-only warmup snapshot cache.
 func NewSnapshotCache() *SnapshotCache {
 	return &SnapshotCache{entries: make(map[snapKey]*snapEntry)}
+}
+
+// NewSnapshotCacheDir returns a warmup snapshot cache persisted under
+// dir (created if needed).
+func NewSnapshotCacheDir(dir string) (*SnapshotCache, error) {
+	st, err := snapstore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &SnapshotCache{entries: make(map[snapKey]*snapEntry), store: st}, nil
 }
 
 func (c *SnapshotCache) entry(k snapKey) *snapEntry {
@@ -99,6 +166,81 @@ func (c *SnapshotCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// Stats returns a copy of the serving counters.
+func (c *SnapshotCache) Stats() SnapshotCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *SnapshotCache) count(f func(*SnapshotCacheStats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// Persistent reports whether the cache is backed by an on-disk store.
+func (c *SnapshotCache) Persistent() bool { return c.store != nil }
+
+// HasStored reports whether the backing store holds key. Memory-only
+// caches hold nothing.
+func (c *SnapshotCache) HasStored(key string) bool {
+	return c.store != nil && c.store.Has(key)
+}
+
+// GetEncoded returns the stored bytes for key (snapstore.ErrMiss when
+// absent or when the cache is memory-only). The bytes are the encoded
+// snapshot verbatim; callers decode — and must treat a decode failure as
+// a miss.
+func (c *SnapshotCache) GetEncoded(key string) ([]byte, error) {
+	if c.store == nil {
+		return nil, fmt.Errorf("%w: no store", snapstore.ErrMiss)
+	}
+	return c.store.Get(key)
+}
+
+// PutEncoded writes pre-encoded snapshot bytes through to the store
+// (no-op for memory-only caches). The sweep tier uses it to install
+// snapshots pulled from the coordinator; the horizon layer uses it for
+// mid-run checkpoints.
+func (c *SnapshotCache) PutEncoded(key string, data []byte) error {
+	if c.store == nil {
+		return nil
+	}
+	return c.store.Put(key, data)
+}
+
+// loadCheckpoint tries to serve a stored checkpoint (warmup or mid-run)
+// under key. A decodable file is validated by a restore into a throwaway
+// machine of the cell's geometry, so every later Restore from the
+// returned snapshot is panic-free; any rejection deletes the file and
+// reports a miss (the caller rebuilds and overwrites). The probe's
+// Result is returned alongside — for a mid-run checkpoint it is exactly
+// the Result an independent run at that horizon would produce.
+func (c *SnapshotCache) loadCheckpoint(key string, cfg Config, scheme Scheme) (*sim.Snapshot, Result, bool) {
+	if c.store == nil {
+		return nil, Result{}, false
+	}
+	data, err := c.store.Get(key)
+	if err != nil {
+		return nil, Result{}, false
+	}
+	snap, err := sim.DecodeSnapshot(data)
+	if err != nil {
+		c.count(func(s *SnapshotCacheStats) { s.DiskRejects++ })
+		c.store.Delete(key)
+		return nil, Result{}, false
+	}
+	probe := sim.NewMachine(cfg, scheme)
+	if err := probe.RestoreSafe(snap); err != nil {
+		c.count(func(s *SnapshotCacheStats) { s.DiskRejects++ })
+		c.store.Delete(key)
+		return nil, Result{}, false
+	}
+	c.count(func(s *SnapshotCacheStats) { s.DiskHits++ })
+	return snap, probe.Result(), true
 }
 
 // sinkSwitch delegates the trace.Sink interface to a swappable inner
@@ -121,30 +263,39 @@ func (s *sinkSwitch) Attach(d DomainID, r memlayout.Region, perm Perm) error {
 func (s *sinkSwitch) Detach(d DomainID) { s.inner.Detach(d) }
 func (s *sinkSwitch) Fence(th ThreadID) { s.inner.Fence(th) }
 
-// runCachedMachine is runMachine with warmup snapshot reuse. The second
-// return value reports whether the cell was served from a cached
-// checkpoint (false for the cell that built it, and for fallbacks).
+// warmupSource reports how a warmup checkpoint was served.
+type warmupSource int
+
+const (
+	warmupBuilt warmupSource = iota // setup simulated by this call
+	warmupDisk                      // loaded from the backing store
+	warmupMem                       // already resident in memory
+)
+
+// warmup serves (building if needed) the warmup checkpoint for one cell.
+// A nil snapshot means the cell's setup is not forkable — the workload
+// errored or its setup raised faults — and the caller must fall back to
+// the uncached path.
 //
-// Safety: the fork path replays Setup against a Discard sink, which
+// Safety: forked cells replay Setup against a Discard sink, which
 // permits everything. That is behaviorally identical to the real setup
 // only if the real setup never had an access denied (a denied pool read
 // returns zeros and could steer subsequent setup work), so the builder
 // demands zero domain and page faults during the simulated setup before
-// caching; a faulting setup falls back to the uncached path per cell.
-func runCachedMachine(name string, p Params, scheme Scheme, cfg Config, rec *obs.Recorder, cache *SnapshotCache) (Result, bool, error) {
-	if cache == nil {
-		res, err := runMachine(name, p, scheme, cfg, rec)
-		return res, false, err
-	}
-	w, err := workload.New(name)
-	if err != nil {
-		return Result{}, false, err
-	}
-	key := snapKey{name: name, p: p.Defaults(), scheme: scheme, sc: structuralOf(cfg)}
-	e := cache.entry(key)
-	built := false
+// caching.
+func (c *SnapshotCache) warmup(name string, p Params, scheme Scheme, cfg Config) (*sim.Snapshot, warmupSource) {
+	key := snapKey{name: name, p: warmupParams(p), scheme: scheme, sc: structuralOf(cfg)}
+	e := c.entry(key)
+	src := warmupMem
 	e.once.Do(func() {
-		built = true
+		if snap, _, ok := c.loadCheckpoint(key.diskKey(), cfg, scheme); ok {
+			src = warmupDisk
+			e.snap = snap
+			e.ok = true
+			return
+		}
+		src = warmupBuilt
+		c.count(func(s *SnapshotCacheStats) { s.Warmups++ })
 		bw, err := workload.New(name)
 		if err != nil {
 			return
@@ -160,8 +311,37 @@ func runCachedMachine(name string, p Params, scheme Scheme, cfg Config, rec *obs
 		m.ResetStats()
 		e.snap = m.Snapshot()
 		e.ok = true
+		if c.store != nil {
+			if data, encErr := sim.EncodeSnapshot(e.snap); encErr == nil {
+				// Best-effort write-through: a full disk degrades to the
+				// in-memory cache, it does not fail the cell.
+				_ = c.store.Put(key.diskKey(), data)
+			}
+		}
 	})
 	if !e.ok {
+		return nil, src
+	}
+	if src == warmupMem {
+		c.count(func(s *SnapshotCacheStats) { s.MemHits++ })
+	}
+	return e.snap, src
+}
+
+// runCachedMachine is runMachine with warmup snapshot reuse. The second
+// return value reports whether the cell was served from a cached
+// checkpoint (false for the cell that built it, and for fallbacks).
+func runCachedMachine(name string, p Params, scheme Scheme, cfg Config, rec *obs.Recorder, cache *SnapshotCache) (Result, bool, error) {
+	if cache == nil {
+		res, err := runMachine(name, p, scheme, cfg, rec)
+		return res, false, err
+	}
+	w, err := workload.New(name)
+	if err != nil {
+		return Result{}, false, err
+	}
+	snap, src := cache.warmup(name, p, scheme, cfg)
+	if snap == nil {
 		res, err := runMachine(name, p, scheme, cfg, rec)
 		return res, false, err
 	}
@@ -174,7 +354,7 @@ func runCachedMachine(name string, p Params, scheme Scheme, cfg Config, rec *obs
 		return Result{}, false, fmt.Errorf("domainvirt: %s setup under %s: %w", name, scheme, err)
 	}
 	m := sim.NewMachine(cfg, scheme)
-	m.Restore(e.snap)
+	m.Restore(snap)
 	sw.inner = m
 
 	var start time.Time
@@ -208,7 +388,7 @@ func runCachedMachine(name string, p Params, scheme Scheme, cfg Config, rec *obs
 		return res, false, fmt.Errorf("domainvirt: %s under %s raised %d domain / %d page faults (first: %v)",
 			name, scheme, res.Counters.DomainFaults, res.Counters.PageFaults, m.Faults())
 	}
-	return res, !built, nil
+	return res, src != warmupBuilt, nil
 }
 
 // RunCached is Run with warmup snapshot reuse through cache (nil cache
